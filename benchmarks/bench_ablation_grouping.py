@@ -1,0 +1,57 @@
+"""Ablation (section 5.4) — grouping decoder rows into M = 2L submodels.
+
+The BA has L encoder submodels (size ~D) and D decoder rows (size ~L).
+Ungrouped, the D tiny decoder messages dominate hop counts and latency;
+grouped into L encoder-sized bundles, M = 2L equal submodels travel.
+The bench compares ring-simulation W-step time and message counts for the
+two layouts, plus the theory-side effect on the speedup curve.
+"""
+
+import numpy as np
+
+from repro.distributed.costmodel import CostModel
+from repro.perfmodel.speedup import SpeedupParams, speedup
+from repro.utils.ascii_plot import ascii_table
+
+from conftest import timing_cluster
+
+N, D, L, P, E = 20_000, 128, 16, 16, 1
+
+
+def run_layouts():
+    cost = CostModel(t_wr=1.0, t_wc=500.0, t_zr=5.0)
+    out = {}
+    for label, groups in [("grouped (M=2L)", L), ("ungrouped (M=L+D)", D)]:
+        cluster = timing_cluster(N, L, D, P, E, cost, n_decoder_groups=groups)
+        stats = cluster.w_step(0.0)
+        out[label] = stats
+    return out
+
+
+def test_ablation_grouping(benchmark, report):
+    results = benchmark.pedantic(run_layouts, rounds=1, iterations=1)
+
+    report()
+    report("=" * 72)
+    report("Ablation: decoder grouping (section 5.4), P=16, e=1")
+    rows = [
+        [label, 2 * L if "2L" in label else L + D, s.n_messages,
+         round(s.comm_time, 0), round(s.sim_time, 0)]
+        for label, s in results.items()
+    ]
+    report(ascii_table(
+        ["layout", "M", "hops", "comm time", "W-step sim time"], rows))
+
+    grouped = results["grouped (M=2L)"]
+    ungrouped = results["ungrouped (M=L+D)"]
+    # Grouping slashes hop count (and with it latency overhead).
+    assert grouped.n_messages < ungrouped.n_messages / 3
+    assert grouped.comm_time < ungrouped.comm_time
+    assert grouped.sim_time < ungrouped.sim_time
+
+    # Theory side: with per-hop cost fixed, fewer/larger submodels win at
+    # this P; the M = 2L curve dominates near P = 2L.
+    g = SpeedupParams(N=N, M=2 * L, e=E, t_wr=1.0, t_wc=500.0, t_zr=5.0)
+    u = SpeedupParams(N=N, M=L + D, e=E, t_wr=1.0, t_wc=500.0, t_zr=5.0)
+    report(f"  theory S(16): grouped={float(speedup(16, g)):.1f} "
+           f"ungrouped={float(speedup(16, u)):.1f} (same-cost hops)")

@@ -1,0 +1,50 @@
+"""Fig. 4 — the typical theoretical speedup curve.
+
+Paper parameters: N = 10^6, M = 512, e = 1, t_wr = 1, t_zr = 5,
+t_wc = 10^3 (rho1 = 0.0025, rho2 = 0.0005, rho = 0.003). The curve is
+near-perfect up to P = M = 512, peaks at P*_1 = sqrt(rho1 M N) ~ 1131 with
+S* ~ 633, and decays beyond.
+"""
+
+import numpy as np
+
+from repro.perfmodel.presets import FIG4_PARAMS
+from repro.perfmodel.speedup import global_max, speedup
+from repro.utils.ascii_plot import ascii_plot, ascii_table
+
+
+def compute_curve():
+    Ps = np.arange(1, 2001)
+    return Ps, speedup(Ps, FIG4_PARAMS)
+
+
+def test_fig04_typical_speedup(benchmark, report):
+    Ps, S = benchmark(compute_curve)
+    P_star, S_star = global_max(FIG4_PARAMS)
+
+    report()
+    report("=" * 72)
+    report("Figure 4: typical theoretical speedup curve")
+    report(f"  N=1e6, M=512, e=1, t_wr=1, t_zr=5, t_wc=1e3")
+    report(f"  rho1={FIG4_PARAMS.rho1:.4f} rho2={FIG4_PARAMS.rho2:.4f} "
+           f"rho={FIG4_PARAMS.rho:.4f}")
+    report()
+    marks = [1, 64, 128, 256, 512, 1024, int(round(P_star)), 2000]
+    rows = [(P, float(speedup(P, FIG4_PARAMS)),
+             "P*_1 (max)" if P == int(round(P_star))
+             else ("M" if P == 512 else ""))
+            for P in marks]
+    report(ascii_table(["P", "S(P)", "note"], rows))
+    report()
+    report(ascii_plot({"S(P)": (Ps, S)}, xlabel="machines P",
+                      ylabel="speedup", title="S(P), paper fig. 4"))
+    report(f"  global max: S*={S_star:.1f} at P*={P_star:.0f} "
+           f"(paper: max past M=512, S>600)")
+
+    # Shape assertions: near-perfect at the divisors of M (the paper marks
+    # exactly those), maximum past M, decay after the maximum.
+    divisors = np.array([1, 2, 4, 8, 16, 32, 64, 128, 256, 512])
+    assert np.allclose(speedup(divisors, FIG4_PARAMS), divisors, rtol=0.15)
+    assert np.allclose(speedup(divisors[:7], FIG4_PARAMS), divisors[:7], rtol=0.03)
+    assert P_star > 512 and S_star > 512
+    assert S[1999] < S_star

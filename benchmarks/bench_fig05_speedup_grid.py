@@ -1,0 +1,66 @@
+"""Fig. 5 — the 2x4 grid of theoretical speedup curves.
+
+Paper settings: N = 50 000; M in {1..512} (powers of two); e in {1, 8};
+t_wr = 1; t_wc in {1, 100, 1000}; t_zr in {1, 100}. Observations the grid
+must reproduce (section 5.3):
+
+* near-perfect speedup for P <= M, between M and P otherwise;
+* more communication (large t_wc / small t_zr / more epochs) lowers S;
+* curves for different M can partly overlap where (M/P)/ceil(M/P) agrees.
+"""
+
+import numpy as np
+
+from repro.perfmodel.speedup import SpeedupParams, speedup
+from repro.utils.ascii_plot import ascii_table
+
+N = 50_000
+MS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+GRID = [  # (e, t_wc, t_zr) rows of the paper's figure
+    (1, 1.0, 1.0), (8, 1.0, 1.0),
+    (1, 1.0, 100.0), (8, 1.0, 100.0),
+    (1, 100.0, 1.0), (8, 100.0, 1.0),
+    (1, 1000.0, 100.0), (8, 1000.0, 100.0),
+]
+P_PROBE = [32, 64, 96, 128]
+
+
+def compute_grid():
+    out = {}
+    for e, t_wc, t_zr in GRID:
+        for M in MS:
+            p = SpeedupParams(N=N, M=M, e=e, t_wr=1.0, t_wc=t_wc, t_zr=t_zr)
+            out[(e, t_wc, t_zr, M)] = speedup(np.array(P_PROBE), p)
+    return out
+
+
+def test_fig05_speedup_grid(benchmark, report):
+    grid = benchmark(compute_grid)
+
+    report()
+    report("=" * 72)
+    report("Figure 5: theoretical speedup S(P) grid (N=50000, t_wr=1)")
+    for e, t_wc, t_zr in GRID:
+        rows = [
+            [M] + [round(float(s), 1) for s in grid[(e, t_wc, t_zr, M)]]
+            for M in MS
+        ]
+        report()
+        report(ascii_table(
+            ["M"] + [f"S({P})" for P in P_PROBE], rows,
+            title=f"-- e={e}, t_wc={t_wc:g}, t_zr={t_zr:g} --",
+        ))
+
+    # Observation 1: M is the controlling parameter — larger M, larger S.
+    for probe in range(len(P_PROBE)):
+        col = [grid[(1, 100.0, 1.0, M)][probe] for M in MS]
+        assert all(a <= b + 1e-9 for a, b in zip(col, col[1:]))
+    # Observation 2: near-perfect speedup when M >= P (cheap comm, heavy Z).
+    assert grid[(1, 1.0, 100.0, 512)][0] > 0.95 * 32
+    assert grid[(1, 1.0, 100.0, 512)][3] > 0.95 * 128
+    # Observation 3: more epochs of communication lower the speedup.
+    for M in (32, 128, 512):
+        assert grid[(8, 1000.0, 100.0, M)][3] <= grid[(1, 1000.0, 100.0, M)][3] + 1e-9
+    # Observation 4: expensive Z step (perfectly parallel) raises speedup.
+    for M in (8, 32):
+        assert grid[(1, 100.0, 1.0, M)][3] < grid[(1, 1.0, 100.0, M)][3]

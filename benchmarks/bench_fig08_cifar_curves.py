@@ -1,0 +1,85 @@
+"""Fig. 8 — CIFAR learning curves: epochs and machines.
+
+Same protocol as fig. 7 on the GIST-like workload (D = 320 in the paper,
+scaled here), with the paper's CIFAR mu schedule family (mu0 = 0.005,
+a = 1.2, 26 iterations). Checks: e = 8 is practically exact; e = 1 only a
+small degradation; P in {1, 16, 64} jitters, no systematic degradation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import PrecisionEvaluator
+from repro.core.penalty import GeometricSchedule
+from repro.data.synthetic import make_gist_like
+from repro.utils.ascii_plot import ascii_table
+
+from conftest import run_learning_curve, standardised
+
+N, D, L = 2500, 96, 16
+SCHEDULE = GeometricSchedule(mu0=5e-3, factor=1.2, n_iters=26)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    cloud = standardised(make_gist_like(N + 80, D, n_clusters=10, rng=1))
+    X, Q = cloud[:N], cloud[N:]
+    # Paper protocol: (K, k) = (1000, 100) on 50k points; scaled to base.
+    ev = PrecisionEvaluator(Q, X, K=50, k=50)
+    return X, ev
+
+
+def test_fig08_epochs_effect(benchmark, report, workload):
+    X, ev = workload
+    epochs_list = [1, 2, 8]
+
+    hists = benchmark.pedantic(
+        lambda: {
+            e: run_learning_curve(X, L, SCHEDULE, epochs=e, evaluator=ev)[1]
+            for e in epochs_list
+        },
+        rounds=1, iterations=1,
+    )
+
+    report()
+    report("=" * 72)
+    report("Figure 8 (left): CIFAR stand-in, P=1, epochs e in {1,2,8}")
+    rows = []
+    for i in range(0, 26, 5):
+        rows.append([i] + [round(hists[e].e_q[i], 1) for e in epochs_list]
+                    + [round(hists[e].e_ba[i], 1) for e in epochs_list])
+    report(ascii_table(
+        ["iter"] + [f"E_Q e={e}" for e in epochs_list]
+        + [f"E_BA e={e}" for e in epochs_list], rows))
+
+    assert hists[8].e_q[-1] <= hists[1].e_q[-1] * 1.10
+    assert hists[1].e_q[-1] <= hists[8].e_q[-1] * 1.6
+    for e in epochs_list:
+        assert hists[e].e_ba[-1] < hists[e].e_ba[0]
+
+
+def test_fig08_machines_effect(benchmark, report, workload):
+    X, ev = workload
+    Ps = [1, 16, 64]
+
+    hists = benchmark.pedantic(
+        lambda: {
+            P: run_learning_curve(X, L, SCHEDULE, n_machines=P, epochs=2,
+                                  evaluator=ev)[1]
+            for P in Ps
+        },
+        rounds=1, iterations=1,
+    )
+
+    report()
+    report("Figure 8 (right): fixed e=2, machines P in {1,16,64}")
+    rows = []
+    for i in range(0, 26, 5):
+        rows.append([i] + [round(hists[P].e_q[i], 1) for P in Ps])
+    rows.append(["last"] + [round(hists[P].e_q[-1], 1) for P in Ps])
+    report(ascii_table(["iter"] + [f"E_Q P={P}" for P in Ps], rows))
+    report("  final precision: " + "  ".join(
+        f"P={P}: {hists[P].precision[-1]:.4f}" for P in Ps))
+
+    finals = [hists[P].e_q[-1] for P in Ps]
+    assert max(finals) <= min(finals) * 1.5

@@ -1,0 +1,58 @@
+"""Fig. 13 — communication vs computation time by node placement.
+
+P = 16 processors allocated as 1x16 (one node, pure shared memory) through
+16x1 (16 nodes, pure distributed). Intra-node hops are cheap, inter-node
+hops expensive. The paper's finding: computation time stays constant while
+communication time grows as processors spread over more nodes. Its
+shared-memory reference point (1x16 equivalent) measured 2.57 s comm /
+8.76 s comp.
+"""
+
+import numpy as np
+
+from repro.distributed.costmodel import CostModel
+from repro.utils.ascii_plot import ascii_table
+
+from conftest import timing_cluster
+
+P = 16
+CONFIGS = [(1, 16), (2, 8), (4, 4), (8, 2), (16, 1)]  # nodes x procs/node
+T_WC_INTER = 2_000.0
+T_WC_INTRA = 100.0
+
+
+def run_config(n_nodes, per_node):
+    node_of = {p: p // per_node for p in range(P)}
+    cost = CostModel(t_wr=1.0, t_wc=T_WC_INTER, t_wc_intra=T_WC_INTRA,
+                     t_zr=5.0, node_of=node_of)
+    cluster = timing_cluster(N=20_000, n_bits=16, D=64, P=P, e=2, cost=cost)
+    w = cluster.w_step(0.0)
+    return w.comp_time, w.comm_time
+
+
+def test_fig13_comm_vs_comp(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: [run_config(n, k) for n, k in CONFIGS], rounds=1, iterations=1
+    )
+
+    report()
+    report("=" * 72)
+    report("Figure 13: comm vs comp time across node placements (P=16)")
+    rows = [
+        [f"{n}x{k}", round(comp, 0), round(comm, 0),
+         round(comm / comp, 3)]
+        for (n, k), (comp, comm) in zip(CONFIGS, results)
+    ]
+    report(ascii_table(["nodes x procs", "computation", "communication",
+                        "comm/comp"], rows))
+    report("  (paper: computation ~constant, communication grows towards 16x1;"
+           " shared-memory 1x16 point: 2.57s comm / 8.76s comp)")
+
+    comps = np.array([c for c, _ in results])
+    comms = np.array([c for _, c in results])
+    # Computation identical in every placement.
+    assert np.allclose(comps, comps[0], rtol=1e-9)
+    # Communication strictly grows as processors spread over nodes.
+    assert (np.diff(comms) > 0).all()
+    # Pure distributed pays the most; pure shared-memory the least.
+    assert comms[-1] / comms[0] > 5.0

@@ -1,0 +1,54 @@
+"""Protocol overhead (fig. 6 / section 7): cost of the ring machinery.
+
+Measures the in-process engines' message throughput (visits processed per
+second of wall clock, timing-only) and verifies the exact message/hop
+counts the counter protocol prescribes — the analogue of checking the MPI
+code's `visitedsubmodels` loop bound.
+"""
+
+import numpy as np
+
+from repro.distributed.costmodel import CostModel
+from repro.utils.ascii_plot import ascii_table
+
+from conftest import timing_cluster
+
+
+def run_w_step(P, M_bits, e, engine):
+    cluster = timing_cluster(N=10_000, n_bits=M_bits, D=32, P=P, e=e,
+                             cost=CostModel(t_wc=1.0), engine=engine)
+    return cluster.w_step(0.0)
+
+
+def test_protocol_hop_counts(benchmark, report):
+    stats = benchmark.pedantic(lambda: run_w_step(16, 16, 2, "async"),
+                               rounds=3, iterations=1)
+
+    P, e, M = 16, 2, 32
+    expected_hops = M * (P * (e + 1) - 2)
+    report()
+    report("=" * 72)
+    report("Protocol overhead: ring message accounting (P=16, e=2, M=32)")
+    report(ascii_table(
+        ["quantity", "value", "formula"],
+        [
+            ["hops", stats.n_messages, f"M(P(e+1)-2) = {expected_hops}"],
+            ["bytes", stats.bytes_sent, "hops x |theta|"],
+            ["sim comm time", round(stats.comm_time, 1), "hops x t_wc"],
+        ],
+    ))
+    assert stats.n_messages == expected_hops
+    assert stats.comm_time == float(expected_hops) - M * 0  # t_wc = 1
+
+
+def test_engine_throughput(benchmark, report):
+    # Wall-clock throughput of the discrete-event engine itself.
+    def run():
+        return run_w_step(32, 16, 4, "async")
+
+    stats = benchmark(run)
+    visits = 32 * (32 * 5 - 1)
+    report()
+    report(f"Async engine handles {visits} visits per W step "
+           f"(P=32, e=4, M=32); see pytest-benchmark table for rate.")
+    assert stats.n_messages > 0

@@ -1,0 +1,91 @@
+"""Section 8.4 table — SIFT-1B: recall@R and runtime, linear vs kernel SVM.
+
+Paper numbers (N = 10^8, L = 64, 128 distributed processors / 64 shared):
+
+    encoder      recall@100   time distrib.   time shared
+    linear SVM      61.5%        29.30 h        11.04 h
+    kernel SVM      66.1%        83.44 h        32.19 h
+
+Shape to reproduce on the scaled stand-in: RBF > linear in recall; the RBF
+encoder costs several times more runtime (it trains on m >> D kernel
+features); the shared-memory preset is ~3x faster than the distributed one.
+"""
+
+import numpy as np
+
+from repro.distributed.costmodel import CostModel
+from repro.perfmodel.presets import CLUSTER_PRESETS
+from repro.utils.ascii_plot import ascii_table
+
+from conftest import timing_cluster
+
+N_ITERS = 10
+P = 16
+
+
+def virtual_runtime(preset: str, n_features: int, D: int, L: int, N: int) -> float:
+    """Virtual-clock time of the full 10-iteration run on a preset.
+
+    The per-point W-step cost scales with the encoder's feature dimension
+    (kernel features cost m/D times more than raw ones).
+    """
+    p = CLUSTER_PRESETS[preset]
+    scale = n_features / D
+    cost = CostModel(t_wr=p["t_wr"] * scale, t_wc=p["t_wc"],
+                     t_zr=p["t_zr"] * scale)
+    cluster = timing_cluster(N=N, n_bits=L, D=D, P=P, e=2, cost=cost)
+    total = 0.0
+    for _ in range(N_ITERS):
+        total += cluster.w_step(0.0).sim_time + cluster.z_step(0.0).sim_time
+    return total
+
+
+def test_table_sift1b(benchmark, report, sift1b_models):
+    m = sift1b_models
+    X, ev, L, D = m["X"], m["ev"], m["L"], m["D"]
+    ba_lin, h_lin = m["linear"]
+    ba_rbf, h_rbf = m["rbf"]
+    n_rbf_features = ba_rbf.encoder.n_features
+
+    # Virtual runtimes are extrapolated to a compute-dominated N = 10^6
+    # (as in the real SIFT-1B regime, where per-shard work dwarfs the
+    # per-hop communication); recall comes from the scaled training run.
+    N_VIRT = 1_000_000
+    times = benchmark.pedantic(
+        lambda: {
+            (enc, preset): virtual_runtime(preset, dim, D, L, N_VIRT)
+            for enc, dim in [("linear", D), ("rbf", n_rbf_features)]
+            for preset in ("distributed", "shared")
+        },
+        rounds=1, iterations=1,
+    )
+
+    report()
+    report("=" * 72)
+    report("Section 8.4 table: SIFT-1B stand-in (N scaled 1e8 -> 4e3, L=32)")
+    rows = []
+    for enc, ba, hist in [("linear SVM", ba_lin, h_lin),
+                          ("kernel SVM (RBF)", ba_rbf, h_rbf)]:
+        key = "linear" if enc.startswith("linear") else "rbf"
+        rows.append([
+            enc,
+            round(float(hist.recall[-1]), 4),
+            round(times[(key, "distributed")], 0),
+            round(times[(key, "shared")], 0),
+        ])
+    report(ascii_table(
+        ["encoder", "recall@10", "virt time distrib", "virt time shared"],
+        rows,
+        title="(paper: 61.5% / 66.1% recall@100; 29.3h/83.4h distrib, "
+              "11.0h/32.2h shared)",
+    ))
+
+    # Recall: kernel > linear.
+    assert h_rbf.recall[-1] >= h_lin.recall[-1]
+    # Runtime: kernel costs a multiple of linear (paper: ~2.8x; here the
+    # feature-dimension ratio m/D = 4.7 is diluted by communication time).
+    assert times[("rbf", "distributed")] > 1.5 * times[("linear", "distributed")]
+    # Shared-memory preset is ~3-4x faster on both encoders.
+    for enc in ("linear", "rbf"):
+        ratio = times[(enc, "distributed")] / times[(enc, "shared")]
+        assert 2.0 < ratio < 5.0

@@ -1,0 +1,72 @@
+"""Z-step solver tradeoff (section 3.1): enumeration vs alternating bits.
+
+"This problem can be solved exactly for small L by enumeration or
+approximately for larger L by alternating optimisation over bits,
+initialised by solving the relaxed problem." The bench measures both
+solvers' runtime scaling with L and the optimality gap of alternation.
+"""
+
+import time
+
+import numpy as np
+
+from repro.autoencoder.zstep import (
+    zstep_alternate,
+    zstep_enumerate,
+    zstep_objective,
+    zstep_relaxed,
+)
+from repro.utils.ascii_plot import ascii_table
+
+
+def problem(n, D, L, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, D))
+    B = rng.normal(size=(D, L))
+    c = rng.normal(size=D)
+    H = rng.integers(0, 2, size=(n, L)).astype(np.uint8)
+    return X, B, c, H
+
+
+def test_zstep_solvers(benchmark, report):
+    n, D, mu = 2000, 32, 0.5
+    rows = []
+    gaps = {}
+    for L in (4, 8, 12):
+        X, B, c, H = problem(n, D, L)
+        t0 = time.perf_counter()
+        Z_exact = zstep_enumerate(X, B, c, H, mu)
+        t_enum = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        Z_alt = zstep_alternate(X, B, c, H, mu)
+        t_alt = time.perf_counter() - t0
+        e_exact = zstep_objective(X, B, c, H, mu, Z_exact).sum()
+        e_alt = zstep_objective(X, B, c, H, mu, Z_alt).sum()
+        gaps[L] = e_alt / e_exact
+        rows.append([L, round(t_enum * 1e3, 1), round(t_alt * 1e3, 1),
+                     round(e_exact, 1), round(e_alt, 1), round(gaps[L], 4)])
+
+    # Timed kernel: the alternating solver at L = 24 (enumeration refuses).
+    X, B, c, H = problem(n, D, 24)
+    Z24 = benchmark(lambda: zstep_alternate(X, B, c, H, mu))
+
+    report()
+    report("=" * 72)
+    report(f"Z-step solvers, n={n} points, D={D}, mu={mu}")
+    report(ascii_table(
+        ["L", "enum (ms)", "alt (ms)", "E exact", "E alternating",
+         "gap ratio"], rows))
+    report("  enumeration cost doubles per bit; alternation stays linear "
+           "and lands within a few percent of the optimum.")
+
+    # Alternation is near-optimal (local minima cost only a few percent).
+    assert all(1.0 <= g < 1.10 for g in gaps.values())
+    # Alternation never violates the exact optimum.
+    assert all(g >= 1.0 - 1e-12 for g in gaps.values())
+    # The relaxed initialisation alone is strictly worse than polishing.
+    X, B, c, H = problem(n, D, 8, seed=1)
+    e_rel = zstep_objective(X, B, c, H, mu, zstep_relaxed(X, B, c, H, mu)).sum()
+    e_alt = zstep_objective(X, B, c, H, mu, zstep_alternate(X, B, c, H, mu)).sum()
+    assert e_alt <= e_rel
+    # L = 24 output is valid binary codes.
+    assert set(np.unique(Z24)) <= {0, 1}

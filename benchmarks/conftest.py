@@ -1,0 +1,128 @@
+"""Shared benchmark fixtures and helpers.
+
+Every bench prints the rows/series of the table or figure it regenerates
+(visible in bench_output.txt via capsys.disabled) and times a
+representative kernel with pytest-benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import BinaryAutoencoder
+from repro.autoencoder.adapter import BAAdapter
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.costmodel import CostModel
+from repro.distributed.partition import TimingShard
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print through pytest's capture so the output lands in the log."""
+
+    def _report(text=""):
+        with capsys.disabled():
+            print(text)
+
+    return _report
+
+
+def timing_cluster(N, n_bits, D, P, e, cost, *, engine="async", scheme="rounds",
+                   n_decoder_groups=None):
+    """Timing-only simulated cluster: real protocol, virtual clock, no math."""
+    ba = BinaryAutoencoder.linear(D, n_bits)
+    adapter = BAAdapter(ba, n_decoder_groups=n_decoder_groups)
+    base, extra = divmod(N, P)
+    shards = [TimingShard(base + (1 if p < extra else 0)) for p in range(P)]
+    return SimulatedCluster(
+        adapter, shards, epochs=e, scheme=scheme, cost=cost, engine=engine,
+        execute_updates=False, seed=0,
+    )
+
+
+def measured_speedup(N, n_bits, D, Ps, e, cost, **kwargs):
+    """Virtual-clock iteration-time speedups S(P) = T(1)/T(P)."""
+
+    def one(P):
+        cluster = timing_cluster(N, n_bits, D, P, e, cost, **kwargs)
+        w = cluster.w_step(0.0)
+        z = cluster.z_step(0.0)
+        return w.sim_time + z.sim_time
+
+    T1 = one(1)
+    return np.array([T1 / one(P) for P in Ps])
+
+
+def standardised(X):
+    """Zero-mean unit-variance features (keeps the paper's mu scales usable
+    on synthetic data of arbitrary magnitude)."""
+    mu = X.mean(axis=0)
+    sd = X.std(axis=0)
+    sd[sd == 0] = 1.0
+    return (X - mu) / sd
+
+
+@pytest.fixture(scope="session")
+def sift1b_models():
+    """Scaled SIFT-1B stand-in with trained linear and RBF BAs.
+
+    Shared by the fig. 11 / fig. 12 / section-8.4-table benches so the
+    (expensive) training happens once per session. N is scaled from 10^8
+    to 4000; L = 32 (the paper uses 64); RBF uses 300 centres (paper: 2000).
+    """
+    from repro.core.evaluation import RecallEvaluator
+    from repro.core.mac import MACTrainerBA
+    from repro.core.penalty import GeometricSchedule
+    from repro.data.synthetic import make_sift_like
+    from repro.retrieval.baselines import TruncatedPCAHash
+
+    N, D, L = 4000, 64, 32
+    cloud = standardised(make_sift_like(N + 100, D, n_clusters=15, rng=2))
+    X, Q = cloud[:N], cloud[N:]
+    ev = RecallEvaluator(Q, X, R=10)
+    schedule = GeometricSchedule(mu0=1e-3, factor=2.0, n_iters=10)
+
+    tpca = TruncatedPCAHash(L).fit(X, subset=1000, rng=0)
+
+    ba_lin = BinaryAutoencoder.linear(D, L)
+    hist_lin = MACTrainerBA(ba_lin, schedule, w_epochs=2, evaluator=ev,
+                            seed=0).fit(X)
+
+    ba_rbf = BinaryAutoencoder.rbf(X, n_centres=300, n_bits=L, rng=0)
+    hist_rbf = MACTrainerBA(ba_rbf, schedule, w_epochs=2, evaluator=ev,
+                            seed=0).fit(X)
+
+    return {
+        "X": X, "Q": Q, "ev": ev, "L": L, "D": D,
+        "tpca": tpca,
+        "linear": (ba_lin, hist_lin),
+        "rbf": (ba_rbf, hist_rbf),
+    }
+
+
+def run_learning_curve(X, n_bits, schedule, *, n_machines=1, epochs=1,
+                       evaluator=None, shuffle_within=True, shuffle_ring=False,
+                       seed=0):
+    """Train a linear BA with ParMAC and return its TrainingHistory.
+
+    Uses the sync engine (deterministic) with a pure-compute cost model so
+    the time axis is SGD work; this is the workhorse for the fig. 7-9
+    learning-curve benches.
+    """
+    from repro.core.parmac import ParMACTrainerBA
+
+    ba = BinaryAutoencoder.linear(X.shape[1], n_bits)
+    trainer = ParMACTrainerBA(
+        ba,
+        schedule,
+        n_machines=n_machines,
+        epochs=epochs,
+        backend="sync",
+        batch_size=100,
+        shuffle_within=shuffle_within,
+        shuffle_ring=shuffle_ring,
+        cost=CostModel(t_wr=1.0, t_wc=0.0, t_zr=1.0),
+        evaluator=evaluator,
+        seed=seed,
+    )
+    history = trainer.fit(X)
+    return ba, history

@@ -1,0 +1,63 @@
+"""Capacity planning with the analytical speedup model (section 5.4).
+
+"In practice, given a specific problem ..., our theoretical speedup curves
+can be used to determine optimal values for the number of machines P."
+This example walks that workflow: measure the three time constants from
+two short calibration runs, fit the model, and read off the optimal P and
+the largest P that still gives near-perfect efficiency.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.distributed.costmodel import CostModel
+from repro.perfmodel.analysis import (
+    effective_submodels,
+    fit_time_constants,
+    optimal_machines,
+    perfect_speedup_limit,
+)
+from repro.perfmodel.speedup import SpeedupParams, global_max, speedup
+from repro.utils.ascii_plot import ascii_plot
+
+
+def main():
+    # Your workload: 2M points, 64-bit codes -> M = 2L = 128 submodels.
+    N, L, e = 2_000_000, 64, 1
+    M = effective_submodels(L, 256)
+    print(f"workload: N={N:.0e}, L={L} bits, e={e} -> M={M} submodels\n")
+
+    # Step 1: suppose calibration runs on a few machine counts measured
+    # these speedups (here generated from a hidden ground truth).
+    truth = SpeedupParams(N=N, M=M, e=e, t_wr=1.0, t_wc=8_000.0, t_zr=60.0)
+    P_cal = np.array([1, 4, 16, 64])
+    S_cal = speedup(P_cal, truth) * (1 + 0.02 * np.random.default_rng(0).normal(size=4))
+    print("calibration measurements:")
+    for P, S in zip(P_cal, S_cal):
+        print(f"   P={P:>3}: speedup {S:6.2f}")
+
+    # Step 2: fit (t_wc, t_zr) with t_wr = 1 fixing the time unit.
+    fitted = fit_time_constants(P_cal, S_cal, N=N, M=M, e=e)
+    print(f"\nfitted constants: t_wc={fitted.t_wc:.0f}, t_zr={fitted.t_zr:.1f} "
+          f"(truth: 8000, 60)")
+
+    # Step 3: read off the planning quantities.
+    P_opt, S_opt = optimal_machines(fitted)
+    P_star, S_star = global_max(fitted)
+    P_eff = perfect_speedup_limit(fitted, tolerance=0.05)
+    print(f"\n  analytic optimum:      P* = {P_star:.0f}  (S* = {S_star:.0f})")
+    print(f"  best integer choice:   P = {P_opt}  (S = {S_opt:.0f})")
+    print(f"  95%-efficiency limit:  P <= {P_eff:.0f} (divisible-P regime)")
+
+    Ps = np.unique(np.geomspace(1, 2 * P_opt, 60).astype(int))
+    print()
+    print(ascii_plot(
+        {"fitted": (Ps, speedup(Ps, fitted)), "ideal": (Ps, Ps)},
+        xlabel="machines P", ylabel="speedup",
+        title="planned speedup curve",
+    ))
+
+
+if __name__ == "__main__":
+    main()

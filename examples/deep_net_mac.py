@@ -1,0 +1,73 @@
+"""K-layer MAC beyond autoencoders: a sigmoid deep net (section 3.2).
+
+MAC is a meta-algorithm: the same W/Z alternation trains any nested model.
+This example fits a 2-hidden-layer sigmoid regression net three ways —
+
+* conventional backprop SGD (the chain-rule baseline),
+* serial MAC with per-unit W steps and the generalised-proximal Z step,
+* ParMAC on a simulated 4-machine ring, one travelling submodel per
+  hidden unit —
+
+and compares the nested objective reached by each.
+
+Run:  python examples/deep_net_mac.py
+"""
+
+import numpy as np
+
+from repro import BackpropTrainer, DeepNet, GeometricSchedule, MACTrainerNet
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.partition import partition_indices
+from repro.nets.adapter import NetAdapter, make_net_shards
+
+
+def make_problem(n=600, d_in=6, d_out=2, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d_in))
+    W1 = rng.normal(size=(d_in, 8))
+    W2 = rng.normal(size=(8, d_out))
+    Y = np.tanh(np.tanh(X @ W1) @ W2)
+    return X, Y
+
+
+def main():
+    X, Y = make_problem()
+    sizes = [6, 10, 8, 2]
+    schedule = GeometricSchedule(mu0=0.5, factor=1.6, n_iters=10)
+    print(f"problem: {len(X)} points, net {sizes} (K=2 hidden layers)\n")
+
+    net_bp = DeepNet.create(sizes, rng=0)
+    print(f"initial nested loss: {net_bp.loss(X, Y):.2f}\n")
+
+    print("1) backprop SGD (10 epochs)")
+    BackpropTrainer(net_bp, seed=0).fit(X, Y, epochs=10)
+    print(f"   nested loss: {net_bp.loss(X, Y):.2f}")
+
+    print("2) serial MAC (10 iterations, no chain rule anywhere)")
+    net_mac = DeepNet.create(sizes, rng=0)
+    trainer = MACTrainerNet(net_mac, schedule, w_epochs=3, seed=0)
+    history = trainer.fit(X, Y)
+    print(f"   nested loss: {net_mac.loss(X, Y):.2f} "
+          f"(E_Q {history.e_q[0]:.1f} -> {history.e_q[-1]:.1f})")
+
+    print("3) ParMAC: hidden units travel a 4-machine ring")
+    net_par = DeepNet.create(sizes, rng=0)
+    adapter = NetAdapter(net_par, z_steps=8)
+    Zs = MACTrainerNet(net_par, seed=0).init_coords(X)
+    parts = partition_indices(len(X), 4, rng=0)
+    shards = make_net_shards(X, Y, Zs, parts)
+    cluster = SimulatedCluster(adapter, shards, epochs=2, seed=0)
+    print(f"   M = {len(adapter.submodel_specs())} submodels "
+          f"(one per unit) over P = 4 machines")
+    for mu in schedule:
+        cluster.iteration(mu)
+    print(f"   nested loss: {net_par.loss(X, Y):.2f}  "
+          f"copies-consistent={cluster.model_copies_consistent()}")
+
+    print("\nMAC reaches comparable quality to backprop without ever")
+    print("computing a backpropagated gradient — and its W step exposes one")
+    print("independent submodel per unit for distributed training.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Image-retrieval scenario: BA vs truncated PCA vs ITQ hash functions.
+
+The application from the paper's section 3.1: learn an unsupervised binary
+hash for fast approximate nearest-neighbour search, comparing the MAC-
+trained binary autoencoder against the two standard baselines it is
+evaluated against (tPCA — also its initialisation — and ITQ, Gong et al.
+2013). Prints precision@k and recall@R for all three plus an RBF-encoder
+variant (section 8.4).
+
+Run:  python examples/image_retrieval.py
+"""
+
+import numpy as np
+
+from repro import BinaryAutoencoder, GeometricSchedule, ITQHash, MACTrainerBA, TruncatedPCAHash
+from repro.data.synthetic import make_sift_like
+from repro.retrieval.groundtruth import euclidean_knn
+from repro.retrieval.hamming import pack_bits
+from repro.retrieval.metrics import precision_at_k, recall_curve
+
+
+def standardise(X):
+    sd = X.std(axis=0)
+    sd[sd == 0] = 1.0
+    return (X - X.mean(axis=0)) / sd
+
+
+def main():
+    n_base, n_queries, dim, n_bits = 3000, 80, 64, 16
+    cloud = standardise(make_sift_like(n_base + n_queries, dim, n_clusters=12, rng=0))
+    X, Q = cloud[:n_base], cloud[n_base:]
+    truth_k = euclidean_knn(Q, X, 50)
+    nn1 = truth_k[:, 0]
+
+    schedule = GeometricSchedule(mu0=1e-3, factor=2.0, n_iters=12)
+
+    print("training hash functions ...")
+    models = {}
+    models["tPCA"] = TruncatedPCAHash(n_bits).fit(X)
+    models["ITQ"] = ITQHash(n_bits, seed=0).fit(X)
+
+    ba_lin = BinaryAutoencoder.linear(dim, n_bits)
+    MACTrainerBA(ba_lin, schedule, w_epochs=2, seed=0).fit(X)
+    models["BA (linear)"] = ba_lin
+
+    ba_rbf = BinaryAutoencoder.rbf(X, n_centres=200, n_bits=n_bits, rng=0)
+    MACTrainerBA(ba_rbf, schedule, w_epochs=2, seed=0).fit(X)
+    models["BA (RBF)"] = ba_rbf
+
+    print(f"\n{'hash':>14} | {'prec@30':>8} | recall@R for R=1,10,100")
+    print("-" * 60)
+    Rs = [1, 10, 100]
+    for name, model in models.items():
+        qc, bc = pack_bits(model.encode(Q)), pack_bits(model.encode(X))
+        prec = precision_at_k(qc, bc, truth_k, 30)
+        rec = recall_curve(qc, bc, nn1, Rs)
+        rec_str = ", ".join(f"{r:.3f}" for r in rec)
+        print(f"{name:>14} | {prec:8.4f} | {rec_str}")
+
+    print("\nNotes: the RBF encoder usually dominates at small R (paper")
+    print("fig. 12); on synthetic Gaussian clouds tPCA is a strong baseline")
+    print("because the neighbourhood structure is exactly its subspace.")
+
+
+if __name__ == "__main__":
+    main()

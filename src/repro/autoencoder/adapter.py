@@ -1,0 +1,196 @@
+"""Bridge between the binary autoencoder and the ParMAC engines.
+
+Submodel layout (paper section 5.4): the L single-bit hash functions are
+one submodel each; the D decoder rows are grouped into ``n_decoder_groups``
+(default L) groups of ~D/L rows so that encoder and decoder submodels have
+comparable size, giving M = 2L effective submodels — the value used
+throughout the speedup analysis.
+
+During the W step the authoritative parameters are the ones travelling in
+messages, so ``w_update`` works on raw flat vectors and never touches the
+model; the engines call ``set_params`` with the final copies afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autoencoder.binary_autoencoder import BinaryAutoencoder
+from repro.autoencoder.zstep import zstep
+from repro.distributed.interfaces import SubmodelSpec
+from repro.optim.linreg import LinearRegression
+from repro.optim.sgd import SGDState
+from repro.optim.svm import LinearSVM
+
+__all__ = ["BAAdapter"]
+
+
+class BAAdapter:
+    """ParMAC adapter for a :class:`BinaryAutoencoder`.
+
+    Parameters
+    ----------
+    model : BinaryAutoencoder
+    n_decoder_groups : int, optional
+        Decoder row groups (default: L, giving M = 2L submodels).
+    zstep_method, max_enum_bits, max_sweeps :
+        Passed through to :func:`repro.autoencoder.zstep.zstep`.
+    """
+
+    def __init__(
+        self,
+        model: BinaryAutoencoder,
+        *,
+        n_decoder_groups: int | None = None,
+        zstep_method: str = "auto",
+        max_enum_bits: int = 12,
+        max_sweeps: int = 20,
+    ):
+        self.model = model
+        L = model.n_bits
+        D = model.decoder.n_outputs
+        if n_decoder_groups is None:
+            n_decoder_groups = min(L, D)
+        if not 1 <= n_decoder_groups <= D:
+            raise ValueError(
+                f"n_decoder_groups must be in [1, {D}], got {n_decoder_groups}"
+            )
+        self.n_decoder_groups = int(n_decoder_groups)
+        self.zstep_method = zstep_method
+        self.max_enum_bits = int(max_enum_bits)
+        self.max_sweeps = int(max_sweeps)
+        # Decoder rows split into near-equal contiguous groups.
+        self._groups = [
+            tuple(int(r) for r in rows)
+            for rows in np.array_split(np.arange(D), self.n_decoder_groups)
+        ]
+        self._specs = [
+            SubmodelSpec(sid=l, kind="enc", index=l) for l in range(L)
+        ] + [
+            SubmodelSpec(sid=L + g, kind="dec", index=rows)
+            for g, rows in enumerate(self._groups)
+        ]
+
+    # -------------------------------------------------------------- specs
+    def submodel_specs(self) -> list[SubmodelSpec]:
+        return list(self._specs)
+
+    @property
+    def n_submodels(self) -> int:
+        return len(self._specs)
+
+    # ------------------------------------------------------------- params
+    def get_params(self, spec: SubmodelSpec) -> np.ndarray:
+        if spec.kind == "enc":
+            return self.model.encoder.bit_params(spec.index)
+        if spec.kind == "dec":
+            return self.model.decoder.row_params(np.asarray(spec.index))
+        raise ValueError(f"unknown submodel kind {spec.kind!r}")
+
+    def set_params(self, spec: SubmodelSpec, theta: np.ndarray) -> None:
+        if spec.kind == "enc":
+            self.model.encoder.set_bit_params(spec.index, theta)
+        elif spec.kind == "dec":
+            self.model.decoder.set_row_params(np.asarray(spec.index), theta)
+        else:
+            raise ValueError(f"unknown submodel kind {spec.kind!r}")
+
+    # ------------------------------------------------------------- W step
+    def w_update(
+        self,
+        spec: SubmodelSpec,
+        theta: np.ndarray,
+        state: SGDState,
+        shard,
+        mu: float,
+        *,
+        batch_size: int,
+        shuffle: bool,
+        rng,
+    ) -> np.ndarray:
+        """One SGD pass of one submodel over one shard (pure on the model).
+
+        Neither BA subproblem depends on mu — the penalty weight scales out
+        of each separable W-step objective (section 3.1) — but the argument
+        is part of the generic adapter signature.
+        """
+        if spec.kind == "enc":
+            svm = LinearSVM(
+                self.model.encoder.n_features,
+                lam=self.model.encoder.lam,
+                schedule=self.model.encoder.schedule,
+            )
+            svm.set_params(theta)
+            y = 2.0 * shard.Z[:, spec.index].astype(np.float64) - 1.0
+            svm.partial_fit(
+                shard.F, y, state, batch_size=batch_size, shuffle=shuffle, rng=rng
+            )
+            return svm.get_params()
+        if spec.kind == "dec":
+            rows = np.asarray(spec.index)
+            reg = LinearRegression(
+                self.model.n_bits, len(rows), schedule=self.model.decoder.schedule
+            )
+            reg.set_params(theta)
+            reg.partial_fit(
+                shard.Z.astype(np.float64),
+                shard.X[:, rows],
+                state,
+                batch_size=batch_size,
+                shuffle=shuffle,
+                rng=rng,
+            )
+            return reg.get_params()
+        raise ValueError(f"unknown submodel kind {spec.kind!r}")
+
+    # ------------------------------------------------------------- Z step
+    def _encode_features(self, F: np.ndarray) -> np.ndarray:
+        """Codes from precomputed encoder features (shard.F)."""
+        enc = self.model.encoder
+        return (F @ enc.A.T + enc.a >= 0.0).astype(np.uint8)
+
+    def z_update(self, shard, mu: float) -> int:
+        """Exact/alternating Z step on one shard; returns bits changed."""
+        dec = self.model.decoder
+        H = self._encode_features(shard.F)
+        Z_new = zstep(
+            shard.X,
+            dec.B,
+            dec.c,
+            H,
+            mu,
+            method=self.zstep_method,
+            Z0=shard.Z,
+            max_enum_bits=self.max_enum_bits,
+            max_sweeps=self.max_sweeps,
+        )
+        changes = int((Z_new != shard.Z).sum())
+        shard.Z = Z_new
+        return changes
+
+    # --------------------------------------------------------- objectives
+    def e_q_shard(self, shard, mu: float) -> float:
+        """Shard contribution to E_Q (eq. 3)."""
+        Zf = shard.Z.astype(np.float64)
+        R = shard.X - self.model.decoder.decode(Zf)
+        dzh = Zf - self._encode_features(shard.F).astype(np.float64)
+        return float((R * R).sum() + mu * (dzh * dzh).sum())
+
+    def e_ba_shard(self, shard) -> float:
+        """Shard contribution to E_BA (eq. 1)."""
+        H = self._encode_features(shard.F)
+        R = shard.X - self.model.decoder.decode(H)
+        return float((R * R).sum())
+
+    def violations_shard(self, shard) -> int:
+        """Bits where the shard's codes disagree with the encoder."""
+        return int((shard.Z != self._encode_features(shard.F)).sum())
+
+    # ----------------------------------------------------------- streaming
+    def features(self, X: np.ndarray) -> np.ndarray:
+        """Encoder feature map for new raw points (streaming support)."""
+        return self.model.encoder.features(X)
+
+    def init_codes(self, F: np.ndarray) -> np.ndarray:
+        """Codes for new points "by applying the nested model" (section 4.3)."""
+        return self._encode_features(F)

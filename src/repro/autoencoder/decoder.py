@@ -1,0 +1,105 @@
+"""BA linear decoder ``f(z) = B z + c``.
+
+In the W step the decoder is "D independent problems ... each a linear
+least-squares problem" fitting X from Z (paper section 3.1). Serial MAC
+solves it exactly; ParMAC updates it with SGD as decoder submodels travel
+the ring. Rows of B (output dimensions) can be grouped into submodels of
+encoder-comparable size (section 5.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.linreg import LinearRegression
+from repro.optim.schedules import InverseSchedule
+from repro.optim.sgd import SGDState
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LinearDecoder"]
+
+
+class LinearDecoder:
+    """Linear map from L-bit codes back to the D-dimensional input space.
+
+    Attributes
+    ----------
+    B : ndarray (n_outputs, n_bits)
+    c : ndarray (n_outputs,)
+    """
+
+    def __init__(self, n_bits: int, n_outputs: int, *, schedule=None):
+        self.n_bits = check_positive_int(n_bits, name="n_bits")
+        self.n_outputs = check_positive_int(n_outputs, name="n_outputs")
+        self.schedule = schedule if schedule is not None else InverseSchedule(eta0=0.05, t0=50.0)
+        self.B = np.zeros((self.n_outputs, self.n_bits), dtype=np.float64)
+        self.c = np.zeros(self.n_outputs, dtype=np.float64)
+
+    # ------------------------------------------------------------------ API
+    def decode(self, Z: np.ndarray) -> np.ndarray:
+        """Reconstructions ``Z B^T + c`` from float or uint8 codes."""
+        return np.asarray(Z, dtype=np.float64) @ self.B.T + self.c
+
+    # -------------------------------------------------------- exact solve
+    def fit_lstsq(self, Z: np.ndarray, X: np.ndarray) -> "LinearDecoder":
+        """Exact least-squares fit of (B, c) to reconstruct X from Z."""
+        reg = LinearRegression(self.n_bits, self.n_outputs)
+        reg.fit_lstsq(np.asarray(Z, dtype=np.float64), X)
+        self.B = reg.W
+        self.c = reg.c
+        return self
+
+    # ------------------------------------------------------------ training
+    def fit_rows_sgd(
+        self,
+        rows: np.ndarray,
+        Z: np.ndarray,
+        X_rows: np.ndarray,
+        state: SGDState,
+        *,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng=None,
+    ) -> SGDState:
+        """One SGD pass updating a group of decoder rows on one shard.
+
+        ``rows`` selects output dimensions; ``X_rows`` is the matching
+        (n, len(rows)) slice of the shard inputs. This is the travelling-
+        submodel work unit for a decoder group.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        reg = LinearRegression(self.n_bits, len(rows), schedule=self.schedule)
+        reg.W = self.B[rows].copy()
+        reg.c = self.c[rows].copy()
+        state = reg.partial_fit(
+            np.asarray(Z, dtype=np.float64),
+            X_rows,
+            state,
+            batch_size=batch_size,
+            shuffle=shuffle,
+            rng=rng,
+        )
+        self.B[rows] = reg.W
+        self.c[rows] = reg.c
+        return state
+
+    # -------------------------------------------------------- (de)serialise
+    def row_params(self, rows: np.ndarray) -> np.ndarray:
+        """Flat parameters ``[B[rows].ravel(), c[rows]]`` of a row group."""
+        rows = np.asarray(rows, dtype=np.int64)
+        return np.concatenate([self.B[rows].ravel(), self.c[rows]])
+
+    def set_row_params(self, rows: np.ndarray, theta: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        theta = np.asarray(theta, dtype=np.float64).ravel()
+        k = len(rows) * self.n_bits
+        if theta.shape != (k + len(rows),):
+            raise ValueError(f"expected {k + len(rows)} params, got {theta.shape}")
+        self.B[rows] = theta[:k].reshape(len(rows), self.n_bits)
+        self.c[rows] = theta[k:]
+
+    def copy(self) -> "LinearDecoder":
+        new = LinearDecoder(self.n_bits, self.n_outputs, schedule=self.schedule)
+        new.B = self.B.copy()
+        new.c = self.c.copy()
+        return new

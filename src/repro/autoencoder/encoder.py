@@ -1,0 +1,231 @@
+"""BA encoders: linear step encoder and RBF-kernel step encoder.
+
+The encoder is L single-bit hash functions; in the W step each bit is fit
+as an independent binary linear SVM predicting that bit of ``Z`` from ``X``
+(paper section 3.1). The RBF variant (section 8.4) replaces the raw input
+with ``m`` Gaussian kernel values against fixed centres — only the linear
+weights on those features are trainable, so the MAC algorithm is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.schedules import BottouSchedule
+from repro.optim.sgd import SGDState
+from repro.optim.svm import LinearSVM
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array, check_positive, check_positive_int
+
+__all__ = ["LinearEncoder", "RBFEncoder", "gaussian_kernel_features"]
+
+
+def gaussian_kernel_features(
+    X: np.ndarray,
+    centres: np.ndarray,
+    sigma: float,
+    *,
+    quantize: bool = False,
+) -> np.ndarray:
+    """Gaussian RBF feature map ``k_j(x) = exp(-||x - c_j||^2 / (2 sigma^2))``.
+
+    With ``quantize`` the values in ``(0, 1]`` are stored as uint8 in
+    ``[0, 255]`` (rounded), matching the one-byte storage of section 8.4;
+    callers rescale by ``1/255`` when converting back to float.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    centres = np.asarray(centres, dtype=np.float64)
+    sigma = check_positive(sigma, name="sigma")
+    x2 = (X * X).sum(axis=1)[:, None]
+    c2 = (centres * centres).sum(axis=1)[None, :]
+    d2 = np.maximum(x2 - 2.0 * X @ centres.T + c2, 0.0)
+    K = np.exp(-d2 / (2.0 * sigma * sigma))
+    if quantize:
+        return np.round(K * 255.0).astype(np.uint8)
+    return K
+
+
+class LinearEncoder:
+    """Step encoder ``h(x) = step(A x + a)`` with per-bit SVM training.
+
+    Parameters
+    ----------
+    n_features : int
+        Input dimension D.
+    n_bits : int
+        Code length L.
+    lam : float
+        L2 regularisation of each per-bit SVM.
+
+    Attributes
+    ----------
+    A : ndarray (n_bits, n_features)
+        Weight matrix; row l is the l-th hash function.
+    a : ndarray (n_bits,)
+        Biases.
+    """
+
+    def __init__(self, n_features: int, n_bits: int, *, lam: float = 1e-4, schedule=None):
+        self.n_features = check_positive_int(n_features, name="n_features")
+        self.n_bits = check_positive_int(n_bits, name="n_bits")
+        self.lam = check_positive(lam, name="lam")
+        self.schedule = schedule if schedule is not None else BottouSchedule(lam=lam)
+        self.A = np.zeros((self.n_bits, self.n_features), dtype=np.float64)
+        self.a = np.zeros(self.n_bits, dtype=np.float64)
+
+    # ------------------------------------------------------------------ API
+    def features(self, X: np.ndarray) -> np.ndarray:
+        """Feature map seen by the linear hash functions (identity here)."""
+        return np.asarray(X, dtype=np.float64)
+
+    def scores(self, X: np.ndarray) -> np.ndarray:
+        """Pre-threshold activations ``X A^T + a`` of shape (n, n_bits)."""
+        return self.features(X) @ self.A.T + self.a
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Binary codes ``step(scores)`` (step(0) = 1), uint8 (n, n_bits)."""
+        return (self.scores(X) >= 0.0).astype(np.uint8)
+
+    # ------------------------------------------------------------ training
+    def _svm_for_bit(self, l: int) -> LinearSVM:
+        """Materialise bit ``l`` as a LinearSVM sharing this encoder's row."""
+        svm = LinearSVM(self.n_features, lam=self.lam, schedule=self.schedule)
+        svm.w = self.A[l].copy()
+        svm.b = float(self.a[l])
+        return svm
+
+    def fit_bit(
+        self,
+        l: int,
+        X: np.ndarray,
+        z_l: np.ndarray,
+        state: SGDState,
+        *,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng=None,
+    ) -> SGDState:
+        """One SGD pass fitting hash function ``l`` to binary targets ``z_l``.
+
+        This is the travelling-submodel work unit for an encoder bit.
+        """
+        if not 0 <= l < self.n_bits:
+            raise IndexError(f"bit index {l} out of range [0, {self.n_bits})")
+        y = 2.0 * np.asarray(z_l, dtype=np.float64) - 1.0
+        svm = self._svm_for_bit(l)
+        state = svm.partial_fit(
+            self.features(X), y, state, batch_size=batch_size, shuffle=shuffle, rng=rng
+        )
+        self.A[l] = svm.w
+        self.a[l] = svm.b
+        return state
+
+    def fit(
+        self,
+        X: np.ndarray,
+        Z: np.ndarray,
+        *,
+        epochs: int = 5,
+        batch_size: int = 32,
+        rng=None,
+    ) -> "LinearEncoder":
+        """Serial W-step-h: fit all L SVMs to (X, Z) with ``epochs`` passes."""
+        X = check_array(np.asarray(X, dtype=np.float64), name="X")
+        rng = check_random_state(rng)
+        F = self.features(X)
+        for l in range(self.n_bits):
+            state = SGDState()
+            for _ in range(epochs):
+                self.fit_bit(l, F, Z[:, l], state, batch_size=batch_size, rng=rng)
+        return self
+
+    # -------------------------------------------------------- (de)serialise
+    def bit_params(self, l: int) -> np.ndarray:
+        """Flat parameters ``[A[l], a[l]]`` of hash function ``l``."""
+        return np.concatenate([self.A[l], [self.a[l]]])
+
+    def set_bit_params(self, l: int, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=np.float64).ravel()
+        if theta.shape != (self.n_features + 1,):
+            raise ValueError(f"expected {self.n_features + 1} params, got {theta.shape}")
+        self.A[l] = theta[:-1]
+        self.a[l] = float(theta[-1])
+
+    def copy(self) -> "LinearEncoder":
+        new = LinearEncoder(self.n_features, self.n_bits, lam=self.lam, schedule=self.schedule)
+        new.A = self.A.copy()
+        new.a = self.a.copy()
+        return new
+
+
+class RBFEncoder(LinearEncoder):
+    """Kernel-SVM encoder: Gaussian RBF features, then a linear step encoder.
+
+    Centres and bandwidth are fixed (picked at random from the training set
+    in the paper, sigma tuned on a subset), so "only the weights are
+    trainable and the MAC algorithm does not change except that it operates
+    on an m-dimensional input vector of kernel values" (section 8.4).
+    """
+
+    def __init__(
+        self,
+        centres: np.ndarray,
+        sigma: float,
+        n_bits: int,
+        *,
+        lam: float = 1e-4,
+        schedule=None,
+    ):
+        centres = check_array(np.asarray(centres, dtype=np.float64), name="centres")
+        super().__init__(n_features=len(centres), n_bits=n_bits, lam=lam, schedule=schedule)
+        self.centres = centres
+        self.sigma = check_positive(sigma, name="sigma")
+        self.input_dim = centres.shape[1]
+
+    @classmethod
+    def from_data(
+        cls, X: np.ndarray, n_centres: int, n_bits: int, *, sigma=None, lam: float = 1e-4, rng=None
+    ) -> "RBFEncoder":
+        """Pick ``n_centres`` random training points as centres.
+
+        When ``sigma`` is None it is set to the median pairwise distance of
+        the centres — a standard bandwidth heuristic playing the role of the
+        paper's offline tuning, wide enough that no point yields all-zero
+        kernel rows.
+        """
+        X = check_array(np.asarray(X, dtype=np.float64), name="X")
+        rng = check_random_state(rng)
+        n_centres = min(check_positive_int(n_centres, name="n_centres"), len(X))
+        idx = rng.choice(len(X), size=n_centres, replace=False)
+        centres = X[idx].copy()
+        if sigma is None:
+            diffs = centres[:, None, :] - centres[None, :, :]
+            d = np.sqrt((diffs * diffs).sum(axis=2))
+            off = d[np.triu_indices(n_centres, k=1)]
+            sigma = float(np.median(off)) if off.size else 1.0
+            if sigma <= 0:
+                sigma = 1.0
+        return cls(centres, sigma, n_bits, lam=lam)
+
+    def features(self, X: np.ndarray) -> np.ndarray:
+        """Kernel feature map; passes through already-mapped (n, m) inputs.
+
+        A (n, m) float array whose width equals the number of centres is
+        assumed to be precomputed kernel values (the ParMAC shards store
+        those, quantised, rather than recomputing per visit).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 2 and X.shape[1] == self.n_features and self.input_dim != self.n_features:
+            return X
+        if X.ndim == 2 and X.shape[1] == self.input_dim:
+            return gaussian_kernel_features(X, self.centres, self.sigma)
+        raise ValueError(
+            f"expected inputs of dim {self.input_dim} (raw) or {self.n_features} "
+            f"(kernel features), got shape {X.shape}"
+        )
+
+    def copy(self) -> "RBFEncoder":
+        new = RBFEncoder(self.centres, self.sigma, self.n_bits, lam=self.lam, schedule=self.schedule)
+        new.A = self.A.copy()
+        new.a = self.a.copy()
+        return new

@@ -1,0 +1,31 @@
+"""MAC training drivers and shared training infrastructure.
+
+:mod:`repro.core.mac` is the serial reference (paper fig. 1);
+:mod:`repro.core.parmac` is the distributed driver built on the engines in
+:mod:`repro.distributed`. Both share the penalty schedule, history records
+and convergence/stopping logic defined here.
+"""
+
+from repro.core.penalty import GeometricSchedule, penalty_schedule
+from repro.core.history import IterationRecord, TrainingHistory
+from repro.core.convergence import (
+    constraints_satisfied,
+    lagrange_multiplier_estimates,
+    z_fixed_point,
+)
+from repro.core.mac import MACTrainerBA
+from repro.core.parmac import ParMACTrainerBA
+from repro.core.parmac_net import ParMACTrainerNet
+
+__all__ = [
+    "GeometricSchedule",
+    "penalty_schedule",
+    "IterationRecord",
+    "TrainingHistory",
+    "z_fixed_point",
+    "constraints_satisfied",
+    "lagrange_multiplier_estimates",
+    "MACTrainerBA",
+    "ParMACTrainerBA",
+    "ParMACTrainerNet",
+]

@@ -1,0 +1,89 @@
+"""Convergence and stopping machinery for MAC / ParMAC.
+
+Implements the checks behind paper sections 3.1 and 6:
+
+* the practical BA stopping criterion — "if no change in Z and Z = h(X)
+  then stop" (fig. 1), i.e. a Z fixed point with satisfied constraints;
+* the Lagrange-multiplier estimates of theorem 6.1,
+  ``lambda_n = -mu (z_n - h(x_n))``, whose convergence the quadratic-penalty
+  theory tracks;
+* an early-stopping monitor on validation retrieval precision — "we stop
+  iterating for a mu value ... when the precision of the hash function in a
+  validation set decreases", guaranteeing the initial codes are only
+  improved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "z_fixed_point",
+    "constraints_satisfied",
+    "lagrange_multiplier_estimates",
+    "EarlyStopping",
+]
+
+
+def constraints_satisfied(Z: np.ndarray, H: np.ndarray) -> bool:
+    """True when ``Z == h(X)`` bitwise (the penalty constraints hold)."""
+    return bool(np.array_equal(np.asarray(Z), np.asarray(H)))
+
+
+def z_fixed_point(Z_new: np.ndarray, Z_old: np.ndarray, H: np.ndarray) -> bool:
+    """The BA-MAC stopping test: Z unchanged by the Z step *and* Z = h(X).
+
+    When both hold, larger mu values cannot change anything: the penalty
+    term is zero and the reconstruction term is already minimised over the
+    reachable codes, so MAC stops at a finite mu (section 3.1).
+    """
+    return bool(np.array_equal(np.asarray(Z_new), np.asarray(Z_old))) and constraints_satisfied(
+        Z_new, H
+    )
+
+
+def lagrange_multiplier_estimates(Z: np.ndarray, H: np.ndarray, mu: float) -> np.ndarray:
+    """Penalty-method multiplier estimates ``lambda_n = -mu (z_n - h(x_n))``.
+
+    Theorem 6.1: along the quadratic-penalty path these converge to the KKT
+    multipliers of the constrained problem. Returned per point and bit.
+    """
+    if mu < 0:
+        raise ValueError(f"mu must be >= 0, got {mu}")
+    return -mu * (np.asarray(Z, dtype=np.float64) - np.asarray(H, dtype=np.float64))
+
+
+class EarlyStopping:
+    """Validation-precision early stopping with best-snapshot restore.
+
+    Tracks the best validation score seen; :meth:`update` returns True
+    (stop) when the score has dropped below the best by more than ``tol``
+    for ``patience`` consecutive iterations. The caller restores the
+    snapshot stored in :attr:`best_state`.
+    """
+
+    def __init__(self, *, patience: int = 1, tol: float = 0.0):
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if tol < 0:
+            raise ValueError(f"tol must be >= 0, got {tol}")
+        self.patience = patience
+        self.tol = tol
+        self.best_score = -np.inf
+        self.best_state = None
+        self._bad_iters = 0
+
+    def update(self, score: float, state) -> bool:
+        """Record a new validation score; return True when training should stop.
+
+        ``state`` is an opaque snapshot (e.g. a model copy) retained when
+        the score improves.
+        """
+        if score >= self.best_score:
+            self.best_score = score
+            self.best_state = state
+            self._bad_iters = 0
+            return False
+        if score < self.best_score - self.tol:
+            self._bad_iters += 1
+        return self._bad_iters >= self.patience

@@ -1,0 +1,65 @@
+"""Retrieval evaluators used during training (validation curves).
+
+Ground truth (Euclidean K-NN or 1-NN of the queries in the base set) is
+computed once at construction; each call encodes the current model and
+scores it — this is what produces the precision/recall-vs-iteration curves
+of figs. 7–9 and 11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.retrieval.groundtruth import euclidean_knn
+from repro.retrieval.hamming import pack_bits
+from repro.retrieval.metrics import precision_at_k, recall_at_R
+
+__all__ = ["PrecisionEvaluator", "RecallEvaluator"]
+
+
+class PrecisionEvaluator:
+    """precision@k against Euclidean K-NN ground truth (section 8.1).
+
+    Parameters
+    ----------
+    queries, base : float arrays
+        Query and database points in the original space.
+    K : int
+        Ground-truth neighbourhood size (true neighbours).
+    k : int
+        Hamming retrieval depth.
+    """
+
+    score_key = "precision"
+
+    def __init__(self, queries: np.ndarray, base: np.ndarray, *, K: int, k: int):
+        if k > len(base) or K > len(base):
+            raise ValueError(f"K={K}, k={k} must not exceed base size {len(base)}")
+        self.queries = np.asarray(queries, dtype=np.float64)
+        self.base = np.asarray(base, dtype=np.float64)
+        self.k = int(k)
+        self.true_neighbours = euclidean_knn(self.queries, self.base, K)
+
+    def __call__(self, model) -> dict:
+        qc = pack_bits(model.encode(self.queries))
+        bc = pack_bits(model.encode(self.base))
+        return {"precision": precision_at_k(qc, bc, self.true_neighbours, self.k)}
+
+
+class RecallEvaluator:
+    """recall@R against the Euclidean 1-NN (SIFT-1B protocol, section 8.1)."""
+
+    score_key = "recall"
+
+    def __init__(self, queries: np.ndarray, base: np.ndarray, *, R: int = 100):
+        if R < 1:
+            raise ValueError(f"R must be >= 1, got {R}")
+        self.queries = np.asarray(queries, dtype=np.float64)
+        self.base = np.asarray(base, dtype=np.float64)
+        self.R = int(R)
+        self.nn1 = euclidean_knn(self.queries, self.base, 1)[:, 0]
+
+    def __call__(self, model) -> dict:
+        qc = pack_bits(model.encode(self.queries))
+        bc = pack_bits(model.encode(self.base))
+        return {"recall": recall_at_R(qc, bc, self.nn1, self.R)}

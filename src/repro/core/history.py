@@ -1,0 +1,140 @@
+"""Training history records.
+
+Each MAC iteration (one mu value: one W step + one Z step) appends an
+:class:`IterationRecord`; :class:`TrainingHistory` turns the list into the
+arrays the paper plots — ``E_Q`` and ``E_BA`` vs iteration or cumulative
+time, precision/recall vs iteration (figs. 7–9, 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IterationRecord", "TrainingHistory"]
+
+
+@dataclass
+class IterationRecord:
+    """Metrics for one MAC iteration.
+
+    ``time`` is the duration of this iteration: wall-clock seconds for real
+    backends, virtual-clock units for the simulated cluster. ``z_changes``
+    counts bits of Z that changed in the Z step; together with
+    ``violations == 0`` it implements the paper's stopping test.
+    """
+
+    iteration: int
+    mu: float
+    e_q: float
+    e_ba: float
+    precision: float | None = None
+    recall: float | None = None
+    time: float = 0.0
+    z_changes: int = -1
+    violations: int = -1
+    extra: dict = field(default_factory=dict)
+
+
+class TrainingHistory:
+    """Ordered collection of per-iteration records with array accessors."""
+
+    def __init__(self):
+        self.records: list[IterationRecord] = []
+
+    def append(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, i: int) -> IterationRecord:
+        return self.records[i]
+
+    def _column(self, name: str) -> np.ndarray:
+        return np.array([getattr(r, name) for r in self.records], dtype=np.float64)
+
+    @property
+    def iterations(self) -> np.ndarray:
+        return self._column("iteration")
+
+    @property
+    def mu(self) -> np.ndarray:
+        return self._column("mu")
+
+    @property
+    def e_q(self) -> np.ndarray:
+        return self._column("e_q")
+
+    @property
+    def e_ba(self) -> np.ndarray:
+        return self._column("e_ba")
+
+    @property
+    def precision(self) -> np.ndarray:
+        return self._column("precision")
+
+    @property
+    def recall(self) -> np.ndarray:
+        return self._column("recall")
+
+    @property
+    def times(self) -> np.ndarray:
+        """Per-iteration durations."""
+        return self._column("time")
+
+    @property
+    def cumulative_time(self) -> np.ndarray:
+        """Elapsed time axis for the error-vs-time plots."""
+        return np.cumsum(self.times)
+
+    @property
+    def total_time(self) -> float:
+        return float(self.times.sum())
+
+    def to_rows(self) -> list[dict]:
+        """Per-iteration dictionaries (for CSV/JSON export)."""
+        rows = []
+        for r in self.records:
+            row = {
+                "iteration": r.iteration,
+                "mu": r.mu,
+                "e_q": r.e_q,
+                "e_ba": r.e_ba,
+                "precision": r.precision,
+                "recall": r.recall,
+                "time": r.time,
+                "z_changes": r.z_changes,
+                "violations": r.violations,
+            }
+            row.update(r.extra)
+            rows.append(row)
+        return rows
+
+    def to_csv(self, path) -> None:
+        """Write the history as CSV (one row per iteration)."""
+        import csv
+
+        rows = self.to_rows()
+        if not rows:
+            raise ValueError("cannot export an empty history")
+        fields = sorted({k for row in rows for k in row})
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fields)
+            writer.writeheader()
+            writer.writerows(rows)
+
+    def summary(self) -> str:
+        """One line per iteration, for bench output."""
+        lines = []
+        for r in self.records:
+            parts = [f"iter {r.iteration:3d}", f"mu={r.mu:9.3g}", f"E_Q={r.e_q:12.5g}",
+                     f"E_BA={r.e_ba:12.5g}"]
+            if r.precision is not None:
+                parts.append(f"prec={r.precision:6.4f}")
+            if r.recall is not None:
+                parts.append(f"recall={r.recall:6.4f}")
+            parts.append(f"t={r.time:9.4g}")
+            lines.append("  ".join(parts))
+        return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Serial MAC for binary autoencoders (paper fig. 1).
+
+One MAC iteration per penalty value mu:
+
+* **W step** — fit the L single-bit hash functions by SGD (linear SVMs,
+  warm-started, step counter reset per iteration as in the paper's
+  auto-tuned SVMSGD) and the decoder exactly by least squares;
+* **Z step** — the per-point binary proximal operator, exact by
+  enumeration for small L, alternating otherwise;
+* stop when Z is a fixed point with satisfied constraints, or when
+  validation precision drops (early stopping, optional).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.autoencoder.binary_autoencoder import BinaryAutoencoder
+from repro.autoencoder.init import init_codes_pca
+from repro.autoencoder.zstep import zstep
+from repro.core.convergence import EarlyStopping, z_fixed_point
+from repro.core.history import IterationRecord, TrainingHistory
+from repro.core.penalty import penalty_schedule
+from repro.optim.sgd import SGDState
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array, check_binary_codes
+
+__all__ = ["MACTrainerBA"]
+
+
+class MACTrainerBA:
+    """Serial MAC trainer for a :class:`BinaryAutoencoder`.
+
+    Parameters
+    ----------
+    model : BinaryAutoencoder
+        Trained in place.
+    schedule : GeometricSchedule or preset name
+        The mu schedule (section 8.1 presets: "cifar", "sift10k", ...).
+    w_epochs : int
+        SGD passes per hash function per iteration.
+    batch_size : int
+        SGD minibatch size.
+    decoder_exact : bool
+        Exact least-squares decoder fit (the serial algorithm of fig. 1);
+        False uses SGD like ParMAC does.
+    zstep_method : {"auto", "enumerate", "alternate", "relaxed"}
+    evaluator : callable, optional
+        ``evaluator(model) -> dict`` of retrieval metrics per iteration
+        (e.g. :class:`~repro.core.evaluation.PrecisionEvaluator`).
+    early_stopping : bool
+        Stop (and restore the best model) when the evaluator's score drops
+        — requires an evaluator with a ``score_key`` attribute.
+    seed : int or None
+
+    Attributes
+    ----------
+    Z_ : ndarray
+        Final auxiliary codes.
+    history_ : TrainingHistory
+    """
+
+    def __init__(
+        self,
+        model: BinaryAutoencoder,
+        schedule="sift10k",
+        *,
+        w_epochs: int = 1,
+        batch_size: int = 100,
+        decoder_exact: bool = True,
+        zstep_method: str = "auto",
+        max_enum_bits: int = 12,
+        max_sweeps: int = 20,
+        evaluator=None,
+        early_stopping: bool = False,
+        patience: int = 1,
+        seed=None,
+    ):
+        if w_epochs < 1:
+            raise ValueError(f"w_epochs must be >= 1, got {w_epochs}")
+        if early_stopping and evaluator is None:
+            raise ValueError("early_stopping requires an evaluator")
+        self.model = model
+        self.schedule = penalty_schedule(schedule)
+        self.w_epochs = int(w_epochs)
+        self.batch_size = int(batch_size)
+        self.decoder_exact = bool(decoder_exact)
+        self.zstep_method = zstep_method
+        self.max_enum_bits = int(max_enum_bits)
+        self.max_sweeps = int(max_sweeps)
+        self.evaluator = evaluator
+        self.early_stopping = bool(early_stopping)
+        self.patience = int(patience)
+        self.seed = seed
+        self.Z_: np.ndarray | None = None
+        self.history_: TrainingHistory | None = None
+
+    # ------------------------------------------------------------- steps
+    def _w_step(self, X: np.ndarray, F: np.ndarray, Z: np.ndarray, rng) -> None:
+        enc, dec = self.model.encoder, self.model.decoder
+        for l in range(enc.n_bits):
+            state = SGDState()  # schedule restarts each MAC iteration
+            for _ in range(self.w_epochs):
+                enc.fit_bit(l, F, Z[:, l], state, batch_size=self.batch_size, rng=rng)
+        if self.decoder_exact:
+            dec.fit_lstsq(Z, X)
+        else:
+            from repro.optim.linreg import LinearRegression
+
+            reg = LinearRegression(dec.n_bits, dec.n_outputs, schedule=dec.schedule)
+            reg.W, reg.c = dec.B.copy(), dec.c.copy()
+            state = SGDState()
+            for _ in range(self.w_epochs):
+                reg.partial_fit(
+                    Z.astype(np.float64), X, state, batch_size=self.batch_size, rng=rng
+                )
+            dec.B, dec.c = reg.W, reg.c
+
+    def _z_step(self, X: np.ndarray, F: np.ndarray, Z: np.ndarray, mu: float) -> np.ndarray:
+        enc, dec = self.model.encoder, self.model.decoder
+        H = (F @ enc.A.T + enc.a >= 0.0).astype(np.uint8)
+        return zstep(
+            X,
+            dec.B,
+            dec.c,
+            H,
+            mu,
+            method=self.zstep_method,
+            Z0=Z,
+            max_enum_bits=self.max_enum_bits,
+            max_sweeps=self.max_sweeps,
+        )
+
+    # --------------------------------------------------------------- fit
+    def fit(self, X: np.ndarray, Z0: np.ndarray | None = None) -> TrainingHistory:
+        """Run MAC over the full mu schedule.
+
+        ``Z0`` defaults to truncated-PCA codes (section 8.1).
+        """
+        X = check_array(X, name="X")
+        rng = check_random_state(self.seed)
+        F = self.model.encoder.features(X)
+        if Z0 is None:
+            Z, _ = init_codes_pca(F, self.model.n_bits, rng=rng)
+        else:
+            Z = check_binary_codes(Z0)
+            if Z.shape != (len(X), self.model.n_bits):
+                raise ValueError(
+                    f"Z0 must have shape {(len(X), self.model.n_bits)}, got {Z.shape}"
+                )
+
+        history = TrainingHistory()
+        stopper = EarlyStopping(patience=self.patience) if self.early_stopping else None
+        for i, mu in enumerate(self.schedule):
+            t0 = time.perf_counter()
+            self._w_step(X, F, Z, rng)
+            Z_new = self._z_step(X, F, Z, mu)
+            elapsed = time.perf_counter() - t0
+
+            H = (F @ self.model.encoder.A.T + self.model.encoder.a >= 0.0).astype(np.uint8)
+            record = IterationRecord(
+                iteration=i,
+                mu=float(mu),
+                e_q=self.model.e_q(X, Z_new, mu),
+                e_ba=self.model.e_ba(X),
+                time=elapsed,
+                z_changes=int((Z_new != Z).sum()),
+                violations=int((Z_new != H).sum()),
+            )
+            if self.evaluator is not None:
+                metrics = self.evaluator(self.model)
+                record.precision = metrics.get("precision")
+                record.recall = metrics.get("recall")
+            history.append(record)
+
+            stop = z_fixed_point(Z_new, Z, H)
+            Z = Z_new
+            if stopper is not None:
+                score = metrics[self.evaluator.score_key]
+                snapshot = (self.model.copy(), Z.copy())
+                if stopper.update(score, snapshot):
+                    best_model, Z = stopper.best_state
+                    self.model.encoder = best_model.encoder
+                    self.model.decoder = best_model.decoder
+                    break
+            if stop:
+                break
+
+        self.Z_ = Z
+        self.history_ = history
+        return history

@@ -1,0 +1,77 @@
+"""Dataset containers for retrieval experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array
+
+__all__ = ["RetrievalDataset", "train_test_split"]
+
+
+def train_test_split(X: np.ndarray, n_test: int, *, rng=None):
+    """Random split into ``(train, test)`` with ``n_test`` test rows."""
+    X = np.asarray(X)
+    if not 0 < n_test < len(X):
+        raise ValueError(f"n_test must be in (0, {len(X)}), got {n_test}")
+    rng = check_random_state(rng)
+    perm = rng.permutation(len(X))
+    return X[perm[n_test:]], X[perm[:n_test]]
+
+
+@dataclass
+class RetrievalDataset:
+    """A retrieval benchmark: training cloud, base set and queries.
+
+    The paper's protocol (section 8.1): hash functions are learnt on the
+    training set; retrieval quality is then evaluated by querying the base
+    set. For CIFAR/SIFT-10K/SIFT-1M, base == training set and queries ==
+    test set; SIFT-1B has separate base/learn subsets, which this container
+    also supports.
+    """
+
+    train: np.ndarray
+    queries: np.ndarray
+    base: np.ndarray | None = None
+    name: str = "dataset"
+
+    def __post_init__(self):
+        self.train = check_array(self.train, name="train")
+        self.queries = check_array(self.queries, name="queries")
+        if self.base is None:
+            self.base = self.train
+        else:
+            self.base = check_array(self.base, name="base")
+        if self.queries.shape[1] != self.train.shape[1]:
+            raise ValueError(
+                f"queries dim {self.queries.shape[1]} != train dim {self.train.shape[1]}"
+            )
+        if self.base.shape[1] != self.train.shape[1]:
+            raise ValueError(
+                f"base dim {self.base.shape[1]} != train dim {self.train.shape[1]}"
+            )
+
+    @property
+    def dim(self) -> int:
+        return self.train.shape[1]
+
+    @property
+    def n_train(self) -> int:
+        return len(self.train)
+
+    def validation_split(self, fraction: float = 0.1, *, rng=None):
+        """Carve a validation subset out of the training set.
+
+        Used for the early-stopping criterion of the MAC driver (stop
+        iterating on a given mu when validation precision drops, paper
+        section 3.1).
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        rng = check_random_state(rng)
+        n_val = max(1, int(len(self.train) * fraction))
+        perm = rng.permutation(len(self.train))
+        return self.train[perm[n_val:]], self.train[perm[:n_val]]

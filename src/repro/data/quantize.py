@@ -1,0 +1,75 @@
+"""uint8 feature storage with on-demand float conversion.
+
+For SIFT-1B the paper stores each feature as one byte and converts to
+double only as needed — one point at a time in the Z step, one minibatch at
+a time in the W step (section 8.4) — because the float version would not
+fit in memory. :class:`Uint8Store` reproduces that access pattern: it holds
+the quantised array plus the affine dequantisation constants, and hands out
+float views of requested row subsets only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["quantize_uint8", "dequantize_uint8", "Uint8Store"]
+
+
+def quantize_uint8(X: np.ndarray) -> tuple[np.ndarray, float, float]:
+    """Affinely quantise a float array to uint8.
+
+    Returns ``(Q, lo, scale)`` such that ``X ~= lo + scale * Q``. Constant
+    arrays get ``scale = 1`` to keep dequantisation well defined.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    lo = float(X.min()) if X.size else 0.0
+    hi = float(X.max()) if X.size else 0.0
+    scale = (hi - lo) / 255.0 if hi > lo else 1.0
+    Q = np.round((X - lo) / scale).astype(np.uint8)
+    return Q, lo, scale
+
+
+def dequantize_uint8(Q: np.ndarray, lo: float, scale: float) -> np.ndarray:
+    """Inverse of :func:`quantize_uint8` (up to quantisation error)."""
+    return lo + scale * Q.astype(np.float64)
+
+
+class Uint8Store:
+    """Memory-frugal feature matrix: uint8 at rest, float64 on access.
+
+    Parameters
+    ----------
+    X : ndarray
+        Float matrix to store quantised, or an existing uint8 matrix (then
+        ``lo=0, scale=1``, i.e. raw byte values as in real SIFT).
+    """
+
+    def __init__(self, X: np.ndarray):
+        X = np.asarray(X)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+        if X.dtype == np.uint8:
+            self._Q = X.copy()
+            self._lo, self._scale = 0.0, 1.0
+        else:
+            self._Q, self._lo, self._scale = quantize_uint8(X)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._Q.shape
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes at rest (the point of the exercise: 8x less than float64)."""
+        return self._Q.nbytes
+
+    def __len__(self) -> int:
+        return len(self._Q)
+
+    def rows(self, idx) -> np.ndarray:
+        """Dequantised float64 copy of the requested rows (a minibatch)."""
+        return dequantize_uint8(self._Q[idx], self._lo, self._scale)
+
+    def all_rows(self) -> np.ndarray:
+        """Dequantised float64 copy of the full matrix (test-size data only)."""
+        return dequantize_uint8(self._Q, self._lo, self._scale)

@@ -1,0 +1,49 @@
+"""ParMAC: the distributed execution model for MAC (paper section 4).
+
+Data and auxiliary coordinates are sharded across P machines and never
+move; submodels circulate over a unidirectional ring, implicitly running
+SGD across the shards (W step), while the Z step is embarrassingly
+parallel with zero communication. This package provides:
+
+* the ring topology and per-epoch routing plans (shuffling, section 4.3);
+* the submodel-message protocol with visit counters (section 4.1), the
+  two-round W-step variant (section 4.2), and a visit-list variant that
+  supports fault tolerance (section 4.3);
+* three engines executing the identical protocol: a deterministic
+  synchronous tick engine, an asynchronous discrete-event engine with a
+  virtual clock (used for speedup measurements), and a real
+  ``multiprocessing`` ring backend (standing in for the paper's MPI);
+* partitioning/load balancing, streaming, fault injection/recovery, and an
+  exact-gradient allreduce W step (section 6 ablation).
+"""
+
+from repro.distributed.interfaces import ParMACAdapter, SubmodelSpec
+from repro.distributed.messages import SubmodelMessage
+from repro.distributed.topology import RingTopology
+from repro.distributed.protocol import RoutePlan, WStepProtocol, expected_receives
+from repro.distributed.partition import Shard, make_shards, partition_indices
+from repro.distributed.costmodel import CostModel
+from repro.distributed.cluster import SimulatedCluster, WStepStats, ZStepStats
+from repro.distributed.mp_backend import MultiprocessRing
+from repro.distributed.allreduce import allreduce_sum, exact_decoder_fit, exact_svm_steps
+
+__all__ = [
+    "ParMACAdapter",
+    "SubmodelSpec",
+    "SubmodelMessage",
+    "RingTopology",
+    "RoutePlan",
+    "WStepProtocol",
+    "expected_receives",
+    "Shard",
+    "make_shards",
+    "partition_indices",
+    "CostModel",
+    "SimulatedCluster",
+    "WStepStats",
+    "ZStepStats",
+    "MultiprocessRing",
+    "allreduce_sum",
+    "exact_decoder_fit",
+    "exact_svm_steps",
+]

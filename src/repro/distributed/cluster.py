@@ -1,0 +1,547 @@
+"""The simulated ParMAC cluster: the in-process reference implementation.
+
+Executes the full ParMAC protocol of paper section 4 — travelling
+submodels on a (possibly per-epoch reshuffled) ring, a final broadcast lap,
+and a communication-free Z step — over in-process "machines", each with a
+private shard, its own RNG stream and a local store of the latest submodel
+copies that passed through it (the redundancy that fault recovery relies
+on, section 4.3).
+
+Two interchangeable engines run the identical protocol:
+
+* ``engine="sync"`` — the tick-based synchronous procedure of fig. 3:
+  every tick, each machine processes everything in its queue and forwards;
+  the virtual clock advances by the slowest machine's (work + send) time.
+  Deterministic, supports fault injection.
+* ``engine="async"`` — the discrete-event version of the asynchronous
+  implementation (section 4.1's queue description): message deliveries are
+  heap events; a machine starts a job at ``max(local_clock, arrival)``.
+  This is what the speedup experiments measure.
+
+Virtual-clock costs come from a :class:`~repro.distributed.costmodel.CostModel`;
+set ``execute_updates=False`` to sweep timing-only configurations (the
+speedup does not depend on parameter values, only on the protocol).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributed.costmodel import CostModel
+from repro.distributed.messages import SubmodelMessage
+from repro.distributed.partition import Shard
+from repro.distributed.topology import RingTopology
+from repro.optim.sgd import SGDState
+from repro.utils.rng import check_random_state, spawn_rngs
+
+__all__ = ["SimulatedCluster", "WStepStats", "ZStepStats", "FaultEvent"]
+
+
+@dataclass
+class WStepStats:
+    """Virtual-clock accounting for one W step."""
+
+    sim_time: float = 0.0
+    comp_time: float = 0.0  # summed over machines
+    comm_time: float = 0.0  # summed over hops
+    idle_time: float = 0.0  # summed over machines (sync engine only)
+    n_messages: int = 0  # hops performed
+    bytes_sent: int = 0
+    ticks: int = 0  # sync engine only
+    per_machine_comp: dict = field(default_factory=dict)
+    per_machine_comm: dict = field(default_factory=dict)
+
+
+@dataclass
+class ZStepStats:
+    """Virtual-clock accounting for one Z step."""
+
+    sim_time: float = 0.0
+    z_changes: int = 0
+    per_machine_time: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Kill ``machine`` at the start of tick ``tick`` of a sync W step."""
+
+    machine: int
+    tick: int
+
+
+class SimulatedCluster:
+    """P simulated machines executing ParMAC over an adapter's model.
+
+    Parameters
+    ----------
+    adapter : ParMACAdapter
+        The model bridge (e.g. ``BAAdapter``).
+    shards : list of Shard
+        One per machine; machine ids are assigned 0..P-1.
+    epochs : int
+        SGD epochs per W step (e).
+    scheme : {"rounds", "tworound"}
+        Section 4.1 vs section 4.2 W-step communication scheme.
+    batch_size : int
+        SGD minibatch size within each shard.
+    shuffle_within, shuffle_ring : bool
+        Within-machine minibatch shuffling and per-epoch ring reshuffling
+        (section 4.3).
+    cost : CostModel
+        Virtual-clock constants; defaults to compute-only (t_wc = 0).
+    engine : {"sync", "async"}
+    execute_updates : bool
+        When False, skip the numerics and only simulate time.
+    message_dtype : numpy dtype or None
+        Reduced-precision communication (paper section 9: "one can store
+        and communicate reduced-precision values for ... parameters with
+        little effect on the accuracy"). When set (e.g. ``np.float32``),
+        every hop round-trips the parameters through that dtype, and both
+        ``bytes_sent`` and the per-hop communication time shrink by the
+        itemsize ratio. None keeps full float64 messages.
+    seed : int or None
+        Master seed; machine RNG streams are derived from it.
+    """
+
+    def __init__(
+        self,
+        adapter,
+        shards,
+        *,
+        epochs: int = 1,
+        scheme: str = "rounds",
+        batch_size: int = 100,
+        shuffle_within: bool = True,
+        shuffle_ring: bool = False,
+        cost: CostModel | None = None,
+        engine: str = "sync",
+        execute_updates: bool = True,
+        message_dtype=None,
+        seed=None,
+    ):
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if scheme not in ("rounds", "tworound"):
+            raise ValueError(f"unknown scheme {scheme!r}")
+        if engine not in ("sync", "async"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if message_dtype is not None:
+            message_dtype = np.dtype(message_dtype)
+            if message_dtype.kind != "f":
+                raise ValueError(
+                    f"message_dtype must be a float dtype, got {message_dtype}"
+                )
+        self.adapter = adapter
+        self.shards: dict[int, Shard] = {p: s for p, s in enumerate(shards)}
+        self.epochs = int(epochs)
+        self.scheme = scheme
+        self.batch_size = int(batch_size)
+        self.shuffle_within = bool(shuffle_within)
+        self.shuffle_ring = bool(shuffle_ring)
+        self.cost = cost if cost is not None else CostModel()
+        self.engine = engine
+        self.execute_updates = bool(execute_updates)
+        self.message_dtype = message_dtype
+        # Hop time and bytes scale with the wire itemsize (8 = float64).
+        self._comm_scale = (
+            1.0 if message_dtype is None else message_dtype.itemsize / 8.0
+        )
+
+        self._route_rng = check_random_state(seed)
+        self._machine_rngs = {
+            p: r for p, r in enumerate(spawn_rngs(self._route_rng, len(self.shards)))
+        }
+        self.topology = RingTopology.identity(len(self.shards))
+        # store[p][sid] -> latest SubmodelMessage copy seen by machine p.
+        self._stores: dict[int, dict[int, SubmodelMessage]] = {
+            p: {} for p in self.shards
+        }
+        self._next_machine_id = len(self.shards)
+        # Global row counter for streaming; only meaningful for shard types
+        # that track indices (deep-net shards do not support streaming).
+        self._next_global_index = 1 + max(
+            (
+                int(s.indices.max())
+                for s in self.shards.values()
+                if s.n and hasattr(s, "indices")
+            ),
+            default=-1,
+        )
+
+    # ------------------------------------------------------------ topology
+    @property
+    def machines(self) -> list[int]:
+        return self.topology.machines
+
+    @property
+    def n_machines(self) -> int:
+        return self.topology.n_machines
+
+    @property
+    def n_points(self) -> int:
+        return sum(s.n for s in self.shards.values())
+
+    # -------------------------------------------------------- W-step setup
+    @property
+    def _sgd_epochs(self) -> int:
+        """Ring laps during training (1 for tworound: e passes per visit)."""
+        return self.epochs if self.scheme == "rounds" else 1
+
+    @property
+    def _passes_per_visit(self) -> int:
+        return 1 if self.scheme == "rounds" else self.epochs
+
+    def _rings(self) -> list[RingTopology]:
+        """One ring per training epoch plus one for the broadcast lap."""
+        n = self._sgd_epochs + 1
+        if self.shuffle_ring:
+            return [self.topology.rewired(self._route_rng) for _ in range(n)]
+        return [self.topology] * n
+
+    def _successor(self, rings: list[RingTopology], msg: SubmodelMessage, p: int) -> int:
+        """Next machine for ``msg`` sitting at ``p`` (epoch-indexed ring)."""
+        if msg.training_done:
+            return rings[-1].successor(p)
+        epoch_idx = self._sgd_epochs - msg.epochs_left
+        return rings[min(epoch_idx, len(rings) - 1)].successor(p)
+
+    def _initial_messages(self) -> dict[int, list[SubmodelMessage]]:
+        """Home assignment: contiguous portions of sid-ordered submodels
+        (fig. 2's layout), seeded into each home machine's queue."""
+        specs = self.adapter.submodel_specs()
+        machines = self.machines
+        P = len(machines)
+        queues: dict[int, list[SubmodelMessage]] = {p: [] for p in machines}
+        for i, spec in enumerate(specs):
+            home = machines[i * P // len(specs)]
+            msg = SubmodelMessage(
+                spec=spec,
+                theta=np.array(self.adapter.get_params(spec), copy=True),
+                sgd_state=SGDState(),
+                to_visit=set(machines),
+                epochs_left=self._sgd_epochs,
+            )
+            queues[home].append(msg)
+        return queues
+
+    def _process_visit(self, msg: SubmodelMessage, p: int, mu: float) -> float:
+        """Apply one visit of ``msg`` at machine ``p``; returns work time.
+
+        Mutates the message (training, visit bookkeeping) and the machine's
+        local store. Does not route.
+        """
+        msg.counter += 1
+        shard = self.shards[p]
+        work = 0.0
+        if not msg.training_done:
+            if p in msg.to_visit:
+                if self.execute_updates:
+                    for _ in range(self._passes_per_visit):
+                        msg.theta = self.adapter.w_update(
+                            msg.spec,
+                            msg.theta,
+                            msg.sgd_state,
+                            shard,
+                            mu,
+                            batch_size=self.batch_size,
+                            shuffle=self.shuffle_within,
+                            rng=self._machine_rngs[p],
+                        )
+                work = self.cost.w_work(p, shard.n, self._passes_per_visit)
+                msg.to_visit.discard(p)
+            if not msg.to_visit:
+                msg.epochs_left -= 1
+                if msg.epochs_left > 0:
+                    msg.to_visit = set(self.machines)
+                else:
+                    msg.to_broadcast = set(self.machines) - {p}
+        else:
+            msg.to_broadcast.discard(p)
+        # Reduced precision applies to storage as well as the wire (the
+        # paper "store[s] and communicate[s] reduced-precision values"), so
+        # every machine's copy is bit-identical to what travelled. With a
+        # single machine nothing is ever serialised.
+        if self.n_machines > 1:
+            self._transmit(msg)
+        self._stores[p][msg.spec.sid] = msg.copy()
+        return work
+
+    def _transmit(self, msg: SubmodelMessage) -> SubmodelMessage:
+        """Apply wire-precision loss to a message about to be sent."""
+        if self.message_dtype is not None:
+            msg.theta = msg.theta.astype(self.message_dtype).astype(np.float64)
+        return msg
+
+    def _assemble(self) -> None:
+        """Write final submodel parameters back into the adapter's model.
+
+        Any machine's store works (they all hold the final copies — an
+        invariant checked by :meth:`model_copies_consistent`); we read from
+        the first machine in the ring.
+        """
+        store = self._stores[self.machines[0]]
+        for spec in self.adapter.submodel_specs():
+            self.adapter.set_params(spec, store[spec.sid].theta)
+
+    # ----------------------------------------------------------- W step
+    def w_step(self, mu: float, *, fault: FaultEvent | None = None) -> WStepStats:
+        """Run one full W step; assembles the final model into the adapter."""
+        if self.engine == "sync":
+            stats = self._w_step_sync(mu, fault)
+        else:
+            if fault is not None:
+                raise ValueError("fault injection is only supported by the sync engine")
+            stats = self._w_step_async(mu)
+        self._assemble()
+        return stats
+
+    def _w_step_sync(self, mu: float, fault: FaultEvent | None) -> WStepStats:
+        rings = self._rings()
+        queues = self._initial_messages()
+        stats = WStepStats(
+            per_machine_comp={p: 0.0 for p in self.machines},
+            per_machine_comm={p: 0.0 for p in self.machines},
+        )
+        tick = 0
+        while any(queues.values()):
+            if fault is not None and tick == fault.tick:
+                queues = self._recover_from_fault(fault.machine, queues, rings)
+                rings = [r.without_machine(fault.machine) for r in rings]
+            tick += 1
+            outgoing: dict[int, list[tuple[int, SubmodelMessage]]] = {}
+            tick_cost: dict[int, float] = {}
+            for p in list(queues):
+                batch, queues[p] = queues[p], []
+                work_p = comm_p = 0.0
+                sends: list[tuple[int, SubmodelMessage]] = []
+                for msg in batch:
+                    work_p += self._process_visit(msg, p, mu)
+                    if not msg.done:
+                        q = self._successor(rings, msg, p)
+                        comm_p += self.cost.comm(p, q) * self._comm_scale
+                        if p != q:
+                            stats.bytes_sent += int(msg.nbytes * self._comm_scale)
+                            self._transmit(msg)
+                        stats.n_messages += 1
+                        sends.append((q, msg))
+                outgoing[p] = sends
+                tick_cost[p] = work_p + comm_p
+                stats.comp_time += work_p
+                stats.comm_time += comm_p
+                stats.per_machine_comp[p] = stats.per_machine_comp.get(p, 0.0) + work_p
+                stats.per_machine_comm[p] = stats.per_machine_comm.get(p, 0.0) + comm_p
+            tick_time = max(tick_cost.values(), default=0.0)
+            stats.sim_time += tick_time
+            stats.idle_time += sum(tick_time - c for c in tick_cost.values())
+            for sends in outgoing.values():
+                for q, msg in sends:
+                    queues[q].append(msg)
+        stats.ticks = tick
+        return stats
+
+    def _w_step_async(self, mu: float) -> WStepStats:
+        rings = self._rings()
+        queues = self._initial_messages()
+        stats = WStepStats(
+            per_machine_comp={p: 0.0 for p in self.machines},
+            per_machine_comm={p: 0.0 for p in self.machines},
+        )
+        clock = {p: 0.0 for p in self.machines}
+        heap: list[tuple[float, int, int, SubmodelMessage]] = []
+        seq = 0
+        # Initial local submodels are "delivered" at t=0 with no comm cost.
+        for p, batch in queues.items():
+            for msg in batch:
+                heapq.heappush(heap, (0.0, seq, p, msg))
+                seq += 1
+        while heap:
+            arrival, _, p, msg = heapq.heappop(heap)
+            start = max(clock[p], arrival)
+            stats.idle_time += max(0.0, arrival - clock[p]) if clock[p] < arrival else 0.0
+            work = self._process_visit(msg, p, mu)
+            clock[p] = start + work
+            stats.comp_time += work
+            stats.per_machine_comp[p] += work
+            if not msg.done:
+                q = self._successor(rings, msg, p)
+                hop = self.cost.comm(p, q) * self._comm_scale
+                # t_wc is time the machine *spends* communicating (section
+                # 5.1: "the time spent by a given machine in first receiving
+                # a submodel and then sending it"), so it occupies the
+                # sender's clock as well as delaying the delivery.
+                clock[p] += hop
+                stats.comm_time += hop
+                stats.per_machine_comm[p] += hop
+                if p != q:
+                    stats.bytes_sent += int(msg.nbytes * self._comm_scale)
+                    self._transmit(msg)
+                stats.n_messages += 1
+                heapq.heappush(heap, (clock[p], seq, q, msg))
+                seq += 1
+        stats.sim_time = max(clock.values(), default=0.0)
+        return stats
+
+    # ----------------------------------------------------- fault recovery
+    def _recover_from_fault(
+        self,
+        dead: int,
+        queues: dict[int, list[SubmodelMessage]],
+        rings: list[RingTopology],
+    ) -> dict[int, list[SubmodelMessage]]:
+        """Remove a machine mid-W-step and rescue its in-flight submodels.
+
+        Paper section 4.3: reconnect the ring; submodels lost in the dead
+        machine are reverted to "the previously updated copy, which resides
+        in the predecessor"; all visit lists drop the dead machine.
+        """
+        if dead not in self.shards:
+            raise KeyError(f"machine {dead} does not exist")
+        if self.n_machines == 1:
+            raise ValueError("cannot fail the only machine")
+        lost = queues.pop(dead, [])
+        pred = self.topology.predecessor(dead)
+        succ = self.topology.successor(dead)
+        # Survivors' in-flight messages must simply forget the dead machine.
+        for batch in queues.values():
+            for msg in batch:
+                if msg.to_visit is not None:
+                    msg.to_visit.discard(dead)
+                if msg.to_broadcast is not None:
+                    msg.to_broadcast.discard(dead)
+        for msg in lost:
+            rescue = self._stores[pred].get(msg.spec.sid)
+            if rescue is None:
+                # Not yet processed anywhere downstream: any copy will do
+                # (paper: "we can use any copy in any machine"); fall back
+                # to the freshest copy among survivors, else the original.
+                candidates = [
+                    s[msg.spec.sid]
+                    for q, s in self._stores.items()
+                    if q != dead and msg.spec.sid in s
+                ]
+                rescue = max(candidates, key=lambda m: m.counter) if candidates else msg
+            revived = rescue.copy()
+            if revived.to_visit is not None:
+                revived.to_visit.discard(dead)
+            if revived.to_broadcast is not None:
+                revived.to_broadcast.discard(dead)
+            if not revived.done:
+                queues[succ].append(revived)
+        # The machine leaves the cluster for good: shard, store, topology.
+        del self.shards[dead]
+        del self._stores[dead]
+        del self._machine_rngs[dead]
+        self.topology = self.topology.without_machine(dead)
+        return queues
+
+    # ------------------------------------------------------------- Z step
+    def z_step(self, mu: float) -> ZStepStats:
+        """Run the Z step on every shard — no communication at all."""
+        stats = ZStepStats(per_machine_time={})
+        n_submodels = len(self.adapter.submodel_specs())
+        for p in self.machines:
+            shard = self.shards[p]
+            if self.execute_updates:
+                stats.z_changes += self.adapter.z_update(shard, mu)
+            t = self.cost.z_work(p, shard.n, n_submodels)
+            stats.per_machine_time[p] = t
+        stats.sim_time = max(stats.per_machine_time.values(), default=0.0)
+        return stats
+
+    def iteration(self, mu: float, *, fault: FaultEvent | None = None):
+        """One MAC iteration: W step then Z step."""
+        w = self.w_step(mu, fault=fault)
+        z = self.z_step(mu)
+        return w, z
+
+    # ---------------------------------------------------------- streaming
+    def add_data(self, p: int, X_new: np.ndarray) -> None:
+        """Streaming form 1: a machine acquires new points (section 4.3).
+
+        Codes are created locally "by applying the nested model"; nothing
+        crosses the network.
+        """
+        if p not in self.shards:
+            raise KeyError(f"machine {p} does not exist")
+        X_new = np.asarray(X_new, dtype=np.float64)
+        F_new = self.adapter.features(X_new)
+        Z_new = self.adapter.init_codes(F_new)
+        idx = np.arange(self._next_global_index, self._next_global_index + len(X_new))
+        self._next_global_index += len(X_new)
+        self.shards[p].append(X_new, F_new, Z_new, idx)
+
+    def remove_data(self, p: int, local_idx) -> None:
+        """Streaming form 1: a machine discards points (section 4.3)."""
+        if p not in self.shards:
+            raise KeyError(f"machine {p} does not exist")
+        self.shards[p].drop(local_idx)
+
+    def add_machine(self, X_new: np.ndarray, *, after: int | None = None) -> int:
+        """Streaming form 2: a new preloaded machine joins the ring.
+
+        It receives a copy of the current model (trivially: the stores are
+        in-process; in the paper it picks the copies up during the final
+        broadcast round).
+        """
+        X_new = np.asarray(X_new, dtype=np.float64)
+        if len(X_new) == 0:
+            raise ValueError("a new machine needs at least one data point")
+        p = self._next_machine_id
+        self._next_machine_id += 1
+        F_new = self.adapter.features(X_new)
+        Z_new = self.adapter.init_codes(F_new)
+        idx = np.arange(self._next_global_index, self._next_global_index + len(X_new))
+        self._next_global_index += len(X_new)
+        self.shards[p] = Shard(X=X_new, F=F_new, Z=Z_new, indices=idx)
+        self.topology = self.topology.with_machine(p, after=after)
+        donor = self._stores[self.machines[0]] if self._stores else {}
+        self._stores[p] = {sid: m.copy() for sid, m in donor.items()}
+        self._machine_rngs[p] = spawn_rngs(self._route_rng, 1)[0]
+        return p
+
+    def remove_machine(self, p: int) -> None:
+        """Streaming form 2 / Z-step fault: drop a machine and its data."""
+        if p not in self.shards:
+            raise KeyError(f"machine {p} does not exist")
+        if self.n_machines == 1:
+            raise ValueError("cannot remove the only machine")
+        del self.shards[p]
+        del self._stores[p]
+        del self._machine_rngs[p]
+        self.topology = self.topology.without_machine(p)
+
+    # -------------------------------------------------------- diagnostics
+    def gather_codes(self) -> tuple[np.ndarray, np.ndarray]:
+        """(global_indices, codes) concatenated over shards."""
+        idx = np.concatenate([self.shards[p].indices for p in self.machines])
+        Z = np.vstack([self.shards[p].Z for p in self.machines])
+        order = np.argsort(idx, kind="stable")
+        return idx[order], Z[order]
+
+    def model_copies_consistent(self) -> bool:
+        """Check the post-W-step invariant: every machine holds identical,
+        final copies of every submodel (paper: "each machine contains a
+        (redundant) copy of all the current submodels")."""
+        specs = self.adapter.submodel_specs()
+        ref = self._stores[self.machines[0]]
+        for p in self.machines:
+            store = self._stores[p]
+            for spec in specs:
+                if spec.sid not in store or spec.sid not in ref:
+                    return False
+                if not np.array_equal(store[spec.sid].theta, ref[spec.sid].theta):
+                    return False
+        return True
+
+    def e_q(self, mu: float) -> float:
+        """Global E_Q from per-shard contributions (no data movement)."""
+        return float(
+            sum(self.adapter.e_q_shard(self.shards[p], mu) for p in self.machines)
+        )
+
+    def e_ba(self) -> float:
+        """Global nested objective from per-shard contributions."""
+        return float(sum(self.adapter.e_ba_shard(self.shards[p]) for p in self.machines))

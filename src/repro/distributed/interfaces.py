@@ -1,0 +1,96 @@
+"""Adapter protocol connecting a MAC model to the ParMAC engines.
+
+The engines know nothing about binary autoencoders or deep nets; they move
+:class:`SubmodelSpec`-tagged parameter vectors around a ring and call back
+into an adapter for the actual numerics. An adapter supplies:
+
+* the list of submodels (hash functions + decoder groups for a BA; hidden
+  units for a deep net);
+* ``w_update`` — one SGD pass of one submodel over one shard (the
+  travelling-submodel work unit);
+* ``z_update`` — the per-shard Z step given the assembled model;
+* objective evaluations for monitoring.
+
+This mirrors the paper's observation that ParMAC is a *meta*-algorithm: the
+ring protocol is identical for any nested model (section 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.optim.sgd import SGDState
+
+__all__ = ["SubmodelSpec", "ParMACAdapter"]
+
+
+@dataclass(frozen=True)
+class SubmodelSpec:
+    """Identity of one independent W-step subproblem.
+
+    Attributes
+    ----------
+    sid : int
+        Dense id in ``range(M)``.
+    kind : str
+        Adapter-defined tag (e.g. ``"enc"`` / ``"dec"`` for a BA).
+    index : Any
+        Adapter payload locating the parameters (bit index, row tuple, ...).
+        Must be hashable and picklable.
+    """
+
+    sid: int
+    kind: str
+    index: Any = None
+
+
+@runtime_checkable
+class ParMACAdapter(Protocol):
+    """What the engines require of a model. See module docstring."""
+
+    def submodel_specs(self) -> list[SubmodelSpec]:
+        """All W-step submodels, sid-ordered."""
+        ...
+
+    def get_params(self, spec: SubmodelSpec) -> np.ndarray:
+        """Current flat parameter vector of one submodel (from the model)."""
+        ...
+
+    def set_params(self, spec: SubmodelSpec, theta: np.ndarray) -> None:
+        """Write one submodel's parameters back into the model."""
+        ...
+
+    def w_update(
+        self,
+        spec: SubmodelSpec,
+        theta: np.ndarray,
+        state: SGDState,
+        shard,
+        mu: float,
+        *,
+        batch_size: int,
+        shuffle: bool,
+        rng,
+    ) -> np.ndarray:
+        """One SGD pass of submodel ``spec`` over ``shard``; returns new theta.
+
+        Must not touch the adapter's model object — during the W step the
+        authoritative parameters are the ones travelling in the message.
+        """
+        ...
+
+    def z_update(self, shard, mu: float) -> int:
+        """Z step on one shard in place; returns the number of changed bits
+        (or coordinates). Uses the adapter's assembled model."""
+        ...
+
+    def e_q_shard(self, shard, mu: float) -> float:
+        """This shard's contribution to E_Q."""
+        ...
+
+    def e_ba_shard(self, shard) -> float:
+        """This shard's contribution to the nested objective."""
+        ...

@@ -1,0 +1,81 @@
+"""Submodel messages: what actually travels over the ring.
+
+Only model parameters are ever communicated — never data or coordinates
+(the defining property of ParMAC). A message carries the flat parameter
+vector, the SGD step counter (so the schedule continues seamlessly across
+machines), a visit counter (section 4.1 semantics, kept for statistics and
+the multiprocessing backend), and explicit visit/broadcast sets — the
+"more general mechanism" of section 4.3 that tags each submodel with the
+machines it still has to visit, which is what makes per-epoch rerouting
+and fault recovery straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributed.interfaces import SubmodelSpec
+from repro.optim.sgd import SGDState
+
+__all__ = ["SubmodelMessage"]
+
+
+@dataclass
+class SubmodelMessage:
+    """One travelling submodel.
+
+    Attributes
+    ----------
+    spec : SubmodelSpec
+    theta : ndarray
+        Flat parameters; the authoritative copy during the W step.
+    sgd_state : SGDState
+        Carried SGD bookkeeping (step counter for the schedule).
+    counter : int
+        Visits so far. Incremented by the processing machine, so it reads 1
+        during the home machine's first visit — the paper's "initially 1".
+    to_visit : set[int] or None
+        Machines still owed a training visit in the current epoch
+        (None until initialised by an engine).
+    epochs_left : int
+        Remaining training epochs including the current one.
+    to_broadcast : set[int] or None
+        Machines still owed a copy of the final parameters; None while
+        training is ongoing. The W step is over for this submodel when this
+        set exists and is empty.
+    """
+
+    spec: SubmodelSpec
+    theta: np.ndarray
+    sgd_state: SGDState = field(default_factory=SGDState)
+    counter: int = 0
+    to_visit: set | None = None
+    epochs_left: int = 0
+    to_broadcast: set | None = None
+
+    @property
+    def training_done(self) -> bool:
+        return self.to_broadcast is not None
+
+    @property
+    def done(self) -> bool:
+        """True once every machine holds the final parameters."""
+        return self.to_broadcast is not None and len(self.to_broadcast) == 0
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (parameters only), for comm accounting."""
+        return int(np.asarray(self.theta).nbytes)
+
+    def copy(self) -> "SubmodelMessage":
+        return SubmodelMessage(
+            spec=self.spec,
+            theta=np.array(self.theta, copy=True),
+            sgd_state=self.sgd_state.copy(),
+            counter=self.counter,
+            to_visit=None if self.to_visit is None else set(self.to_visit),
+            epochs_left=self.epochs_left,
+            to_broadcast=None if self.to_broadcast is None else set(self.to_broadcast),
+        )

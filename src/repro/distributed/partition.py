@@ -1,0 +1,149 @@
+"""Data partitioning and load balancing across machines.
+
+Section 4.3: the work in both steps is proportional to the number of data
+points, so load balancing reduces to giving machine p a shard of size
+proportional to its processing power ``alpha_p``:
+``n_p = N * alpha_p / sum(alpha)`` — "done once and for all at loading
+time". Shards are disjoint and cover the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+__all__ = ["partition_indices", "Shard", "TimingShard", "make_shards"]
+
+
+def partition_indices(
+    n: int,
+    n_machines: int,
+    *,
+    alphas=None,
+    shuffle: bool = True,
+    rng=None,
+) -> list[np.ndarray]:
+    """Split ``range(n)`` into ``n_machines`` disjoint covering index arrays.
+
+    Parameters
+    ----------
+    alphas : array-like of float, optional
+        Relative machine speeds; shard sizes are proportional (largest-
+        remainder rounding). Defaults to equal shares.
+    shuffle : bool
+        Randomise the point-to-machine assignment (recommended: ParMAC
+        relies on shards being i.i.d.-ish for SGD, section 4.2).
+    """
+    if n_machines < 1:
+        raise ValueError(f"n_machines must be >= 1, got {n_machines}")
+    if n < n_machines:
+        raise ValueError(f"cannot split {n} points over {n_machines} machines")
+    if alphas is None:
+        alphas = np.ones(n_machines, dtype=np.float64)
+    else:
+        alphas = np.asarray(list(alphas), dtype=np.float64)
+        if alphas.shape != (n_machines,):
+            raise ValueError(f"alphas must have length {n_machines}, got {alphas.shape}")
+        if (alphas <= 0).any():
+            raise ValueError("all alphas must be > 0")
+
+    # Largest-remainder apportionment with a 1-point floor per machine.
+    quotas = n * alphas / alphas.sum()
+    sizes = np.maximum(np.floor(quotas).astype(np.int64), 1)
+    while sizes.sum() > n:
+        # Shrink the most over-allocated machine that is above the floor.
+        over = np.where(sizes > 1, sizes - quotas, -np.inf)
+        sizes[int(np.argmax(over))] -= 1
+    remainders = quotas - sizes
+    while sizes.sum() < n:
+        i = int(np.argmax(remainders))
+        sizes[i] += 1
+        remainders[i] -= 1.0
+
+    order = np.arange(n)
+    if shuffle:
+        rng = check_random_state(rng)
+        rng.shuffle(order)
+    bounds = np.concatenate([[0], np.cumsum(sizes)])
+    return [np.sort(order[bounds[p] : bounds[p + 1]]) for p in range(n_machines)]
+
+
+@dataclass
+class Shard:
+    """One machine's private data: inputs, encoder features, codes.
+
+    ``F`` is the feature matrix the encoder trains on — identical to ``X``
+    for a linear encoder, precomputed kernel values for an RBF encoder (the
+    paper stores those quantised rather than recomputing per visit).
+    ``indices`` are the global row numbers, kept so that Z can be gathered
+    back for evaluation/tests.
+    """
+
+    X: np.ndarray
+    F: np.ndarray
+    Z: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self):
+        n = len(self.X)
+        if not (len(self.F) == len(self.Z) == len(self.indices) == n):
+            raise ValueError(
+                f"inconsistent shard lengths: X={len(self.X)}, F={len(self.F)}, "
+                f"Z={len(self.Z)}, indices={len(self.indices)}"
+            )
+
+    @property
+    def n(self) -> int:
+        return len(self.X)
+
+    def append(self, X_new: np.ndarray, F_new: np.ndarray, Z_new: np.ndarray, idx_new: np.ndarray) -> None:
+        """Streaming form 1: add data within the machine (section 4.3)."""
+        self.X = np.vstack([self.X, X_new])
+        self.F = np.vstack([self.F, F_new])
+        self.Z = np.vstack([self.Z, Z_new])
+        self.indices = np.concatenate([self.indices, idx_new])
+
+    def drop(self, local_idx) -> None:
+        """Streaming form 1: discard points by local index (section 4.3)."""
+        keep = np.ones(self.n, dtype=bool)
+        keep[np.asarray(local_idx, dtype=np.int64)] = False
+        self.X = self.X[keep]
+        self.F = self.F[keep]
+        self.Z = self.Z[keep]
+        self.indices = self.indices[keep]
+
+
+@dataclass
+class TimingShard:
+    """A shard with only a size, for timing-only protocol simulations.
+
+    The discrete-event speedup sweeps (fig. 10's SIFT-1B column has
+    N = 10^8) never touch the data — the virtual clock depends only on
+    shard sizes — so materialising arrays would be pure waste.
+    """
+
+    n_points: int
+
+    def __post_init__(self):
+        if self.n_points < 0:
+            raise ValueError(f"n_points must be >= 0, got {self.n_points}")
+
+    @property
+    def n(self) -> int:
+        return self.n_points
+
+
+def make_shards(
+    X: np.ndarray, F: np.ndarray, Z: np.ndarray, parts: list[np.ndarray]
+) -> list[Shard]:
+    """Materialise shards from global arrays and a partition."""
+    flat = np.concatenate(parts) if parts else np.array([], dtype=np.int64)
+    if len(np.unique(flat)) != len(flat) or len(flat) != len(X):
+        raise ValueError("parts must be disjoint and cover all rows of X")
+    return [
+        Shard(X=X[idx].copy(), F=F[idx].copy(), Z=Z[idx].copy(), indices=idx.copy())
+        for idx in parts
+    ]

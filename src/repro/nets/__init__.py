@@ -1,0 +1,26 @@
+"""MAC with K hidden layers (paper section 3.2).
+
+The paper's contribution is general: MAC/ParMAC applies to any nested
+function ``f_{K+1}(...f_1(x))``. This package instantiates it for the
+running example — sigmoid deep nets trained on least squares (eq. 4) —
+with per-unit W-step submodels, the generalised-proximal Z step (eq. 6),
+a chain-rule SGD baseline for comparison, and a ParMAC adapter so the same
+ring engines that train BAs also train deep nets.
+"""
+
+from repro.nets.layers import ACTIVATIONS, DenseLayer
+from repro.nets.deepnet import DeepNet
+from repro.nets.backprop import BackpropTrainer
+from repro.nets.mac_net import MACTrainerNet
+from repro.nets.adapter import NetAdapter, NetShard, make_net_shards
+
+__all__ = [
+    "ACTIVATIONS",
+    "DenseLayer",
+    "DeepNet",
+    "BackpropTrainer",
+    "MACTrainerNet",
+    "NetAdapter",
+    "NetShard",
+    "make_net_shards",
+]

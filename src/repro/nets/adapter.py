@@ -1,0 +1,159 @@
+"""ParMAC adapter for deep nets — the same ring engines, different model.
+
+Submodels are *hidden units*: "M is the number of hidden units in a deep
+net" (paper section 4). Each unit (k, j) owns row j of layer k's weights
+plus its bias, and its W-step subproblem — fit ``sigma(w . z_{k-1} + b)``
+to column j of ``z_k`` under squared loss — depends only on the shard's
+coordinates for layers k-1 and k, exactly the reduced-dependency structure
+section 9 points out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.interfaces import SubmodelSpec
+from repro.nets.deepnet import DeepNet
+from repro.nets.mac_net import MACTrainerNet
+from repro.optim.schedules import InverseSchedule
+from repro.optim.sgd import SGDState, minibatch_indices
+
+__all__ = ["NetShard", "NetAdapter", "make_net_shards"]
+
+
+@dataclass
+class NetShard:
+    """One machine's private (X, Y, Z_1..Z_K) for a deep net."""
+
+    X: np.ndarray
+    Y: np.ndarray
+    Zs: list
+
+    def __post_init__(self):
+        if len(self.X) != len(self.Y) or any(len(Z) != len(self.X) for Z in self.Zs):
+            raise ValueError("inconsistent shard lengths")
+
+    @property
+    def n(self) -> int:
+        return len(self.X)
+
+
+def make_net_shards(X, Y, Zs, parts) -> list[NetShard]:
+    """Materialise deep-net shards from global arrays and a partition."""
+    X = np.asarray(X, dtype=np.float64)
+    Y = np.asarray(Y, dtype=np.float64)
+    return [
+        NetShard(X=X[idx].copy(), Y=Y[idx].copy(), Zs=[Z[idx].copy() for Z in Zs])
+        for idx in parts
+    ]
+
+
+class NetAdapter:
+    """ParMAC adapter exposing a :class:`DeepNet`'s hidden units as submodels.
+
+    Parameters
+    ----------
+    net : DeepNet
+    z_steps, z_lr : Z-step optimiser settings (delegated to MACTrainerNet's
+        safeguarded gradient descent, run shard-locally).
+    """
+
+    def __init__(self, net: DeepNet, *, z_steps: int = 10, z_lr: float = 0.5, w_schedule=None):
+        self.model = net
+        self.z_steps = int(z_steps)
+        self.z_lr = float(z_lr)
+        self.w_schedule = (
+            w_schedule if w_schedule is not None else InverseSchedule(eta0=0.5, t0=100.0)
+        )
+        self._specs = []
+        sid = 0
+        for k, layer in enumerate(net.layers):
+            for j in range(layer.n_out):
+                self._specs.append(SubmodelSpec(sid=sid, kind="unit", index=(k, j)))
+                sid += 1
+        # A private trainer instance provides the Z-step numerics.
+        self._ztrainer = MACTrainerNet(net, z_steps=z_steps, z_lr=z_lr)
+
+    # -------------------------------------------------------------- specs
+    def submodel_specs(self) -> list[SubmodelSpec]:
+        return list(self._specs)
+
+    # ------------------------------------------------------------- params
+    def get_params(self, spec: SubmodelSpec) -> np.ndarray:
+        k, j = spec.index
+        layer = self.model.layers[k]
+        return np.concatenate([layer.W[j], [layer.b[j]]])
+
+    def set_params(self, spec: SubmodelSpec, theta: np.ndarray) -> None:
+        k, j = spec.index
+        layer = self.model.layers[k]
+        theta = np.asarray(theta, dtype=np.float64).ravel()
+        if theta.shape != (layer.n_in + 1,):
+            raise ValueError(f"expected {layer.n_in + 1} params, got {theta.shape}")
+        layer.W[j] = theta[:-1]
+        layer.b[j] = float(theta[-1])
+
+    # ------------------------------------------------------------- W step
+    def w_update(
+        self,
+        spec: SubmodelSpec,
+        theta: np.ndarray,
+        state: SGDState,
+        shard: NetShard,
+        mu: float,
+        *,
+        batch_size: int,
+        shuffle: bool,
+        rng,
+    ) -> np.ndarray:
+        """One SGD pass of one hidden unit over one shard."""
+        k, j = spec.index
+        layer = self.model.layers[k]
+        A_in = shard.X if k == 0 else shard.Zs[k - 1]
+        target = shard.Y if k == len(self.model.layers) - 1 else shard.Zs[k]
+        t = target[:, j] if target.ndim == 2 else target
+        w = np.array(theta[:-1], copy=True)
+        b = float(theta[-1])
+        for idx in minibatch_indices(shard.n, batch_size, shuffle=shuffle, rng=rng):
+            eta = self.w_schedule.rate(state.t) / len(idx)
+            pre = A_in[idx] @ w + b
+            from repro.nets.layers import ACTIVATIONS
+
+            f, fprime = ACTIVATIONS[layer.activation]
+            a = f(pre)
+            delta = (a - t[idx]) * fprime(a)
+            w -= eta * (delta @ A_in[idx])
+            b -= eta * float(delta.sum())
+            state.advance(len(idx))
+        return np.concatenate([w, [b]])
+
+    # ------------------------------------------------------------- Z step
+    def z_update(self, shard: NetShard, mu: float) -> int:
+        """Shard-local safeguarded gradient Z step; returns coords changed."""
+        new_Zs = self._ztrainer.z_step(shard.X, shard.Y, shard.Zs, mu)
+        changed = sum(
+            int((np.abs(new - old) > 1e-12).sum())
+            for new, old in zip(new_Zs, shard.Zs)
+        )
+        shard.Zs = new_Zs
+        return changed
+
+    # --------------------------------------------------------- objectives
+    def e_q_shard(self, shard: NetShard, mu: float) -> float:
+        return self._ztrainer.e_q(shard.X, shard.Y, shard.Zs, mu)
+
+    def e_ba_shard(self, shard: NetShard) -> float:
+        """Shard contribution to the nested objective (name kept for the
+        generic engine interface)."""
+        return self.model.loss(shard.X, shard.Y)
+
+    def violations_shard(self, shard: NetShard) -> float:
+        """Constraint residual ``sum_k ||Z_k - f_k(Z_{k-1})||^2``."""
+        ins = [shard.X] + list(shard.Zs)
+        total = 0.0
+        for k, layer in enumerate(self.model.layers[:-1]):
+            R = shard.Zs[k] - layer.forward(ins[k])
+            total += float((R * R).sum())
+        return total

@@ -1,0 +1,71 @@
+"""Chain-rule SGD baseline for deep nets.
+
+MAC's selling point is precisely that it avoids backpropagated gradients;
+this trainer provides the conventional alternative for comparison (it is
+also the style of training the distributed-deep-net related work of
+section 2 parallelises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nets.deepnet import DeepNet
+from repro.optim.schedules import InverseSchedule
+from repro.optim.sgd import SGDState, minibatch_indices
+from repro.utils.rng import check_random_state
+
+__all__ = ["BackpropTrainer"]
+
+
+class BackpropTrainer:
+    """Minibatch SGD with exact chain-rule gradients on eq. (4)."""
+
+    def __init__(
+        self,
+        net: DeepNet,
+        *,
+        schedule=None,
+        batch_size: int = 32,
+        seed=None,
+    ):
+        self.net = net
+        self.schedule = schedule if schedule is not None else InverseSchedule(eta0=0.5, t0=100.0)
+        self.batch_size = int(batch_size)
+        self.rng = check_random_state(seed)
+        self.state = SGDState()
+
+    def gradients(self, X: np.ndarray, Y: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Exact gradients of ``1/2 sum ||y - f(x)||^2`` per layer."""
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        acts = self.net.activations(X)
+        inputs = [X] + acts[:-1]
+        # Output delta: dE/d(preact_{K+1}).
+        delta = (acts[-1] - Y) * self.net.layers[-1].derivative_from_output(acts[-1])
+        grads: list[tuple[np.ndarray, np.ndarray]] = [None] * len(self.net.layers)
+        for k in range(len(self.net.layers) - 1, -1, -1):
+            grads[k] = (delta.T @ inputs[k], delta.sum(axis=0))
+            if k > 0:
+                delta = (delta @ self.net.layers[k].W) * self.net.layers[
+                    k - 1
+                ].derivative_from_output(acts[k - 1])
+        return grads
+
+    def epoch(self, X: np.ndarray, Y: np.ndarray) -> None:
+        """One SGD pass over (X, Y)."""
+        n = len(X)
+        for idx in minibatch_indices(n, self.batch_size, shuffle=True, rng=self.rng):
+            eta = self.schedule.rate(self.state.t) / len(idx)
+            for layer, (gW, gb) in zip(self.net.layers, self.gradients(X[idx], Y[idx])):
+                layer.W -= eta * gW
+                layer.b -= eta * gb
+            self.state.advance(len(idx))
+
+    def fit(self, X: np.ndarray, Y: np.ndarray, *, epochs: int = 10) -> list[float]:
+        """Train for ``epochs`` passes; returns the per-epoch loss curve."""
+        losses = []
+        for _ in range(epochs):
+            self.epoch(X, Y)
+            losses.append(self.net.loss(X, Y))
+        return losses

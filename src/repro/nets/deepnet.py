@@ -1,0 +1,80 @@
+"""Nested deep-net model ``y = f_{K+1}(...f_1(x))`` (paper eq. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nets.layers import DenseLayer
+from repro.utils.rng import check_random_state
+
+__all__ = ["DeepNet"]
+
+
+class DeepNet:
+    """A stack of dense layers; K hidden layers + 1 output layer.
+
+    The nested least-squares objective (eq. 4) is
+    ``E(W) = 1/2 sum_n ||y_n - f(x_n)||^2``.
+    """
+
+    def __init__(self, layers: list[DenseLayer]):
+        if not layers:
+            raise ValueError("a net needs at least one layer")
+        for prev, nxt in zip(layers, layers[1:]):
+            if prev.n_out != nxt.n_in:
+                raise ValueError(
+                    f"layer size mismatch: {prev.n_out} -> {nxt.n_in}"
+                )
+        self.layers = layers
+
+    @classmethod
+    def create(
+        cls,
+        sizes: list[int],
+        *,
+        hidden_activation: str = "sigmoid",
+        output_activation: str = "linear",
+        rng=None,
+    ) -> "DeepNet":
+        """Random net with layer widths ``sizes = [d_in, h_1, ..., d_out]``."""
+        if len(sizes) < 2:
+            raise ValueError("sizes must list at least input and output widths")
+        rng = check_random_state(rng)
+        layers = []
+        for i in range(len(sizes) - 1):
+            act = output_activation if i == len(sizes) - 2 else hidden_activation
+            layers.append(DenseLayer.create(sizes[i], sizes[i + 1], act, rng=rng))
+        return cls(layers)
+
+    # ------------------------------------------------------------------ API
+    @property
+    def K(self) -> int:
+        """Number of hidden layers."""
+        return len(self.layers) - 1
+
+    @property
+    def sizes(self) -> list[int]:
+        return [self.layers[0].n_in] + [lay.n_out for lay in self.layers]
+
+    def forward(self, X: np.ndarray) -> np.ndarray:
+        A = np.asarray(X, dtype=np.float64)
+        for layer in self.layers:
+            A = layer.forward(A)
+        return A
+
+    def activations(self, X: np.ndarray) -> list[np.ndarray]:
+        """Per-layer outputs ``[f_1(x), f_2(f_1(x)), ..., f(x)]``."""
+        out = []
+        A = np.asarray(X, dtype=np.float64)
+        for layer in self.layers:
+            A = layer.forward(A)
+            out.append(A)
+        return out
+
+    def loss(self, X: np.ndarray, Y: np.ndarray) -> float:
+        """Nested objective ``1/2 sum ||y - f(x)||^2`` (eq. 4)."""
+        R = np.asarray(Y, dtype=np.float64) - self.forward(X)
+        return 0.5 * float((R * R).sum())
+
+    def copy(self) -> "DeepNet":
+        return DeepNet([lay.copy() for lay in self.layers])

@@ -1,0 +1,120 @@
+"""Dense layers with elementwise activations.
+
+Each layer is ``f_k(t) = sigma(W_k t + b_k)`` — "a linear mapping followed
+by a squashing nonlinearity" (paper section 3.2). Activations expose both
+the map and its derivative (needed by the Z step and by backprop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+__all__ = ["ACTIVATIONS", "DenseLayer"]
+
+
+def _sigmoid(t: np.ndarray) -> np.ndarray:
+    # Split by sign for numerical stability at large |t|.
+    out = np.empty_like(t)
+    pos = t >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-t[pos]))
+    et = np.exp(t[~pos])
+    out[~pos] = et / (1.0 + et)
+    return out
+
+
+def _sigmoid_prime_from_value(a: np.ndarray) -> np.ndarray:
+    return a * (1.0 - a)
+
+
+def _linear(t: np.ndarray) -> np.ndarray:
+    return t
+
+
+def _linear_prime_from_value(a: np.ndarray) -> np.ndarray:
+    return np.ones_like(a)
+
+
+def _tanh(t: np.ndarray) -> np.ndarray:
+    return np.tanh(t)
+
+
+def _tanh_prime_from_value(a: np.ndarray) -> np.ndarray:
+    return 1.0 - a * a
+
+
+# name -> (f, f' expressed in terms of the *output* value a = f(t)).
+ACTIVATIONS = {
+    "sigmoid": (_sigmoid, _sigmoid_prime_from_value),
+    "linear": (_linear, _linear_prime_from_value),
+    "tanh": (_tanh, _tanh_prime_from_value),
+}
+
+
+@dataclass
+class DenseLayer:
+    """One layer ``sigma(W t + b)``.
+
+    Attributes
+    ----------
+    W : ndarray (n_out, n_in)
+    b : ndarray (n_out,)
+    activation : str
+        Key into :data:`ACTIVATIONS`.
+    """
+
+    W: np.ndarray
+    b: np.ndarray
+    activation: str = "sigmoid"
+
+    def __post_init__(self):
+        self.W = np.asarray(self.W, dtype=np.float64)
+        self.b = np.asarray(self.b, dtype=np.float64).ravel()
+        if self.W.ndim != 2 or self.b.shape != (self.W.shape[0],):
+            raise ValueError(
+                f"inconsistent layer shapes W={self.W.shape}, b={self.b.shape}"
+            )
+        if self.activation not in ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {self.activation!r}; available: {sorted(ACTIVATIONS)}"
+            )
+
+    @classmethod
+    def create(
+        cls, n_in: int, n_out: int, activation: str = "sigmoid", *, rng=None, scale=None
+    ) -> "DenseLayer":
+        """Random Glorot-style initialisation."""
+        rng = check_random_state(rng)
+        if scale is None:
+            scale = np.sqrt(2.0 / (n_in + n_out))
+        return cls(
+            W=rng.normal(0.0, scale, size=(n_out, n_in)),
+            b=np.zeros(n_out),
+            activation=activation,
+        )
+
+    @property
+    def n_in(self) -> int:
+        return self.W.shape[1]
+
+    @property
+    def n_out(self) -> int:
+        return self.W.shape[0]
+
+    def preactivation(self, X: np.ndarray) -> np.ndarray:
+        return X @ self.W.T + self.b
+
+    def forward(self, X: np.ndarray) -> np.ndarray:
+        f, _ = ACTIVATIONS[self.activation]
+        return f(self.preactivation(X))
+
+    def derivative_from_output(self, A: np.ndarray) -> np.ndarray:
+        """sigma'(t) expressed via the layer output A = sigma(t)."""
+        _, fprime = ACTIVATIONS[self.activation]
+        return fprime(A)
+
+    def copy(self) -> "DenseLayer":
+        return DenseLayer(self.W.copy(), self.b.copy(), self.activation)

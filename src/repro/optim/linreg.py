@@ -1,0 +1,165 @@
+"""Multi-output linear least-squares regression: closed form and SGD.
+
+The BA decoder ``f(z) = B z + c`` consists of D independent linear
+regressors mapping the L-bit code back to one input dimension each (paper
+section 3.1). Serial MAC fits them exactly by least squares; ParMAC fits
+them with SGD as they travel the ring.
+
+The objective per output dimension is mean squared error with optional L2
+regularisation on the weights (not the intercept):
+
+    J(W, c) = (1/n) sum_i ||x_i - W z_i - c||^2 + lam ||W||_F^2
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.schedules import InverseSchedule
+from repro.optim.sgd import SGDState, sgd_epoch
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array, check_positive
+
+__all__ = ["LinearRegression", "squared_loss"]
+
+
+def squared_loss(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error ``mean(||pred - target||^2)`` over rows."""
+    diff = pred - target
+    return float((diff * diff).sum() / len(target))
+
+
+class LinearRegression:
+    """Linear map ``y = x @ W.T + c`` with least-squares / SGD training.
+
+    Parameters
+    ----------
+    n_inputs, n_outputs : int
+        Input and output dimensions.
+    lam : float
+        L2 regularisation on ``W`` (0 disables it; the closed-form solve
+        then uses plain ``lstsq``).
+
+    Attributes
+    ----------
+    W : ndarray of shape (n_outputs, n_inputs)
+    c : ndarray of shape (n_outputs,)
+    """
+
+    def __init__(self, n_inputs: int, n_outputs: int, *, lam: float = 0.0, schedule=None):
+        if n_inputs < 1 or n_outputs < 1:
+            raise ValueError(
+                f"n_inputs and n_outputs must be >= 1, got {n_inputs}, {n_outputs}"
+            )
+        if lam < 0:
+            raise ValueError(f"lam must be >= 0, got {lam}")
+        self.n_inputs = int(n_inputs)
+        self.n_outputs = int(n_outputs)
+        self.lam = float(lam)
+        self.schedule = schedule if schedule is not None else InverseSchedule(eta0=0.1, t0=100.0)
+        self.W = np.zeros((self.n_outputs, self.n_inputs), dtype=np.float64)
+        self.c = np.zeros(self.n_outputs, dtype=np.float64)
+
+    # ------------------------------------------------------------------ API
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Apply the linear map to rows of ``X``."""
+        return X @ self.W.T + self.c
+
+    def objective(self, X: np.ndarray, Y: np.ndarray) -> float:
+        """Mean squared error plus the L2 penalty."""
+        return squared_loss(self.predict(X), Y) + self.lam * float((self.W * self.W).sum())
+
+    # -------------------------------------------------------- exact solve
+    def fit_lstsq(self, X: np.ndarray, Y: np.ndarray) -> "LinearRegression":
+        """Exact (regularised) least-squares fit.
+
+        Solves ``min_W,c (1/n)||Y - X W^T - c||^2 + lam ||W||^2`` via the
+        normal equations on the augmented design matrix; the intercept
+        column is not regularised.
+        """
+        X = check_array(X, name="X")
+        Y = np.asarray(Y, dtype=np.float64)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if len(X) != len(Y):
+            raise ValueError(f"X has {len(X)} rows but Y has {len(Y)}")
+        n = len(X)
+        if n == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        A = np.hstack([X, np.ones((n, 1))])
+        if self.lam > 0:
+            reg = np.eye(self.n_inputs + 1) * (n * self.lam)
+            reg[-1, -1] = 0.0  # do not regularise the intercept
+            G = A.T @ A + reg
+            theta = np.linalg.solve(G, A.T @ Y)
+        else:
+            theta, *_ = np.linalg.lstsq(A, Y, rcond=None)
+        self.W = np.ascontiguousarray(theta[:-1].T)
+        self.c = theta[-1].copy()
+        return self
+
+    # ------------------------------------------------------------ training
+    def _step(self, X: np.ndarray, Y: np.ndarray, eta: float) -> None:
+        """One minibatch gradient step on the MSE objective."""
+        m = len(X)
+        resid = X @ self.W.T + self.c - Y  # (m, n_outputs)
+        grad_W = (2.0 / m) * resid.T @ X + 2.0 * self.lam * self.W
+        grad_c = (2.0 / m) * resid.sum(axis=0)
+        self.W -= eta * grad_W
+        self.c -= eta * grad_c
+
+    def partial_fit(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        state: SGDState,
+        *,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng=None,
+    ) -> SGDState:
+        """One SGD pass over a shard, continuing the carried ``state``."""
+        X = check_array(X, name="X")
+        Y = np.asarray(Y, dtype=np.float64)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if len(X) != len(Y):
+            raise ValueError(f"X has {len(X)} rows but Y has {len(Y)}")
+
+        def update(idx, t):
+            self._step(X[idx], Y[idx], self.schedule.rate(t))
+
+        return sgd_epoch(
+            update, len(X), state, batch_size=batch_size, shuffle=shuffle, rng=rng
+        )
+
+    def fit_sgd(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        *,
+        epochs: int = 5,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng=None,
+    ) -> "LinearRegression":
+        """Train for ``epochs`` full SGD passes."""
+        rng = check_random_state(rng)
+        state = SGDState()
+        for _ in range(epochs):
+            self.partial_fit(X, Y, state, batch_size=batch_size, shuffle=shuffle, rng=rng)
+        return self
+
+    # -------------------------------------------------------- (de)serialise
+    def get_params(self) -> np.ndarray:
+        """Flat parameter vector ``[W.ravel(), c]``."""
+        return np.concatenate([self.W.ravel(), self.c])
+
+    def set_params(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=np.float64).ravel()
+        expect = self.n_outputs * self.n_inputs + self.n_outputs
+        if theta.shape != (expect,):
+            raise ValueError(f"expected {expect} parameters, got {theta.shape}")
+        k = self.n_outputs * self.n_inputs
+        self.W = theta[:k].reshape(self.n_outputs, self.n_inputs).copy()
+        self.c = theta[k:].copy()

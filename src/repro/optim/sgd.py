@@ -1,0 +1,90 @@
+"""Generic minibatch SGD machinery.
+
+ParMAC's W step is "really carrying out stochastic steps for each submodel"
+(paper section 4.1): a submodel visits machines in ring order and performs
+SGD updates on each machine's shard, with minibatches of at most ``N/P``
+points. The step counter must therefore persist *across* machine visits —
+:class:`SGDState` carries it (and nothing else mutable) inside the submodel
+message as it circulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+
+__all__ = ["SGDState", "minibatch_indices", "sgd_epoch"]
+
+
+@dataclass
+class SGDState:
+    """Mutable SGD bookkeeping carried along with a travelling submodel.
+
+    Attributes
+    ----------
+    t : int
+        Number of SGD steps (minibatches) taken so far, across all machines
+        and epochs. Drives the step-size schedule.
+    n_updates : int
+        Number of individual example contributions (sum of minibatch sizes).
+    """
+
+    t: int = 0
+    n_updates: int = 0
+
+    def advance(self, batch_size: int) -> None:
+        self.t += 1
+        self.n_updates += int(batch_size)
+
+    def copy(self) -> "SGDState":
+        return SGDState(t=self.t, n_updates=self.n_updates)
+
+
+def minibatch_indices(
+    n: int, batch_size: int, *, shuffle: bool = True, rng=None
+) -> list[np.ndarray]:
+    """Split ``range(n)`` into minibatches of at most ``batch_size``.
+
+    With ``shuffle`` the order of points is randomised (within-machine
+    shuffling, paper section 4.3); the final batch may be smaller.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(n)
+    if shuffle:
+        rng = check_random_state(rng)
+        rng.shuffle(order)
+    return [order[i : i + batch_size] for i in range(0, n, batch_size)]
+
+
+def sgd_epoch(
+    update,
+    n: int,
+    state: SGDState,
+    *,
+    batch_size: int = 32,
+    shuffle: bool = True,
+    rng=None,
+) -> SGDState:
+    """Run one pass of minibatch SGD over a shard of ``n`` points.
+
+    Parameters
+    ----------
+    update : callable
+        ``update(idx, t)`` applies one SGD step on the points with local
+        indices ``idx`` using global step counter ``t``. The callable owns
+        the parameters; this function owns ordering and bookkeeping.
+    n : int
+        Shard size.
+    state : SGDState
+        Carried step counter; mutated in place and returned.
+    """
+    for idx in minibatch_indices(n, batch_size, shuffle=shuffle, rng=rng):
+        update(idx, state.t)
+        state.advance(len(idx))
+    return state

@@ -1,0 +1,156 @@
+"""Linear support vector machine trained by stochastic gradient descent.
+
+Each bit of the BA encoder is a single-bit hash function fit as a binary
+linear SVM predicting that bit of ``Z`` from ``X`` (paper section 3.1). The
+paper trains these with Bottou's SVMSGD; we implement the same primal
+objective and schedule:
+
+    J(w, b) = (lam / 2) ||w||^2 + (1/n) sum_i max(0, 1 - y_i (w.x_i + b))
+
+with labels ``y in {-1, +1}``, minibatch subgradient steps and the schedule
+``eta_t = eta0 / (1 + lam eta0 t)``. The bias is not regularised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.schedules import BottouSchedule
+from repro.optim.sgd import SGDState, sgd_epoch
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array, check_positive
+
+__all__ = ["LinearSVM", "hinge_loss", "svm_objective"]
+
+
+def hinge_loss(scores: np.ndarray, y: np.ndarray) -> float:
+    """Mean hinge loss ``mean(max(0, 1 - y * scores))``."""
+    return float(np.maximum(0.0, 1.0 - y * scores).mean())
+
+
+def svm_objective(w: np.ndarray, b: float, X: np.ndarray, y: np.ndarray, lam: float) -> float:
+    """Primal SVM objective (regulariser + mean hinge loss)."""
+    return 0.5 * lam * float(w @ w) + hinge_loss(X @ w + b, y)
+
+
+class LinearSVM:
+    """Binary linear SVM with hinge loss, L2 regularisation and SGD training.
+
+    Parameters
+    ----------
+    n_features : int
+        Input dimension D.
+    lam : float
+        L2 regularisation strength (the lambda in Bottou's schedule).
+    schedule : optional
+        Step-size schedule with a ``rate(t)`` method; defaults to
+        :class:`~repro.optim.schedules.BottouSchedule` with this ``lam``.
+
+    Attributes
+    ----------
+    w : ndarray of shape (n_features,)
+        Weight vector.
+    b : float
+        Unregularised bias.
+    """
+
+    def __init__(self, n_features: int, *, lam: float = 1e-4, schedule=None):
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        self.n_features = int(n_features)
+        self.lam = check_positive(lam, name="lam")
+        self.schedule = schedule if schedule is not None else BottouSchedule(lam=self.lam)
+        self.w = np.zeros(self.n_features, dtype=np.float64)
+        self.b = 0.0
+
+    # ------------------------------------------------------------------ API
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed scores ``X @ w + b``."""
+        return X @ self.w + self.b
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels in {-1, +1} (score 0 maps to +1, matching the
+        step function convention of the BA encoder)."""
+        return np.where(self.decision_function(X) >= 0.0, 1, -1).astype(np.int8)
+
+    def objective(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Primal objective value on ``(X, y)``."""
+        return svm_objective(self.w, self.b, X, y, self.lam)
+
+    # ------------------------------------------------------------ training
+    def _step(self, X: np.ndarray, y: np.ndarray, eta: float) -> None:
+        """One minibatch subgradient step at step size ``eta``."""
+        scores = X @ self.w + self.b
+        active = (y * scores) < 1.0
+        m = len(y)
+        grad_w = self.lam * self.w
+        if active.any():
+            ya = y[active]
+            grad_w = grad_w - (ya @ X[active]) / m
+            grad_b = -float(ya.sum()) / m
+        else:
+            grad_b = 0.0
+        self.w -= eta * grad_w
+        self.b -= eta * grad_b
+
+    def partial_fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        state: SGDState,
+        *,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng=None,
+    ) -> SGDState:
+        """One SGD pass over a shard, continuing the carried ``state``.
+
+        This is the unit of work a travelling ParMAC submodel performs on
+        each machine it visits.
+        """
+        X = check_array(X, name="X")
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if len(y) != len(X):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)} labels")
+        if len(y) and not np.isin(y, (-1.0, 1.0)).all():
+            raise ValueError("y must contain only -1/+1 labels")
+
+        def update(idx, t):
+            self._step(X[idx], y[idx], self.schedule.rate(t))
+
+        return sgd_epoch(
+            update, len(X), state, batch_size=batch_size, shuffle=shuffle, rng=rng
+        )
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 5,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng=None,
+    ) -> "LinearSVM":
+        """Train for ``epochs`` full passes over ``(X, y)``."""
+        rng = check_random_state(rng)
+        state = SGDState()
+        for _ in range(epochs):
+            self.partial_fit(
+                X, y, state, batch_size=batch_size, shuffle=shuffle, rng=rng
+            )
+        return self
+
+    # -------------------------------------------------------- (de)serialise
+    def get_params(self) -> np.ndarray:
+        """Flat parameter vector ``[w, b]`` (what travels over the ring)."""
+        return np.concatenate([self.w, [self.b]])
+
+    def set_params(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=np.float64).ravel()
+        if theta.shape != (self.n_features + 1,):
+            raise ValueError(
+                f"expected {self.n_features + 1} parameters, got {theta.shape}"
+            )
+        self.w = theta[:-1].copy()
+        self.b = float(theta[-1])

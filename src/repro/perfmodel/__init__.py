@@ -1,0 +1,61 @@
+"""The ParMAC parallel-speedup model (paper section 5 and appendix A).
+
+Closed-form runtime and speedup as a function of the cluster parameters,
+with the full piecewise analysis: per-interval maxima, the global maximum,
+divisible-P and large-dataset special cases, and the invariance
+transformations — plus utilities to pick the optimal machine count and to
+fit the time constants to measured speedups (what the paper does "by trial
+and error" for fig. 10).
+"""
+
+from repro.perfmodel.speedup import (
+    SpeedupParams,
+    interval_bounds,
+    interval_max,
+    global_max,
+    speedup,
+    speedup_divisible,
+    speedup_large_dataset,
+    total_time,
+    t_w,
+    t_z,
+)
+from repro.perfmodel.analysis import (
+    effective_submodels,
+    fit_time_constants,
+    optimal_machines,
+    perfect_speedup_limit,
+    scale_invariant_transforms,
+)
+from repro.perfmodel.presets import (
+    FIG4_PARAMS,
+    FIG10_CIFAR,
+    FIG10_SIFT1B,
+    FIG10_SIFT1M,
+    CLUSTER_PRESETS,
+    cluster_cost_model,
+)
+
+__all__ = [
+    "SpeedupParams",
+    "t_w",
+    "t_z",
+    "total_time",
+    "speedup",
+    "speedup_divisible",
+    "speedup_large_dataset",
+    "interval_bounds",
+    "interval_max",
+    "global_max",
+    "optimal_machines",
+    "perfect_speedup_limit",
+    "effective_submodels",
+    "fit_time_constants",
+    "scale_invariant_transforms",
+    "FIG4_PARAMS",
+    "FIG10_CIFAR",
+    "FIG10_SIFT1M",
+    "FIG10_SIFT1B",
+    "CLUSTER_PRESETS",
+    "cluster_cost_model",
+]

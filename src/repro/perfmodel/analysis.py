@@ -1,0 +1,135 @@
+"""Analysis utilities on top of the speedup model (paper sections 5.2-5.4).
+
+* pick the best integer machine count for a workload;
+* the perfect-speedup condition ``P << rho N`` (eq. 15);
+* the invariance transformations of section 5.2 (exposed so tests can
+  verify S(P) is unchanged under them);
+* submodel grouping: M = 2L effective submodels for the BA (section 5.4);
+* least-squares fitting of ``(t_wc, t_zr)`` to measured speedups — the
+  principled version of the paper's "set by trial and error to achieve a
+  reasonably good fit" (fig. 10 bottom).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.perfmodel.speedup import SpeedupParams, global_max, speedup
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "optimal_machines",
+    "perfect_speedup_limit",
+    "effective_submodels",
+    "scale_invariant_transforms",
+    "fit_time_constants",
+]
+
+
+def optimal_machines(params: SpeedupParams, *, max_P: int | None = None) -> tuple[int, float]:
+    """Best integer machine count and its speedup.
+
+    Scans divisors-of-M and the neighbourhood of the analytic optimum
+    ``P*`` (theorem A.1 says interval starts M/k dominate everything before
+    them, so non-boundary P need only be checked near P*), then verifies by
+    a dense scan up to ``max_P`` (default: a little past P*).
+    """
+    P_star, _ = global_max(params)
+    if not np.isfinite(P_star):
+        P_star = 4 * params.M
+    if max_P is None:
+        max_P = max(int(2 * P_star) + 2, params.M + 2, 4)
+    max_P = min(max_P, params.N)  # at least one point per machine
+    Ps = np.arange(1, max_P + 1)
+    S = speedup(Ps, params)
+    i = int(np.argmax(S))
+    return int(Ps[i]), float(S[i])
+
+
+def perfect_speedup_limit(params: SpeedupParams, *, tolerance: float = 0.05) -> float:
+    """Largest P with near-perfect speedup in the divisible regime.
+
+    Eq. (15): ``S ~= P  <=>  P << rho N``. Concretely the divisible-case
+    speedup is ``P / (1 + P/(rho N))``, so the efficiency drops below
+    ``1 - tolerance`` at ``P > tolerance/(1-tolerance) * rho N``.
+    """
+    if not 0 < tolerance < 1:
+        raise ValueError(f"tolerance must be in (0,1), got {tolerance}")
+    if not np.isfinite(params.rho):
+        return float(params.N)
+    return float(tolerance / (1.0 - tolerance) * params.rho * params.N)
+
+
+def effective_submodels(n_bits: int, n_outputs: int) -> int:
+    """Section 5.4 grouping: the D decoder rows (size ~L each) group into L
+    encoder-sized submodels (size ~D), assuming ratio L/D of unit costs —
+    so M = 2L effective equal-size submodels."""
+    check_positive_int(n_bits, name="n_bits")
+    check_positive_int(n_outputs, name="n_outputs")
+    return 2 * n_bits
+
+
+def scale_invariant_transforms(params: SpeedupParams, alpha: float) -> list[SpeedupParams]:
+    """The three transformations of section 5.2 that leave S(P) unchanged.
+
+    1. ``N -> aN, t_wr -> t_wr/a, t_zr -> t_zr/a`` (larger dataset, faster
+       computation);
+    2. ``N -> aN, t_wc -> a t_wc`` (larger dataset, slower communication);
+    3. ``t_wr, t_zr, t_wc -> a * (...)`` (uniformly faster/slower).
+
+    N is rounded to the nearest integer >= 1 where it scales, so exact
+    invariance requires ``alpha * N`` integral.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be > 0, got {alpha}")
+    N2 = max(1, int(round(params.N * alpha)))
+    return [
+        SpeedupParams(
+            N=N2, M=params.M, e=params.e,
+            t_wr=params.t_wr / alpha, t_wc=params.t_wc, t_zr=params.t_zr / alpha,
+        ),
+        SpeedupParams(
+            N=N2, M=params.M, e=params.e,
+            t_wr=params.t_wr, t_wc=params.t_wc * alpha, t_zr=params.t_zr,
+        ),
+        SpeedupParams(
+            N=params.N, M=params.M, e=params.e,
+            t_wr=params.t_wr * alpha, t_wc=params.t_wc * alpha, t_zr=params.t_zr * alpha,
+        ),
+    ]
+
+
+def fit_time_constants(
+    P_values,
+    measured_speedups,
+    *,
+    N: int,
+    M: int,
+    e: int,
+    t_wr: float = 1.0,
+    x0: tuple[float, float] = (1e3, 10.0),
+) -> SpeedupParams:
+    """Fit ``(t_wc, t_zr)`` to measured speedups by least squares.
+
+    Minimises ``sum_P (S_model(P) - S_measured(P))^2`` over positive
+    ``(t_wc, t_zr)`` (optimised in log-space), with ``t_wr`` fixed as the
+    time unit. This replaces the paper's by-hand fudge-factor fitting for
+    the fig. 10 theory rows.
+    """
+    P_values = np.asarray(list(P_values), dtype=np.int64)
+    measured = np.asarray(list(measured_speedups), dtype=np.float64)
+    if P_values.shape != measured.shape:
+        raise ValueError("P_values and measured_speedups must have equal length")
+    if len(P_values) < 2:
+        raise ValueError("need at least two measurements to fit two constants")
+
+    def loss(log_params):
+        t_wc, t_zr = np.exp(log_params)
+        params = SpeedupParams(N=N, M=M, e=e, t_wr=t_wr, t_wc=t_wc, t_zr=t_zr)
+        return float(np.sum((speedup(P_values, params) - measured) ** 2))
+
+    res = minimize(loss, np.log(np.asarray(x0)), method="Nelder-Mead",
+                   options={"xatol": 1e-6, "fatol": 1e-10, "maxiter": 2000})
+    t_wc, t_zr = np.exp(res.x)
+    return SpeedupParams(N=N, M=M, e=e, t_wr=t_wr, t_wc=float(t_wc), t_zr=float(t_zr))

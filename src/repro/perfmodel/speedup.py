@@ -1,0 +1,205 @@
+"""Closed-form ParMAC runtime and speedup (paper section 5, appendix A).
+
+Model parameters (section 5.1): P machines, N training points, M
+equal-size submodels, e epochs, and three time constants — ``t_wr``
+(W-step computation per submodel per point), ``t_wc`` (communication per
+submodel hop), ``t_zr`` (Z-step computation per point per submodel).
+
+Equations implemented (paper numbering):
+
+* (7)  ``T_Z(P) = M (N/P) t_zr``
+* (8)  ``T_W(P) = ceil(M/P) (t_wr N/P + t_wc) P e + ceil(M/P) t_wc P``
+* (9/10) total time ``T(P)``, with ``t_wc = 0`` at P = 1
+* (12/13) speedup ``S(P)`` and the rho constants
+* (14) the divisible case ``S(P) = P / (1 + P / (rho N))``
+* (16/17) the continuity intervals ``[M/k, M/(k-1))`` and their interior
+  maxima ``P*_k, S*_k``
+* (19) the last-interval maximum ``P*_1, S*_1``
+* (20) the large-dataset approximation
+* appendix A.2: the global maximum ``S*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "SpeedupParams",
+    "t_w",
+    "t_z",
+    "total_time",
+    "speedup",
+    "speedup_divisible",
+    "speedup_large_dataset",
+    "interval_bounds",
+    "interval_max",
+    "global_max",
+]
+
+
+@dataclass(frozen=True)
+class SpeedupParams:
+    """The six parameters of the speedup model.
+
+    ``t_wr`` conventionally sets the time unit (the paper uses
+    ``t_wr = 1``).
+    """
+
+    N: int
+    M: int
+    e: int = 1
+    t_wr: float = 1.0
+    t_wc: float = 0.0
+    t_zr: float = 1.0
+
+    def __post_init__(self):
+        check_positive_int(self.N, name="N")
+        check_positive_int(self.M, name="M")
+        check_positive_int(self.e, name="e")
+        check_positive(self.t_wr, name="t_wr")
+        check_positive(self.t_zr, name="t_zr")
+        if self.t_wc < 0:
+            raise ValueError(f"t_wc must be >= 0, got {self.t_wc}")
+
+    # Computation/communication ratios, eq. (13).
+    @property
+    def rho1(self) -> float:
+        if self.t_wc == 0:
+            return np.inf
+        return self.t_zr / ((self.e + 1) * self.t_wc)
+
+    @property
+    def rho2(self) -> float:
+        if self.t_wc == 0:
+            return np.inf
+        return self.e * self.t_wr / ((self.e + 1) * self.t_wc)
+
+    @property
+    def rho(self) -> float:
+        if self.t_wc == 0:
+            return np.inf
+        return (self.e * self.t_wr + self.t_zr) / ((self.e + 1) * self.t_wc)
+
+
+def _ceil_div(M: int, P) -> np.ndarray:
+    """ceil(M/P) for integer array P."""
+    P = np.asarray(P, dtype=np.int64)
+    return -(-M // P)
+
+
+def t_z(P, params: SpeedupParams) -> np.ndarray:
+    """Z-step runtime, eq. (7): ``M (N/P) t_zr``."""
+    P = np.asarray(P, dtype=np.float64)
+    return params.M * (params.N / P) * params.t_zr
+
+
+def t_w(P, params: SpeedupParams) -> np.ndarray:
+    """W-step runtime, eq. (8). ``t_wc = 0`` is used at P = 1."""
+    P_arr = np.asarray(P, dtype=np.int64)
+    scalar = P_arr.ndim == 0
+    P_arr = np.atleast_1d(P_arr)
+    if (P_arr < 1).any():
+        raise ValueError("P must be >= 1")
+    ceil = _ceil_div(params.M, P_arr).astype(np.float64)
+    Pf = P_arr.astype(np.float64)
+    twc = np.where(P_arr == 1, 0.0, params.t_wc)
+    out = ceil * (params.t_wr * params.N / Pf + twc) * Pf * params.e + ceil * twc * Pf
+    return float(out[0]) if scalar else out
+
+
+def total_time(P, params: SpeedupParams) -> np.ndarray:
+    """Total per-iteration runtime ``T(P)``, eqs. (9)/(10)."""
+    P_arr = np.atleast_1d(np.asarray(P, dtype=np.int64))
+    out = t_z(P_arr, params) + t_w(P_arr, params)
+    return float(out[0]) if np.asarray(P).ndim == 0 else out
+
+
+def speedup(P, params: SpeedupParams) -> np.ndarray:
+    """Parallel speedup ``S(P) = T(1) / T(P)``, eq. (12)."""
+    P_arr = np.atleast_1d(np.asarray(P, dtype=np.int64))
+    T1 = total_time(1, params)
+    out = T1 / total_time(P_arr, params)
+    return float(out[0]) if np.asarray(P).ndim == 0 else out
+
+
+def speedup_divisible(P, params: SpeedupParams) -> np.ndarray:
+    """Eq. (14): ``S(P) = P / (1 + P / (rho N))`` when P divides M.
+
+    Valid only for ``P <= M`` with ``M % P == 0``; the caller is trusted on
+    that (tests verify it agrees with :func:`speedup` there).
+    """
+    P = np.asarray(P, dtype=np.float64)
+    if not np.isfinite(params.rho):
+        return P.copy()
+    return P / (1.0 + P / (params.rho * params.N))
+
+
+def speedup_large_dataset(P, params: SpeedupParams) -> np.ndarray:
+    """Eq. (20): the ``P << rho2 N`` approximation.
+
+    ``S ~= P`` when P divides M; ``S ~= rho / (rho1/P + rho2/M)`` for
+    ``M > P`` generally (weighted harmonic mean of M and P); for ``M < P``
+    it equals the k = 1 case of the same formula.
+    """
+    P = np.asarray(P, dtype=np.float64)
+    if not np.isfinite(params.rho):
+        return np.minimum(P, params.M * params.rho2 if np.isfinite(params.rho2) else P)
+    return params.rho / (params.rho1 / P + params.rho2 / params.M)
+
+
+def interval_bounds(M: int) -> list[tuple[float, float]]:
+    """The continuity intervals of S(P), eq. (16): ``[M/k, M/(k-1))`` for
+    k = M..2, then ``[M, inf)``."""
+    check_positive_int(M, name="M")
+    out = []
+    for k in range(M, 1, -1):
+        out.append((M / k, M / (k - 1)))
+    out.append((float(M), np.inf))
+    return out
+
+
+def interval_max(k: int, params: SpeedupParams) -> tuple[float, float]:
+    """Interior stationary point of S(P) in interval k, eq. (17):
+    ``P*_k = sqrt(rho1 M N / k)`` and ``S*_k = S(P*_k)``.
+
+    Returns ``(P*_k, S*_k)``. The point is a maximum of the continuous
+    extension; it only matters when it lies inside the interval.
+    """
+    check_positive_int(k, name="k")
+    if k > params.M:
+        raise ValueError(f"k must be <= M={params.M}, got {k}")
+    if not np.isfinite(params.rho1):
+        return np.inf, np.inf
+    P_star = float(np.sqrt(params.rho1 * params.M * params.N / k))
+    S_star = (params.rho * params.M / k) / (
+        params.rho2 + 2.0 * np.sqrt(params.rho1 * params.M / (params.N * k))
+    )
+    return P_star, float(S_star)
+
+
+def global_max(params: SpeedupParams) -> tuple[float, float]:
+    """Global maximum of S(P) over P >= 1 (appendix A.2).
+
+    Returns ``(P*, S*)``:
+
+    * if ``M >= rho1 N``: at ``P = M`` with ``S* = M / (1 + M/(rho N))``;
+    * else at ``P*_1 = sqrt(rho1 M N) > M`` with ``S*_1 > M``.
+
+    With no communication cost (``t_wc = 0``) the speedup is unbounded in
+    the model (S -> rho M / rho2 only in the limit); we return
+    ``(inf, (rho/rho2) M)`` following the paper's limit expression.
+    """
+    if not np.isfinite(params.rho1):
+        # tWc = 0: S(P) monotonically increasing, sup = (rho/rho2) M.
+        limit = params.M * (params.e * params.t_wr + params.t_zr) / (
+            params.e * params.t_wr
+        )
+        return np.inf, float(limit)
+    if params.M >= params.rho1 * params.N:
+        S = params.M / (1.0 + params.M / (params.rho * params.N))
+        return float(params.M), float(S)
+    return interval_max(1, params)

@@ -1,0 +1,48 @@
+"""Brute-force Euclidean ground truth for retrieval evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["euclidean_cdist", "euclidean_knn"]
+
+
+def euclidean_cdist(A: np.ndarray, B: np.ndarray, *, chunk: int = 256) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``A`` and ``B``, chunked.
+
+    Uses the ``||a||^2 - 2 a.b + ||b||^2`` expansion with clipping at zero
+    (the expansion can go slightly negative in floating point).
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[1]:
+        raise ValueError(f"incompatible shapes {A.shape} and {B.shape}")
+    b2 = (B * B).sum(axis=1)
+    out = np.empty((len(A), len(B)), dtype=np.float64)
+    for start in range(0, len(A), chunk):
+        blk = A[start : start + chunk]
+        a2 = (blk * blk).sum(axis=1)
+        d = a2[:, None] - 2.0 * blk @ B.T + b2[None, :]
+        np.maximum(d, 0.0, out=d)
+        out[start : start + chunk] = d
+    return out
+
+
+def euclidean_knn(
+    queries: np.ndarray, base: np.ndarray, k: int, *, chunk: int = 256
+) -> np.ndarray:
+    """Indices of the k Euclidean-nearest base points for each query row."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k > len(base):
+        raise ValueError(f"k={k} exceeds base size {len(base)}")
+    queries = np.asarray(queries, dtype=np.float64)
+    base = np.asarray(base, dtype=np.float64)
+    nn = np.empty((len(queries), k), dtype=np.int64)
+    for start in range(0, len(queries), chunk):
+        D = euclidean_cdist(queries[start : start + chunk], base)
+        part = np.argpartition(D, k - 1, axis=1)[:, :k]
+        rows = np.arange(len(D))[:, None]
+        order = np.argsort(D[rows, part], axis=1, kind="stable")
+        nn[start : start + chunk] = part[rows, order]
+    return nn

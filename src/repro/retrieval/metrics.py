@@ -1,0 +1,88 @@
+"""Retrieval quality metrics.
+
+Paper section 8.1: for CIFAR/SIFT-10K/SIFT-1M the metric is *precision*:
+retrieve the k Hamming-nearest base points per query and report the
+fraction that are among the K Euclidean-nearest ("true neighbours"). For
+SIFT-1B the metric is *recall@R*: the fraction of queries whose true
+(Euclidean) nearest neighbour appears within the top R positions of the
+Hamming ranking, with ties placed at top rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.retrieval.hamming import hamming_cdist, hamming_knn
+
+__all__ = ["precision_at_k", "recall_at_R", "recall_curve"]
+
+
+def precision_at_k(
+    query_codes: np.ndarray,
+    base_codes: np.ndarray,
+    true_neighbours: np.ndarray,
+    k: int,
+) -> float:
+    """Mean fraction of the k Hamming-retrieved points that are true neighbours.
+
+    Parameters
+    ----------
+    query_codes, base_codes : packed uint64 code matrices
+    true_neighbours : int array of shape (n_queries, K)
+        Ground-truth Euclidean K-NN indices into the base set.
+    k : int
+        Retrieval depth in Hamming space.
+    """
+    if len(true_neighbours) != len(query_codes):
+        raise ValueError(
+            f"{len(query_codes)} queries but {len(true_neighbours)} ground-truth rows"
+        )
+    retrieved = hamming_knn(query_codes, base_codes, k)
+    hits = 0
+    for r, t in zip(retrieved, true_neighbours):
+        hits += np.isin(r, t, assume_unique=False).sum()
+    return float(hits) / (len(query_codes) * k)
+
+
+def _optimistic_ranks(query_codes: np.ndarray, base_codes: np.ndarray, nn1: np.ndarray) -> np.ndarray:
+    """Rank of each query's true 1-NN under Hamming distance, ties at top.
+
+    The rank is 1 + (number of base points strictly closer than the true
+    neighbour), implementing "in case of tied distances, we place the query
+    as top rank" (paper section 8.1).
+    """
+    D = hamming_cdist(query_codes, base_codes)
+    rows = np.arange(len(D))
+    d_true = D[rows, nn1]
+    return 1 + (D < d_true[:, None]).sum(axis=1)
+
+
+def recall_at_R(
+    query_codes: np.ndarray,
+    base_codes: np.ndarray,
+    nn1: np.ndarray,
+    R: int,
+) -> float:
+    """Fraction of queries whose true 1-NN ranks within the top R."""
+    if R < 1:
+        raise ValueError(f"R must be >= 1, got {R}")
+    nn1 = np.asarray(nn1, dtype=np.int64).ravel()
+    if len(nn1) != len(query_codes):
+        raise ValueError(f"{len(query_codes)} queries but {len(nn1)} ground-truth entries")
+    ranks = _optimistic_ranks(query_codes, base_codes, nn1)
+    return float((ranks <= R).mean())
+
+
+def recall_curve(
+    query_codes: np.ndarray,
+    base_codes: np.ndarray,
+    nn1: np.ndarray,
+    Rs,
+) -> np.ndarray:
+    """recall@R for several R values, computing ranks once (fig. 12)."""
+    Rs = np.asarray(list(Rs), dtype=np.int64)
+    if (Rs < 1).any():
+        raise ValueError("all R values must be >= 1")
+    nn1 = np.asarray(nn1, dtype=np.int64).ravel()
+    ranks = _optimistic_ranks(query_codes, base_codes, nn1)
+    return np.array([(ranks <= R).mean() for R in Rs])

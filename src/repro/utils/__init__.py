@@ -1,0 +1,18 @@
+"""Small shared utilities: RNG handling, argument validation, parameter packing."""
+
+from repro.utils.rng import check_random_state, spawn_rngs
+from repro.utils.validation import (
+    check_array,
+    check_binary_codes,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "check_random_state",
+    "spawn_rngs",
+    "check_array",
+    "check_binary_codes",
+    "check_positive",
+    "check_positive_int",
+]

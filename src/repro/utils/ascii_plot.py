@@ -1,0 +1,94 @@
+"""Minimal ASCII line plots for benchmark output.
+
+The benchmark harness regenerates the paper's figures as data series; these
+helpers render them as terminal plots so the *shape* (near-perfect speedup
+up to M, saturation, crossovers) is visible directly in ``bench_output.txt``
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_table"]
+
+
+def ascii_plot(
+    series: dict,
+    *,
+    width: int = 72,
+    height: int = 20,
+    xlabel: str = "",
+    ylabel: str = "",
+    logx: bool = False,
+    title: str = "",
+) -> str:
+    """Render ``{label: (x, y)}`` series as a character grid.
+
+    Each series gets a distinct marker; axes are linearly (or log-x)
+    scaled to the joint data range.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "*o+x#@%&"
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if logx:
+        if (xs_all <= 0).any():
+            raise ValueError("logx requires positive x values")
+        xs_all = np.log10(xs_all)
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, (x, y)), marker in zip(series.items(), markers):
+        x = np.asarray(x, dtype=float)
+        if logx:
+            x = np.log10(x)
+        y = np.asarray(y, dtype=float)
+        cols = np.clip(((x - x_lo) / (x_hi - x_lo) * (width - 1)).round(), 0, width - 1)
+        rows = np.clip(((y - y_lo) / (y_hi - y_lo) * (height - 1)).round(), 0, height - 1)
+        for c, r in zip(cols.astype(int), rows.astype(int)):
+            grid[height - 1 - r][c] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:.3g}"
+    y_bot = f"{y_lo:.3g}"
+    pad = max(len(y_top), len(y_bot))
+    for i, row in enumerate(grid):
+        label = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |{''.join(row)}|")
+    x_lo_lab = f"{10**x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    x_hi_lab = f"{10**x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    axis = f"{'':>{pad}} +{'-' * width}+"
+    lines.append(axis)
+    xcaption = f"{x_lo_lab}{xlabel:^{max(0, width - len(x_lo_lab) - len(x_hi_lab))}}{x_hi_lab}"
+    lines.append(f"{'':>{pad}}  {xcaption}")
+    legend = "   ".join(
+        f"{m}={label}" for (label, _), m in zip(series.items(), markers)
+    )
+    lines.append(f"{'':>{pad}}  [{legend}]" + (f"  y: {ylabel}" if ylabel else ""))
+    return "\n".join(lines)
+
+
+def ascii_table(headers: list, rows: list, *, title: str = "") -> str:
+    """Fixed-width table with one header row."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.rjust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

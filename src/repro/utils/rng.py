@@ -1,0 +1,53 @@
+"""Seeded random-number-generator management.
+
+Every stochastic component in the library takes a ``seed`` (or ``rng``)
+argument and routes it through :func:`check_random_state`, so that whole
+training runs — including distributed ones — are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_random_state", "spawn_rngs"]
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Turn ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed : None, int, numpy.random.Generator or numpy.random.SeedSequence
+        ``None`` gives a nondeterministic generator; an ``int`` or
+        ``SeedSequence`` seeds a fresh PCG64 generator; a ``Generator`` is
+        passed through unchanged (shared mutable state).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    raise TypeError(
+        f"seed must be None, an int, a SeedSequence or a Generator, got {type(seed)!r}"
+    )
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Create ``n`` independent generators derived from one seed.
+
+    Used to give each simulated machine its own RNG stream so that results
+    do not depend on the interleaving of machine execution.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children deterministically from the parent's bit generator.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

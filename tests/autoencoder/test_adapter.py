@@ -1,0 +1,152 @@
+import numpy as np
+import pytest
+
+from repro.autoencoder import BinaryAutoencoder
+from repro.autoencoder.adapter import BAAdapter
+from repro.distributed.partition import Shard
+from repro.optim.sgd import SGDState
+
+
+@pytest.fixture()
+def shard(small_cloud):
+    ba = BinaryAutoencoder.linear(12, 6)
+    adapter = BAAdapter(ba)
+    # Learnable codes: thresholded random linear projections of the data.
+    w = np.random.default_rng(0).normal(size=(12, 6))
+    Z = (small_cloud @ w >= 0).astype(np.uint8)
+    s = Shard(
+        X=small_cloud.copy(),
+        F=adapter.features(small_cloud),
+        Z=Z,
+        indices=np.arange(len(small_cloud)),
+    )
+    return adapter, s
+
+
+class TestSpecs:
+    def test_default_grouping_is_2L(self):
+        ba = BinaryAutoencoder.linear(20, 8)
+        adapter = BAAdapter(ba)
+        specs = adapter.submodel_specs()
+        assert len(specs) == 16  # M = 2L (section 5.4)
+        assert sum(s.kind == "enc" for s in specs) == 8
+        assert sum(s.kind == "dec" for s in specs) == 8
+
+    def test_decoder_groups_cover_all_rows(self):
+        ba = BinaryAutoencoder.linear(20, 8)
+        adapter = BAAdapter(ba, n_decoder_groups=3)
+        rows = sorted(
+            r for s in adapter.submodel_specs() if s.kind == "dec" for r in s.index
+        )
+        assert rows == list(range(20))
+
+    def test_sids_dense(self):
+        adapter = BAAdapter(BinaryAutoencoder.linear(10, 4))
+        sids = [s.sid for s in adapter.submodel_specs()]
+        assert sids == list(range(len(sids)))
+
+    def test_rejects_bad_grouping(self):
+        with pytest.raises(ValueError):
+            BAAdapter(BinaryAutoencoder.linear(10, 4), n_decoder_groups=11)
+
+
+class TestParams:
+    def test_roundtrip_all_specs(self):
+        ba = BinaryAutoencoder.linear(10, 4)
+        rng = np.random.default_rng(0)
+        ba.encoder.A = rng.normal(size=ba.encoder.A.shape)
+        ba.decoder.B = rng.normal(size=ba.decoder.B.shape)
+        adapter = BAAdapter(ba)
+        for spec in adapter.submodel_specs():
+            theta = adapter.get_params(spec)
+            adapter.set_params(spec, theta * 2.0)
+            assert np.allclose(adapter.get_params(spec), theta * 2.0)
+
+    def test_total_params_cover_model(self):
+        ba = BinaryAutoencoder.linear(10, 4)
+        adapter = BAAdapter(ba)
+        total = sum(len(adapter.get_params(s)) for s in adapter.submodel_specs())
+        # encoder: L*(D+1); decoder: D*(L+1).
+        assert total == 4 * 11 + 10 * 5
+
+
+class TestWUpdate:
+    def test_does_not_touch_model(self, shard):
+        adapter, s = shard
+        spec = adapter.submodel_specs()[0]
+        theta0 = adapter.get_params(spec)
+        adapter.w_update(spec, theta0.copy(), SGDState(), s, 0.0,
+                         batch_size=32, shuffle=True, rng=np.random.default_rng(0))
+        assert np.array_equal(adapter.get_params(spec), theta0)
+
+    def test_enc_update_reduces_hinge(self, shard):
+        adapter, s = shard
+        spec = adapter.submodel_specs()[0]
+        from repro.optim.svm import LinearSVM
+
+        theta = adapter.get_params(spec)
+        state = SGDState()
+        for _ in range(20):
+            theta = adapter.w_update(spec, theta, state, s, 0.0,
+                                     batch_size=32, shuffle=True,
+                                     rng=np.random.default_rng(1))
+        svm = LinearSVM(12)
+        svm.set_params(theta)
+        y = 2.0 * s.Z[:, 0].astype(float) - 1.0
+        svm0 = LinearSVM(12)
+        assert svm.objective(s.F, y) < svm0.objective(s.F, y)
+
+    def test_dec_update_reduces_mse(self, shard):
+        adapter, s = shard
+        spec = next(sp for sp in adapter.submodel_specs() if sp.kind == "dec")
+        theta = adapter.get_params(spec)
+        state = SGDState()
+        rows = np.asarray(spec.index)
+        from repro.optim.linreg import LinearRegression
+
+        def mse(th):
+            reg = LinearRegression(6, len(rows))
+            reg.set_params(th)
+            return reg.objective(s.Z.astype(float), s.X[:, rows])
+
+        before = mse(theta)
+        for _ in range(20):
+            theta = adapter.w_update(spec, theta, state, s, 0.0,
+                                     batch_size=32, shuffle=True,
+                                     rng=np.random.default_rng(2))
+        assert mse(theta) < before
+
+
+class TestZUpdateAndObjectives:
+    def test_z_update_never_increases_e_q(self, shard):
+        adapter, s = shard
+        before = adapter.e_q_shard(s, mu=0.5)
+        adapter.z_update(s, mu=0.5)
+        assert adapter.e_q_shard(s, mu=0.5) <= before + 1e-9
+
+    def test_z_update_returns_change_count(self, shard):
+        adapter, s = shard
+        Z_before = s.Z.copy()
+        changes = adapter.z_update(s, mu=0.5)
+        assert changes == int((s.Z != Z_before).sum())
+
+    def test_e_q_shard_matches_model(self, shard):
+        adapter, s = shard
+        assert adapter.e_q_shard(s, 0.7) == pytest.approx(
+            adapter.model.e_q(s.X, s.Z, 0.7)
+        )
+
+    def test_e_ba_shard_matches_model(self, shard):
+        adapter, s = shard
+        assert adapter.e_ba_shard(s) == pytest.approx(adapter.model.e_ba(s.X))
+
+    def test_violations_shard(self, shard):
+        adapter, s = shard
+        s.Z = adapter.init_codes(s.F)
+        assert adapter.violations_shard(s) == 0
+        s.Z[0, 0] ^= 1
+        assert adapter.violations_shard(s) == 1
+
+    def test_init_codes_match_encode(self, shard):
+        adapter, s = shard
+        assert np.array_equal(adapter.init_codes(s.F), adapter.model.encode(s.X))

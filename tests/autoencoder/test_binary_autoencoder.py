@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.autoencoder import BinaryAutoencoder
+from repro.autoencoder.decoder import LinearDecoder
+from repro.autoencoder.encoder import LinearEncoder
+
+
+class TestConstruction:
+    def test_linear_factory(self):
+        ba = BinaryAutoencoder.linear(10, 4)
+        assert ba.n_bits == 4
+        assert ba.encoder.n_features == 10
+        assert ba.decoder.n_outputs == 10
+
+    def test_rbf_factory(self):
+        X = np.random.default_rng(0).normal(size=(50, 6))
+        ba = BinaryAutoencoder.rbf(X, n_centres=10, n_bits=4, rng=0)
+        assert ba.encoder.n_features == 10
+        assert ba.decoder.n_outputs == 6
+
+    def test_rejects_bit_mismatch(self):
+        with pytest.raises(ValueError, match="bits"):
+            BinaryAutoencoder(LinearEncoder(5, 3), LinearDecoder(4, 5))
+
+
+class TestObjectives:
+    def test_e_ba_definition(self, small_cloud):
+        ba = BinaryAutoencoder.linear(12, 6)
+        rng = np.random.default_rng(0)
+        ba.encoder.A = rng.normal(size=ba.encoder.A.shape)
+        ba.decoder.B = rng.normal(size=ba.decoder.B.shape)
+        R = small_cloud - ba.reconstruct(small_cloud)
+        assert ba.e_ba(small_cloud) == pytest.approx(float((R * R).sum()))
+
+    def test_e_q_reduces_to_e_ba_at_constraints(self, small_cloud):
+        # When Z = h(X) the penalty term vanishes and E_Q = E_BA.
+        ba = BinaryAutoencoder.linear(12, 6)
+        rng = np.random.default_rng(1)
+        ba.encoder.A = rng.normal(size=ba.encoder.A.shape)
+        ba.decoder.B = rng.normal(size=ba.decoder.B.shape)
+        Z = ba.encode(small_cloud)
+        assert ba.e_q(small_cloud, Z, mu=123.0) == pytest.approx(ba.e_ba(small_cloud))
+
+    def test_e_q_increases_with_mu_when_violated(self, small_cloud):
+        ba = BinaryAutoencoder.linear(12, 6)
+        rng = np.random.default_rng(2)
+        ba.encoder.A = rng.normal(size=ba.encoder.A.shape)
+        Z = 1 - ba.encode(small_cloud)  # fully violated
+        assert ba.e_q(small_cloud, Z, 2.0) > ba.e_q(small_cloud, Z, 1.0)
+
+    def test_e_q_rejects_negative_mu(self, small_cloud):
+        ba = BinaryAutoencoder.linear(12, 6)
+        Z = ba.encode(small_cloud)
+        with pytest.raises(ValueError):
+            ba.e_q(small_cloud, Z, -1.0)
+
+    def test_constraint_violation_count(self, small_cloud):
+        ba = BinaryAutoencoder.linear(12, 6)
+        Z = ba.encode(small_cloud)
+        assert ba.constraint_violation(small_cloud, Z) == 0
+        Z2 = Z.copy()
+        Z2[0, 0] ^= 1
+        Z2[3, 2] ^= 1
+        assert ba.constraint_violation(small_cloud, Z2) == 2
+
+
+class TestRoundTrip:
+    def test_encode_decode_shapes(self, small_cloud):
+        ba = BinaryAutoencoder.linear(12, 6)
+        Z = ba.encode(small_cloud)
+        assert Z.shape == (len(small_cloud), 6)
+        assert ba.decode(Z).shape == small_cloud.shape
+
+    def test_perfectly_encodable_data(self):
+        # Data generated from binary codes must be exactly reconstructible
+        # once (h, f) match the generative model.
+        rng = np.random.default_rng(0)
+        L, D = 4, 6
+        B = rng.normal(size=(D, L))
+        Z = rng.integers(0, 2, size=(100, L)).astype(np.uint8)
+        X = Z.astype(float) @ B.T
+        ba = BinaryAutoencoder.linear(D, L)
+        ba.decoder.B = B.copy()
+        # An encoder that outputs exactly Z gives zero nested error.
+        ba.encoder.A = np.zeros((L, D))
+        assert ba.e_ba(X) > 0  # trivial encoder: all-ones codes
+        # With the true codes, E_Q at the constraint is 0 in the f-term.
+        assert np.allclose(
+            ba.e_q(X, Z, 0.0), 0.0
+        )
+
+    def test_copy_independent(self):
+        ba = BinaryAutoencoder.linear(5, 3)
+        cp = ba.copy()
+        cp.encoder.A[0, 0] = 7.0
+        cp.decoder.B[0, 0] = 7.0
+        assert ba.encoder.A[0, 0] == 0.0 and ba.decoder.B[0, 0] == 0.0

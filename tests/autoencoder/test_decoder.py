@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.autoencoder.decoder import LinearDecoder
+from repro.optim.sgd import SGDState
+
+
+def code_problem(n=100, L=5, D=8, seed=0):
+    rng = np.random.default_rng(seed)
+    Z = rng.integers(0, 2, size=(n, L)).astype(np.uint8)
+    B = rng.normal(size=(D, L))
+    c = rng.normal(size=D)
+    X = Z.astype(float) @ B.T + c
+    return Z, X, B, c
+
+
+class TestLinearDecoder:
+    def test_decode_from_uint8(self):
+        dec = LinearDecoder(3, 2)
+        dec.B = np.ones((2, 3))
+        Z = np.array([[1, 0, 1]], dtype=np.uint8)
+        assert np.allclose(dec.decode(Z), [[2.0, 2.0]])
+
+    def test_fit_lstsq_recovers(self):
+        Z, X, B, c = code_problem()
+        dec = LinearDecoder(5, 8).fit_lstsq(Z, X)
+        assert np.allclose(dec.B, B, atol=1e-8)
+        assert np.allclose(dec.c, c, atol=1e-8)
+
+    def test_fit_rows_sgd_only_touches_rows(self):
+        Z, X, _, _ = code_problem()
+        dec = LinearDecoder(5, 8)
+        rows = np.array([2, 5])
+        B_before = dec.B.copy()
+        dec.fit_rows_sgd(rows, Z, X[:, rows], SGDState(), rng=0)
+        touched = np.zeros(8, dtype=bool)
+        touched[rows] = True
+        assert not np.array_equal(dec.B[touched], B_before[touched])
+        assert np.array_equal(dec.B[~touched], B_before[~touched])
+
+    def test_row_groups_cover_decoder_exactly(self):
+        # Fitting all groups by SGD approaches the exact fit.
+        Z, X, B, c = code_problem(n=300, seed=1)
+        dec = LinearDecoder(5, 8)
+        groups = np.array_split(np.arange(8), 4)
+        for rows in groups:
+            state = SGDState()
+            for _ in range(60):
+                dec.fit_rows_sgd(rows, Z, X[:, rows], state, batch_size=32, rng=0)
+        resid = X - dec.decode(Z)
+        assert (resid**2).mean() < 0.05 * (X**2).mean()
+
+    def test_row_params_roundtrip(self):
+        dec = LinearDecoder(3, 4)
+        rows = np.array([1, 3])
+        theta = np.arange(8, dtype=float)
+        dec.set_row_params(rows, theta)
+        assert np.array_equal(dec.row_params(rows), theta)
+
+    def test_set_row_params_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            LinearDecoder(3, 4).set_row_params(np.array([0]), np.zeros(3))
+
+    def test_copy_is_deep(self):
+        dec = LinearDecoder(2, 2)
+        cp = dec.copy()
+        cp.B[0, 0] = 5.0
+        assert dec.B[0, 0] == 0.0

@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+
+from repro.autoencoder.encoder import LinearEncoder, RBFEncoder, gaussian_kernel_features
+from repro.optim.sgd import SGDState
+
+
+class TestGaussianKernelFeatures:
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        K = gaussian_kernel_features(rng.normal(size=(20, 4)), rng.normal(size=(5, 4)), 2.0)
+        assert (K > 0).all() and (K <= 1).all()
+
+    def test_self_kernel_is_one(self):
+        C = np.random.default_rng(1).normal(size=(4, 3))
+        K = gaussian_kernel_features(C, C, 1.5)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_quantised_storage(self):
+        rng = np.random.default_rng(2)
+        K = gaussian_kernel_features(rng.normal(size=(10, 3)), rng.normal(size=(4, 3)), 1.0,
+                                     quantize=True)
+        assert K.dtype == np.uint8
+
+    def test_wider_sigma_larger_values(self):
+        rng = np.random.default_rng(3)
+        X, C = rng.normal(size=(10, 3)), rng.normal(size=(4, 3))
+        narrow = gaussian_kernel_features(X, C, 0.5)
+        wide = gaussian_kernel_features(X, C, 5.0)
+        assert (wide >= narrow - 1e-12).all()
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_features(np.zeros((2, 2)), np.zeros((2, 2)), 0.0)
+
+
+class TestLinearEncoder:
+    def test_encode_step_convention(self):
+        enc = LinearEncoder(2, 1)
+        enc.A[0] = [1.0, 0.0]
+        Z = enc.encode(np.array([[0.0, 5.0], [1.0, 0.0], [-1.0, 0.0]]))
+        # score 0 -> 1 (step(0) = 1), positive -> 1, negative -> 0.
+        assert Z.ravel().tolist() == [1, 1, 0]
+
+    def test_fit_learns_separable_bits(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 5))
+        w = rng.normal(size=(5, 3))
+        Z = (X @ w >= 0).astype(np.uint8)
+        enc = LinearEncoder(5, 3).fit(X, Z, epochs=20, rng=0)
+        assert (enc.encode(X) == Z).mean() > 0.95
+
+    def test_fit_bit_updates_single_row(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 4))
+        z = rng.integers(0, 2, size=50).astype(np.uint8)
+        enc = LinearEncoder(4, 3)
+        A_before = enc.A.copy()
+        enc.fit_bit(1, X, z, SGDState(), rng=0)
+        assert not np.array_equal(enc.A[1], A_before[1])
+        assert np.array_equal(enc.A[0], A_before[0])
+        assert np.array_equal(enc.A[2], A_before[2])
+
+    def test_fit_bit_rejects_bad_index(self):
+        enc = LinearEncoder(4, 3)
+        with pytest.raises(IndexError):
+            enc.fit_bit(3, np.zeros((2, 4)), np.zeros(2), SGDState())
+
+    def test_bit_params_roundtrip(self):
+        enc = LinearEncoder(4, 2)
+        theta = np.arange(5, dtype=float)
+        enc.set_bit_params(1, theta)
+        assert np.array_equal(enc.bit_params(1), theta)
+
+    def test_copy_is_deep(self):
+        enc = LinearEncoder(3, 2)
+        cp = enc.copy()
+        cp.A[0, 0] = 99.0
+        assert enc.A[0, 0] == 0.0
+
+
+class TestRBFEncoder:
+    def test_from_data_centres_subset(self):
+        X = np.random.default_rng(0).normal(size=(50, 4))
+        enc = RBFEncoder.from_data(X, n_centres=10, n_bits=3, rng=0)
+        assert enc.centres.shape == (10, 4)
+        assert enc.n_features == 10  # trains on kernel features
+
+    def test_sigma_median_heuristic_positive(self):
+        X = np.random.default_rng(1).normal(size=(30, 4))
+        enc = RBFEncoder.from_data(X, 8, 2, rng=0)
+        assert enc.sigma > 0
+
+    def test_encode_from_raw_input(self):
+        X = np.random.default_rng(2).normal(size=(40, 5))
+        enc = RBFEncoder.from_data(X, 12, 4, rng=0)
+        Z = enc.encode(X)
+        assert Z.shape == (40, 4)
+
+    def test_features_passthrough_for_kernel_matrix(self):
+        X = np.random.default_rng(3).normal(size=(20, 5))
+        enc = RBFEncoder.from_data(X, 8, 3, rng=0)
+        K = gaussian_kernel_features(X, enc.centres, enc.sigma)
+        # Precomputed features must be accepted and give identical codes.
+        assert np.array_equal(enc.encode(K), enc.encode(X))
+
+    def test_rejects_ambiguous_width(self):
+        X = np.random.default_rng(4).normal(size=(20, 5))
+        enc = RBFEncoder.from_data(X, 8, 3, rng=0)
+        with pytest.raises(ValueError):
+            enc.features(np.zeros((3, 7)))
+
+    def test_nonlinear_bits_learnable(self):
+        # XOR-ish layout unlearnable by a linear encoder in raw space.
+        rng = np.random.default_rng(5)
+        X = np.vstack(
+            [
+                rng.normal([3, 3], 0.3, size=(40, 2)),
+                rng.normal([-3, -3], 0.3, size=(40, 2)),
+                rng.normal([3, -3], 0.3, size=(40, 2)),
+                rng.normal([-3, 3], 0.3, size=(40, 2)),
+            ]
+        )
+        z = np.array([1] * 80 + [0] * 80, dtype=np.uint8)  # diagonal pairs
+        enc = RBFEncoder.from_data(X, n_centres=40, n_bits=1, rng=0)
+        F = enc.features(X)
+        state = SGDState()
+        for _ in range(60):
+            enc.fit_bit(0, F, z, state, rng=0)
+        acc = (enc.encode(X)[:, 0] == z).mean()
+        assert acc > 0.9

@@ -1,0 +1,187 @@
+"""Z-step solver correctness: the binary proximal operator of section 3.1."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autoencoder.zstep import (
+    zstep,
+    zstep_alternate,
+    zstep_enumerate,
+    zstep_objective,
+    zstep_relaxed,
+)
+
+
+def random_problem(n=20, D=6, L=4, mu=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, D))
+    B = rng.normal(size=(D, L))
+    c = rng.normal(size=D)
+    H = rng.integers(0, 2, size=(n, L)).astype(np.uint8)
+    return X, B, c, H, mu
+
+
+def brute_force(X, B, c, H, mu):
+    """Reference: per-point exhaustive search via explicit python loops."""
+    n, L = len(X), B.shape[1]
+    best = np.zeros((n, L), dtype=np.uint8)
+    for i in range(n):
+        best_val = np.inf
+        for bits in itertools.product((0, 1), repeat=L):
+            z = np.array(bits, dtype=np.float64)
+            val = np.sum((X[i] - B @ z - c) ** 2) + mu * np.sum((z - H[i]) ** 2)
+            if val < best_val:
+                best_val = val
+                best[i] = bits
+    return best
+
+
+class TestObjective:
+    def test_matches_definition(self):
+        X, B, c, H, mu = random_problem()
+        Z = np.random.default_rng(1).integers(0, 2, size=H.shape).astype(np.uint8)
+        vals = zstep_objective(X, B, c, H, mu, Z)
+        i = 3
+        z = Z[i].astype(float)
+        expected = np.sum((X[i] - B @ z - c) ** 2) + mu * np.sum((z - H[i]) ** 2)
+        assert vals[i] == pytest.approx(expected)
+
+    def test_zero_when_perfect(self):
+        rng = np.random.default_rng(2)
+        B = rng.normal(size=(4, 3))
+        c = rng.normal(size=4)
+        Z = rng.integers(0, 2, size=(5, 3)).astype(np.uint8)
+        X = Z.astype(float) @ B.T + c
+        assert np.allclose(zstep_objective(X, B, c, Z, 1.0, Z), 0.0)
+
+
+class TestEnumerate:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        X, B, c, H, mu = random_problem(n=12, L=4, mu=0.7, seed=seed)
+        Z = zstep_enumerate(X, B, c, H, mu)
+        ref = brute_force(X, B, c, H, mu)
+        # Optimal objective must match (argmin may tie).
+        assert np.allclose(
+            zstep_objective(X, B, c, H, mu, Z), zstep_objective(X, B, c, H, mu, ref)
+        )
+
+    def test_chunking_equivalence(self):
+        X, B, c, H, mu = random_problem(n=30)
+        a = zstep_enumerate(X, B, c, H, mu, chunk=7)
+        b = zstep_enumerate(X, B, c, H, mu, chunk=10_000)
+        assert np.array_equal(a, b)
+
+    def test_huge_mu_returns_h(self):
+        X, B, c, H, _ = random_problem()
+        Z = zstep_enumerate(X, B, c, H, mu=1e12)
+        assert np.array_equal(Z, H)
+
+    def test_mu_zero_ignores_h(self):
+        # With mu=0 the solution depends only on reconstruction.
+        X, B, c, H, _ = random_problem(seed=3)
+        H2 = 1 - H
+        a = zstep_enumerate(X, B, c, H, 0.0)
+        b = zstep_enumerate(X, B, c, H2, 0.0)
+        assert np.allclose(
+            zstep_objective(X, B, c, H, 0.0, a), zstep_objective(X, B, c, H, 0.0, b)
+        )
+
+    def test_refuses_large_L(self):
+        X, B, c, H, mu = random_problem(L=4)
+        B_big = np.random.default_rng(0).normal(size=(6, 20))
+        H_big = np.zeros((len(X), 20), dtype=np.uint8)
+        with pytest.raises(ValueError, match="enumeration"):
+            zstep_enumerate(X, B_big, c[:6], H_big, mu)
+
+    def test_rejects_negative_mu(self):
+        X, B, c, H, _ = random_problem()
+        with pytest.raises(ValueError):
+            zstep_enumerate(X, B, c, H, -1.0)
+
+
+class TestAlternate:
+    def test_never_increases_objective(self):
+        X, B, c, H, mu = random_problem(n=25, L=8, seed=4)
+        Z0 = np.random.default_rng(5).integers(0, 2, size=H.shape).astype(np.uint8)
+        before = zstep_objective(X, B, c, H, mu, Z0)
+        Z = zstep_alternate(X, B, c, H, mu, Z0, max_sweeps=5)
+        after = zstep_objective(X, B, c, H, mu, Z)
+        assert (after <= before + 1e-9).all()
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_property(self, seed):
+        X, B, c, H, mu = random_problem(n=8, L=5, mu=0.5, seed=seed)
+        Z0 = np.random.default_rng(seed + 100).integers(0, 2, size=H.shape).astype(np.uint8)
+        before = zstep_objective(X, B, c, H, mu, Z0)
+        Z1 = zstep_alternate(X, B, c, H, mu, Z0, max_sweeps=1)
+        assert (zstep_objective(X, B, c, H, mu, Z1) <= before + 1e-9).all()
+
+    def test_fixed_point_of_optimum(self):
+        # Starting from the global optimum, alternating must not move.
+        X, B, c, H, mu = random_problem(n=10, L=4, seed=6)
+        Z_opt = zstep_enumerate(X, B, c, H, mu)
+        Z = zstep_alternate(X, B, c, H, mu, Z_opt, max_sweeps=3)
+        assert np.allclose(
+            zstep_objective(X, B, c, H, mu, Z),
+            zstep_objective(X, B, c, H, mu, Z_opt),
+        )
+
+    def test_close_to_exact_on_small_problems(self):
+        # Local minima exist, but with the relaxed init the gap is small.
+        X, B, c, H, mu = random_problem(n=40, L=6, mu=1.0, seed=7)
+        exact = zstep_objective(X, B, c, H, mu, zstep_enumerate(X, B, c, H, mu)).sum()
+        alt = zstep_objective(X, B, c, H, mu, zstep_alternate(X, B, c, H, mu)).sum()
+        assert alt <= exact * 1.15 + 1e-9
+
+    def test_rejects_bad_sweeps(self):
+        X, B, c, H, mu = random_problem()
+        with pytest.raises(ValueError):
+            zstep_alternate(X, B, c, H, mu, max_sweeps=0)
+
+
+class TestRelaxed:
+    def test_binary_output(self):
+        X, B, c, H, mu = random_problem()
+        Z = zstep_relaxed(X, B, c, H, mu)
+        assert set(np.unique(Z)) <= {0, 1}
+
+    def test_huge_mu_returns_h(self):
+        X, B, c, H, _ = random_problem()
+        assert np.array_equal(zstep_relaxed(X, B, c, H, 1e12), H)
+
+    def test_mu_zero_with_singular_decoder(self):
+        # Rank-deficient B at mu=0 exercises the pinv fallback.
+        X = np.random.default_rng(0).normal(size=(5, 4))
+        B = np.zeros((4, 3))
+        Z = zstep_relaxed(X, B, np.zeros(4), np.zeros((5, 3), dtype=np.uint8), 0.0)
+        assert Z.shape == (5, 3)
+
+
+class TestDispatcher:
+    def test_auto_enumerates_small(self):
+        X, B, c, H, mu = random_problem(L=4)
+        assert np.array_equal(
+            zstep(X, B, c, H, mu, method="auto", max_enum_bits=4),
+            zstep_enumerate(X, B, c, H, mu),
+        )
+
+    def test_auto_alternates_large(self):
+        X, B, c, H, mu = random_problem(L=4)
+        Z = zstep(X, B, c, H, mu, method="auto", max_enum_bits=2)
+        # Must still be a valid, non-worsening solution vs the relaxed init.
+        init = zstep_relaxed(X, B, c, H, mu)
+        assert (
+            zstep_objective(X, B, c, H, mu, Z)
+            <= zstep_objective(X, B, c, H, mu, init) + 1e-9
+        ).all()
+
+    def test_unknown_method_raises(self):
+        X, B, c, H, mu = random_problem()
+        with pytest.raises(ValueError):
+            zstep(X, B, c, H, mu, method="quantum")

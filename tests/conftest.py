@@ -1,0 +1,41 @@
+"""Shared fixtures: small, deterministic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import BinaryAutoencoder
+from repro.data.synthetic import make_clustered, make_sift_like
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_cloud():
+    """(200, 12) clustered float data — generic small workload."""
+    return make_clustered(200, 12, n_clusters=4, rng=7)
+
+
+@pytest.fixture(scope="session")
+def sift_cloud():
+    """(300, 16) SIFT-like non-negative data."""
+    return make_sift_like(300, 16, n_clusters=5, rng=11)
+
+
+@pytest.fixture()
+def small_ba():
+    """Fresh 12->6-bit linear BA per test."""
+    return BinaryAutoencoder.linear(n_features=12, n_bits=6)
+
+
+@pytest.fixture()
+def fitted_ba(small_cloud):
+    """A BA quickly fitted on the small cloud (3 MAC iterations)."""
+    from repro.core.mac import MACTrainerBA
+    from repro.core.penalty import GeometricSchedule
+
+    ba = BinaryAutoencoder.linear(n_features=12, n_bits=6)
+    MACTrainerBA(ba, GeometricSchedule(1e-3, 2.0, 3), seed=0).fit(small_cloud)
+    return ba

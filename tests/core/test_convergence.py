@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    EarlyStopping,
+    constraints_satisfied,
+    lagrange_multiplier_estimates,
+    z_fixed_point,
+)
+
+
+class TestConstraints:
+    def test_satisfied(self):
+        Z = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        assert constraints_satisfied(Z, Z.copy())
+
+    def test_violated(self):
+        Z = np.array([[0, 1]], dtype=np.uint8)
+        assert not constraints_satisfied(Z, 1 - Z)
+
+
+class TestZFixedPoint:
+    def test_stop_condition(self):
+        Z = np.array([[0, 1], [1, 1]], dtype=np.uint8)
+        assert z_fixed_point(Z, Z.copy(), Z.copy())
+
+    def test_changed_codes_do_not_stop(self):
+        Z_old = np.array([[0, 1]], dtype=np.uint8)
+        Z_new = np.array([[1, 1]], dtype=np.uint8)
+        assert not z_fixed_point(Z_new, Z_old, Z_new.copy())
+
+    def test_unsatisfied_constraints_do_not_stop(self):
+        Z = np.array([[0, 1]], dtype=np.uint8)
+        H = np.array([[1, 1]], dtype=np.uint8)
+        assert not z_fixed_point(Z, Z.copy(), H)
+
+
+class TestMultipliers:
+    def test_formula(self):
+        Z = np.array([[1, 0]], dtype=np.uint8)
+        H = np.array([[0, 0]], dtype=np.uint8)
+        lam = lagrange_multiplier_estimates(Z, H, mu=3.0)
+        assert np.allclose(lam, [[-3.0, 0.0]])
+
+    def test_zero_at_constraints(self):
+        Z = np.array([[1, 1]], dtype=np.uint8)
+        assert np.allclose(lagrange_multiplier_estimates(Z, Z, 10.0), 0.0)
+
+    def test_rejects_negative_mu(self):
+        Z = np.zeros((1, 2), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            lagrange_multiplier_estimates(Z, Z, -1.0)
+
+
+class TestEarlyStopping:
+    def test_improvement_never_stops(self):
+        es = EarlyStopping()
+        assert not es.update(0.1, "a")
+        assert not es.update(0.2, "b")
+        assert es.best_state == "b"
+
+    def test_drop_stops_with_patience_one(self):
+        es = EarlyStopping(patience=1)
+        es.update(0.5, "best")
+        assert es.update(0.4, "worse")
+        assert es.best_state == "best"
+
+    def test_patience_two_needs_two_drops(self):
+        es = EarlyStopping(patience=2)
+        es.update(0.5, "best")
+        assert not es.update(0.4, "w1")
+        assert es.update(0.3, "w2")
+
+    def test_equal_score_counts_as_improvement(self):
+        # The paper guarantees "improve (or leave unchanged)".
+        es = EarlyStopping()
+        es.update(0.5, "a")
+        assert not es.update(0.5, "b")
+        assert es.best_state == "b"
+
+    def test_tol_ignores_tiny_drops(self):
+        es = EarlyStopping(patience=1, tol=0.05)
+        es.update(0.5, "best")
+        assert not es.update(0.48, "meh")
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(tol=-0.1)

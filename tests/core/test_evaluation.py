@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.core.evaluation import PrecisionEvaluator, RecallEvaluator
+
+
+class PerfectHashModel:
+    """A 'model' whose codes perfectly preserve identity (for testing)."""
+
+    def __init__(self, table):
+        self.table = table  # dict: row-bytes -> code
+
+    def encode(self, X):
+        return np.array([self.table[x.tobytes()] for x in X], dtype=np.uint8)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    from repro.data.synthetic import make_clustered
+
+    return make_clustered(80, 6, n_clusters=3, rng=8)
+
+
+class TestPrecisionEvaluator:
+    def test_range_and_keys(self, cloud, fitted_ba):
+        ev = PrecisionEvaluator(cloud[:10], cloud, K=10, k=5)
+        # fitted_ba encodes 12-d inputs; build matching data.
+        from repro.data.synthetic import make_clustered
+
+        X12 = make_clustered(60, 12, rng=0)
+        ev = PrecisionEvaluator(X12[:8], X12, K=10, k=5)
+        out = ev(fitted_ba)
+        assert set(out) == {"precision"}
+        assert 0.0 <= out["precision"] <= 1.0
+
+    def test_identity_codes_score_high(self, cloud):
+        # Codes equal to cluster labels in binary: neighbours share codes.
+        from repro.retrieval.baselines import TruncatedPCAHash
+
+        class HashModel:
+            def __init__(self, h):
+                self.h = h
+
+            def encode(self, X):
+                return self.h.encode(X)
+
+        h = TruncatedPCAHash(6).fit(cloud)
+        ev = PrecisionEvaluator(cloud[:10], cloud, K=15, k=10)
+        score = ev(HashModel(h))["precision"]
+        # tPCA on well-separated clusters must beat random guessing by far.
+        assert score > 15.0 / len(cloud)
+
+    def test_ground_truth_precomputed_once(self, cloud):
+        ev = PrecisionEvaluator(cloud[:5], cloud, K=10, k=5)
+        gt = ev.true_neighbours.copy()
+        ev(PerfectHashModel({x.tobytes(): np.zeros(4, np.uint8) for x in cloud}))
+        assert np.array_equal(ev.true_neighbours, gt)
+
+    def test_rejects_oversized_k(self, cloud):
+        with pytest.raises(ValueError):
+            PrecisionEvaluator(cloud[:5], cloud, K=10, k=len(cloud) + 1)
+
+
+class TestRecallEvaluator:
+    def test_range_and_keys(self, fitted_ba):
+        from repro.data.synthetic import make_clustered
+
+        X12 = make_clustered(60, 12, rng=0)
+        ev = RecallEvaluator(X12[:8], X12, R=10)
+        out = ev(fitted_ba)
+        assert set(out) == {"recall"}
+        assert 0.0 <= out["recall"] <= 1.0
+
+    def test_full_R_gives_recall_one(self, fitted_ba):
+        from repro.data.synthetic import make_clustered
+
+        X12 = make_clustered(40, 12, rng=1)
+        ev = RecallEvaluator(X12[:5], X12, R=40)
+        assert ev(fitted_ba)["recall"] == 1.0
+
+    def test_score_key(self):
+        assert RecallEvaluator.score_key == "recall"
+        assert PrecisionEvaluator.score_key == "precision"
+
+    def test_rejects_bad_R(self, cloud):
+        with pytest.raises(ValueError):
+            RecallEvaluator(cloud[:2], cloud, R=0)

@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.core.history import IterationRecord, TrainingHistory
+
+
+def make_history(n=4):
+    h = TrainingHistory()
+    for i in range(n):
+        h.append(
+            IterationRecord(
+                iteration=i, mu=2.0**i, e_q=100.0 - i, e_ba=50.0 - i,
+                precision=0.1 * i, time=1.5,
+            )
+        )
+    return h
+
+
+class TestTrainingHistory:
+    def test_len_and_indexing(self):
+        h = make_history(3)
+        assert len(h) == 3
+        assert h[1].iteration == 1
+
+    def test_column_arrays(self):
+        h = make_history(4)
+        assert np.allclose(h.e_q, [100, 99, 98, 97])
+        assert np.allclose(h.mu, [1, 2, 4, 8])
+        assert np.allclose(h.precision, [0.0, 0.1, 0.2, 0.3])
+
+    def test_cumulative_time(self):
+        h = make_history(4)
+        assert np.allclose(h.cumulative_time, [1.5, 3.0, 4.5, 6.0])
+        assert h.total_time == pytest.approx(6.0)
+
+    def test_summary_one_line_per_iteration(self):
+        h = make_history(3)
+        lines = h.summary().splitlines()
+        assert len(lines) == 3
+        assert "E_Q" in lines[0] and "prec" in lines[0]
+
+    def test_missing_metrics_are_nan(self):
+        h = TrainingHistory()
+        h.append(IterationRecord(iteration=0, mu=1.0, e_q=1.0, e_ba=1.0))
+        assert np.isnan(h.precision[0])
+
+    def test_extra_dict(self):
+        r = IterationRecord(iteration=0, mu=1.0, e_q=1.0, e_ba=1.0,
+                            extra={"comm_time": 7.0})
+        assert r.extra["comm_time"] == 7.0

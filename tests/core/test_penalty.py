@@ -1,0 +1,54 @@
+import numpy as np
+import pytest
+
+from repro.core.penalty import GeometricSchedule, penalty_schedule
+
+
+class TestGeometricSchedule:
+    def test_values(self):
+        s = GeometricSchedule(mu0=1.0, factor=2.0, n_iters=4)
+        assert np.allclose(s.values(), [1.0, 2.0, 4.0, 8.0])
+
+    def test_iterable(self):
+        s = GeometricSchedule(mu0=0.5, factor=3.0, n_iters=3)
+        assert list(s) == pytest.approx([0.5, 1.5, 4.5])
+
+    def test_len(self):
+        assert len(GeometricSchedule(1.0, 2.0, 7)) == 7
+
+    def test_strictly_increasing(self):
+        vals = GeometricSchedule(1e-6, 1.5, 20).values()
+        assert (np.diff(vals) > 0).all()
+
+    def test_rejects_factor_leq_one(self):
+        with pytest.raises(ValueError):
+            GeometricSchedule(1.0, 1.0, 5)
+
+    def test_rejects_nonpositive_mu0(self):
+        with pytest.raises(ValueError):
+            GeometricSchedule(0.0, 2.0, 5)
+
+
+class TestPresets:
+    def test_paper_cifar_preset(self):
+        # Section 8.1: mu0 = 0.005, a = 1.2, 26 iterations.
+        s = penalty_schedule("cifar")
+        assert s.mu0 == 5e-3 and s.factor == 1.2 and s.n_iters == 26
+
+    def test_paper_sift_presets(self):
+        assert penalty_schedule("sift10k").mu0 == 1e-6
+        assert penalty_schedule("sift1m").n_iters == 20
+        assert penalty_schedule("sift1b").mu0 == 1e-4
+        assert penalty_schedule("sift1b").n_iters == 10
+
+    def test_passthrough(self):
+        s = GeometricSchedule(1.0, 2.0, 3)
+        assert penalty_schedule(s) is s
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown"):
+            penalty_schedule("mnist")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            penalty_schedule(3.14)

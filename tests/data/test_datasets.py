@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.data.datasets import RetrievalDataset, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(40.0).reshape(20, 2)
+        tr, te = train_test_split(X, 5, rng=0)
+        assert len(tr) == 15 and len(te) == 5
+
+    def test_disjoint_covering(self):
+        X = np.arange(30.0).reshape(15, 2)
+        tr, te = train_test_split(X, 4, rng=0)
+        all_rows = np.vstack([tr, te])
+        assert sorted(all_rows[:, 0].tolist()) == sorted(X[:, 0].tolist())
+
+    def test_rejects_bad_n_test(self):
+        X = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            train_test_split(X, 5)
+        with pytest.raises(ValueError):
+            train_test_split(X, 0)
+
+
+class TestRetrievalDataset:
+    def test_base_defaults_to_train(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        ds = RetrievalDataset(train=X, queries=X[:2])
+        assert ds.base is ds.train
+
+    def test_separate_base(self):
+        rng = np.random.default_rng(0)
+        ds = RetrievalDataset(
+            train=rng.normal(size=(10, 3)),
+            queries=rng.normal(size=(2, 3)),
+            base=rng.normal(size=(30, 3)),
+        )
+        assert len(ds.base) == 30
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError, match="dim"):
+            RetrievalDataset(train=np.zeros((5, 3)), queries=np.zeros((2, 4)))
+
+    def test_validation_split(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        ds = RetrievalDataset(train=X, queries=X[:2])
+        tr, val = ds.validation_split(0.2, rng=0)
+        assert len(val) == 10 and len(tr) == 40
+
+    def test_validation_split_rejects_bad_fraction(self):
+        ds = RetrievalDataset(train=np.zeros((5, 2)), queries=np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            ds.validation_split(1.5)

@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.quantize import Uint8Store, dequantize_uint8, quantize_uint8
+
+
+class TestQuantizeRoundtrip:
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=2, max_dims=2, max_side=20),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_error_bounded(self, X):
+        Q, lo, scale = quantize_uint8(X)
+        back = dequantize_uint8(Q, lo, scale)
+        # Max error is half a quantisation step.
+        assert np.abs(back - X).max() <= 0.5 * scale + 1e-9
+
+    def test_constant_array(self):
+        X = np.full((3, 3), 7.5)
+        Q, lo, scale = quantize_uint8(X)
+        assert np.allclose(dequantize_uint8(Q, lo, scale), X)
+
+    def test_full_range_used(self):
+        X = np.array([[0.0, 1.0]])
+        Q, _, _ = quantize_uint8(X)
+        assert Q.min() == 0 and Q.max() == 255
+
+
+class TestUint8Store:
+    def test_eight_x_compression(self):
+        X = np.random.default_rng(0).normal(size=(100, 16))
+        store = Uint8Store(X)
+        assert store.nbytes * 8 == X.nbytes
+
+    def test_rows_minibatch_access(self):
+        X = np.random.default_rng(0).normal(size=(50, 8))
+        store = Uint8Store(X)
+        idx = np.array([3, 7, 11])
+        rows = store.rows(idx)
+        assert rows.shape == (3, 8) and rows.dtype == np.float64
+        _, _, scale = quantize_uint8(X)
+        assert np.abs(rows - X[idx]).max() <= 0.5 * scale + 1e-12
+
+    def test_native_uint8_passthrough(self):
+        # Raw SIFT bytes: no rescaling, values preserved exactly.
+        Q = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        store = Uint8Store(Q)
+        assert np.array_equal(store.all_rows(), Q.astype(np.float64))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Uint8Store(np.zeros(5))
+
+    def test_len_and_shape(self):
+        store = Uint8Store(np.zeros((7, 3)))
+        assert len(store) == 7 and store.shape == (7, 3)

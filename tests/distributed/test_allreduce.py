@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+from repro.autoencoder import BinaryAutoencoder
+from repro.autoencoder.adapter import BAAdapter
+from repro.autoencoder.decoder import LinearDecoder
+from repro.autoencoder.init import init_codes_pca
+from repro.distributed.allreduce import (
+    allreduce_sum,
+    exact_decoder_fit,
+    exact_svm_steps,
+    exact_w_step_ba,
+)
+from repro.distributed.partition import make_shards, partition_indices
+
+
+@pytest.fixture(scope="module")
+def problem():
+    from repro.data.synthetic import make_clustered
+
+    X = make_clustered(150, 8, n_clusters=3, rng=9)
+    Z, _ = init_codes_pca(X, 4, rng=0)
+    parts = partition_indices(len(X), 3, rng=0)
+    shards = make_shards(X, X, Z, parts)
+    return X, Z, shards
+
+
+class TestAllreduceSum:
+    def test_sums_elementwise(self):
+        out = allreduce_sum([np.ones((2, 2)), 2 * np.ones((2, 2))])
+        assert np.array_equal(out, 3 * np.ones((2, 2)))
+
+    def test_single_contribution(self):
+        a = np.arange(4.0)
+        out = allreduce_sum([a])
+        assert np.array_equal(out, a)
+        out[0] = 99.0
+        assert a[0] == 0.0  # copy, not alias
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            allreduce_sum([])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            allreduce_sum([np.zeros(2), np.zeros(3)])
+
+
+class TestExactDecoderFit:
+    def test_matches_serial_lstsq(self, problem):
+        X, Z, shards = problem
+        B, c = exact_decoder_fit(shards)
+        serial = LinearDecoder(4, 8).fit_lstsq(Z, X)
+        assert np.allclose(B, serial.B, atol=1e-8)
+        assert np.allclose(c, serial.c, atol=1e-8)
+
+    def test_shard_count_invariance(self, problem):
+        X, Z, _ = problem
+        for P in (1, 2, 5):
+            parts = partition_indices(len(X), P, rng=1)
+            shards = make_shards(X, X, Z, parts)
+            B, c = exact_decoder_fit(shards)
+            serial = LinearDecoder(4, 8).fit_lstsq(Z, X)
+            assert np.allclose(B, serial.B, atol=1e-7)
+
+    def test_rejects_no_shards(self):
+        with pytest.raises(ValueError):
+            exact_decoder_fit([])
+
+
+class TestExactSvmSteps:
+    def test_matches_serial_full_batch(self, problem):
+        X, Z, shards = problem
+        lam = 1e-3
+        theta = exact_svm_steps(shards, 0, np.zeros(9), lam, n_steps=20, eta0=0.3)
+        # Serial reference: identical full-batch subgradient recursion.
+        w, b = np.zeros(8), 0.0
+        y = 2.0 * Z[:, 0].astype(float) - 1.0
+        n = len(X)
+        for t in range(20):
+            scores = X @ w + b
+            active = (y * scores) < 1.0
+            gw = -(y[active] @ X[active]) / n + lam * w if active.any() else lam * w
+            gb = -float(y[active].sum()) / n if active.any() else 0.0
+            eta = 0.3 / (1.0 + t)
+            w, b = w - eta * gw, b - eta * gb
+        # Shard partial sums reorder float additions; allow tiny drift.
+        assert np.allclose(theta[:-1], w, atol=1e-10)
+        assert theta[-1] == pytest.approx(b, abs=1e-10)
+
+    def test_reduces_svm_objective(self, problem):
+        X, Z, shards = problem
+        from repro.optim.svm import svm_objective
+
+        y = 2.0 * Z[:, 1].astype(float) - 1.0
+        theta = exact_svm_steps(shards, 1, np.zeros(9), 1e-3, n_steps=50)
+        assert svm_objective(theta[:-1], theta[-1], X, y, 1e-3) < svm_objective(
+            np.zeros(8), 0.0, X, y, 1e-3
+        )
+
+
+class TestExactWStepBA:
+    def test_decoder_is_optimal_after_step(self, problem):
+        X, Z, shards = problem
+        ba = BinaryAutoencoder.linear(8, 4)
+        exact_w_step_ba(ba, shards, svm_steps=5)
+        serial = LinearDecoder(4, 8).fit_lstsq(Z, X)
+        assert np.allclose(ba.decoder.B, serial.B, atol=1e-8)
+
+    def test_reduces_e_q(self, problem):
+        X, Z, shards = problem
+        ba = BinaryAutoencoder.linear(8, 4)
+        before = ba.e_q(X, Z, 0.5)
+        exact_w_step_ba(ba, shards, svm_steps=30)
+        assert ba.e_q(X, Z, 0.5) < before

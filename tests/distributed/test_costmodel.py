@@ -1,0 +1,48 @@
+import pytest
+
+from repro.distributed.costmodel import CostModel
+
+
+class TestCostModel:
+    def test_w_work_scales_with_points_and_passes(self):
+        cm = CostModel(t_wr=2.0)
+        assert cm.w_work(0, 10, passes=3) == 60.0
+
+    def test_speed_divides_work(self):
+        cm = CostModel(t_wr=1.0, speeds={1: 2.0})
+        assert cm.w_work(1, 10) == 5.0
+        assert cm.w_work(0, 10) == 10.0
+
+    def test_self_hop_free(self):
+        cm = CostModel(t_wc=100.0)
+        assert cm.comm(3, 3) == 0.0
+
+    def test_inter_machine_cost(self):
+        cm = CostModel(t_wc=7.0)
+        assert cm.comm(0, 1) == 7.0
+
+    def test_intra_node_discount(self):
+        cm = CostModel(t_wc=100.0, t_wc_intra=2.0, node_of={0: 0, 1: 0, 2: 1})
+        assert cm.comm(0, 1) == 2.0  # same node
+        assert cm.comm(1, 2) == 100.0  # across nodes
+
+    def test_no_node_map_ignores_intra(self):
+        cm = CostModel(t_wc=50.0, t_wc_intra=1.0)
+        assert cm.comm(0, 1) == 50.0
+
+    def test_z_work_formula(self):
+        # T_Z per machine = M * n_p * t_zr (eq. 7).
+        cm = CostModel(t_zr=3.0)
+        assert cm.z_work(0, n_points=10, n_submodels=4) == 120.0
+
+    def test_z_work_respects_speed(self):
+        cm = CostModel(t_zr=1.0, speeds={0: 4.0})
+        assert cm.z_work(0, 8, 2) == 4.0
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            CostModel(t_wc=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(t_wr=0.0)
+        with pytest.raises(ValueError):
+            CostModel(t_wc_intra=-2.0)

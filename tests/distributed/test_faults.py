@@ -1,0 +1,88 @@
+"""Fault tolerance (paper section 4.3): a machine dies mid-W-step."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.cluster import FaultEvent
+
+from .test_cluster import build_cluster
+
+
+@pytest.fixture(scope="module")
+def X():
+    from repro.data.synthetic import make_clustered
+
+    return make_clustered(120, 8, n_clusters=3, rng=5)
+
+
+class TestFaultDuringWStep:
+    @pytest.mark.parametrize("tick", [0, 1, 3])
+    def test_w_step_completes_after_fault(self, X, tick):
+        cluster, _ = build_cluster(X, P=4, epochs=2)
+        stats = cluster.w_step(0.1, fault=FaultEvent(machine=2, tick=tick))
+        assert stats.sim_time > 0
+        assert 2 not in cluster.shards
+        assert cluster.n_machines == 3
+
+    def test_survivors_hold_consistent_model(self, X):
+        cluster, _ = build_cluster(X, P=4, epochs=1)
+        cluster.w_step(0.1, fault=FaultEvent(machine=1, tick=1))
+        assert cluster.model_copies_consistent()
+
+    def test_training_continues_after_fault(self, X):
+        # The model still improves over subsequent full iterations.
+        cluster, _ = build_cluster(X, P=4, seed=2)
+        cluster.iteration(1e-3)
+        e0 = cluster.e_q(1e-3)
+        cluster.w_step(2e-3, fault=FaultEvent(machine=3, tick=2))
+        cluster.z_step(2e-3)
+        for mu in (4e-3, 8e-3, 16e-3):
+            cluster.iteration(mu)
+        assert np.isfinite(cluster.e_q(16e-3))
+        assert cluster.e_q(16e-3) < e0 * 2  # sane magnitude, no blow-up
+
+    def test_dead_machines_data_is_lost(self, X):
+        cluster, _ = build_cluster(X, P=4)
+        n_before = cluster.n_points
+        lost = cluster.shards[0].n
+        cluster.w_step(0.1, fault=FaultEvent(machine=0, tick=1))
+        assert cluster.n_points == n_before - lost
+
+    def test_fault_on_unknown_machine_raises(self, X):
+        cluster, _ = build_cluster(X, P=3)
+        with pytest.raises(KeyError):
+            cluster.w_step(0.1, fault=FaultEvent(machine=9, tick=0))
+
+    def test_cannot_fail_only_machine(self, X):
+        cluster, _ = build_cluster(X, P=1)
+        with pytest.raises(ValueError):
+            cluster.w_step(0.1, fault=FaultEvent(machine=0, tick=0))
+
+    def test_fault_late_in_broadcast_phase(self, X):
+        # Fault after all training ticks: only broadcast copies remain.
+        P, e = 4, 1
+        cluster, _ = build_cluster(X, P=P, epochs=e)
+        cluster.w_step(0.1, fault=FaultEvent(machine=2, tick=P * e + 1))
+        assert cluster.model_copies_consistent()
+
+    def test_sgd_passes_drop_by_dead_shard(self, X):
+        # After an early fault, submodels train on the surviving data only;
+        # totals must stay consistent with the alive machine set.
+        cluster, adapter = build_cluster(X, P=4, epochs=1)
+        dead_n = cluster.shards[2].n
+        cluster.w_step(0.1, fault=FaultEvent(machine=2, tick=0))
+        store = cluster._stores[cluster.machines[0]]
+        for spec in adapter.submodel_specs():
+            assert store[spec.sid].sgd_state.n_updates == len(X) - dead_n
+
+
+class TestFaultDuringZStep:
+    def test_remove_machine_models_z_step_fault(self, X):
+        # "If it happens during the Z step, all we need to do is discard the
+        # faulty machine and reconnect" — remove_machine is exactly that.
+        cluster, _ = build_cluster(X, P=4)
+        cluster.iteration(0.1)
+        cluster.remove_machine(1)
+        assert cluster.n_machines == 3
+        cluster.iteration(0.2)  # keeps running
+        assert cluster.model_copies_consistent()

@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.distributed.interfaces import SubmodelSpec
+from repro.distributed.messages import SubmodelMessage
+from repro.distributed.partition import TimingShard
+from repro.optim.sgd import SGDState
+
+
+def make_msg(**kwargs):
+    defaults = dict(
+        spec=SubmodelSpec(sid=0, kind="enc", index=0),
+        theta=np.arange(4.0),
+    )
+    defaults.update(kwargs)
+    return SubmodelMessage(**defaults)
+
+
+class TestSubmodelMessage:
+    def test_nbytes(self):
+        assert make_msg().nbytes == 4 * 8
+
+    def test_fresh_message_not_done(self):
+        msg = make_msg()
+        assert not msg.training_done and not msg.done
+
+    def test_done_when_broadcast_exhausted(self):
+        msg = make_msg(to_broadcast=set())
+        assert msg.training_done and msg.done
+
+    def test_broadcasting_not_done(self):
+        msg = make_msg(to_broadcast={1, 2})
+        assert msg.training_done and not msg.done
+
+    def test_copy_independent_theta(self):
+        msg = make_msg()
+        cp = msg.copy()
+        cp.theta[0] = 99.0
+        assert msg.theta[0] == 0.0
+
+    def test_copy_independent_sets(self):
+        msg = make_msg(to_visit={0, 1}, to_broadcast={2})
+        cp = msg.copy()
+        cp.to_visit.discard(0)
+        cp.to_broadcast.discard(2)
+        assert msg.to_visit == {0, 1} and msg.to_broadcast == {2}
+
+    def test_copy_independent_sgd_state(self):
+        msg = make_msg(sgd_state=SGDState(t=5))
+        cp = msg.copy()
+        cp.sgd_state.advance(1)
+        assert msg.sgd_state.t == 5
+
+    def test_copy_preserves_none_sets(self):
+        cp = make_msg().copy()
+        assert cp.to_visit is None and cp.to_broadcast is None
+
+    def test_spec_is_hashable(self):
+        spec = SubmodelSpec(sid=3, kind="dec", index=(1, 2))
+        assert hash(spec) == hash(SubmodelSpec(sid=3, kind="dec", index=(1, 2)))
+
+
+class TestTimingShard:
+    def test_n(self):
+        assert TimingShard(42).n == 42
+
+    def test_zero_allowed(self):
+        assert TimingShard(0).n == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimingShard(-1)

@@ -1,0 +1,90 @@
+"""Real multiprocessing ring: the MPI stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import BinaryAutoencoder
+from repro.autoencoder.adapter import BAAdapter
+from repro.autoencoder.init import init_codes_pca
+from repro.distributed.mp_backend import MultiprocessRing, _home_assignment
+from repro.distributed.partition import make_shards, partition_indices
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.data.synthetic import make_clustered
+
+    X = make_clustered(120, 8, n_clusters=3, rng=4)
+    return X
+
+
+def build_ring(X, P=3, n_bits=4, epochs=1, **kwargs):
+    ba = BinaryAutoencoder.linear(X.shape[1], n_bits)
+    adapter = BAAdapter(ba)
+    Z, _ = init_codes_pca(X, n_bits, rng=0)
+    parts = partition_indices(len(X), P, rng=0)
+    shards = make_shards(X, adapter.features(X), Z, parts)
+    return MultiprocessRing(adapter, shards, epochs=epochs, seed=0, **kwargs), adapter
+
+
+class TestHomeAssignment:
+    def test_contiguous_blocks(self):
+        homes = _home_assignment(8, 4)
+        assert [homes[i] for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_uneven_split_covers_all_machines(self):
+        homes = _home_assignment(7, 3)
+        assert set(homes.values()) == {0, 1, 2}
+
+
+class TestMultiprocessRing:
+    def test_runs_and_improves(self, workload):
+        ring, adapter = build_ring(workload, P=3)
+        mus = [1e-3 * 2**i for i in range(5)]
+        results = ring.run(mus)
+        assert len(results) == 5
+        assert all(np.isfinite(r.e_q) for r in results)
+        assert results[-1].e_q < results[0].e_q
+
+    def test_coordinator_model_synced(self, workload):
+        # Sum of per-worker E_BA must equal E_BA recomputed from the
+        # coordinator's assembled model over the full dataset.
+        ring, adapter = build_ring(workload, P=3)
+        results = ring.run([1e-3, 2e-3])
+        assert results[-1].e_ba == pytest.approx(
+            adapter.model.e_ba(workload), rel=1e-9
+        )
+
+    def test_single_machine_ring(self, workload):
+        ring, adapter = build_ring(workload, P=1, epochs=2)
+        results = ring.run([1e-3, 2e-3])
+        assert all(np.isfinite(r.e_q) for r in results)
+
+    def test_multiple_epochs(self, workload):
+        ring, _ = build_ring(workload, P=3, epochs=3)
+        results = ring.run([1e-3])
+        assert np.isfinite(results[0].e_q)
+
+    def test_tworound_scheme(self, workload):
+        ring, _ = build_ring(workload, P=3, epochs=2, scheme="tworound")
+        results = ring.run([1e-3])
+        assert np.isfinite(results[0].e_q)
+
+    def test_on_iteration_callback_sees_intermediate_models(self, workload):
+        ring, adapter = build_ring(workload, P=2)
+        snapshots = []
+        ring.run(
+            [1e-3, 2e-3],
+            on_iteration=lambda res: snapshots.append(adapter.model.encoder.A.copy()),
+        )
+        assert len(snapshots) == 2
+        assert not np.array_equal(snapshots[0], snapshots[1])
+
+    def test_timing_fields_populated(self, workload):
+        ring, _ = build_ring(workload, P=2)
+        (res,) = ring.run([1e-3])
+        assert res.w_time > 0 and res.z_time > 0 and res.wall_time > 0
+
+    def test_rejects_empty_shards(self):
+        with pytest.raises(ValueError):
+            MultiprocessRing(None, [])

@@ -1,0 +1,78 @@
+"""Reduced-precision submodel communication (paper section 9 refinement)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.costmodel import CostModel
+
+from .test_cluster import build_cluster
+
+
+@pytest.fixture(scope="module")
+def X():
+    from repro.data.synthetic import make_clustered
+
+    return make_clustered(160, 10, n_clusters=4, rng=12)
+
+
+class TestMessagePrecision:
+    def test_rejects_non_float_dtype(self, X):
+        with pytest.raises(ValueError, match="float"):
+            build_cluster(X, message_dtype=np.int32)
+
+    def test_bytes_halved_at_float32(self, X):
+        full, _ = build_cluster(X, P=4, cost=CostModel(t_wc=10.0))
+        half, _ = build_cluster(X, P=4, cost=CostModel(t_wc=10.0),
+                                message_dtype=np.float32)
+        s_full = full.w_step(0.1)
+        s_half = half.w_step(0.1)
+        assert s_half.bytes_sent * 2 == s_full.bytes_sent
+        assert s_half.comm_time == pytest.approx(s_full.comm_time / 2)
+
+    def test_float16_quarters_comm(self, X):
+        full, _ = build_cluster(X, P=4, cost=CostModel(t_wc=10.0))
+        quarter, _ = build_cluster(X, P=4, cost=CostModel(t_wc=10.0),
+                                   message_dtype=np.float16)
+        assert quarter.w_step(0.1).comm_time == pytest.approx(
+            full.w_step(0.1).comm_time / 4
+        )
+
+    def test_float32_accuracy_nearly_unchanged(self, X):
+        # "with little effect on the accuracy" — E_Q after several
+        # iterations must track the full-precision run closely.
+        full, af = build_cluster(X, P=4, seed=3)
+        low, al = build_cluster(X, P=4, seed=3, message_dtype=np.float32)
+        mus = [1e-3 * 2**i for i in range(5)]
+        for mu in mus:
+            full.iteration(mu)
+            low.iteration(mu)
+        assert low.e_q(mus[-1]) == pytest.approx(full.e_q(mus[-1]), rel=0.02)
+
+    def test_float16_still_trains(self, X):
+        low, _ = build_cluster(X, P=4, seed=3, message_dtype=np.float16)
+        mus = [1e-3 * 2**i for i in range(5)]
+        eqs = []
+        for mu in mus:
+            low.iteration(mu)
+            eqs.append(low.e_q(mu))
+        assert np.isfinite(eqs[-1])
+        assert eqs[-1] < eqs[0]
+
+    def test_invariants_hold_under_precision_loss(self, X):
+        low, _ = build_cluster(X, P=4, message_dtype=np.float16)
+        low.w_step(0.1)
+        assert low.model_copies_consistent()
+
+    def test_parameters_are_float64_in_model(self, X):
+        # The wire format is reduced; the model itself stays float64.
+        low, adapter = build_cluster(X, P=3, message_dtype=np.float32)
+        low.w_step(0.1)
+        assert adapter.model.encoder.A.dtype == np.float64
+
+    def test_p1_unaffected_by_dtype(self, X):
+        # Self-hops never serialise, so P=1 results are bit-identical.
+        a, ad_a = build_cluster(X, P=1, seed=5)
+        b, ad_b = build_cluster(X, P=1, seed=5, message_dtype=np.float16)
+        a.w_step(0.1)
+        b.w_step(0.1)
+        assert np.array_equal(ad_a.model.encoder.A, ad_b.model.encoder.A)

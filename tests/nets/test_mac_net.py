@@ -1,0 +1,119 @@
+import numpy as np
+import pytest
+
+from repro.core.penalty import GeometricSchedule
+from repro.nets.deepnet import DeepNet
+from repro.nets.mac_net import MACTrainerNet
+
+
+@pytest.fixture(scope="module")
+def regression_problem():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(120, 4))
+    Y = np.sin(X @ rng.normal(size=(4, 2)))
+    return X, Y
+
+
+class TestCoordinates:
+    def test_init_from_forward_pass(self, regression_problem):
+        X, Y = regression_problem
+        net = DeepNet.create([4, 6, 2], rng=0)
+        trainer = MACTrainerNet(net, seed=0)
+        Zs = trainer.init_coords(X)
+        assert len(Zs) == 1 and Zs[0].shape == (120, 6)
+        assert np.allclose(Zs[0], net.activations(X)[0])
+
+    def test_e_q_at_init_equals_nested_loss(self, regression_problem):
+        # With Z = forward activations, every penalty term is zero.
+        X, Y = regression_problem
+        net = DeepNet.create([4, 6, 2], rng=0)
+        trainer = MACTrainerNet(net, seed=0)
+        Zs = trainer.init_coords(X)
+        assert trainer.e_q(X, Y, Zs, mu=5.0) == pytest.approx(net.loss(X, Y))
+
+
+class TestZStep:
+    def test_never_increases_e_q(self, regression_problem):
+        X, Y = regression_problem
+        net = DeepNet.create([4, 6, 2], rng=1)
+        trainer = MACTrainerNet(net, z_steps=5, seed=0)
+        Zs = [z + 0.3 for z in trainer.init_coords(X)]  # perturbed start
+        before = trainer.e_q(X, Y, Zs, 1.0)
+        Zs_new = trainer.z_step(X, Y, Zs, 1.0)
+        assert trainer.e_q(X, Y, Zs_new, 1.0) <= before + 1e-9
+
+    def test_gradient_matches_finite_difference(self, regression_problem):
+        X, Y = regression_problem
+        net = DeepNet.create([4, 5, 3, 2], rng=2)
+        trainer = MACTrainerNet(net, seed=0)
+        Zs = trainer.init_coords(X[:6])
+        Zs = [z + 0.1 for z in Zs]
+        grads = trainer._z_gradients(X[:6], Y[:6], Zs, mu=0.7)
+        eps = 1e-6
+        for k in range(len(Zs)):
+            i, j = 2, 1
+            Zs[k][i, j] += eps
+            up = trainer.e_q(X[:6], Y[:6], Zs, 0.7)
+            Zs[k][i, j] -= 2 * eps
+            down = trainer.e_q(X[:6], Y[:6], Zs, 0.7)
+            Zs[k][i, j] += eps
+            numeric = (up - down) / (2 * eps)
+            assert grads[k][i, j] == pytest.approx(numeric, abs=1e-4)
+
+
+class TestWStep:
+    def test_reduces_layer_losses(self, regression_problem):
+        X, Y = regression_problem
+        net = DeepNet.create([4, 6, 2], rng=3)
+        trainer = MACTrainerNet(net, w_epochs=5, seed=0)
+        Zs = trainer.init_coords(X)
+        # Perturb weights so there is something to recover.
+        for layer in net.layers:
+            layer.W += 0.5 * np.random.default_rng(1).normal(size=layer.W.shape)
+        before = trainer.e_q(X, Y, Zs, 1.0)
+        trainer.w_step(X, Y, Zs)
+        assert trainer.e_q(X, Y, Zs, 1.0) < before
+
+
+class TestFit:
+    def test_nested_loss_decreases(self, regression_problem):
+        X, Y = regression_problem
+        net = DeepNet.create([4, 8, 2], rng=4)
+        trainer = MACTrainerNet(
+            net, GeometricSchedule(0.5, 1.5, 8), w_epochs=2, seed=0
+        )
+        before = net.loss(X, Y)
+        h = trainer.fit(X, Y)
+        assert h.records[-1].e_ba < before
+        assert len(h) == 8
+
+    def test_comparable_to_backprop(self, regression_problem):
+        # MAC should land within a reasonable factor of backprop's loss.
+        X, Y = regression_problem
+        from repro.nets.backprop import BackpropTrainer
+
+        mac_net = DeepNet.create([4, 8, 2], rng=5)
+        MACTrainerNet(mac_net, GeometricSchedule(0.5, 1.6, 10), w_epochs=3,
+                      seed=0).fit(X, Y)
+        bp_net = DeepNet.create([4, 8, 2], rng=5)
+        BackpropTrainer(bp_net, seed=0).fit(X, Y, epochs=10)
+        assert mac_net.loss(X, Y) <= bp_net.loss(X, Y) * 2.0
+
+    def test_two_hidden_layers(self, regression_problem):
+        X, Y = regression_problem
+        net = DeepNet.create([4, 6, 5, 2], rng=6)
+        h = MACTrainerNet(net, GeometricSchedule(0.5, 1.5, 5), seed=0).fit(X, Y)
+        assert np.isfinite(h.records[-1].e_ba)
+
+    def test_1d_targets(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(60, 3))
+        y = X[:, 0] ** 2
+        net = DeepNet.create([3, 5, 1], rng=0)
+        h = MACTrainerNet(net, GeometricSchedule(0.5, 1.5, 4), seed=0).fit(X, y)
+        assert np.isfinite(h.records[-1].e_ba)
+
+    def test_rejects_length_mismatch(self):
+        net = DeepNet.create([3, 4, 2], rng=0)
+        with pytest.raises(ValueError):
+            MACTrainerNet(net, seed=0).fit(np.zeros((5, 3)), np.zeros((4, 2)))

@@ -1,0 +1,114 @@
+"""Deep nets on the ParMAC ring: the generality claim of the paper."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.partition import partition_indices
+from repro.nets.adapter import NetAdapter, NetShard, make_net_shards
+from repro.nets.deepnet import DeepNet
+from repro.nets.mac_net import MACTrainerNet
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(120, 4))
+    Y = np.sin(X @ rng.normal(size=(4, 2)))
+    return X, Y
+
+
+def build_net_cluster(X, Y, P=3, seed=0, **kwargs):
+    net = DeepNet.create([4, 6, 2], rng=seed)
+    adapter = NetAdapter(net, z_steps=5)
+    Zs = MACTrainerNet(net, seed=seed).init_coords(X)
+    parts = partition_indices(len(X), P, rng=seed)
+    shards = make_net_shards(X, Y, Zs, parts)
+    cluster = SimulatedCluster(adapter, shards, seed=seed, **kwargs)
+    return cluster, adapter, net
+
+
+class TestNetShard:
+    def test_lengths_validated(self):
+        with pytest.raises(ValueError):
+            NetShard(X=np.zeros((3, 2)), Y=np.zeros((2, 1)), Zs=[np.zeros((3, 4))])
+
+    def test_n(self):
+        s = NetShard(X=np.zeros((5, 2)), Y=np.zeros((5, 1)), Zs=[np.zeros((5, 3))])
+        assert s.n == 5
+
+
+class TestNetAdapter:
+    def test_one_submodel_per_hidden_unit(self, problem):
+        X, Y = problem
+        net = DeepNet.create([4, 6, 2], rng=0)
+        adapter = NetAdapter(net)
+        # M = hidden units + output units = 6 + 2 (paper: weight vector of
+        # each hidden unit is a submodel).
+        assert len(adapter.submodel_specs()) == 8
+
+    def test_params_roundtrip(self, problem):
+        X, Y = problem
+        net = DeepNet.create([4, 6, 2], rng=0)
+        adapter = NetAdapter(net)
+        for spec in adapter.submodel_specs():
+            theta = adapter.get_params(spec)
+            adapter.set_params(spec, theta * 1.5)
+            assert np.allclose(adapter.get_params(spec), theta * 1.5)
+
+    def test_w_update_reduces_unit_loss(self, problem):
+        X, Y = problem
+        net = DeepNet.create([4, 6, 2], rng=1)
+        adapter = NetAdapter(net)
+        Zs = MACTrainerNet(net, seed=0).init_coords(X)
+        shard = make_net_shards(X, Y, Zs, [np.arange(len(X))])[0]
+        spec = adapter.submodel_specs()[0]
+        theta = adapter.get_params(spec) + 0.5  # perturb
+
+        def unit_loss(th):
+            k, j = spec.index
+            A_in = shard.X
+            from repro.nets.layers import ACTIVATIONS
+
+            f, _ = ACTIVATIONS[net.layers[k].activation]
+            pred = f(A_in @ th[:-1] + th[-1])
+            return float(((pred - shard.Zs[k][:, j]) ** 2).sum())
+
+        from repro.optim.sgd import SGDState
+
+        before = unit_loss(theta)
+        state = SGDState()
+        for _ in range(10):
+            theta = adapter.w_update(spec, theta, state, shard, 1.0,
+                                     batch_size=32, shuffle=True,
+                                     rng=np.random.default_rng(0))
+        assert unit_loss(theta) < before
+
+
+class TestNetOnRing:
+    def test_w_step_invariants(self, problem):
+        X, Y = problem
+        cluster, adapter, net = build_net_cluster(X, Y, P=3)
+        cluster.w_step(mu=1.0)
+        assert cluster.model_copies_consistent()
+
+    def test_full_iterations_reduce_nested_loss(self, problem):
+        X, Y = problem
+        cluster, adapter, net = build_net_cluster(X, Y, P=3, epochs=2)
+        before = net.loss(X, Y)
+        for mu in (0.5, 1.0, 2.0, 4.0, 8.0):
+            cluster.iteration(mu)
+        assert net.loss(X, Y) < before
+
+    def test_z_step_never_increases_e_q(self, problem):
+        X, Y = problem
+        cluster, adapter, net = build_net_cluster(X, Y, P=2)
+        cluster.w_step(1.0)
+        before = sum(
+            adapter.e_q_shard(cluster.shards[p], 1.0) for p in cluster.machines
+        )
+        cluster.z_step(1.0)
+        after = sum(
+            adapter.e_q_shard(cluster.shards[p], 1.0) for p in cluster.machines
+        )
+        assert after <= before + 1e-9

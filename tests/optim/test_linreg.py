@@ -1,0 +1,116 @@
+import numpy as np
+import pytest
+
+from repro.optim.linreg import LinearRegression, squared_loss
+from repro.optim.schedules import InverseSchedule
+from repro.optim.sgd import SGDState
+
+
+def linear_problem(n=150, d_in=4, d_out=3, noise=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d_in))
+    W = rng.normal(size=(d_out, d_in))
+    c = rng.normal(size=d_out)
+    Y = X @ W.T + c + noise * rng.normal(size=(n, d_out))
+    return X, Y, W, c
+
+
+class TestSquaredLoss:
+    def test_zero_on_equal(self):
+        A = np.ones((3, 2))
+        assert squared_loss(A, A) == 0.0
+
+    def test_mean_over_rows(self):
+        pred = np.array([[1.0, 0.0], [0.0, 0.0]])
+        target = np.zeros((2, 2))
+        assert squared_loss(pred, target) == pytest.approx(0.5)
+
+
+class TestLstsq:
+    def test_recovers_true_map(self):
+        X, Y, W, c = linear_problem(noise=0.0)
+        reg = LinearRegression(4, 3).fit_lstsq(X, Y)
+        assert np.allclose(reg.W, W, atol=1e-8)
+        assert np.allclose(reg.c, c, atol=1e-8)
+
+    def test_matches_numpy_lstsq(self):
+        X, Y, _, _ = linear_problem(noise=0.5)
+        reg = LinearRegression(4, 3).fit_lstsq(X, Y)
+        A = np.hstack([X, np.ones((len(X), 1))])
+        theta, *_ = np.linalg.lstsq(A, Y, rcond=None)
+        assert np.allclose(reg.W, theta[:-1].T, atol=1e-8)
+
+    def test_regularised_solution_shrinks(self):
+        X, Y, _, _ = linear_problem(noise=0.5)
+        plain = LinearRegression(4, 3).fit_lstsq(X, Y)
+        ridge = LinearRegression(4, 3, lam=10.0).fit_lstsq(X, Y)
+        assert np.linalg.norm(ridge.W) < np.linalg.norm(plain.W)
+
+    def test_regularised_gradient_stationarity(self):
+        # The solution must zero the gradient of the regularised objective.
+        X, Y, _, _ = linear_problem(noise=0.5)
+        lam = 0.3
+        reg = LinearRegression(4, 3, lam=lam).fit_lstsq(X, Y)
+        n = len(X)
+        resid = X @ reg.W.T + reg.c - Y
+        grad_W = (2.0 / n) * resid.T @ X + 2.0 * lam * reg.W
+        grad_c = (2.0 / n) * resid.sum(axis=0)
+        assert np.allclose(grad_W, 0.0, atol=1e-8)
+        assert np.allclose(grad_c, 0.0, atol=1e-8)
+
+    def test_intercept_not_regularised(self):
+        X, Y, _, c = linear_problem(noise=0.0, seed=3)
+        ridge = LinearRegression(4, 3, lam=100.0).fit_lstsq(X, Y)
+        # Weights crushed, intercept moves to the target mean.
+        assert np.allclose(ridge.c, Y.mean(axis=0), atol=0.5)
+
+    def test_1d_target_accepted(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        y = X[:, 0] * 2.0 + 1.0
+        reg = LinearRegression(2, 1).fit_lstsq(X, y)
+        assert reg.W.shape == (1, 2)
+        assert reg.predict(X)[:, 0] == pytest.approx(y, abs=1e-8)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LinearRegression(2, 1).fit_lstsq(np.zeros((0, 2)), np.zeros((0, 1)))
+
+
+class TestSGDFit:
+    def test_approaches_exact_solution(self):
+        X, Y, _, _ = linear_problem(noise=0.05)
+        exact = LinearRegression(4, 3).fit_lstsq(X, Y)
+        sgd = LinearRegression(4, 3, schedule=InverseSchedule(eta0=0.1, t0=50.0))
+        sgd.fit_sgd(X, Y, epochs=100, batch_size=16, rng=0)
+        assert sgd.objective(X, Y) <= exact.objective(X, Y) * 1.2 + 1e-6
+
+    def test_partial_fit_state(self):
+        X, Y, _, _ = linear_problem(n=40)
+        reg = LinearRegression(4, 3)
+        state = SGDState()
+        reg.partial_fit(X, Y, state, batch_size=10)
+        assert state.t == 4
+
+    def test_objective_decreases_from_zero_init(self):
+        X, Y, _, _ = linear_problem()
+        reg = LinearRegression(4, 3)
+        before = reg.objective(X, Y)
+        reg.fit_sgd(X, Y, epochs=5, rng=0)
+        assert reg.objective(X, Y) < before
+
+    def test_params_roundtrip(self):
+        reg = LinearRegression(3, 2)
+        theta = np.arange(8, dtype=float)
+        reg.set_params(theta)
+        assert np.array_equal(reg.get_params(), theta)
+        assert reg.W.shape == (2, 3)
+
+    def test_set_params_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            LinearRegression(3, 2).set_params(np.zeros(7))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearRegression(2, 1).partial_fit(
+                np.zeros((3, 2)), np.zeros((2, 1)), SGDState()
+            )

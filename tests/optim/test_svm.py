@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+from scipy.optimize import minimize
+
+from repro.optim.schedules import BottouSchedule
+from repro.optim.sgd import SGDState
+from repro.optim.svm import LinearSVM, hinge_loss, svm_objective
+
+
+def separable_problem(n=200, d=5, margin=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    w_true = rng.normal(size=d)
+    w_true /= np.linalg.norm(w_true)
+    X = rng.normal(size=(n, d))
+    y = np.where(X @ w_true >= 0, 1.0, -1.0)
+    X += margin * y[:, None] * w_true  # push classes apart
+    return X, y
+
+
+class TestHingeLoss:
+    def test_zero_when_margin_met(self):
+        assert hinge_loss(np.array([2.0, -3.0]), np.array([1.0, -1.0])) == 0.0
+
+    def test_linear_penalty(self):
+        # score 0 with label +1 -> hinge 1.
+        assert hinge_loss(np.array([0.0]), np.array([1.0])) == 1.0
+
+    def test_objective_includes_regulariser(self):
+        w = np.array([2.0, 0.0])
+        X = np.array([[1.0, 0.0]])
+        y = np.array([1.0])
+        assert svm_objective(w, 0.0, X, y, lam=0.5) == pytest.approx(0.5 * 0.5 * 4.0)
+
+
+class TestLinearSVM:
+    def test_separable_data_classified(self):
+        X, y = separable_problem()
+        svm = LinearSVM(5, lam=1e-4).fit(X, y, epochs=20, rng=0)
+        assert (svm.predict(X) == y).mean() > 0.97
+
+    def test_objective_decreases(self):
+        X, y = separable_problem(margin=0.5)
+        svm = LinearSVM(5, lam=1e-3)
+        before = svm.objective(X, y)
+        svm.fit(X, y, epochs=10, rng=0)
+        assert svm.objective(X, y) < before
+
+    def test_matches_scipy_on_tiny_problem(self):
+        # SGD should approach the scipy-found minimum of the same objective.
+        X, y = separable_problem(n=60, d=3, margin=0.3, seed=1)
+        lam = 0.1  # strong convexity helps both solvers
+
+        def obj(theta):
+            return svm_objective(theta[:-1], theta[-1], X, y, lam)
+
+        ref = min(
+            minimize(obj, np.zeros(4), method="Nelder-Mead",
+                     options={"maxiter": 5000, "xatol": 1e-8, "fatol": 1e-10}).fun
+            for _ in range(1)
+        )
+        svm = LinearSVM(3, lam=lam).fit(X, y, epochs=300, batch_size=8, rng=0)
+        assert svm.objective(X, y) <= ref * 1.10 + 1e-6
+
+    def test_partial_fit_continues_state(self):
+        X, y = separable_problem()
+        svm = LinearSVM(5)
+        state = SGDState()
+        svm.partial_fit(X, y, state, batch_size=50)
+        assert state.t == 4 and state.n_updates == 200
+        svm.partial_fit(X, y, state, batch_size=50)
+        assert state.t == 8
+
+    def test_rejects_bad_labels(self):
+        svm = LinearSVM(2)
+        with pytest.raises(ValueError, match="-1/\\+1"):
+            svm.partial_fit(np.zeros((3, 2)), np.array([0, 1, 2]), SGDState())
+
+    def test_rejects_length_mismatch(self):
+        svm = LinearSVM(2)
+        with pytest.raises(ValueError, match="rows"):
+            svm.partial_fit(np.zeros((3, 2)), np.array([1.0, -1.0]), SGDState())
+
+    def test_params_roundtrip(self):
+        svm = LinearSVM(4)
+        theta = np.arange(5, dtype=float)
+        svm.set_params(theta)
+        assert np.array_equal(svm.get_params(), theta)
+        assert svm.b == 4.0
+
+    def test_set_params_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            LinearSVM(4).set_params(np.zeros(3))
+
+    def test_predict_tie_maps_to_plus_one(self):
+        # Matches the BA step convention step(0) = 1.
+        svm = LinearSVM(2)
+        assert svm.predict(np.zeros((1, 2)))[0] == 1
+
+    def test_deterministic_given_seed(self):
+        X, y = separable_problem()
+        a = LinearSVM(5).fit(X, y, epochs=3, rng=42)
+        b = LinearSVM(5).fit(X, y, epochs=3, rng=42)
+        assert np.array_equal(a.w, b.w) and a.b == b.b
+
+    def test_regularisation_shrinks_weights(self):
+        X, y = separable_problem(margin=2.0)
+        small = LinearSVM(5, lam=1e-5).fit(X, y, epochs=20, rng=0)
+        big = LinearSVM(5, lam=1.0, schedule=BottouSchedule(lam=1.0)).fit(
+            X, y, epochs=20, rng=0
+        )
+        assert np.linalg.norm(big.w) < np.linalg.norm(small.w)

@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+
+from repro.perfmodel.analysis import (
+    effective_submodels,
+    fit_time_constants,
+    optimal_machines,
+    perfect_speedup_limit,
+    scale_invariant_transforms,
+)
+from repro.perfmodel.speedup import SpeedupParams, global_max, speedup
+
+
+class TestOptimalMachines:
+    def test_matches_dense_scan(self):
+        p = SpeedupParams(N=50_000, M=32, e=1, t_wc=1000.0, t_zr=100.0)
+        P_opt, S_opt = optimal_machines(p)
+        Ps = np.arange(1, 3000)
+        S = speedup(Ps, p)
+        assert S_opt == pytest.approx(S.max())
+        assert speedup(P_opt, p) == pytest.approx(S.max())
+
+    def test_respects_max_P(self):
+        p = SpeedupParams(N=10**6, M=32, e=1, t_wc=1000.0, t_zr=100.0)
+        P_opt, _ = optimal_machines(p, max_P=50)
+        assert P_opt <= 50
+
+    def test_never_exceeds_N(self):
+        p = SpeedupParams(N=64, M=8, e=1, t_wc=1.0, t_zr=10.0)
+        P_opt, _ = optimal_machines(p)
+        assert P_opt <= 64
+
+
+class TestPerfectSpeedupLimit:
+    def test_efficiency_at_limit(self):
+        p = SpeedupParams(N=10**6, M=10**6, e=1, t_wc=100.0, t_zr=10.0)
+        P_lim = perfect_speedup_limit(p, tolerance=0.05)
+        # At the limit, the divisible-case efficiency is exactly 95%.
+        from repro.perfmodel.speedup import speedup_divisible
+
+        eff = float(speedup_divisible(P_lim, p)) / P_lim
+        assert eff == pytest.approx(0.95, rel=1e-6)
+
+    def test_no_comm_unbounded(self):
+        p = SpeedupParams(N=1000, M=4, t_wc=0.0)
+        assert perfect_speedup_limit(p) == 1000
+
+    def test_rejects_bad_tolerance(self):
+        p = SpeedupParams(N=100, M=4, t_wc=1.0)
+        with pytest.raises(ValueError):
+            perfect_speedup_limit(p, tolerance=0.0)
+
+
+class TestEffectiveSubmodels:
+    def test_ba_grouping_is_2L(self):
+        assert effective_submodels(16, 320) == 32
+        assert effective_submodels(64, 128) == 128
+
+
+class TestInvariances:
+    @pytest.mark.parametrize("alpha", [2.0, 4.0])
+    def test_speedup_invariant_under_transforms(self, alpha):
+        # Section 5.2: the three transformations leave S(P) unchanged.
+        base = SpeedupParams(N=10_000, M=16, e=2, t_wr=1.0, t_wc=100.0, t_zr=10.0)
+        Ps = np.array([1, 2, 4, 8, 16, 32, 100])
+        S0 = speedup(Ps, base)
+        for variant in scale_invariant_transforms(base, alpha):
+            assert np.allclose(speedup(Ps, variant), S0, rtol=1e-9)
+
+    def test_rejects_bad_alpha(self):
+        base = SpeedupParams(N=100, M=4)
+        with pytest.raises(ValueError):
+            scale_invariant_transforms(base, 0.0)
+
+
+class TestFitTimeConstants:
+    def test_recovers_known_constants(self):
+        true = SpeedupParams(N=50_000, M=32, e=1, t_wr=1.0, t_wc=5_000.0, t_zr=150.0)
+        Ps = np.array([1, 2, 4, 8, 16, 32, 48, 64, 96, 128])
+        measured = speedup(Ps, true)
+        fitted = fit_time_constants(Ps, measured, N=true.N, M=true.M, e=true.e)
+        assert fitted.t_wc == pytest.approx(true.t_wc, rel=0.05)
+        assert fitted.t_zr == pytest.approx(true.t_zr, rel=0.05)
+
+    def test_fits_noisy_measurements(self):
+        true = SpeedupParams(N=50_000, M=32, e=1, t_wc=10_000.0, t_zr=200.0)
+        Ps = np.array([1, 4, 16, 32, 64, 128])
+        rng = np.random.default_rng(0)
+        measured = speedup(Ps, true) * (1 + 0.03 * rng.normal(size=len(Ps)))
+        fitted = fit_time_constants(Ps, measured, N=true.N, M=true.M, e=true.e)
+        # Prediction quality matters more than parameter identity.
+        assert np.allclose(speedup(Ps, fitted), speedup(Ps, true), rtol=0.15)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_time_constants([4], [3.9], N=1000, M=8, e=1)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_time_constants([1, 2], [1.0], N=1000, M=8, e=1)
+
+
+class TestPresets:
+    def test_fig4_constants(self):
+        from repro.perfmodel.presets import FIG4_PARAMS
+
+        assert FIG4_PARAMS.rho1 == pytest.approx(0.0025)
+        assert FIG4_PARAMS.rho2 == pytest.approx(0.0005)
+        assert FIG4_PARAMS.rho == pytest.approx(0.003)
+
+    def test_fig4_max_past_M(self):
+        # Fig. 4: maximum occurs at P*_1 > M = 512.
+        from repro.perfmodel.presets import FIG4_PARAMS
+
+        P_star, S_star = global_max(FIG4_PARAMS)
+        assert P_star > 512
+        assert P_star == pytest.approx(np.sqrt(0.0025 * 512 * 10**6))
+
+    def test_cluster_presets(self):
+        from repro.perfmodel.presets import cluster_cost_model
+
+        dist = cluster_cost_model("distributed")
+        shared = cluster_cost_model("shared")
+        assert shared.t_wr < dist.t_wr  # shared-memory machine is faster
+        assert shared.t_wc < dist.t_wc
+
+    def test_unknown_preset_raises(self):
+        from repro.perfmodel.presets import cluster_cost_model
+
+        with pytest.raises(ValueError):
+            cluster_cost_model("quantum")

@@ -1,0 +1,198 @@
+"""The analytical speedup model: equation-level checks against the paper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel.speedup import (
+    SpeedupParams,
+    global_max,
+    interval_bounds,
+    interval_max,
+    speedup,
+    speedup_divisible,
+    speedup_large_dataset,
+    t_w,
+    t_z,
+    total_time,
+)
+
+params_strategy = st.builds(
+    SpeedupParams,
+    N=st.integers(100, 10**6),
+    M=st.integers(1, 256),
+    e=st.integers(1, 8),
+    t_wr=st.floats(0.1, 10.0),
+    t_wc=st.floats(0.0, 10**4),
+    t_zr=st.floats(0.1, 10**3),
+)
+
+
+class TestRuntimes:
+    def test_t_z_formula(self):
+        p = SpeedupParams(N=1000, M=8, t_zr=2.0)
+        assert t_z(4, p) == pytest.approx(8 * 250 * 2.0)  # eq. (7)
+
+    def test_t_w_formula_divisible(self):
+        p = SpeedupParams(N=1000, M=8, e=2, t_wr=1.0, t_wc=50.0)
+        # eq. (8): ceil(M/P)(t_wr N/P + t_wc) P e + ceil(M/P) t_wc P
+        P = 4
+        expected = 2 * (250.0 + 50.0) * 4 * 2 + 2 * 50.0 * 4
+        assert t_w(P, p) == pytest.approx(expected)
+
+    def test_t_w_no_comm_at_p1(self):
+        p = SpeedupParams(N=1000, M=8, e=2, t_wr=1.0, t_wc=50.0)
+        # eq. (10): T_W(1) = M N e t_wr with t_wc = 0.
+        assert t_w(1, p) == pytest.approx(8 * 1000 * 2 * 1.0)
+
+    def test_total_time_is_sum(self):
+        p = SpeedupParams(N=500, M=4, t_wc=10.0, t_zr=3.0)
+        assert total_time(2, p) == pytest.approx(t_w(2, p) + t_z(2, p))
+
+    def test_ceil_effect_when_not_divisible(self):
+        # M=5, P=4 -> ceil = 2: same W cost as M=8 under the upper bound.
+        p5 = SpeedupParams(N=1000, M=5, t_wc=10.0)
+        p8 = SpeedupParams(N=1000, M=8, t_wc=10.0)
+        assert t_w(4, p5) == pytest.approx(t_w(4, p8))
+
+    def test_rejects_p_zero(self):
+        with pytest.raises(ValueError):
+            t_w(0, SpeedupParams(N=10, M=2))
+
+
+class TestSpeedupIdentities:
+    @given(params_strategy, st.integers(2, 300))
+    @settings(max_examples=100)
+    def test_eq12_equals_time_ratio(self, p, P):
+        # The closed form (12) must equal T(1)/T(P) computed from eqs. 7-10.
+        # (Eq. 9 holds for P > 1 only: at P = 1 there is no communication.)
+        s = speedup(P, p)
+        if not np.isfinite(p.rho):
+            return
+        ceil = -(-p.M // P)
+        closed = (p.rho * (p.M / ceil) * P) / (
+            p.rho1 * p.M / ceil + p.rho2 * P + P * P / p.N
+        )
+        assert s == pytest.approx(closed, rel=1e-9)
+
+    @given(params_strategy)
+    @settings(max_examples=60)
+    def test_s1_is_one(self, p):
+        assert speedup(1, p) == pytest.approx(1.0)
+
+    def test_divisible_formula_matches(self):
+        # P >= 2: eq. (14) embeds eq. (12)'s convention of charging t_wc
+        # uniformly, while the exact T(1) has no communication.
+        p = SpeedupParams(N=50_000, M=32, e=1, t_wc=100.0, t_zr=10.0)
+        for P in (2, 4, 8, 16, 32):
+            assert speedup(P, p) == pytest.approx(
+                float(speedup_divisible(P, p)), rel=1e-9
+            )
+
+    @given(st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+    def test_divisible_speedup_at_most_P(self, P):
+        # Eq. (14): S(P) <= P whenever P divides M.
+        p = SpeedupParams(N=10_000, M=64, e=2, t_wc=10.0, t_zr=5.0)
+        assert speedup(P, p) <= P + 1e-9
+
+    def test_rho_constants(self):
+        p = SpeedupParams(N=1, M=1, e=3, t_wr=2.0, t_wc=4.0, t_zr=8.0)
+        assert p.rho1 == pytest.approx(8.0 / (4 * 4.0))
+        assert p.rho2 == pytest.approx(3 * 2.0 / (4 * 4.0))
+        assert p.rho == pytest.approx(p.rho1 + p.rho2)
+
+    def test_no_comm_perfect_speedup_divisible(self):
+        p = SpeedupParams(N=10_000, M=16, t_wc=0.0)
+        for P in (2, 4, 8, 16):
+            assert speedup(P, p) == pytest.approx(P)
+
+
+class TestTheoremA1:
+    """S(M/k) dominates everything before it (appendix A, theorem A.1)."""
+
+    @pytest.mark.parametrize(
+        "p",
+        [
+            SpeedupParams(N=50_000, M=32, e=1, t_wc=100.0, t_zr=1.0),
+            SpeedupParams(N=50_000, M=24, e=8, t_wc=1000.0, t_zr=100.0),
+            SpeedupParams(N=5_000, M=12, e=2, t_wc=10.0, t_zr=10.0),
+        ],
+    )
+    def test_interval_starts_dominate(self, p):
+        for k in (1, 2, 3, 4):
+            if p.M % k:
+                continue
+            boundary = p.M // k
+            if boundary < 2:
+                continue
+            S_b = speedup(boundary, p)
+            before = np.arange(1, boundary)
+            assert (speedup(before, p) <= S_b + 1e-9).all()
+
+    def test_s_star_k_decreasing_in_k(self):
+        p = SpeedupParams(N=50_000, M=32, e=1, t_wc=100.0, t_zr=10.0)
+        stars = [interval_max(k, p)[1] for k in range(1, 8)]
+        assert all(a > b for a, b in zip(stars, stars[1:]))
+
+    def test_interval_bounds_partition(self):
+        bounds = interval_bounds(6)
+        assert bounds[0][0] == 1.0
+        assert bounds[-1] == (6.0, np.inf)
+        for (a, b), (c, d) in zip(bounds, bounds[1:]):
+            assert b == pytest.approx(c)
+
+    def test_interval_max_rejects_bad_k(self):
+        p = SpeedupParams(N=100, M=4)
+        with pytest.raises(ValueError):
+            interval_max(5, p)
+
+
+class TestGlobalMax:
+    def test_matches_dense_scan(self):
+        p = SpeedupParams(N=50_000, M=32, e=1, t_wc=1000.0, t_zr=100.0)
+        P_star, S_star = global_max(p)
+        Ps = np.arange(1, 4000)
+        S = speedup(Ps, p)
+        # The analytic max bounds the integer-grid max and is near it.
+        assert S_star >= S.max() - 1e-9
+        assert abs(S_star - S.max()) / S_star < 0.01
+
+    def test_large_N_max_exceeds_M(self):
+        # Section A.2: with M < rho1 N the max is S*_1 > M at P*_1 > M.
+        p = SpeedupParams(N=10**6, M=32, e=1, t_wc=1000.0, t_zr=100.0)
+        P_star, S_star = global_max(p)
+        assert P_star > p.M and S_star > p.M
+
+    def test_small_N_max_at_M(self):
+        # M >= rho1 N: maximum at P = M with S* <= M.
+        p = SpeedupParams(N=100, M=64, e=1, t_wc=1000.0, t_zr=10.0)
+        P_star, S_star = global_max(p)
+        assert P_star == p.M and S_star <= p.M
+
+    def test_no_comm_unbounded(self):
+        p = SpeedupParams(N=1000, M=8, e=1, t_wr=1.0, t_wc=0.0, t_zr=3.0)
+        P_star, S_star = global_max(p)
+        assert np.isinf(P_star)
+        # Limit: (rho/rho2) M = M (e t_wr + t_zr)/(e t_wr) = 8 * 4 = 32.
+        assert S_star == pytest.approx(32.0)
+
+    def test_p_star_formula(self):
+        p = SpeedupParams(N=10**6, M=32, e=1, t_wc=1000.0, t_zr=100.0)
+        P_star, _ = global_max(p)
+        assert P_star == pytest.approx(np.sqrt(p.rho1 * p.M * p.N))
+
+
+class TestLargeDataset:
+    def test_harmonic_mean_form(self):
+        # Eq. (20): S ~= rho/(rho1/P + rho2/M), between M and P.
+        p = SpeedupParams(N=10**8, M=32, e=1, t_wc=10_000.0, t_zr=40.0)
+        for P in (64, 100, 128):
+            approx = float(speedup_large_dataset(P, p))
+            exact = float(speedup(P, p))
+            assert approx == pytest.approx(exact, rel=0.05)
+            assert min(P, p.M) <= approx <= max(P, p.M)
+
+    def test_divisible_approaches_P(self):
+        p = SpeedupParams(N=10**8, M=128, e=1, t_wc=10_000.0, t_zr=40.0)
+        assert speedup(64, p) == pytest.approx(64, rel=0.01)

@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_clustered
+from repro.retrieval.baselines import ITQHash, TruncatedPCAHash, pca_directions
+
+
+class TestPCADirections:
+    def test_orthonormal(self):
+        X = np.random.default_rng(0).normal(size=(100, 8))
+        _, V = pca_directions(X, 4)
+        assert np.allclose(V @ V.T, np.eye(4), atol=1e-8)
+
+    def test_ordered_by_variance(self):
+        X = np.random.default_rng(1).normal(size=(200, 6)) * np.array(
+            [10.0, 5.0, 2.0, 1.0, 0.5, 0.1]
+        )
+        mean, V = pca_directions(X, 6)
+        proj = (X - mean) @ V.T
+        var = proj.var(axis=0)
+        assert (np.diff(var) <= 1e-8).all()
+
+    def test_rejects_too_many_components(self):
+        with pytest.raises(ValueError):
+            pca_directions(np.zeros((10, 3)), 4)
+
+
+class TestTruncatedPCAHash:
+    def test_encode_shape_and_dtype(self):
+        X = np.random.default_rng(0).normal(size=(50, 8))
+        h = TruncatedPCAHash(4).fit(X)
+        Z = h.encode(X)
+        assert Z.shape == (50, 4) and Z.dtype == np.uint8
+        assert set(np.unique(Z)) <= {0, 1}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TruncatedPCAHash(4).encode(np.zeros((2, 8)))
+
+    def test_subset_fit(self):
+        X = np.random.default_rng(0).normal(size=(100, 8))
+        h = TruncatedPCAHash(4).fit(X, subset=20, rng=0)
+        assert h.encode(X).shape == (100, 4)
+
+    def test_bits_split_on_principal_axis(self):
+        # Two clusters separated along one axis must get different first bits.
+        X = make_clustered(100, 6, n_clusters=2, spread=0.05, cluster_scale=30.0, rng=0)
+        h = TruncatedPCAHash(2).fit(X)
+        Z = h.encode(X)
+        # First bit should split the data roughly in half.
+        frac = Z[:, 0].mean()
+        assert 0.2 < frac < 0.8
+
+
+class TestITQ:
+    def test_rotation_orthogonal(self):
+        X = np.random.default_rng(0).normal(size=(80, 10))
+        itq = ITQHash(5, n_iters=10, seed=0).fit(X)
+        assert np.allclose(itq.R_ @ itq.R_.T, np.eye(5), atol=1e-8)
+
+    def test_encode_binary(self):
+        X = np.random.default_rng(0).normal(size=(40, 8))
+        itq = ITQHash(4, seed=0).fit(X)
+        Z = itq.encode(X)
+        assert Z.shape == (40, 4) and set(np.unique(Z)) <= {0, 1}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ITQHash(3).encode(np.zeros((2, 8)))
+
+    def test_quantisation_loss_decreases_vs_random_rotation(self):
+        # ITQ minimises ||B - P R||_F; its loss must beat a random rotation.
+        rng = np.random.default_rng(3)
+        X = make_clustered(300, 12, n_clusters=5, rng=3)
+        itq = ITQHash(6, n_iters=30, seed=0).fit(X)
+        P = (X - itq.mean_) @ itq.V_.T
+
+        def qloss(R):
+            B = np.sign(P @ R)
+            B[B == 0] = 1
+            return np.linalg.norm(B - P @ R)
+
+        R_rand, _ = np.linalg.qr(rng.normal(size=(6, 6)))
+        assert qloss(itq.R_) <= qloss(R_rand) + 1e-9
+
+    def test_deterministic_given_seed(self):
+        X = np.random.default_rng(0).normal(size=(60, 8))
+        a = ITQHash(4, seed=5).fit(X)
+        b = ITQHash(4, seed=5).fit(X)
+        assert np.array_equal(a.encode(X), b.encode(X))

@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.retrieval.groundtruth import euclidean_cdist, euclidean_knn
+
+
+class TestEuclideanCdist:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(20, 5))
+        B = rng.normal(size=(30, 5))
+        assert np.allclose(euclidean_cdist(A, B), cdist(A, B, "sqeuclidean"), atol=1e-8)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(1)
+        A = rng.normal(size=(10, 3)) * 1e6  # large values stress the expansion
+        assert (euclidean_cdist(A, A) >= 0).all()
+
+    def test_chunking_equivalence(self):
+        rng = np.random.default_rng(2)
+        A = rng.normal(size=(25, 4))
+        assert np.allclose(
+            euclidean_cdist(A, A, chunk=3), euclidean_cdist(A, A, chunk=1000)
+        )
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean_cdist(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestEuclideanKnn:
+    def test_exact_vs_argsort(self):
+        rng = np.random.default_rng(3)
+        Q = rng.normal(size=(6, 4))
+        B = rng.normal(size=(50, 4))
+        nn = euclidean_knn(Q, B, 5)
+        D = cdist(Q, B, "sqeuclidean")
+        for i in range(6):
+            assert np.allclose(sorted(D[i, nn[i]]), sorted(D[i])[:5])
+
+    def test_self_nearest(self):
+        X = np.random.default_rng(4).normal(size=(20, 3))
+        nn = euclidean_knn(X, X, 1)
+        assert np.array_equal(nn[:, 0], np.arange(20))
+
+    def test_rejects_bad_k(self):
+        X = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            euclidean_knn(X, X, 5)
+        with pytest.raises(ValueError):
+            euclidean_knn(X, X, 0)

@@ -1,0 +1,116 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.retrieval.hamming import hamming_cdist, hamming_knn, pack_bits, unpack_bits
+
+code_matrices = hnp.arrays(
+    np.uint8,
+    st.tuples(st.integers(1, 12), st.integers(1, 130)),
+    elements=st.integers(0, 1),
+)
+
+
+class TestPacking:
+    @given(code_matrices)
+    @settings(max_examples=40)
+    def test_roundtrip(self, Z):
+        packed = pack_bits(Z)
+        assert np.array_equal(unpack_bits(packed, Z.shape[1]), Z)
+
+    def test_word_count(self):
+        assert pack_bits(np.zeros((2, 64), dtype=np.uint8)).shape == (2, 1)
+        assert pack_bits(np.zeros((2, 65), dtype=np.uint8)).shape == (2, 2)
+
+    def test_bit_layout(self):
+        Z = np.zeros((1, 8), dtype=np.uint8)
+        Z[0, 3] = 1
+        assert pack_bits(Z)[0, 0] == 8  # bit 3 -> value 2^3
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.full((2, 3), 2))
+
+    def test_unpack_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros((2, 1), dtype=np.uint64), 65)
+
+
+class TestHammingCdist:
+    @given(code_matrices)
+    @settings(max_examples=30)
+    def test_matches_direct_bit_count(self, Z):
+        packed = pack_bits(Z)
+        D = hamming_cdist(packed, packed)
+        direct = (Z[:, None, :] != Z[None, :, :]).sum(axis=2)
+        assert np.array_equal(D, direct)
+
+    def test_diagonal_zero(self):
+        Z = np.random.default_rng(0).integers(0, 2, size=(10, 33), dtype=np.uint8)
+        D = hamming_cdist(pack_bits(Z), pack_bits(Z))
+        assert (np.diag(D) == 0).all()
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        A = pack_bits(rng.integers(0, 2, size=(6, 20), dtype=np.uint8))
+        B = pack_bits(rng.integers(0, 2, size=(9, 20), dtype=np.uint8))
+        assert np.array_equal(hamming_cdist(A, B), hamming_cdist(B, A).T)
+
+    def test_triangle_inequality(self):
+        Z = np.random.default_rng(1).integers(0, 2, size=(8, 16), dtype=np.uint8)
+        D = hamming_cdist(pack_bits(Z), pack_bits(Z)).astype(int)
+        for i in range(8):
+            for j in range(8):
+                assert (D[i] + D[j] >= D[i, j]).all()
+
+    def test_chunking_equivalence(self):
+        rng = np.random.default_rng(2)
+        A = pack_bits(rng.integers(0, 2, size=(30, 40), dtype=np.uint8))
+        B = pack_bits(rng.integers(0, 2, size=(11, 40), dtype=np.uint8))
+        assert np.array_equal(hamming_cdist(A, B, chunk=7), hamming_cdist(A, B, chunk=1024))
+
+    def test_rejects_word_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_cdist(np.zeros((2, 1), np.uint64), np.zeros((2, 2), np.uint64))
+
+
+class TestHammingKnn:
+    def test_exact_neighbours(self):
+        rng = np.random.default_rng(3)
+        Z = rng.integers(0, 2, size=(40, 24), dtype=np.uint8)
+        Q = rng.integers(0, 2, size=(5, 24), dtype=np.uint8)
+        pq, pb = pack_bits(Q), pack_bits(Z)
+        nn = hamming_knn(pq, pb, 7)
+        D = hamming_cdist(pq, pb)
+        for i in range(5):
+            retrieved = sorted(D[i, nn[i]].tolist())
+            best = sorted(D[i].tolist())[:7]
+            assert retrieved == best
+
+    def test_sorted_by_distance(self):
+        rng = np.random.default_rng(4)
+        Z = rng.integers(0, 2, size=(30, 16), dtype=np.uint8)
+        pq, pb = pack_bits(Z[:3]), pack_bits(Z)
+        nn = hamming_knn(pq, pb, 10)
+        D = hamming_cdist(pq, pb)
+        for i in range(3):
+            ds = D[i, nn[i]]
+            assert (np.diff(ds.astype(int)) >= 0).all()
+
+    def test_self_is_first(self):
+        Z = np.random.default_rng(5).integers(0, 2, size=(20, 32), dtype=np.uint8)
+        packed = pack_bits(Z)
+        nn = hamming_knn(packed[:4], packed, 1)
+        # Query codes are in the base; distance-0 match must rank first
+        # (possibly another identical code — check distance, not index).
+        D = hamming_cdist(packed[:4], packed)
+        assert (D[np.arange(4), nn[:, 0]] == 0).all()
+
+    def test_rejects_bad_k(self):
+        packed = pack_bits(np.zeros((5, 8), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            hamming_knn(packed, packed, 0)
+        with pytest.raises(ValueError):
+            hamming_knn(packed, packed, 6)

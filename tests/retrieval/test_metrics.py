@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.retrieval.hamming import pack_bits
+from repro.retrieval.metrics import precision_at_k, recall_at_R, recall_curve
+
+
+def codes(Z):
+    return pack_bits(np.asarray(Z, dtype=np.uint8))
+
+
+class TestPrecisionAtK:
+    def test_perfect_when_hamming_matches_truth(self):
+        # Base codes 0..3 at increasing distance from the query code 0000.
+        base = codes([[0, 0, 0, 0], [1, 0, 0, 0], [1, 1, 0, 0], [1, 1, 1, 0]])
+        query = codes([[0, 0, 0, 0]])
+        truth = np.array([[0, 1]])
+        assert precision_at_k(query, base, truth, k=2) == 1.0
+
+    def test_zero_when_disjoint(self):
+        base = codes([[0, 0], [0, 1], [1, 1]])
+        query = codes([[0, 0]])
+        truth = np.array([[2]])  # true neighbour is Hamming-farthest
+        assert precision_at_k(query, base, truth, k=1) == 0.0
+
+    def test_fractional(self):
+        base = codes([[0, 0, 0], [0, 0, 1], [1, 1, 1]])
+        query = codes([[0, 0, 0]])
+        truth = np.array([[0, 2]])  # one of two retrieved is a true one
+        assert precision_at_k(query, base, truth, k=2) == pytest.approx(0.5)
+
+    def test_averages_over_queries(self):
+        base = codes([[0, 0], [1, 1]])
+        query = codes([[0, 0], [1, 1]])
+        truth = np.array([[0], [0]])  # second query's truth not retrieved
+        assert precision_at_k(query, base, truth, k=1) == pytest.approx(0.5)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_at_k(codes([[0, 0]]), codes([[0, 0]]), np.zeros((2, 1), int), 1)
+
+
+class TestRecallAtR:
+    def test_rank_one_hit(self):
+        base = codes([[0, 0, 0], [1, 1, 1]])
+        query = codes([[0, 0, 0]])
+        assert recall_at_R(query, base, np.array([0]), R=1) == 1.0
+
+    def test_far_neighbour_missed_at_small_R(self):
+        base = codes([[0, 0, 0], [0, 0, 1], [0, 1, 1], [1, 1, 1]])
+        query = codes([[0, 0, 0]])
+        nn1 = np.array([3])  # true neighbour is Hamming rank 4
+        assert recall_at_R(query, base, nn1, R=1) == 0.0
+        assert recall_at_R(query, base, nn1, R=4) == 1.0
+
+    def test_ties_placed_top_rank(self):
+        # Many codes at the same distance as the true neighbour: the paper's
+        # protocol counts only *strictly closer* codes, so rank stays 1.
+        base = codes([[0, 0, 1], [0, 1, 0], [1, 0, 0]])  # all at distance 1
+        query = codes([[0, 0, 0]])
+        assert recall_at_R(query, base, np.array([2]), R=1) == 1.0
+
+    def test_monotone_in_R(self):
+        rng = np.random.default_rng(0)
+        Z = rng.integers(0, 2, size=(50, 16), dtype=np.uint8)
+        q = rng.integers(0, 2, size=(10, 16), dtype=np.uint8)
+        nn1 = rng.integers(0, 50, size=10)
+        vals = recall_curve(codes(q), codes(Z), nn1, [1, 2, 5, 10, 25, 50])
+        assert (np.diff(vals) >= 0).all()
+
+    def test_recall_at_full_base_is_one(self):
+        rng = np.random.default_rng(1)
+        Z = rng.integers(0, 2, size=(20, 8), dtype=np.uint8)
+        q = rng.integers(0, 2, size=(5, 8), dtype=np.uint8)
+        nn1 = rng.integers(0, 20, size=5)
+        assert recall_at_R(codes(q), codes(Z), nn1, R=20) == 1.0
+
+    def test_curve_matches_pointwise(self):
+        rng = np.random.default_rng(2)
+        Z = rng.integers(0, 2, size=(30, 12), dtype=np.uint8)
+        q = rng.integers(0, 2, size=(6, 12), dtype=np.uint8)
+        nn1 = rng.integers(0, 30, size=6)
+        Rs = [1, 3, 9, 27]
+        curve = recall_curve(codes(q), codes(Z), nn1, Rs)
+        single = [recall_at_R(codes(q), codes(Z), nn1, R) for R in Rs]
+        assert np.allclose(curve, single)
+
+    def test_rejects_bad_R(self):
+        with pytest.raises(ValueError):
+            recall_at_R(codes([[0]]), codes([[0]]), np.array([0]), R=0)

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import ascii_plot, ascii_table
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        out = ascii_plot({"a": ([1, 2, 3], [1, 4, 9])})
+        assert "*" in out and "*=a" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_plot({"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])})
+        assert "*=a" in out and "o=b" in out
+
+    def test_dimensions(self):
+        out = ascii_plot({"a": ([0, 1], [0, 1])}, width=30, height=5)
+        grid_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(grid_lines) == 5
+        assert all(len(l.split("|")[1]) == 30 for l in grid_lines)
+
+    def test_log_x_axis(self):
+        out = ascii_plot({"a": ([1, 10, 100], [1, 2, 3])}, logx=True)
+        assert "100" in out
+
+    def test_logx_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([0, 1], [1, 2])}, logx=True)
+
+    def test_constant_series_ok(self):
+        out = ascii_plot({"a": ([1, 2, 3], [5, 5, 5])})
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_title_first_line(self):
+        out = ascii_plot({"a": ([1], [1])}, title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_extremes_plotted_at_edges(self):
+        out = ascii_plot({"a": ([0, 10], [0, 10])}, width=20, height=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert rows[0].split("|")[1][-1] == "*"  # max at top-right
+        assert rows[-1].split("|")[1][0] == "*"  # min at bottom-left
+
+
+class TestAsciiTable:
+    def test_alignment_and_rows(self):
+        out = ascii_table(["x", "value"], [[1, 2.0], [10, 3.14159]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "3.142" in out  # floats shortened to 4 significant digits
+
+    def test_title(self):
+        out = ascii_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_string_cells(self):
+        out = ascii_table(["name"], [["hello"]])
+        assert "hello" in out
