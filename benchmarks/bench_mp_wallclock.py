@@ -1,12 +1,15 @@
-"""Real wall-clock speedup with the multiprocessing ring (MPI stand-in).
+"""Real wall-clock speedup with the multiprocessing backend (MPI stand-in).
 
 The simulated engines measure virtual time; this bench measures actual
-elapsed time per MAC iteration with real OS processes passing pickled
-submodels over queues — the laptop-scale analogue of the paper's MPI runs.
-Python process overhead means the absolute speedups are modest, but the
+elapsed time per MAC iteration with a persistent pool of real OS
+processes — shards shipped once over shared memory, submodels passed over
+queues — the laptop-scale analogue of the paper's MPI runs. Python
+process overhead means the absolute speedups are modest, but the
 per-iteration W-step time must not grow with P (the work is genuinely
 split), unlike a serial implementation.
 """
+
+import os
 
 import numpy as np
 
@@ -14,7 +17,7 @@ from repro.autoencoder import BinaryAutoencoder
 from repro.autoencoder.adapter import BAAdapter
 from repro.autoencoder.init import init_codes_pca
 from repro.data.synthetic import make_gist_like
-from repro.distributed.mp_backend import MultiprocessRing
+from repro.distributed.backends import get_backend
 from repro.distributed.partition import make_shards, partition_indices
 from repro.utils.ascii_plot import ascii_table
 
@@ -27,11 +30,12 @@ def run_P(X, Z, P):
     adapter = BAAdapter(ba)
     parts = partition_indices(len(X), P, rng=0)
     shards = make_shards(X, adapter.features(X), Z, parts)
-    ring = MultiprocessRing(adapter, shards, epochs=1, batch_size=100, seed=0)
-    results = ring.run(MUS)
+    with get_backend("multiprocess")(epochs=1, batch_size=100, seed=0) as backend:
+        backend.setup(adapter, shards)
+        results = [backend.run_iteration(mu) for mu in MUS]
     # Skip the first iteration (process warm-up noise).
-    w = np.mean([r.w_time for r in results[1:]])
-    z = np.mean([r.z_time for r in results[1:]])
+    w = np.mean([r.extra["w_time"] for r in results[1:]])
+    z = np.mean([r.extra["z_time"] for r in results[1:]])
     return w, z, results[-1].e_q
 
 
@@ -58,14 +62,21 @@ def test_mp_wallclock_speedup(benchmark, report):
         ["P", "W step (s)", "Z step (s)", "W speedup", "Z speedup",
          "final E_Q"], rows))
 
-    # The embarrassingly parallel Z step must show genuine speedup.
-    _, z1, _ = results[1]
-    _, z4, _ = results[4]
-    assert z1 / z4 > 1.5
-    # The W step must not slow down as P grows (work is actually split;
-    # queue overhead may eat some of the gain at this scale).
-    w1 = results[1][0]
-    for P in (2, 4, 8):
-        assert results[P][0] < w1 * 1.5
+    # Parallel speedup needs parallel hardware: on a single-core box the
+    # workers time-share and wall-clock gains are physically impossible,
+    # so only assert them where cores exist.
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        # The embarrassingly parallel Z step must show genuine speedup.
+        _, z1, _ = results[1]
+        _, z4, _ = results[4]
+        assert z1 / z4 > 1.5
+        # The W step must not slow down as P grows (work is actually
+        # split; queue overhead may eat some of the gain at this scale).
+        w1 = results[1][0]
+        for P in (2, 4, 8):
+            assert results[P][0] < w1 * 1.5
+    else:
+        report(f"(only {cores} CPU core(s): skipping speedup assertions)")
     # Results remain sane at every P.
     assert all(np.isfinite(eq) for _, _, eq in results.values())

@@ -10,7 +10,7 @@ import pytest
 
 from repro.autoencoder import BinaryAutoencoder
 from repro.autoencoder.adapter import BAAdapter
-from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.backends import get_backend
 from repro.distributed.costmodel import CostModel
 from repro.distributed.partition import TimingShard
 
@@ -28,15 +28,20 @@ def report(capsys):
 
 def timing_cluster(N, n_bits, D, P, e, cost, *, engine="async", scheme="rounds",
                    n_decoder_groups=None):
-    """Timing-only simulated cluster: real protocol, virtual clock, no math."""
+    """Timing-only simulated cluster: real protocol, virtual clock, no math.
+
+    Built through the execution-backend registry so the benches exercise
+    the same construction path as the generic trainer.
+    """
     ba = BinaryAutoencoder.linear(D, n_bits)
     adapter = BAAdapter(ba, n_decoder_groups=n_decoder_groups)
     base, extra = divmod(N, P)
     shards = [TimingShard(base + (1 if p < extra else 0)) for p in range(P)]
-    return SimulatedCluster(
-        adapter, shards, epochs=e, scheme=scheme, cost=cost, engine=engine,
-        execute_updates=False, seed=0,
+    backend = get_backend(engine)(
+        epochs=e, scheme=scheme, cost=cost, seed=0, execute_updates=False
     )
+    backend.setup(adapter, shards)
+    return backend.cluster
 
 
 def measured_speedup(N, n_bits, D, Ps, e, cost, **kwargs):

@@ -15,7 +15,13 @@ Run:  python examples/distributed_training.py
 
 import numpy as np
 
-from repro import BinaryAutoencoder, CostModel, GeometricSchedule, ParMACTrainerBA
+from repro import (
+    BinaryAutoencoder,
+    CostModel,
+    GeometricSchedule,
+    ParMACTrainerBA,
+    available_backends,
+)
 from repro.data.synthetic import make_gist_like
 from repro.perfmodel.speedup import SpeedupParams, speedup
 
@@ -27,7 +33,8 @@ def main():
     cost = CostModel(t_wr=1.0, t_wc=200.0, t_zr=5.0)
 
     print(f"workload: N={n}, D={dim}, L={n_bits} -> M=2L={2*n_bits} submodels")
-    print(f"cluster: P={P} machines, e={epochs} epochs/W-step\n")
+    print(f"cluster: P={P} machines, e={epochs} epochs/W-step")
+    print(f"registered execution backends: {available_backends()}\n")
 
     runs = {}
     for label, kwargs in [

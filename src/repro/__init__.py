@@ -40,12 +40,19 @@ from repro.autoencoder.adapter import BAAdapter
 from repro.core import (
     GeometricSchedule,
     MACTrainerBA,
+    ParMACTrainer,
     ParMACTrainerBA,
     ParMACTrainerNet,
     TrainingHistory,
 )
 from repro.core.evaluation import PrecisionEvaluator, RecallEvaluator
-from repro.distributed import CostModel, MultiprocessRing, SimulatedCluster
+from repro.distributed import (
+    CostModel,
+    MultiprocessRing,
+    SimulatedCluster,
+    available_backends,
+    get_backend,
+)
 from repro.nets import BackpropTrainer, DeepNet, MACTrainerNet
 from repro.perfmodel import SpeedupParams, speedup
 from repro.retrieval import ITQHash, TruncatedPCAHash
@@ -56,8 +63,11 @@ __all__ = [
     "BinaryAutoencoder",
     "BAAdapter",
     "MACTrainerBA",
+    "ParMACTrainer",
     "ParMACTrainerBA",
     "ParMACTrainerNet",
+    "get_backend",
+    "available_backends",
     "GeometricSchedule",
     "TrainingHistory",
     "PrecisionEvaluator",

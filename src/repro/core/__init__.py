@@ -14,6 +14,7 @@ from repro.core.convergence import (
     z_fixed_point,
 )
 from repro.core.mac import MACTrainerBA
+from repro.core.trainer import ParMACTrainer
 from repro.core.parmac import ParMACTrainerBA
 from repro.core.parmac_net import ParMACTrainerNet
 
@@ -26,6 +27,7 @@ __all__ = [
     "constraints_satisfied",
     "lagrange_multiplier_estimates",
     "MACTrainerBA",
+    "ParMACTrainer",
     "ParMACTrainerBA",
     "ParMACTrainerNet",
 ]

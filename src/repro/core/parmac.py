@@ -1,13 +1,16 @@
 """ParMAC trainer for binary autoencoders — the paper's headline system.
 
-Runs the same MAC outer loop as :class:`~repro.core.mac.MACTrainerBA` but
-executes every iteration on a distributed backend:
+A thin front end over the generic :class:`~repro.core.trainer.ParMACTrainer`:
+this class owns the BA-specific preparation (PCA code initialisation,
+load-balanced partitioning, the BA adapter) and delegates the fit loop to
+the generic trainer on whichever execution backend was requested:
 
 * ``backend="sync"`` / ``"async"`` — the in-process simulated cluster
   (deterministic / discrete-event), with virtual-clock timing from a
   :class:`~repro.distributed.costmodel.CostModel`;
-* ``backend="multiprocess"`` — real OS processes connected in a queue
-  ring (the MPI stand-in), with wall-clock timing.
+* ``backend="multiprocess"`` — a persistent pool of real OS processes
+  connected in a queue ring (the MPI stand-in), with wall-clock timing
+  and shards shipped once over shared memory.
 
 The iteration-time axis in the history is virtual time for simulated
 backends and wall-clock for the multiprocessing one.
@@ -15,18 +18,17 @@ backends and wall-clock for the multiprocessing one.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.autoencoder.adapter import BAAdapter
 from repro.autoencoder.binary_autoencoder import BinaryAutoencoder
 from repro.autoencoder.init import init_codes_pca
-from repro.core.history import IterationRecord, TrainingHistory
+from repro.core.history import TrainingHistory
 from repro.core.penalty import penalty_schedule
+from repro.core.trainer import ParMACTrainer
+from repro.distributed.backends import get_backend
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.costmodel import CostModel
-from repro.distributed.mp_backend import MultiprocessRing
 from repro.distributed.partition import make_shards, partition_indices
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_array, check_binary_codes
@@ -46,12 +48,13 @@ class ParMACTrainerBA:
         P.
     epochs : int
         SGD epochs in the W step (e).
-    backend : {"sync", "async", "multiprocess"}
+    backend : str
+        Any registered execution backend ("sync", "async", "multiprocess").
     scheme : {"rounds", "tworound"}
         W-step communication scheme (sections 4.1 / 4.2).
     shuffle_within, shuffle_ring : bool
-        Data-shuffling options (section 4.3); ``shuffle_ring`` is ignored
-        by the multiprocessing backend (fixed ring).
+        Data-shuffling options (section 4.3); ``shuffle_ring`` reshuffles
+        the ring per epoch on every backend, including multiprocess.
     alphas : array-like, optional
         Relative machine speeds for load balancing (section 4.3).
     cost : CostModel, optional
@@ -66,7 +69,11 @@ class ParMACTrainerBA:
     ----------
     history_ : TrainingHistory
     cluster_ : SimulatedCluster or None
-        Exposed for streaming / fault-injection experiments.
+        Exposed for streaming / fault-injection experiments (simulated
+        backends only).
+    trainer_ : ParMACTrainer
+        The generic trainer; persistent, so the multiprocessing worker
+        pool survives across ``fit`` calls.
     """
 
     def __init__(
@@ -90,8 +97,7 @@ class ParMACTrainerBA:
         evaluator=None,
         seed=None,
     ):
-        if backend not in ("sync", "async", "multiprocess"):
-            raise ValueError(f"unknown backend {backend!r}")
+        get_backend(backend)  # fail fast on unknown names
         if n_machines < 1:
             raise ValueError(f"n_machines must be >= 1, got {n_machines}")
         self.model = model
@@ -112,7 +118,8 @@ class ParMACTrainerBA:
         self.evaluator = evaluator
         self.seed = seed
         self.history_: TrainingHistory | None = None
-        self.cluster_: SimulatedCluster | None = None
+        self.trainer_: ParMACTrainer | None = None
+        self._trainer_config: tuple | None = None
 
     # ------------------------------------------------------------ helpers
     def _make_adapter(self) -> BAAdapter:
@@ -131,12 +138,62 @@ class ParMACTrainerBA:
         )
         return make_shards(X, F, Z, parts)
 
+    def _config(self) -> tuple:
+        """Everything the generic trainer is built from; a change between
+        fits forces a rebuild instead of being silently ignored."""
+        return (
+            self.schedule,
+            self.backend,
+            self.epochs,
+            self.scheme,
+            self.batch_size,
+            self.shuffle_within,
+            self.shuffle_ring,
+            self.cost,
+            self.seed,
+            self.evaluator,
+            self.n_decoder_groups,
+            self.zstep_method,
+            self.max_enum_bits,
+            self.max_sweeps,
+        )
+
+    def _make_trainer(self) -> ParMACTrainer:
+        """Build the generic trainer on first use and reuse it across fits
+        (so the multiprocessing worker pool persists), rebuilding only if
+        the configuration attributes were changed in between."""
+        config = self._config()
+        if self.trainer_ is None or self._trainer_config != config:
+            if self.trainer_ is not None:
+                self.trainer_.close()
+            self.trainer_ = ParMACTrainer(
+                self._make_adapter(),
+                self.schedule,
+                backend=self.backend,
+                epochs=self.epochs,
+                scheme=self.scheme,
+                batch_size=self.batch_size,
+                shuffle_within=self.shuffle_within,
+                shuffle_ring=self.shuffle_ring,
+                cost=self.cost,
+                seed=self.seed,
+                evaluator=self.evaluator,
+                stop_on_fixed_point=True,
+            )
+            self._trainer_config = config
+        return self.trainer_
+
+    @property
+    def cluster_(self) -> SimulatedCluster | None:
+        return None if self.trainer_ is None else self.trainer_.cluster_
+
     # --------------------------------------------------------------- fit
     def fit(self, X: np.ndarray, Z0: np.ndarray | None = None) -> TrainingHistory:
         """Run distributed MAC over the full mu schedule."""
         X = check_array(X, name="X")
         rng = check_random_state(self.seed)
-        adapter = self._make_adapter()
+        trainer = self._make_trainer()
+        adapter = trainer.adapter
         if Z0 is None:
             Z, _ = init_codes_pca(adapter.features(X), self.model.n_bits, rng=rng)
         else:
@@ -146,91 +203,11 @@ class ParMACTrainerBA:
                     f"Z0 must have shape {(len(X), self.model.n_bits)}, got {Z.shape}"
                 )
         shards = self._make_shards(X, Z, adapter, rng)
-
-        if self.backend == "multiprocess":
-            return self._fit_multiprocess(adapter, shards)
-        return self._fit_simulated(adapter, shards)
-
-    def _fit_simulated(self, adapter: BAAdapter, shards) -> TrainingHistory:
-        cluster = SimulatedCluster(
-            adapter,
-            shards,
-            epochs=self.epochs,
-            scheme=self.scheme,
-            batch_size=self.batch_size,
-            shuffle_within=self.shuffle_within,
-            shuffle_ring=self.shuffle_ring,
-            cost=self.cost if self.cost is not None else CostModel(),
-            engine=self.backend,
-            seed=self.seed,
-        )
-        self.cluster_ = cluster
-        history = TrainingHistory()
-        for i, mu in enumerate(self.schedule):
-            t0 = time.perf_counter()
-            wstats, zstats = cluster.iteration(mu)
-            wall = time.perf_counter() - t0
-            violations = sum(
-                adapter.violations_shard(cluster.shards[p]) for p in cluster.machines
-            )
-            record = IterationRecord(
-                iteration=i,
-                mu=float(mu),
-                e_q=cluster.e_q(mu),
-                e_ba=cluster.e_ba(),
-                time=wstats.sim_time + zstats.sim_time,
-                z_changes=zstats.z_changes,
-                violations=violations,
-                extra={
-                    "w_sim_time": wstats.sim_time,
-                    "z_sim_time": zstats.sim_time,
-                    "comp_time": wstats.comp_time,
-                    "comm_time": wstats.comm_time,
-                    "bytes_sent": wstats.bytes_sent,
-                    "wall_time": wall,
-                },
-            )
-            if self.evaluator is not None:
-                metrics = self.evaluator(self.model)
-                record.precision = metrics.get("precision")
-                record.recall = metrics.get("recall")
-            history.append(record)
-            if record.z_changes == 0 and violations == 0:
-                break
+        history = trainer.fit(shards)
         self.history_ = history
         return history
 
-    def _fit_multiprocess(self, adapter: BAAdapter, shards) -> TrainingHistory:
-        ring = MultiprocessRing(
-            adapter,
-            shards,
-            epochs=self.epochs,
-            scheme=self.scheme,
-            batch_size=self.batch_size,
-            shuffle_within=self.shuffle_within,
-            seed=0 if self.seed is None else int(self.seed),
-        )
-        history = TrainingHistory()
-
-        def on_iteration(res):
-            # Called right after the coordinator's model is synced, so the
-            # evaluator scores the model as of *this* iteration.
-            record = IterationRecord(
-                iteration=len(history),
-                mu=res.mu,
-                e_q=res.e_q,
-                e_ba=res.e_ba,
-                time=res.w_time + res.z_time,
-                z_changes=res.z_changes,
-                violations=res.violations,
-                extra={"wall_time": res.wall_time, "w_time": res.w_time, "z_time": res.z_time},
-            )
-            if self.evaluator is not None:
-                metrics = self.evaluator(self.model)
-                record.precision = metrics.get("precision")
-                record.recall = metrics.get("recall")
-            history.append(record)
-
-        ring.run(list(self.schedule), on_iteration=on_iteration)
-        self.history_ = history
-        return history
+    def close(self) -> None:
+        """Release backend resources (the multiprocessing pool)."""
+        if self.trainer_ is not None:
+            self.trainer_.close()

@@ -1,19 +1,23 @@
 """ParMAC trainer for K-layer deep nets — the generality of section 3.2.
 
-The same ring engines that train binary autoencoders train sigmoid nets:
-the submodels are hidden units (one weight vector each, "M is the number
-of hidden units in a deep net", section 4), the Z step is the per-point
-generalised proximal problem, and nothing about the protocol changes.
+The same execution backends that train binary autoencoders train sigmoid
+nets: the submodels are hidden units (one weight vector each, "M is the
+number of hidden units in a deep net", section 4), the Z step is the
+per-point generalised proximal problem, and nothing about the protocol
+changes. Like :class:`~repro.core.parmac.ParMACTrainerBA`, this class is
+a thin front end over the generic :class:`~repro.core.trainer.ParMACTrainer`
+— which is why deep nets now run on every backend, including the real
+multiprocessing pool.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.core.history import IterationRecord, TrainingHistory
+from repro.core.history import TrainingHistory
 from repro.core.penalty import GeometricSchedule, penalty_schedule
+from repro.core.trainer import ParMACTrainer
+from repro.distributed.backends import get_backend
 from repro.distributed.cluster import SimulatedCluster
 from repro.distributed.costmodel import CostModel
 from repro.distributed.partition import partition_indices
@@ -34,14 +38,20 @@ class ParMACTrainerNet:
         Trained in place.
     schedule : GeometricSchedule or preset name, optional
         The mu schedule (default: mu0 = 1, x2, 10 iterations).
+    backend : str
+        Any registered execution backend ("sync", "async",
+        "multiprocess").
     n_machines, epochs, scheme, shuffle_within, shuffle_ring, cost, seed :
         As in :class:`~repro.core.parmac.ParMACTrainerBA`.
     z_steps, z_lr : Z-step optimiser settings.
+    evaluator : callable, optional
+        Per-iteration metric, called with the net.
 
     Attributes
     ----------
     history_ : TrainingHistory
-    cluster_ : SimulatedCluster
+    cluster_ : SimulatedCluster or None (simulated backends only)
+    trainer_ : ParMACTrainer
     """
 
     def __init__(
@@ -51,6 +61,7 @@ class ParMACTrainerNet:
         *,
         n_machines: int,
         epochs: int = 1,
+        backend: str = "sync",
         scheme: str = "rounds",
         batch_size: int = 32,
         shuffle_within: bool = True,
@@ -58,8 +69,10 @@ class ParMACTrainerNet:
         cost: CostModel | None = None,
         z_steps: int = 10,
         z_lr: float = 0.5,
+        evaluator=None,
         seed=None,
     ):
+        get_backend(backend)  # fail fast on unknown names
         if n_machines < 1:
             raise ValueError(f"n_machines must be >= 1, got {n_machines}")
         self.net = net
@@ -68,16 +81,66 @@ class ParMACTrainerNet:
         self.schedule = penalty_schedule(schedule)
         self.n_machines = int(n_machines)
         self.epochs = int(epochs)
+        self.backend = backend
         self.scheme = scheme
         self.batch_size = int(batch_size)
         self.shuffle_within = bool(shuffle_within)
         self.shuffle_ring = bool(shuffle_ring)
-        self.cost = cost if cost is not None else CostModel()
+        self.cost = cost
         self.z_steps = int(z_steps)
         self.z_lr = float(z_lr)
+        self.evaluator = evaluator
         self.seed = seed
         self.history_: TrainingHistory | None = None
-        self.cluster_: SimulatedCluster | None = None
+        self.trainer_: ParMACTrainer | None = None
+        self._trainer_config: tuple | None = None
+
+    def _config(self) -> tuple:
+        """Everything the generic trainer is built from; a change between
+        fits forces a rebuild instead of being silently ignored."""
+        return (
+            self.schedule,
+            self.backend,
+            self.epochs,
+            self.scheme,
+            self.batch_size,
+            self.shuffle_within,
+            self.shuffle_ring,
+            self.cost,
+            self.seed,
+            self.evaluator,
+            self.z_steps,
+            self.z_lr,
+        )
+
+    def _make_trainer(self) -> ParMACTrainer:
+        """Build the generic trainer on first use and reuse it across fits
+        (so the multiprocessing worker pool persists), rebuilding only if
+        the configuration attributes were changed in between."""
+        config = self._config()
+        if self.trainer_ is None or self._trainer_config != config:
+            if self.trainer_ is not None:
+                self.trainer_.close()
+            self.trainer_ = ParMACTrainer(
+                NetAdapter(self.net, z_steps=self.z_steps, z_lr=self.z_lr),
+                self.schedule,
+                backend=self.backend,
+                epochs=self.epochs,
+                scheme=self.scheme,
+                batch_size=self.batch_size,
+                shuffle_within=self.shuffle_within,
+                shuffle_ring=self.shuffle_ring,
+                cost=self.cost,
+                seed=self.seed,
+                evaluator=self.evaluator,
+                stop_on_fixed_point=False,
+            )
+            self._trainer_config = config
+        return self.trainer_
+
+    @property
+    def cluster_(self) -> SimulatedCluster | None:
+        return None if self.trainer_ is None else self.trainer_.cluster_
 
     def fit(self, X: np.ndarray, Y: np.ndarray) -> TrainingHistory:
         """Run distributed MAC over the mu schedule."""
@@ -89,41 +152,15 @@ class ParMACTrainerNet:
             raise ValueError(f"X has {len(X)} rows but Y has {len(Y)}")
         rng = check_random_state(self.seed)
 
-        adapter = NetAdapter(self.net, z_steps=self.z_steps, z_lr=self.z_lr)
+        trainer = self._make_trainer()
         Zs = MACTrainerNet(self.net, seed=self.seed).init_coords(X)
         parts = partition_indices(len(X), self.n_machines, rng=rng)
         shards = make_net_shards(X, Y, Zs, parts)
-        cluster = SimulatedCluster(
-            adapter,
-            shards,
-            epochs=self.epochs,
-            scheme=self.scheme,
-            batch_size=self.batch_size,
-            shuffle_within=self.shuffle_within,
-            shuffle_ring=self.shuffle_ring,
-            cost=self.cost,
-            seed=self.seed,
-        )
-        self.cluster_ = cluster
-
-        history = TrainingHistory()
-        for i, mu in enumerate(self.schedule):
-            t0 = time.perf_counter()
-            wstats, zstats = cluster.iteration(mu)
-            wall = time.perf_counter() - t0
-            e_q = sum(
-                adapter.e_q_shard(cluster.shards[p], mu) for p in cluster.machines
-            )
-            history.append(
-                IterationRecord(
-                    iteration=i,
-                    mu=float(mu),
-                    e_q=e_q,
-                    e_ba=self.net.loss(X, Y),  # nested objective
-                    time=wstats.sim_time + zstats.sim_time,
-                    z_changes=zstats.z_changes,
-                    extra={"wall_time": wall},
-                )
-            )
+        history = trainer.fit(shards)
         self.history_ = history
         return history
+
+    def close(self) -> None:
+        """Release backend resources (the multiprocessing pool)."""
+        if self.trainer_ is not None:
+            self.trainer_.close()

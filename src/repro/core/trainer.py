@@ -1,0 +1,156 @@
+"""The generic ParMAC trainer: any adapter on any execution backend.
+
+ParMAC is a meta-algorithm — "the ring protocol is identical for any
+nested model" (paper section 9) — and this module is where that claim
+lives in code. One fit loop drives the mu schedule; *what* is trained
+comes from a :class:`~repro.distributed.interfaces.ParMACAdapter`
+(binary autoencoder, deep net, ...) and *where* it runs comes from a
+:class:`~repro.distributed.backends.base.Backend` resolved by name
+through the backend registry (``"sync"``, ``"async"``,
+``"multiprocess"``).
+
+The model-specific front ends :class:`~repro.core.parmac.ParMACTrainerBA`
+and :class:`~repro.core.parmac_net.ParMACTrainerNet` are thin shims over
+this class: they prepare shards and initial coordinates, then delegate.
+
+>>> adapter = NetAdapter(net)                        # doctest: +SKIP
+>>> shards = make_net_shards(X, Y, Zs, parts)        # doctest: +SKIP
+>>> trainer = ParMACTrainer(adapter, backend="multiprocess", seed=0)
+>>> history = trainer.fit(shards)                    # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from repro.core.history import IterationRecord, TrainingHistory
+from repro.core.penalty import GeometricSchedule, penalty_schedule
+from repro.distributed.backends import get_backend
+from repro.distributed.backends.base import Backend
+
+__all__ = ["ParMACTrainer"]
+
+
+class ParMACTrainer:
+    """Drive distributed MAC over a mu schedule on a pluggable backend.
+
+    Parameters
+    ----------
+    adapter : ParMACAdapter
+        The model bridge; its ``model`` attribute is updated in place.
+    schedule : GeometricSchedule or preset name, optional
+        The penalty schedule (default: mu0 = 1, x2, 10 iterations).
+    backend : str or Backend
+        A registry name (``"sync"``, ``"async"``, ``"multiprocess"``) or
+        an already-constructed backend instance. When a name is given,
+        the backend is built from the keyword arguments below; when an
+        instance is given, those arguments are ignored in its favour.
+    epochs, scheme, batch_size, shuffle_within, shuffle_ring, cost, seed :
+        Backend configuration; see :class:`BaseBackend`.
+    evaluator : callable, optional
+        Called with the adapter's model after every iteration; may return
+        a dict with "precision" / "recall" entries for the history.
+    stop_on_fixed_point : bool
+        Stop once an iteration changes no auxiliary coordinates and
+        leaves no constraint violations (the paper's stopping test; used
+        by the binary-autoencoder front end).
+    backend_options : dict, optional
+        Extra keyword arguments for the backend class (e.g.
+        ``execute_updates``/``message_dtype`` for simulated engines,
+        ``ctx_method`` for the multiprocessing pool).
+
+    Attributes
+    ----------
+    history_ : TrainingHistory
+    backend : Backend
+        Persistent across ``fit`` calls — the multiprocessing pool is
+        reused, not respawned, on a second fit.
+    """
+
+    def __init__(
+        self,
+        adapter,
+        schedule=None,
+        *,
+        backend: str | Backend = "sync",
+        epochs: int = 1,
+        scheme: str = "rounds",
+        batch_size: int = 100,
+        shuffle_within: bool = True,
+        shuffle_ring: bool = False,
+        cost=None,
+        seed=None,
+        evaluator=None,
+        stop_on_fixed_point: bool = False,
+        backend_options: dict | None = None,
+    ):
+        self.adapter = adapter
+        if schedule is None:
+            schedule = GeometricSchedule(mu0=1.0, factor=2.0, n_iters=10)
+        self.schedule = penalty_schedule(schedule)
+        if isinstance(backend, str):
+            backend = get_backend(backend)(
+                epochs=epochs,
+                scheme=scheme,
+                batch_size=batch_size,
+                shuffle_within=shuffle_within,
+                shuffle_ring=shuffle_ring,
+                cost=cost,
+                seed=seed,
+                **(backend_options or {}),
+            )
+        self.backend = backend
+        self.evaluator = evaluator
+        self.stop_on_fixed_point = bool(stop_on_fixed_point)
+        self.history_: TrainingHistory | None = None
+
+    @property
+    def cluster_(self):
+        """The underlying SimulatedCluster (simulated backends only)."""
+        return getattr(self.backend, "cluster", None)
+
+    def fit(self, shards) -> TrainingHistory:
+        """Run one MAC iteration per mu over the given shards.
+
+        ``shards`` must match the adapter (e.g. :class:`Shard` for a BA,
+        :class:`NetShard` for a deep net); one machine per shard.
+        """
+        self.backend.setup(self.adapter, shards)
+        history = TrainingHistory()
+        try:
+            for i, mu in enumerate(self.schedule):
+                stats = self.backend.run_iteration(float(mu))
+                record = IterationRecord(
+                    iteration=i,
+                    mu=float(mu),
+                    e_q=stats.e_q,
+                    e_ba=stats.e_ba,
+                    time=stats.time,
+                    z_changes=stats.z_changes,
+                    violations=stats.violations,
+                    extra=dict(stats.extra),
+                )
+                if self.evaluator is not None:
+                    metrics = self.evaluator(self.adapter.model)
+                    record.precision = metrics.get("precision")
+                    record.recall = metrics.get("recall")
+                history.append(record)
+                if (
+                    self.stop_on_fixed_point
+                    and stats.z_changes == 0
+                    and stats.violations == 0
+                ):
+                    break
+        finally:
+            self.backend.teardown()
+        self.history_ = history
+        return history
+
+    def close(self) -> None:
+        """Release backend resources (e.g. the multiprocessing pool)."""
+        self.backend.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -24,6 +24,16 @@ from repro.distributed.protocol import RoutePlan, WStepProtocol, expected_receiv
 from repro.distributed.partition import Shard, make_shards, partition_indices
 from repro.distributed.costmodel import CostModel
 from repro.distributed.cluster import SimulatedCluster, WStepStats, ZStepStats
+from repro.distributed.backends import (
+    AsyncSimBackend,
+    Backend,
+    IterationStats,
+    MultiprocessBackend,
+    SyncSimBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.distributed.mp_backend import MultiprocessRing
 from repro.distributed.allreduce import allreduce_sum, exact_decoder_fit, exact_svm_steps
 
@@ -42,6 +52,14 @@ __all__ = [
     "SimulatedCluster",
     "WStepStats",
     "ZStepStats",
+    "Backend",
+    "IterationStats",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+    "SyncSimBackend",
+    "AsyncSimBackend",
+    "MultiprocessBackend",
     "MultiprocessRing",
     "allreduce_sum",
     "exact_decoder_fit",

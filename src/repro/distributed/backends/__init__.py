@@ -1,0 +1,41 @@
+"""Pluggable execution backends for ParMAC training.
+
+One :class:`Backend` interface, three registered engines:
+
+===============  =============================================  ==========
+name             implementation                                 time axis
+===============  =============================================  ==========
+``sync``         deterministic tick simulation (fig. 3)         virtual
+``async``        discrete-event simulation (section 4.1)        virtual
+``multiprocess`` persistent OS-process pool over shared memory  wall clock
+===============  =============================================  ==========
+
+Resolve engines through the registry — ``get_backend("multiprocess")`` —
+rather than importing concrete classes; the generic
+:class:`~repro.core.trainer.ParMACTrainer` accepts either the name or a
+constructed instance.
+"""
+
+from repro.distributed.backends.base import (
+    Backend,
+    BaseBackend,
+    IterationStats,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.distributed.backends.mp import MultiprocessBackend, home_assignment
+from repro.distributed.backends.sim import AsyncSimBackend, SyncSimBackend
+
+__all__ = [
+    "Backend",
+    "BaseBackend",
+    "IterationStats",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "SyncSimBackend",
+    "AsyncSimBackend",
+    "MultiprocessBackend",
+    "home_assignment",
+]

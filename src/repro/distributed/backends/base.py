@@ -1,0 +1,187 @@
+"""Execution-backend interface and registry for ParMAC training.
+
+A *backend* is the thing that actually runs one MAC iteration (W step +
+Z step) for an adapter over a set of shards. The generic
+:class:`~repro.core.trainer.ParMACTrainer` drives any adapter on any
+backend through the same four-call lifecycle::
+
+    backend.setup(adapter, shards)      # bind model + data
+    stats = backend.run_iteration(mu)   # one W step + one Z step
+    ...                                 # (once per mu in the schedule)
+    backend.teardown()                  # release per-fit resources
+
+``teardown`` ends one fit but must leave the backend reusable: a later
+``setup`` starts the next fit (the multiprocessing backend keeps its
+worker pool alive across fits). ``close`` releases everything.
+
+Backends register themselves by name so callers can resolve engines
+without importing concrete classes::
+
+    from repro.distributed.backends import get_backend
+    Engine = get_backend("multiprocess")
+    backend = Engine(epochs=2, seed=0)
+
+This separation of a pluggable execution engine from model-specific
+update functions mirrors GraphLab's engine/update-function split and is
+what makes ParMAC's model-agnosticism (paper section 9) real in code:
+binary autoencoders and deep nets train on the identical engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "IterationStats",
+    "Backend",
+    "BaseBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+@dataclass
+class IterationStats:
+    """What one MAC iteration produced, in backend-neutral form.
+
+    ``time`` is the backend's native duration for the iteration — virtual
+    clock units for simulated engines, wall-clock seconds for real ones —
+    while ``wall_time`` is always the coordinator-observed elapsed wall
+    clock. ``extra`` carries backend-specific detail (per-step times,
+    bytes sent, ...) straight into the history record.
+    """
+
+    mu: float
+    e_q: float
+    e_ba: float
+    z_changes: int
+    violations: float
+    time: float
+    wall_time: float
+    extra: dict = field(default_factory=dict)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Structural type every execution backend satisfies."""
+
+    def setup(self, adapter, shards) -> None:
+        """Bind an adapter and its shards; acquire execution resources."""
+        ...
+
+    def run_iteration(self, mu: float) -> IterationStats:
+        """Run one full MAC iteration (W step + Z step) at penalty mu.
+
+        On return the adapter's model holds the assembled post-W-step
+        parameters, so callers may evaluate it between iterations.
+        """
+        ...
+
+    def teardown(self) -> None:
+        """End the current fit; the backend stays reusable for another
+        ``setup``."""
+        ...
+
+    def close(self) -> None:
+        """Release everything, including resources that survive fits."""
+        ...
+
+
+class BaseBackend:
+    """Shared construction/config for concrete backends.
+
+    Parameters
+    ----------
+    epochs : int
+        SGD epochs per W step (e).
+    scheme : {"rounds", "tworound"}
+        W-step communication scheme (paper sections 4.1 / 4.2).
+    batch_size : int
+        SGD minibatch size within each shard.
+    shuffle_within, shuffle_ring : bool
+        Within-machine minibatch shuffling and per-epoch ring reshuffling
+        (section 4.3).
+    cost : CostModel or None
+        Virtual-clock constants; ignored by wall-clock backends.
+    seed : int or None
+    """
+
+    name: str = ""
+
+    def __init__(
+        self,
+        *,
+        epochs: int = 1,
+        scheme: str = "rounds",
+        batch_size: int = 100,
+        shuffle_within: bool = True,
+        shuffle_ring: bool = False,
+        cost=None,
+        seed=None,
+    ):
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if scheme not in ("rounds", "tworound"):
+            raise ValueError(f"unknown scheme {scheme!r}")
+        self.epochs = int(epochs)
+        self.scheme = scheme
+        self.batch_size = int(batch_size)
+        self.shuffle_within = bool(shuffle_within)
+        self.shuffle_ring = bool(shuffle_ring)
+        self.cost = cost
+        self.seed = seed
+        self.adapter = None
+
+    # Lifecycle defaults: subclasses must execute, may skip cleanup.
+    def setup(self, adapter, shards) -> None:
+        raise NotImplementedError
+
+    def run_iteration(self, mu: float) -> IterationStats:
+        raise NotImplementedError
+
+    def teardown(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.teardown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_backend(name: str):
+    """Class decorator: register a backend under ``name``."""
+
+    def decorate(cls):
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_backend(name: str) -> type:
+    """Resolve a backend class by registry name.
+
+    >>> get_backend("multiprocess")(epochs=2)     # doctest: +SKIP
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,102 @@
+"""Simulated-cluster backends: the in-process reference engines.
+
+Thin adapters putting :class:`~repro.distributed.cluster.SimulatedCluster`
+behind the generic :class:`~repro.distributed.backends.base.Backend`
+lifecycle. ``sync`` is the deterministic tick engine (fig. 3, supports
+fault injection via the underlying cluster); ``async`` is the
+discrete-event engine the speedup experiments measure. Both report
+virtual-clock time in ``IterationStats.time``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.distributed.backends.base import BaseBackend, IterationStats, register_backend
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.costmodel import CostModel
+
+__all__ = ["SyncSimBackend", "AsyncSimBackend"]
+
+
+class _SimBackend(BaseBackend):
+    """Common machinery for the two simulated engines.
+
+    Extra parameters beyond :class:`BaseBackend`:
+
+    execute_updates : bool
+        When False, skip the numerics and only simulate time (timing-only
+        protocol sweeps).
+    message_dtype : numpy dtype or None
+        Reduced-precision communication (paper section 9).
+    """
+
+    engine: str = ""
+
+    def __init__(self, *, execute_updates: bool = True, message_dtype=None, **kwargs):
+        super().__init__(**kwargs)
+        self.execute_updates = bool(execute_updates)
+        self.message_dtype = message_dtype
+        self.cluster: SimulatedCluster | None = None
+
+    def setup(self, adapter, shards) -> None:
+        self.adapter = adapter
+        self.cluster = SimulatedCluster(
+            adapter,
+            shards,
+            epochs=self.epochs,
+            scheme=self.scheme,
+            batch_size=self.batch_size,
+            shuffle_within=self.shuffle_within,
+            shuffle_ring=self.shuffle_ring,
+            cost=self.cost if self.cost is not None else CostModel(),
+            engine=self.engine,
+            execute_updates=self.execute_updates,
+            message_dtype=self.message_dtype,
+            seed=self.seed,
+        )
+
+    def run_iteration(self, mu: float) -> IterationStats:
+        if self.cluster is None:
+            raise RuntimeError("setup() must run before run_iteration()")
+        cluster = self.cluster
+        t0 = time.perf_counter()
+        wstats, zstats = cluster.iteration(mu)
+        wall = time.perf_counter() - t0
+        violations = sum(
+            self.adapter.violations_shard(cluster.shards[p]) for p in cluster.machines
+        )
+        return IterationStats(
+            mu=float(mu),
+            e_q=cluster.e_q(mu),
+            e_ba=cluster.e_ba(),
+            z_changes=zstats.z_changes,
+            violations=violations,
+            time=wstats.sim_time + zstats.sim_time,
+            wall_time=wall,
+            extra={
+                "w_sim_time": wstats.sim_time,
+                "z_sim_time": zstats.sim_time,
+                "comp_time": wstats.comp_time,
+                "comm_time": wstats.comm_time,
+                "bytes_sent": wstats.bytes_sent,
+                "wall_time": wall,
+            },
+        )
+
+    # The cluster stays accessible after teardown: streaming and fault
+    # experiments poke at it between and after fits.
+
+
+@register_backend("sync")
+class SyncSimBackend(_SimBackend):
+    """Deterministic synchronous tick engine (paper fig. 3)."""
+
+    engine = "sync"
+
+
+@register_backend("async")
+class AsyncSimBackend(_SimBackend):
+    """Discrete-event asynchronous engine (section 4.1's queue semantics)."""
+
+    engine = "async"

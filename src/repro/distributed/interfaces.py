@@ -94,3 +94,9 @@ class ParMACAdapter(Protocol):
     def e_ba_shard(self, shard) -> float:
         """This shard's contribution to the nested objective."""
         ...
+
+    def violations_shard(self, shard) -> float:
+        """This shard's constraint residual (bits disagreeing with the
+        nested model for a BA, ``sum_k ||Z_k - f_k(Z_{k-1})||^2`` for a
+        deep net); 0 together with no Z changes is the stopping test."""
+        ...

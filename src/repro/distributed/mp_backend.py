@@ -1,40 +1,25 @@
-"""Real multiprocessing ring backend — the MPI stand-in.
+"""Backward-compatible wrapper over the multiprocessing backend.
 
-Each worker process owns one shard for the whole run ("the data cannot
-leave its home machine"); submodel messages are pickled over
-``multiprocessing`` queues arranged in the fixed identity ring, following
-the counter protocol of paper section 4.1 / fig. 6 exactly:
-
-* a message's counter increments on each visit;
-* it trains while ``counter <= P*e``;
-* parameters are final from ``counter == P*e`` on, and each machine stores
-  the final copy as it passes;
-* it is forwarded while ``counter < P*(e+1) - 1``.
-
-Termination is deterministic: every worker knows in advance exactly how
-many ring messages it will receive (:func:`~repro.distributed.protocol.
-expected_receives`), so no sentinels or barriers are needed inside the W
-step — mirroring the MPI code's ``visitedsubmodels`` loop bound.
-
-After the W step every worker holds the full final model (the ParMAC
-invariant), so the Z step needs no coordinator broadcast; workers report
-per-shard metrics and worker 0 reports the assembled parameters.
+The real implementation lives in :mod:`repro.distributed.backends.mp` as
+:class:`MultiprocessBackend` — a registry-discoverable engine with a
+persistent worker pool, shared-memory shard shipping and ``shuffle_ring``
+support. This module keeps the original :class:`MultiprocessRing` run-list
+API for existing callers; new code should go through
+``get_backend("multiprocess")`` or the generic
+:class:`~repro.core.trainer.ParMACTrainer`.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import time
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.distributed.messages import SubmodelMessage
-from repro.distributed.protocol import RoutePlan, WStepProtocol, expected_receives
-from repro.distributed.topology import RingTopology
-from repro.optim.sgd import SGDState
+from repro.distributed.backends.mp import MultiprocessBackend, home_assignment
+from repro.distributed.protocol import WStepProtocol
 
 __all__ = ["MultiprocessRing", "IterationResult"]
+
+# Old private name, still imported by callers of the original module.
+_home_assignment = home_assignment
 
 
 @dataclass
@@ -51,94 +36,8 @@ class IterationResult:
     wall_time: float  # coordinator-observed end-to-end time
 
 
-def _home_assignment(n_submodels: int, n_machines: int) -> dict[int, int]:
-    """Contiguous-block home machines, as in fig. 2."""
-    return {sid: sid * n_machines // n_submodels for sid in range(n_submodels)}
-
-
-def _worker_main(
-    rank: int,
-    n_machines: int,
-    adapter,
-    shard,
-    homes: dict[int, int],
-    protocol: WStepProtocol,
-    n_expected: int,
-    batch_size: int,
-    shuffle_within: bool,
-    seed: int,
-    ring_in,
-    ring_out,
-    cmd_q,
-    res_q,
-):
-    """Worker loop: one process per machine. See module docstring."""
-    rng = np.random.default_rng(seed)
-    specs = adapter.submodel_specs()
-    spec_by_sid = {s.sid: s for s in specs}
-    my_sids = [sid for sid, h in homes.items() if h == rank]
-
-    def handle(msg: SubmodelMessage, final: dict) -> None:
-        msg.counter += 1
-        for _ in range(protocol.train_passes(msg.counter)):
-            msg.theta = adapter.w_update(
-                msg.spec,
-                msg.theta,
-                msg.sgd_state,
-                shard,
-                0.0,  # mu does not enter the BA W step
-                batch_size=batch_size,
-                shuffle=shuffle_within,
-                rng=rng,
-            )
-        if protocol.is_final(msg.counter):
-            final[msg.spec.sid] = np.array(msg.theta, copy=True)
-        if protocol.should_forward(msg.counter):
-            ring_out.put(msg)
-
-    while True:
-        cmd = cmd_q.get()
-        if cmd[0] == "stop":
-            break
-        mu = float(cmd[1])
-
-        t_w0 = time.perf_counter()
-        final: dict[int, np.ndarray] = {}
-        for sid in my_sids:
-            spec = spec_by_sid[sid]
-            handle(
-                SubmodelMessage(
-                    spec=spec,
-                    theta=np.array(adapter.get_params(spec), copy=True),
-                    sgd_state=SGDState(),
-                ),
-                final,
-            )
-        for _ in range(n_expected):
-            handle(ring_in.get(), final)
-        # W-step invariant: this worker now holds every final submodel.
-        for spec in specs:
-            adapter.set_params(spec, final[spec.sid])
-        t_w = time.perf_counter() - t_w0
-
-        t_z0 = time.perf_counter()
-        z_changes = adapter.z_update(shard, mu)
-        t_z = time.perf_counter() - t_z0
-
-        payload = {
-            "e_q": adapter.e_q_shard(shard, mu),
-            "e_ba": adapter.e_ba_shard(shard),
-            "violations": adapter.violations_shard(shard),
-            "z_changes": z_changes,
-            "w_time": t_w,
-            "z_time": t_z,
-            "model": [(s.sid, final[s.sid]) for s in specs] if rank == 0 else None,
-        }
-        res_q.put((rank, payload))
-
-
 class MultiprocessRing:
-    """Run ParMAC iterations over real OS processes.
+    """Run ParMAC iterations over real OS processes (legacy interface).
 
     Parameters
     ----------
@@ -150,6 +49,8 @@ class MultiprocessRing:
         SGD epochs per W step.
     scheme : {"rounds", "tworound"}
     batch_size, shuffle_within : SGD options within each shard.
+    shuffle_ring : bool
+        Per-epoch ring reshuffling (section 4.3).
     seed : int
         Base seed; worker rank r uses ``seed + r``.
     ctx_method : str
@@ -165,6 +66,7 @@ class MultiprocessRing:
         scheme: str = "rounds",
         batch_size: int = 100,
         shuffle_within: bool = True,
+        shuffle_ring: bool = False,
         seed: int = 0,
         ctx_method: str = "fork",
     ):
@@ -177,7 +79,15 @@ class MultiprocessRing:
         self.batch_size = int(batch_size)
         self.shuffle_within = bool(shuffle_within)
         self.seed = int(seed)
-        self.ctx = mp.get_context(ctx_method)
+        self._backend = MultiprocessBackend(
+            epochs=epochs,
+            scheme=scheme,
+            batch_size=batch_size,
+            shuffle_within=shuffle_within,
+            shuffle_ring=shuffle_ring,
+            seed=self.seed,
+            ctx_method=ctx_method,
+        )
 
     def run(self, mus, *, on_iteration=None) -> list[IterationResult]:
         """Execute one MAC iteration per mu value; returns per-iteration
@@ -185,74 +95,25 @@ class MultiprocessRing:
         every iteration (from worker 0's assembled copy); ``on_iteration``
         is then called with the fresh :class:`IterationResult`, so callers
         can evaluate the model as it stood at that iteration."""
-        mus = [float(m) for m in mus]
-        P = self.n_machines
-        specs = self.adapter.submodel_specs()
-        homes = _home_assignment(len(specs), P)
-        plan = RoutePlan.fixed(RingTopology.identity(P), self.protocol)
-        expected = expected_receives(plan, homes)
-
-        ring_qs = [self.ctx.Queue() for _ in range(P)]
-        cmd_qs = [self.ctx.Queue() for _ in range(P)]
-        res_q = self.ctx.Queue()
-        procs = []
-        for rank in range(P):
-            proc = self.ctx.Process(
-                target=_worker_main,
-                args=(
-                    rank,
-                    P,
-                    self.adapter,
-                    self.shards[rank],
-                    homes,
-                    self.protocol,
-                    expected[rank],
-                    self.batch_size,
-                    self.shuffle_within,
-                    self.seed + rank,
-                    ring_qs[rank],
-                    ring_qs[(rank + 1) % P],
-                    cmd_qs[rank],
-                    res_q,
-                ),
-                daemon=True,
-            )
-            proc.start()
-            procs.append(proc)
-
+        self._backend.setup(self.adapter, self.shards)
         results = []
         try:
-            for i, mu in enumerate(mus):
-                t0 = time.perf_counter()
-                for q in cmd_qs:
-                    q.put(("iter", mu))
-                payloads = {}
-                for _ in range(P):
-                    rank, payload = res_q.get()
-                    payloads[rank] = payload
-                wall = time.perf_counter() - t0
-                for sid, theta in payloads[0]["model"]:
-                    self.adapter.set_params(
-                        next(s for s in specs if s.sid == sid), theta
-                    )
+            for mu in mus:
+                stats = self._backend.run_iteration(float(mu))
                 result = IterationResult(
-                    mu=mu,
-                    e_q=sum(p["e_q"] for p in payloads.values()),
-                    e_ba=sum(p["e_ba"] for p in payloads.values()),
-                    z_changes=sum(p["z_changes"] for p in payloads.values()),
-                    violations=sum(p["violations"] for p in payloads.values()),
-                    w_time=max(p["w_time"] for p in payloads.values()),
-                    z_time=max(p["z_time"] for p in payloads.values()),
-                    wall_time=wall,
+                    mu=float(mu),
+                    e_q=stats.e_q,
+                    e_ba=stats.e_ba,
+                    z_changes=stats.z_changes,
+                    violations=stats.violations,
+                    w_time=stats.extra["w_time"],
+                    z_time=stats.extra["z_time"],
+                    wall_time=stats.wall_time,
                 )
                 results.append(result)
                 if on_iteration is not None:
                     on_iteration(result)
         finally:
-            for q in cmd_qs:
-                q.put(("stop",))
-            for proc in procs:
-                proc.join(timeout=30)
-                if proc.is_alive():
-                    proc.terminate()
+            self._backend.teardown()
+            self._backend.close()
         return results

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.distributed.interfaces import SubmodelSpec
 from repro.nets.deepnet import DeepNet
+from repro.nets.layers import ACTIVATIONS
 from repro.nets.mac_net import MACTrainerNet
 from repro.optim.schedules import InverseSchedule
 from repro.optim.sgd import SGDState, minibatch_indices
@@ -119,8 +120,6 @@ class NetAdapter:
         for idx in minibatch_indices(shard.n, batch_size, shuffle=shuffle, rng=rng):
             eta = self.w_schedule.rate(state.t) / len(idx)
             pre = A_in[idx] @ w + b
-            from repro.nets.layers import ACTIVATIONS
-
             f, fprime = ACTIVATIONS[layer.activation]
             a = f(pre)
             delta = (a - t[idx]) * fprime(a)
