@@ -1,0 +1,84 @@
+"""Wire cost of the TCP ring: framed bytes and hops, batched vs not.
+
+The paper's speedup model charges each W step M x (e+1) ring traversals
+of communication; what that costs in practice depends on how the
+messages hit the wire. This bench trains the same BA over real sockets
+with per-hop batching on and off and reports, per MAC iteration, the
+measured frame count, wire bytes (headers included) and raw payload
+bytes — the numbers `IterationStats` now surfaces so the perfmodel's
+first-principles predictions (MLSYSIM-style) can be validated against
+an actual socket transport.
+
+Batching must cut frames (syscalls, latency opportunities) by roughly
+the number of submodels resident per machine while leaving hops — a
+protocol invariant — and the trained bits unchanged.
+"""
+
+import numpy as np
+
+from repro.autoencoder import BinaryAutoencoder
+from repro.autoencoder.adapter import BAAdapter
+from repro.autoencoder.init import init_codes_pca
+from repro.data.synthetic import make_gist_like
+from repro.distributed.backends import get_backend
+from repro.distributed.partition import make_shards, partition_indices
+from repro.utils.ascii_plot import ascii_table
+
+N, D, L, P = 3_000, 48, 16, 4
+MUS = [1e-3, 2e-3, 4e-3]
+
+
+def run(X, Z, *, batch_hops):
+    ba = BinaryAutoencoder.linear(D, L)
+    adapter = BAAdapter(ba)
+    parts = partition_indices(len(X), P, rng=0)
+    shards = make_shards(X, adapter.features(X), Z, parts)
+    with get_backend("tcp")(
+        epochs=2, batch_size=100, seed=0, shuffle_within=False,
+        batch_hops=batch_hops,
+    ) as backend:
+        backend.setup(adapter, shards)
+        results = [backend.run_iteration(mu) for mu in MUS]
+    finals = {s.sid: adapter.get_params(s).copy() for s in adapter.submodel_specs()}
+    return results, finals
+
+
+def test_tcp_wire_cost(benchmark, report):
+    X = make_gist_like(N, D, n_clusters=6, rng=5)
+    Z, _ = init_codes_pca(X, L, subset=1000, rng=0)
+
+    def run_both():
+        return {bh: run(X, Z, batch_hops=bh) for bh in (True, False)}
+
+    runs = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    report()
+    report("=" * 72)
+    report(f"TCP ring wire cost per MAC iteration "
+           f"(N={N}, D={D}, L={L} -> M={2*L}, P={P}, e=2)")
+    rows = []
+    for bh, (results, _) in runs.items():
+        hops = np.mean([r.hops for r in results])
+        frames = np.mean([r.extra["frames"] for r in results])
+        wire = np.mean([r.bytes_sent for r in results])
+        payload = np.mean([r.extra["payload_bytes"] for r in results])
+        rows.append([
+            "on" if bh else "off", int(hops), int(frames),
+            round(hops / frames, 1), int(wire), int(payload),
+            round(wire / payload, 3),
+        ])
+    report(ascii_table(
+        ["batching", "hops", "frames", "msgs/frame", "wire B", "payload B",
+         "overhead x"], rows))
+
+    batched, unbatched = runs[True][0], runs[False][0]
+    # Hops are fixed by the counter protocol, batching or not.
+    assert all(b.hops == u.hops for b, u in zip(batched, unbatched))
+    # Unbatched = one frame per hop; batched strictly coalesces.
+    assert all(u.extra["frames"] == u.hops for u in unbatched)
+    assert all(b.extra["frames"] < b.hops for b in batched)
+    # Framing overhead stays small next to the payload.
+    assert all(r.bytes_sent < 1.25 * r.extra["payload_bytes"] for r in batched)
+    # And the wire format does not change the learned bits.
+    for sid, theta in runs[True][1].items():
+        assert np.array_equal(theta, runs[False][1][sid])

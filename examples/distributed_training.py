@@ -1,14 +1,18 @@
-"""Distributed ParMAC: simulated ring vs real multiprocessing ring.
+"""Distributed ParMAC: simulated rings vs real wall-clock rings.
 
-Trains the same binary autoencoder three ways —
+Trains the same binary autoencoder five ways —
 
 * serially (P = 1 reference),
 * on the in-process simulated cluster (virtual clock; what the speedup
-  analysis measures),
-* on real OS processes connected in a queue ring (the MPI stand-in) —
+  analysis measures), with both the sync and async engines,
+* on real OS processes connected in a queue ring,
+* on real OS processes connected by TCP sockets, submodels travelling
+  as length-prefixed framed batches (the closest single-host stand-in
+  for the paper's MPI deployment) —
 
-and reports learning quality and timing for each, plus the theoretical
-speedup the section-5 model predicts for the configuration.
+and reports learning quality and timing for each, the measured wire
+cost of the socket ring, plus the theoretical speedup the section-5
+model predicts for the configuration.
 
 Run:  python examples/distributed_training.py
 """
@@ -42,14 +46,22 @@ def main():
         ("simulated ring", dict(n_machines=P, backend="sync", cost=cost)),
         ("async ring", dict(n_machines=P, backend="async", cost=cost)),
         ("multiprocessing", dict(n_machines=P, backend="multiprocess")),
+        ("tcp sockets", dict(n_machines=P, backend="tcp")),
     ]:
         ba = BinaryAutoencoder.linear(dim, n_bits)
         trainer = ParMACTrainerBA(ba, schedule, epochs=epochs, seed=0, **kwargs)
         history = trainer.fit(X)
         runs[label] = (ba, history)
-        unit = "s wall" if "multi" in label else "virt units"
+        wallclock = label in ("multiprocessing", "tcp sockets")
+        unit = "s wall" if wallclock else "virt units"
         print(f"{label:>16}: final E_BA = {history.e_ba[-1]:10.0f}   "
               f"total time = {history.total_time:12.1f} {unit}")
+
+    tcp_rec = runs["tcp sockets"][1].records[-1]
+    print(f"\ntcp wire cost per MAC iteration: "
+          f"{tcp_rec.extra['hops']} hops in {tcp_rec.extra['frames']} framed "
+          f"batches, {tcp_rec.extra['bytes_sent']:,} B on the wire "
+          f"({tcp_rec.extra['payload_bytes']:,} B of parameters)")
 
     params = SpeedupParams(N=n, M=2 * n_bits, e=epochs,
                            t_wr=cost.t_wr, t_wc=cost.t_wc, t_zr=cost.t_zr)
@@ -64,7 +76,7 @@ def main():
           f"{serial_virtual / tp:.1f} measured vs {predicted:.1f} predicted "
           f"by the section-5 model")
 
-    print("\nall four runs should reach similar E_BA: the distributed W step")
+    print("\nall five runs should reach similar E_BA: the distributed W step")
     print("is just SGD with a different minibatch visiting order.")
 
 

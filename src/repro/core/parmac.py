@@ -49,7 +49,8 @@ class ParMACTrainerBA:
     epochs : int
         SGD epochs in the W step (e).
     backend : str
-        Any registered execution backend ("sync", "async", "multiprocess").
+        Any registered execution backend ("sync", "async",
+        "multiprocess", "tcp").
     scheme : {"rounds", "tworound"}
         W-step communication scheme (sections 4.1 / 4.2).
     shuffle_within, shuffle_ring : bool
@@ -64,6 +65,10 @@ class ParMACTrainerBA:
     evaluator : callable, optional
         Per-iteration retrieval metric.
     seed : int or None
+    backend_options : dict, optional
+        Extra keyword arguments for the backend class (e.g. ``ports`` /
+        ``batch_hops`` for the TCP ring, ``ctx_method`` for the
+        multiprocessing pool).
 
     Attributes
     ----------
@@ -96,6 +101,7 @@ class ParMACTrainerBA:
         max_sweeps: int = 20,
         evaluator=None,
         seed=None,
+        backend_options: dict | None = None,
     ):
         get_backend(backend)  # fail fast on unknown names
         if n_machines < 1:
@@ -117,6 +123,7 @@ class ParMACTrainerBA:
         self.max_sweeps = int(max_sweeps)
         self.evaluator = evaluator
         self.seed = seed
+        self.backend_options = backend_options
         self.history_: TrainingHistory | None = None
         self.trainer_: ParMACTrainer | None = None
         self._trainer_config: tuple | None = None
@@ -152,6 +159,9 @@ class ParMACTrainerBA:
             self.cost,
             self.seed,
             self.evaluator,
+            None if self.backend_options is None else tuple(
+                sorted(self.backend_options.items())
+            ),
             self.n_decoder_groups,
             self.zstep_method,
             self.max_enum_bits,
@@ -179,6 +189,7 @@ class ParMACTrainerBA:
                 seed=self.seed,
                 evaluator=self.evaluator,
                 stop_on_fixed_point=True,
+                backend_options=self.backend_options,
             )
             self._trainer_config = config
         return self.trainer_

@@ -40,8 +40,9 @@ class ParMACTrainerNet:
         The mu schedule (default: mu0 = 1, x2, 10 iterations).
     backend : str
         Any registered execution backend ("sync", "async",
-        "multiprocess").
-    n_machines, epochs, scheme, shuffle_within, shuffle_ring, cost, seed :
+        "multiprocess", "tcp").
+    n_machines, epochs, scheme, shuffle_within, shuffle_ring, cost, seed,
+    backend_options :
         As in :class:`~repro.core.parmac.ParMACTrainerBA`.
     z_steps, z_lr : Z-step optimiser settings.
     evaluator : callable, optional
@@ -71,6 +72,7 @@ class ParMACTrainerNet:
         z_lr: float = 0.5,
         evaluator=None,
         seed=None,
+        backend_options: dict | None = None,
     ):
         get_backend(backend)  # fail fast on unknown names
         if n_machines < 1:
@@ -91,6 +93,7 @@ class ParMACTrainerNet:
         self.z_lr = float(z_lr)
         self.evaluator = evaluator
         self.seed = seed
+        self.backend_options = backend_options
         self.history_: TrainingHistory | None = None
         self.trainer_: ParMACTrainer | None = None
         self._trainer_config: tuple | None = None
@@ -109,6 +112,9 @@ class ParMACTrainerNet:
             self.cost,
             self.seed,
             self.evaluator,
+            None if self.backend_options is None else tuple(
+                sorted(self.backend_options.items())
+            ),
             self.z_steps,
             self.z_lr,
         )
@@ -134,6 +140,7 @@ class ParMACTrainerNet:
                 seed=self.seed,
                 evaluator=self.evaluator,
                 stop_on_fixed_point=False,
+                backend_options=self.backend_options,
             )
             self._trainer_config = config
         return self.trainer_

@@ -39,10 +39,11 @@ class ParMACTrainer:
     schedule : GeometricSchedule or preset name, optional
         The penalty schedule (default: mu0 = 1, x2, 10 iterations).
     backend : str or Backend
-        A registry name (``"sync"``, ``"async"``, ``"multiprocess"``) or
-        an already-constructed backend instance. When a name is given,
-        the backend is built from the keyword arguments below; when an
-        instance is given, those arguments are ignored in its favour.
+        A registry name (``"sync"``, ``"async"``, ``"multiprocess"``,
+        ``"tcp"``) or an already-constructed backend instance. When a
+        name is given, the backend is built from the keyword arguments
+        below; when an instance is given, those arguments are ignored in
+        its favour.
     epochs, scheme, batch_size, shuffle_within, shuffle_ring, cost, seed :
         Backend configuration; see :class:`BaseBackend`.
     evaluator : callable, optional
@@ -55,7 +56,8 @@ class ParMACTrainer:
     backend_options : dict, optional
         Extra keyword arguments for the backend class (e.g.
         ``execute_updates``/``message_dtype`` for simulated engines,
-        ``ctx_method`` for the multiprocessing pool).
+        ``ctx_method`` for the multiprocessing pool, ``ports`` /
+        ``batch_hops`` for the TCP ring).
 
     Attributes
     ----------
@@ -113,9 +115,9 @@ class ParMACTrainer:
         ``shards`` must match the adapter (e.g. :class:`Shard` for a BA,
         :class:`NetShard` for a deep net); one machine per shard.
         """
-        self.backend.setup(self.adapter, shards)
         history = TrainingHistory()
         try:
+            self.backend.setup(self.adapter, shards)
             for i, mu in enumerate(self.schedule):
                 stats = self.backend.run_iteration(float(mu))
                 record = IterationRecord(
@@ -140,6 +142,9 @@ class ParMACTrainer:
                 ):
                     break
         finally:
+            # Unconditional: even a fit that failed between shard
+            # shipping and the first result must release per-fit
+            # resources (e.g. shared-memory segments) on the way out.
             self.backend.teardown()
         self.history_ = history
         return history

@@ -9,10 +9,12 @@ parallel with zero communication. This package provides:
 * the submodel-message protocol with visit counters (section 4.1), the
   two-round W-step variant (section 4.2), and a visit-list variant that
   supports fault tolerance (section 4.3);
-* three engines executing the identical protocol: a deterministic
+* four engines executing the identical protocol: a deterministic
   synchronous tick engine, an asynchronous discrete-event engine with a
-  virtual clock (used for speedup measurements), and a real
-  ``multiprocessing`` ring backend (standing in for the paper's MPI);
+  virtual clock (used for speedup measurements), a real
+  ``multiprocessing`` ring backend, and a TCP backend whose submodels
+  travel real sockets as length-prefixed framed batches (the closest
+  single-host stand-in for the paper's MPI deployment);
 * partitioning/load balancing, streaming, fault injection/recovery, and an
   exact-gradient allreduce W step (section 6 ablation).
 """
@@ -30,10 +32,12 @@ from repro.distributed.backends import (
     IterationStats,
     MultiprocessBackend,
     SyncSimBackend,
+    TCPBackend,
     available_backends,
     get_backend,
     register_backend,
 )
+from repro.distributed.framing import ProtocolError
 from repro.distributed.mp_backend import MultiprocessRing
 from repro.distributed.allreduce import allreduce_sum, exact_decoder_fit, exact_svm_steps
 
@@ -60,6 +64,8 @@ __all__ = [
     "SyncSimBackend",
     "AsyncSimBackend",
     "MultiprocessBackend",
+    "TCPBackend",
+    "ProtocolError",
     "MultiprocessRing",
     "allreduce_sum",
     "exact_decoder_fit",

@@ -1,6 +1,6 @@
 """Pluggable execution backends for ParMAC training.
 
-One :class:`Backend` interface, three registered engines:
+One :class:`Backend` interface, four registered engines:
 
 ===============  =============================================  ==========
 name             implementation                                 time axis
@@ -8,10 +8,11 @@ name             implementation                                 time axis
 ``sync``         deterministic tick simulation (fig. 3)         virtual
 ``async``        discrete-event simulation (section 4.1)        virtual
 ``multiprocess`` persistent OS-process pool over shared memory  wall clock
+``tcp``          OS processes ringed by framed TCP sockets      wall clock
 ===============  =============================================  ==========
 
-Resolve engines through the registry — ``get_backend("multiprocess")`` —
-rather than importing concrete classes; the generic
+Resolve engines through the registry — ``get_backend("tcp")`` — rather
+than importing concrete classes; the generic
 :class:`~repro.core.trainer.ParMACTrainer` accepts either the name or a
 constructed instance.
 """
@@ -26,6 +27,7 @@ from repro.distributed.backends.base import (
 )
 from repro.distributed.backends.mp import MultiprocessBackend, home_assignment
 from repro.distributed.backends.sim import AsyncSimBackend, SyncSimBackend
+from repro.distributed.backends.tcp import TCPBackend
 
 __all__ = [
     "Backend",
@@ -37,5 +39,6 @@ __all__ = [
     "SyncSimBackend",
     "AsyncSimBackend",
     "MultiprocessBackend",
+    "TCPBackend",
     "home_assignment",
 ]

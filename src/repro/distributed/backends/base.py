@@ -50,7 +50,14 @@ class IterationStats:
     clock units for simulated engines, wall-clock seconds for real ones —
     while ``wall_time`` is always the coordinator-observed elapsed wall
     clock. ``extra`` carries backend-specific detail (per-step times,
-    bytes sent, ...) straight into the history record.
+    per-frame counts, ...) straight into the history record.
+
+    ``bytes_sent`` and ``hops`` are the backend-neutral wire cost of the
+    iteration: total bytes that crossed the ring and the number of
+    submodel-message hops they took. The wall-clock backends count both
+    from actual traffic; simulated engines account ``bytes_sent`` from
+    the cost model's byte counting and leave ``hops`` at 0. Engines with
+    no notion of a wire leave both 0.
     """
 
     mu: float
@@ -61,6 +68,8 @@ class IterationStats:
     time: float
     wall_time: float
     extra: dict = field(default_factory=dict)
+    bytes_sent: int = 0
+    hops: int = 0
 
 
 @runtime_checkable

@@ -18,7 +18,18 @@ Beyond the original one-shot ring this backend adds:
 * **cross-machine shuffling** — ``shuffle_ring`` builds a freshly
   shuffled per-epoch :class:`~repro.distributed.protocol.RoutePlan`
   every iteration (section 4.3), routed per-message via the full queue
-  mesh, where the old backend silently ignored the option.
+  mesh, where the old backend silently ignored the option;
+* **fault detection** — the coordinator polls worker liveness while
+  waiting for results, so a worker that dies mid-iteration (OOM kill,
+  segfault, operator error) tears the whole pool down with a raised
+  error instead of wedging every peer on a receive that never comes.
+
+The ring *transport* — how a forwarded submodel physically reaches the
+successor machine — is pluggable: this module's workers pass messages
+over ``multiprocessing`` queues, while the TCP backend
+(:mod:`repro.distributed.backends.tcp`) subclasses the coordinator and
+swaps in framed socket connections; everything else (counter protocol,
+shared-memory shards, pool lifecycle) is shared.
 
 Workers report per-shard metrics after the Z step; worker 0 additionally
 reports the assembled final parameters, which the coordinator writes
@@ -30,6 +41,7 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing as mp
+import queue as queue_mod
 import time
 import traceback
 from multiprocessing import shared_memory
@@ -45,10 +57,26 @@ from repro.utils.rng import check_random_state
 
 __all__ = ["MultiprocessBackend", "home_assignment"]
 
+#: How often the coordinator checks worker liveness while blocked on
+#: results; bounds how long a dead worker can go unnoticed.
+_LIVENESS_POLL_S = 0.5
+
 
 def home_assignment(n_submodels: int, n_machines: int) -> dict[int, int]:
     """Contiguous-block home machines, as in paper fig. 2."""
     return {sid: sid * n_machines // n_submodels for sid in range(n_submodels)}
+
+
+def _unlink_segments(segments) -> None:
+    """Close and unlink shared-memory segments, tolerating absent ones."""
+    for seg in segments:
+        if seg is None:
+            continue
+        try:
+            seg.close()
+            seg.unlink()
+        except FileNotFoundError:
+            pass
 
 
 # ------------------------------------------------------------------ shards
@@ -58,42 +86,48 @@ def _pack_shards(shards) -> tuple[list, list]:
     Returns ``(segments, descriptors)``; descriptor i tells worker i how
     to rebuild its shard as zero-copy views over the segment. Non-array
     dataclass fields travel by value; non-dataclass shards fall back to
-    pickling whole.
+    pickling whole. If packing fails partway, every segment already
+    created is unlinked before the error propagates — a half-packed fit
+    must not leave residue in /dev/shm.
     """
     segments, descs = [], []
-    for shard in shards:
-        if not dataclasses.is_dataclass(shard):
-            segments.append(None)
-            descs.append({"pickle": shard})
-            continue
-        arrays: list[tuple[str, int | None, np.ndarray]] = []
-        values: dict = {}
-        for f in dataclasses.fields(shard):
-            v = getattr(shard, f.name)
-            if isinstance(v, np.ndarray):
-                arrays.append((f.name, None, np.ascontiguousarray(v)))
-            elif (
-                isinstance(v, (list, tuple))
-                and len(v)
-                and all(isinstance(a, np.ndarray) for a in v)
-            ):
-                for i, a in enumerate(v):
-                    arrays.append((f.name, i, np.ascontiguousarray(a)))
-            else:
-                values[f.name] = v
-        total = sum(a.nbytes for _, _, a in arrays)
-        seg = shared_memory.SharedMemory(create=True, size=max(total, 1))
-        fields = []
-        offset = 0
-        for name, idx, a in arrays:
-            view = np.ndarray(a.shape, dtype=a.dtype, buffer=seg.buf, offset=offset)
-            view[...] = a
-            fields.append((name, idx, a.dtype.str, a.shape, offset))
-            offset += a.nbytes
-        segments.append(seg)
-        descs.append(
-            {"name": seg.name, "cls": type(shard), "fields": fields, "values": values}
-        )
+    try:
+        for shard in shards:
+            if not dataclasses.is_dataclass(shard):
+                segments.append(None)
+                descs.append({"pickle": shard})
+                continue
+            arrays: list[tuple[str, int | None, np.ndarray]] = []
+            values: dict = {}
+            for f in dataclasses.fields(shard):
+                v = getattr(shard, f.name)
+                if isinstance(v, np.ndarray):
+                    arrays.append((f.name, None, np.ascontiguousarray(v)))
+                elif (
+                    isinstance(v, (list, tuple))
+                    and len(v)
+                    and all(isinstance(a, np.ndarray) for a in v)
+                ):
+                    for i, a in enumerate(v):
+                        arrays.append((f.name, i, np.ascontiguousarray(a)))
+                else:
+                    values[f.name] = v
+            total = sum(a.nbytes for _, _, a in arrays)
+            seg = shared_memory.SharedMemory(create=True, size=max(total, 1))
+            segments.append(seg)
+            fields = []
+            offset = 0
+            for name, idx, a in arrays:
+                view = np.ndarray(a.shape, dtype=a.dtype, buffer=seg.buf, offset=offset)
+                view[...] = a
+                fields.append((name, idx, a.dtype.str, a.shape, offset))
+                offset += a.nbytes
+            descs.append(
+                {"name": seg.name, "cls": type(shard), "fields": fields, "values": values}
+            )
+    except Exception:
+        _unlink_segments(segments)
+        raise
     return segments, descs
 
 
@@ -128,8 +162,65 @@ def _attach_shard(desc):
     return seg, desc["cls"](**kwargs)
 
 
+# --------------------------------------------------------------- transport
+class _QueueRingTransport:
+    """Ring transport over the coordinator-built full queue mesh.
+
+    The transport interface the worker iteration runs against:
+    ``send(dest, msg)`` may buffer, ``flush()`` forces buffered messages
+    out, ``recv()`` returns the next incoming message (flushing first,
+    so a worker never blocks while holding undelivered sends), and
+    ``wire_stats()`` reports what the iteration cost on the wire. Queues
+    deliver messages one at a time with no syscall to amortise, so this
+    implementation sends eagerly and ``flush`` is a no-op.
+    """
+
+    def __init__(self, rank: int, ring_qs):
+        self.rank = rank
+        self._ring_qs = ring_qs
+        self.msgs_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, dest: int, msg: SubmodelMessage) -> None:
+        self.msgs_sent += 1
+        self.bytes_sent += msg.nbytes
+        self._ring_qs[dest].put(msg)
+
+    def flush(self) -> None:
+        pass
+
+    def recv(self) -> SubmodelMessage:
+        return self._ring_qs[self.rank].get()
+
+    def wire_stats(self) -> dict:
+        return {"hops": self.msgs_sent, "bytes_sent": self.bytes_sent}
+
+
 # ------------------------------------------------------------------ worker
-def _run_worker_iteration(rank, state, mu, plan, n_expected, ring_qs):
+def _build_worker_state(rank, adapter, desc, protocol, homes, batch_size,
+                        shuffle_within, seed) -> dict:
+    """Per-fit worker state, shared by every wall-clock worker loop.
+
+    One construction site keeps the queue and TCP workers bit-identical:
+    a field added here (RNG stream, batching knob, ...) reaches both.
+    """
+    seg, shard = _attach_shard(desc)
+    specs = adapter.submodel_specs()
+    return {
+        "adapter": adapter,
+        "shard": shard,
+        "seg": seg,
+        "protocol": protocol,
+        "specs": specs,
+        "spec_by_sid": {s.sid: s for s in specs},
+        "my_sids": [sid for sid, h in homes.items() if h == rank],
+        "batch_size": batch_size,
+        "shuffle_within": shuffle_within,
+        "rng": np.random.default_rng(seed),
+    }
+
+
+def _run_worker_iteration(rank, state, mu, plan, n_expected, transport):
     """One W step + Z step on this worker's shard; returns the payload."""
     adapter = state["adapter"]
     shard = state["shard"]
@@ -153,7 +244,7 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, ring_qs):
         if protocol.is_final(msg.counter):
             final[msg.spec.sid] = np.array(msg.theta, copy=True)
         if protocol.should_forward(msg.counter):
-            ring_qs[plan.successor(rank, msg.counter)].put(msg)
+            transport.send(plan.successor(rank, msg.counter), msg)
 
     t_w0 = time.perf_counter()
     for sid in state["my_sids"]:
@@ -165,9 +256,10 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, ring_qs):
                 sgd_state=SGDState(),
             )
         )
-    ring_in = ring_qs[rank]
+    transport.flush()
     for _ in range(n_expected):
-        handle(ring_in.get())
+        handle(transport.recv())
+    transport.flush()
     # W-step invariant: this worker now holds every final submodel.
     for spec in specs:
         adapter.set_params(spec, final[spec.sid])
@@ -184,6 +276,7 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, ring_qs):
         "z_changes": z_changes,
         "w_time": t_w,
         "z_time": t_z,
+        "wire": transport.wire_stats(),
         "model": [(s.sid, final[s.sid]) for s in specs] if rank == 0 else None,
     }
 
@@ -203,25 +296,16 @@ def _worker_main(rank, ring_qs, cmd_q, res_q):
                 _, adapter, desc, protocol, homes, batch_size, shuffle_within, seed = cmd
                 if state is not None and state["seg"] is not None:
                     state["seg"].close()
-                seg, shard = _attach_shard(desc)
-                specs = adapter.submodel_specs()
-                state = {
-                    "adapter": adapter,
-                    "shard": shard,
-                    "seg": seg,
-                    "protocol": protocol,
-                    "specs": specs,
-                    "spec_by_sid": {s.sid: s for s in specs},
-                    "my_sids": [sid for sid, h in homes.items() if h == rank],
-                    "batch_size": batch_size,
-                    "shuffle_within": shuffle_within,
-                    "rng": np.random.default_rng(seed),
-                }
+                state = _build_worker_state(
+                    rank, adapter, desc, protocol, homes, batch_size,
+                    shuffle_within, seed,
+                )
                 res_q.put((rank, "ready", None))
             elif op == "iter":
                 _, mu, plan, n_expected = cmd
+                transport = _QueueRingTransport(rank, ring_qs)
                 payload = _run_worker_iteration(
-                    rank, state, mu, plan, n_expected, ring_qs
+                    rank, state, mu, plan, n_expected, transport
                 )
                 res_q.put((rank, "result", payload))
         except Exception:
@@ -237,6 +321,13 @@ class MultiprocessBackend(BaseBackend):
 
     ctx_method : str
         ``multiprocessing`` start method ("fork" is fastest on Linux).
+    worker_timeout : float or None
+        Upper bound in seconds on one whole collective gather — the time
+        from issuing a command round (setup, iteration) until *all* P
+        responses have arrived. ``None`` waits indefinitely — but a
+        worker *dying* is always detected within
+        :data:`_LIVENESS_POLL_S` seconds and fails the fit, tearing down
+        the remaining peers.
 
     The adapter must be picklable; each worker gets its own copy at
     ``setup`` while the shard *data* travels through shared memory.
@@ -244,9 +335,18 @@ class MultiprocessBackend(BaseBackend):
     backend reports wall-clock time.
     """
 
-    def __init__(self, *, ctx_method: str = "fork", **kwargs):
+    #: Worker entry point; subclasses substitute their own loop.
+    _worker_fn = staticmethod(_worker_main)
+    #: Whether the ring runs over coordinator-built queues (the TCP
+    #: backend moves the ring to sockets and skips the mesh).
+    _needs_ring_queues = True
+
+    def __init__(
+        self, *, ctx_method: str = "fork", worker_timeout: float | None = None, **kwargs
+    ):
         super().__init__(**kwargs)
         self.ctx_method = ctx_method
+        self.worker_timeout = worker_timeout
         self._ctx = None
         self._procs: list = []
         self._ring_qs: list = []
@@ -273,12 +373,29 @@ class MultiprocessBackend(BaseBackend):
         if not self._procs:
             self._spawn(P)
         self._release_segments()
-        self._segments, descs = _pack_shards(shards)
-        for desc in descs:
-            if "pickle" not in desc:
-                desc["untrack"] = self.ctx_method != "fork"
+        # Anything that fails between shard shipping and a successful
+        # ready-collection must not leak the just-created /dev/shm
+        # segments: tear the fit down (close releases the segments) and
+        # re-raise.
+        try:
+            self._segments, descs = _pack_shards(shards)
+            for desc in descs:
+                if "pickle" not in desc:
+                    desc["untrack"] = self.ctx_method != "fork"
+            self._ship_setup(adapter, descs)
+        except Exception:
+            self.close(force=True)
+            raise
+
+    def _ship_setup(self, adapter, descs) -> None:
+        """Send per-worker setup commands and wait for every ack.
+
+        Override point for subclasses whose workers need extra setup
+        phases (the TCP backend negotiates ports and builds the socket
+        mesh here).
+        """
         base_seed = 0 if self.seed is None else int(self.seed)
-        for rank in range(P):
+        for rank in range(self._pool_size):
             self._cmd_qs[rank].put(
                 (
                     "setup",
@@ -305,19 +422,25 @@ class MultiprocessBackend(BaseBackend):
         except Exception:
             pass
         self._ctx = mp.get_context(self.ctx_method)
-        self._ring_qs = [self._ctx.Queue() for _ in range(P)]
+        self._ring_qs = (
+            [self._ctx.Queue() for _ in range(P)] if self._needs_ring_queues else []
+        )
         self._cmd_qs = [self._ctx.Queue() for _ in range(P)]
         self._res_q = self._ctx.Queue()
         self._procs = []
         for rank in range(P):
             proc = self._ctx.Process(
-                target=_worker_main,
-                args=(rank, self._ring_qs, self._cmd_qs[rank], self._res_q),
+                target=self._worker_fn,
+                args=self._worker_args(rank),
                 daemon=True,
             )
             proc.start()
             self._procs.append(proc)
         self._pool_size = P
+
+    def _worker_args(self, rank: int) -> tuple:
+        """Arguments for this rank's worker process."""
+        return (rank, self._ring_qs, self._cmd_qs[rank], self._res_q)
 
     def run_iteration(self, mu: float) -> IterationStats:
         if not self._procs:
@@ -332,8 +455,7 @@ class MultiprocessBackend(BaseBackend):
             plan = RoutePlan.fixed(self._topology, self._protocol)
         expected = expected_receives(plan, self._homes)
         t0 = time.perf_counter()
-        for rank in range(P):
-            self._cmd_qs[rank].put(("iter", mu, plan, expected[rank]))
+        self._dispatch_iteration(mu, plan, expected)
         payloads = self._collect("result")
         wall = time.perf_counter() - t0
         for sid, theta in payloads[0]["model"]:
@@ -341,6 +463,12 @@ class MultiprocessBackend(BaseBackend):
         ranks = sorted(payloads)
         w_time = max(payloads[r]["w_time"] for r in ranks)
         z_time = max(payloads[r]["z_time"] for r in ranks)
+        wire: dict = {}
+        for r in ranks:
+            for key, value in (payloads[r].get("wire") or {}).items():
+                wire[key] = wire.get(key, 0) + value
+        extra = {"wall_time": wall, "w_time": w_time, "z_time": z_time}
+        extra.update(wire)
         return IterationStats(
             mu=mu,
             e_q=sum(payloads[r]["e_q"] for r in ranks),
@@ -349,18 +477,49 @@ class MultiprocessBackend(BaseBackend):
             violations=sum(payloads[r]["violations"] for r in ranks),
             time=w_time + z_time,
             wall_time=wall,
-            extra={"wall_time": wall, "w_time": w_time, "z_time": z_time},
+            extra=extra,
+            bytes_sent=int(wire.get("bytes_sent", 0)),
+            hops=int(wire.get("hops", 0)),
         )
 
+    def _dispatch_iteration(self, mu: float, plan: RoutePlan, expected: dict) -> None:
+        """Send one iteration command to every worker (override point)."""
+        for rank in range(self._pool_size):
+            self._cmd_qs[rank].put(("iter", mu, plan, expected[rank]))
+
     def _collect(self, expect: str) -> dict:
+        """Gather one response per worker, watching liveness throughout.
+
+        Any worker error — or a worker found dead, or the configured
+        ``worker_timeout`` elapsing — makes the whole fit unrecoverable:
+        peers may be blocked on ring receives that will never arrive, and
+        their queued results would corrupt the next iteration. Tear
+        everything down so a later ``setup`` starts clean.
+        """
+        deadline = (
+            None
+            if self.worker_timeout is None
+            else time.monotonic() + self.worker_timeout
+        )
         payloads = {}
         while len(payloads) < self._pool_size:
-            rank, kind, payload = self._res_q.get()
+            try:
+                rank, kind, payload = self._res_q.get(timeout=_LIVENESS_POLL_S)
+            except queue_mod.Empty:
+                dead = [r for r, p in enumerate(self._procs) if not p.is_alive()]
+                if dead:
+                    self.close(force=True)
+                    raise RuntimeError(
+                        f"worker(s) {dead} died mid-{expect}; pool torn down"
+                    ) from None
+                if deadline is not None and time.monotonic() > deadline:
+                    self.close(force=True)
+                    raise RuntimeError(
+                        f"timed out after {self.worker_timeout}s waiting for "
+                        f"{expect!r} from {self._pool_size - len(payloads)} worker(s)"
+                    ) from None
+                continue
             if kind == "error":
-                # The pool is unrecoverable mid-protocol: peers may be
-                # blocked on ring receives that will never arrive, and
-                # their queued results would corrupt the next iteration.
-                # Tear everything down so a later setup() starts clean.
                 self.close(force=True)
                 raise RuntimeError(f"worker {rank} failed:\n{payload}")
             if kind == expect:
@@ -372,14 +531,7 @@ class MultiprocessBackend(BaseBackend):
         self._release_segments()
 
     def _release_segments(self) -> None:
-        for seg in self._segments:
-            if seg is None:
-                continue
-            try:
-                seg.close()
-                seg.unlink()
-            except FileNotFoundError:
-                pass
+        _unlink_segments(self._segments)
         self._segments = []
 
     def close(self, *, force: bool = False) -> None:

@@ -82,6 +82,7 @@ class _SimBackend(BaseBackend):
                 "bytes_sent": wstats.bytes_sent,
                 "wall_time": wall,
             },
+            bytes_sent=int(wstats.bytes_sent),
         )
 
     # The cluster stays accessible after teardown: streaming and fault

@@ -1,0 +1,404 @@
+"""TCP ring backend: submodels travel real sockets as framed batches.
+
+The closest stand-in for the paper's MPI deployment that a single host
+can offer: every worker is an OS process that **owns a listening
+socket**, ring neighbours connect point-to-point over TCP, and
+:class:`~repro.distributed.messages.SubmodelMessage`s travel as
+length-prefixed frames (:mod:`repro.distributed.framing`) — a packed
+binary header plus raw ndarray bytes, no pickle on the hot path. Worker
+processes are managed exactly like the multiprocessing pool's (same
+commands, same shared-memory shard shipping, same persistent-pool
+lifecycle); only the *ring transport* differs, which is the point: the
+counter protocol is transport-agnostic, so the conformance suite can
+assert bit-parity between queues, sockets and the simulators.
+
+Two properties matter for scale-out:
+
+* **Connection mesh.** Each worker dials every peer once at setup (its
+  outgoing, send-only sockets) and accepts one connection from every
+  peer (incoming, receive-only), identified by a HELLO frame. A fixed
+  ring only ever uses the two neighbour links, but ``shuffle_ring``
+  re-randomises the ring per epoch (section 4.3) and may route a hop to
+  any machine — the mesh makes rerouting a lookup, not a reconnect.
+
+* **Message batching** (``batch_hops``, default on). A machine housing
+  several submodels owes its successor one message per resident
+  submodel per hop. Sending them individually costs one syscall + one
+  wire latency each; instead the transport buffers outgoing messages
+  and flushes *one framed batch per destination* whenever the worker is
+  about to block on a receive — by which time every message the current
+  processing round can produce has been produced. With M/P submodels
+  per machine this divides per-hop syscalls and latency by M/P, which
+  is exactly the amortisation the paper's near-ideal speedups rely on
+  (large M keeps the pipeline full; batching keeps the per-hop overhead
+  constant). ``batch_hops=False`` sends each message as its own frame,
+  which is what `benchmarks/bench_tcp_wire.py` compares against.
+
+Per-iteration wire cost — payload bytes, frame bytes, hops (messages)
+and frames (batches) actually sent — is surfaced through
+``IterationStats`` so the wire can be plotted against the perfmodel's
+first-principles predictions.
+
+A dead peer is detected, not waited for: a worker blocked on a receive
+observes the peer's sockets reset (EOF mid-frame), raises a
+:class:`~repro.distributed.framing.ProtocolError`, and reports the
+failure; the coordinator then tears down the remaining peers. The
+coordinator also polls worker liveness directly (inherited from the
+multiprocessing backend), so even a silently vanished worker fails the
+fit within a bounded delay.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import traceback
+
+from repro.distributed.backends.base import register_backend
+from repro.distributed.backends.mp import (
+    MultiprocessBackend,
+    _build_worker_state,
+    _run_worker_iteration,
+)
+from repro.distributed.framing import (
+    KIND_BATCH,
+    KIND_HELLO,
+    FrameDecoder,
+    ProtocolError,
+    decode_batch,
+    decode_hello,
+    encode_batch,
+    encode_hello,
+)
+from repro.distributed.protocol import RoutePlan
+
+__all__ = ["TCPBackend"]
+
+
+# --------------------------------------------------------------- transport
+class _SocketRingTransport:
+    """Ring transport over the established TCP mesh, with coalescing.
+
+    ``send`` buffers per destination when ``batch_hops`` is on; ``recv``
+    flushes all buffers before blocking (so no worker ever sleeps on a
+    receive while holding messages a peer is waiting for — the
+    protocol-level no-deadlock invariant) and then multiplexes the
+    incoming connections, feeding each socket's bytes through its own
+    frame decoder.
+
+    Transport-level deadlock is prevented too: outgoing sockets are
+    non-blocking, and a send that fills the kernel buffer *keeps reading
+    incoming frames while waiting for writability*. Otherwise a frame
+    larger than the in-flight socket capacity could wedge the whole ring
+    — every worker blocked in ``sendall`` to a peer that cannot read
+    because it is itself blocked sending.
+    """
+
+    def __init__(self, rank, out_conns, in_conns, spec_by_sid, *, batch_hops=True):
+        self.rank = rank
+        self._out = out_conns
+        self._in = in_conns
+        self._peer_of = {conn: peer for peer, conn in in_conns.items()}
+        self._spec_by_sid = spec_by_sid
+        self.batch_hops = bool(batch_hops)
+        self._outbox: dict[int, list] = {}
+        self._inbox: list = []
+        self._decoders = {peer: FrameDecoder() for peer in in_conns}
+        self._selector = selectors.DefaultSelector()
+        for peer, conn in in_conns.items():
+            self._selector.register(conn, selectors.EVENT_READ, peer)
+        for conn in out_conns.values():
+            conn.setblocking(False)
+        self.msgs_sent = 0
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.payload_bytes = 0
+
+    # ------------------------------------------------------------- sending
+    def send(self, dest: int, msg) -> None:
+        self.msgs_sent += 1
+        self.payload_bytes += msg.nbytes
+        if self.batch_hops:
+            self._outbox.setdefault(dest, []).append(msg)
+        else:
+            self._transmit(dest, [msg])
+
+    def flush(self) -> None:
+        for dest, msgs in self._outbox.items():
+            if msgs:
+                self._transmit(dest, msgs)
+        self._outbox = {}
+
+    def _transmit(self, dest: int, msgs) -> None:
+        frame = encode_batch(msgs)
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+        conn = self._out[dest]
+        view = memoryview(frame)
+        while view:
+            try:
+                view = view[conn.send(view) :]
+            except (BlockingIOError, InterruptedError):
+                self._read_while_unwritable(conn)
+            except OSError as exc:
+                raise ProtocolError(f"send to machine {dest} failed: {exc}") from exc
+
+    def _read_while_unwritable(self, conn) -> None:
+        """Blocked on a full send buffer: drain peers until writable.
+
+        Uses the transport's selector (``data=None`` marks the one
+        write-registered socket; incoming sockets carry their peer id)
+        rather than ``select.select``, whose FD_SETSIZE cap would fail
+        on high fd numbers.
+        """
+        self._selector.register(conn, selectors.EVENT_WRITE, None)
+        try:
+            for key, _ in self._selector.select(timeout=1.0):
+                if key.data is not None:
+                    self._read_socket(key.fileobj)
+        finally:
+            self._selector.unregister(conn)
+
+    # ----------------------------------------------------------- receiving
+    def _read_socket(self, conn) -> None:
+        """Pull available bytes off one incoming connection into the inbox."""
+        peer = self._peer_of[conn]
+        try:
+            data = conn.recv(1 << 16)
+        except OSError as exc:
+            raise ProtocolError(f"receive from machine {peer} failed: {exc}") from exc
+        decoder = self._decoders[peer]
+        if not data:
+            decoder.eof()
+            raise ProtocolError(f"machine {peer} closed its connection mid-W-step")
+        for kind, payload in decoder.feed(data):
+            if kind != KIND_BATCH:
+                raise ProtocolError(f"unexpected frame kind {kind} mid-W-step")
+            self._inbox.extend(decode_batch(payload, self._spec_by_sid))
+
+    def recv(self):
+        if self._inbox:
+            return self._inbox.pop(0)
+        self.flush()
+        while not self._inbox:
+            for key, _ in self._selector.select():
+                self._read_socket(key.fileobj)
+        return self._inbox.pop(0)
+
+    # -------------------------------------------------------------- stats
+    def wire_stats(self) -> dict:
+        return {
+            "hops": self.msgs_sent,
+            "frames": self.frames_sent,
+            "bytes_sent": self.bytes_sent,
+            "payload_bytes": self.payload_bytes,
+        }
+
+    def close(self) -> None:
+        self._selector.close()
+
+
+# ----------------------------------------------------------------- sockets
+def _read_one_frame(conn, timeout: float) -> tuple[int, bytes]:
+    """Blocking read of exactly one frame (used for the HELLO handshake)."""
+    decoder = FrameDecoder()
+    conn.settimeout(timeout)
+    try:
+        while True:
+            data = conn.recv(4096)
+            if not data:
+                decoder.eof()
+                raise ProtocolError("connection closed before a full frame arrived")
+            frames = decoder.feed(data)
+            if frames:
+                if len(frames) > 1 or decoder.pending:
+                    raise ProtocolError("unexpected bytes after handshake frame")
+                return frames[0]
+    finally:
+        conn.settimeout(None)
+
+
+def _close_net(net: dict | None) -> None:
+    if not net:
+        return
+    for sock in [net.get("listen"), *net.get("out", {}).values(),
+                 *net.get("in", {}).values()]:
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+# ------------------------------------------------------------------ worker
+def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
+    """TCP pool worker: the mp command loop plus socket lifecycle.
+
+    Commands: ``setup`` binds the listening socket and replies with the
+    actual port; ``connect`` receives the full port map, dials every
+    peer, accepts every peer, and acks; ``iter`` runs one MAC iteration
+    with the socket transport; ``stop`` closes everything.
+    """
+    state = None
+    net: dict | None = None
+    while True:
+        cmd = cmd_q.get()
+        op = cmd[0]
+        if op == "stop":
+            _close_net(net)
+            if state is not None and state["seg"] is not None:
+                state["seg"].close()
+            break
+        try:
+            if op == "setup":
+                (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
+                 seed, host, port, batch_hops) = cmd
+                _close_net(net)  # a new fit rebuilds the mesh
+                net = None
+                if state is not None and state["seg"] is not None:
+                    state["seg"].close()
+                state = _build_worker_state(
+                    rank, adapter, desc, protocol, homes, batch_size,
+                    shuffle_within, seed,
+                )
+                listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                listen.bind((host, port))
+                listen.listen(16)
+                net = {"listen": listen, "out": {}, "in": {},
+                       "batch_hops": batch_hops}
+                res_q.put((rank, "port", listen.getsockname()[1]))
+            elif op == "connect":
+                _, addr_map = cmd
+                peers = sorted(p for p in addr_map if p != rank)
+                # Dialling succeeds as soon as the peer's listen backlog
+                # completes the handshake, so every worker can dial all
+                # peers before any of them reaches accept() — no
+                # deadlock, no ordering protocol needed.
+                for peer in peers:
+                    conn = socket.create_connection(
+                        addr_map[peer], timeout=connect_timeout
+                    )
+                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    conn.sendall(encode_hello(rank))
+                    net["out"][peer] = conn
+                net["listen"].settimeout(connect_timeout)
+                try:
+                    while len(net["in"]) < len(peers):
+                        conn, _ = net["listen"].accept()
+                        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                        kind, payload = _read_one_frame(conn, connect_timeout)
+                        if kind != KIND_HELLO:
+                            raise ProtocolError(
+                                f"expected HELLO on fresh connection, got kind {kind}"
+                            )
+                        net["in"][decode_hello(payload)] = conn
+                finally:
+                    net["listen"].settimeout(None)
+                res_q.put((rank, "ready", None))
+            elif op == "iter":
+                _, mu, orders, n_expected = cmd
+                plan = RoutePlan.from_orders(orders, state["protocol"])
+                transport = _SocketRingTransport(
+                    rank,
+                    net["out"],
+                    net["in"],
+                    state["spec_by_sid"],
+                    batch_hops=net["batch_hops"],
+                )
+                try:
+                    payload = _run_worker_iteration(
+                        rank, state, mu, plan, n_expected, transport
+                    )
+                finally:
+                    transport.close()
+                res_q.put((rank, "result", payload))
+        except Exception:
+            res_q.put((rank, "error", traceback.format_exc()))
+
+
+# ------------------------------------------------------------- coordinator
+@register_backend("tcp")
+class TCPBackend(MultiprocessBackend):
+    """ParMAC over a pool of OS processes ringed by real TCP sockets.
+
+    Extra parameters beyond :class:`MultiprocessBackend`:
+
+    host : str
+        Interface the workers bind and dial (default loopback; the
+        design generalises to multi-host once workers are launched
+        remotely, which is why addresses travel in the port map).
+    ports : sequence of int, int, or None
+        ``None`` (default): every worker binds an OS-assigned free port
+        — race-free, recommended. A sequence pins worker ``r`` to
+        ``ports[r]``; a single int pins worker ``r`` to ``ports + r``.
+    batch_hops : bool
+        Coalesce all messages a worker owes one successor into a single
+        framed batch per hop (default True). Off = one frame per
+        message, for measuring what batching buys.
+    connect_timeout : float
+        Seconds allowed for dialling/accepting each mesh connection.
+    """
+
+    _worker_fn = staticmethod(_tcp_worker_main)
+    _needs_ring_queues = False
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        ports=None,
+        batch_hops: bool = True,
+        connect_timeout: float = 10.0,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.host = host
+        self.ports = ports
+        self.batch_hops = bool(batch_hops)
+        self.connect_timeout = float(connect_timeout)
+
+    def _worker_args(self, rank: int) -> tuple:
+        return (rank, self._cmd_qs[rank], self._res_q, self.connect_timeout)
+
+    def _port_for(self, rank: int) -> int:
+        if self.ports is None:
+            return 0
+        if isinstance(self.ports, int):
+            return self.ports + rank
+        ports = list(self.ports)
+        if len(ports) < self._pool_size:
+            raise ValueError(
+                f"ports has {len(ports)} entries for {self._pool_size} workers"
+            )
+        return int(ports[rank])
+
+    def _ship_setup(self, adapter, descs) -> None:
+        """Three-phase socket setup: bind, exchange ports, build the mesh."""
+        base_seed = 0 if self.seed is None else int(self.seed)
+        for rank in range(self._pool_size):
+            self._cmd_qs[rank].put(
+                (
+                    "setup",
+                    adapter,
+                    descs[rank],
+                    self._protocol,
+                    self._homes,
+                    self.batch_size,
+                    self.shuffle_within,
+                    base_seed + rank,
+                    self.host,
+                    self._port_for(rank),
+                    self.batch_hops,
+                )
+            )
+        bound = self._collect("port")
+        addr_map = {rank: (self.host, port) for rank, port in bound.items()}
+        for rank in range(self._pool_size):
+            self._cmd_qs[rank].put(("connect", addr_map))
+        self._collect("ready")
+
+    def _dispatch_iteration(self, mu: float, plan, expected: dict) -> None:
+        orders = plan.to_orders()
+        for rank in range(self._pool_size):
+            self._cmd_qs[rank].put(("iter", mu, orders, expected[rank]))

@@ -1,0 +1,234 @@
+"""Framed wire format for submodel messages on socket transports.
+
+The TCP backend moves :class:`~repro.distributed.messages.SubmodelMessage`s
+between machines as *length-prefixed frames*: a fixed binary header
+(magic, version, kind, payload length) followed by a payload whose layout
+depends on the frame kind. The hot-path payload is a **batch** of
+submodel messages — every message a machine owes its ring successor for
+one hop, coalesced into a single frame so one ``send`` system call (and
+one network round of latency) amortises over all resident submodels.
+
+Nothing on the hot path is pickled. A message serialises to a small
+struct-packed header — sid, visit counter (the hop number), remaining
+epochs, SGD step counters, dtype and shape — plus the raw ndarray bytes
+of the parameter vector. Submodel *specs* (which may carry arbitrary
+adapter payloads in ``index``) never travel in frames: both endpoints
+hold the adapter's static sid-ordered spec table and the decoder looks
+specs up by sid. This mirrors the paper's MPI implementation, where a
+submodel message is "essentially the buffer of weights" and everything
+else is protocol bookkeeping.
+
+Any malformed input — bad magic, unsupported version, unknown frame
+kind, a declared length that exceeds the hard cap, or a payload that
+ends mid-message — raises :class:`ProtocolError` immediately rather
+than leaving a reader blocked on bytes that will never arrive.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.distributed.messages import SubmodelMessage
+
+__all__ = [
+    "ProtocolError",
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "KIND_HELLO",
+    "KIND_BATCH",
+    "encode_frame",
+    "FrameDecoder",
+    "encode_hello",
+    "decode_hello",
+    "encode_batch",
+    "decode_batch",
+]
+
+
+class ProtocolError(RuntimeError):
+    """A frame or payload violates the wire format."""
+
+
+FRAME_MAGIC = b"PM"
+FRAME_VERSION = 1
+
+#: Frame kinds. HELLO identifies the sending rank on a fresh connection;
+#: BATCH carries one coalesced hop's worth of submodel messages.
+KIND_HELLO = 0
+KIND_BATCH = 1
+_KNOWN_KINDS = (KIND_HELLO, KIND_BATCH)
+
+# magic (2s) | version (B) | kind (B) | payload length (I)
+_FRAME_HEADER = struct.Struct("<2sBBI")
+
+# Hard cap on a single frame's payload; a corrupt length field must fail
+# fast instead of making a reader buffer gigabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+_HELLO = struct.Struct("<I")
+
+# Per-message header inside a batch payload:
+# sid (I) | counter/hop (I) | epochs_left (i) | sgd t (q) | sgd n_updates (q)
+# | ndim (B) | dtype-string length (B)
+_MSG_HEADER = struct.Struct("<IIiqqBB")
+_DIM = struct.Struct("<q")
+_COUNT = struct.Struct("<I")
+
+
+# ------------------------------------------------------------------ frames
+def encode_frame(kind: int, payload: bytes) -> bytes:
+    """One wire frame: header + payload, ready for ``sendall``."""
+    if kind not in _KNOWN_KINDS:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )
+    return _FRAME_HEADER.pack(FRAME_MAGIC, FRAME_VERSION, kind, len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte stream.
+
+    Feed it whatever ``recv`` returned; it buffers partial frames across
+    calls and yields every completed ``(kind, payload)``. Socket readers
+    call :meth:`eof` when the peer closes the connection — a clean close
+    mid-frame is a protocol violation (the peer died or the stream was
+    truncated) and raises rather than silently dropping the tail.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered towards an incomplete frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[tuple[int, bytes]]:
+        """Absorb ``data``; return all frames completed by it."""
+        self._buf.extend(data)
+        frames = []
+        while True:
+            if len(self._buf) < _FRAME_HEADER.size:
+                break
+            magic, version, kind, length = _FRAME_HEADER.unpack_from(self._buf)
+            if magic != FRAME_MAGIC:
+                raise ProtocolError(f"bad frame magic {bytes(magic)!r}")
+            if version != FRAME_VERSION:
+                raise ProtocolError(f"unsupported frame version {version}")
+            if kind not in _KNOWN_KINDS:
+                raise ProtocolError(f"unknown frame kind {kind}")
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"declared payload of {length} bytes exceeds cap "
+                    f"{MAX_FRAME_BYTES}"
+                )
+            end = _FRAME_HEADER.size + length
+            if len(self._buf) < end:
+                break
+            frames.append((kind, bytes(self._buf[_FRAME_HEADER.size : end])))
+            del self._buf[:end]
+        return frames
+
+    def eof(self) -> None:
+        """The stream ended; raise if it ended inside a frame."""
+        if self._buf:
+            raise ProtocolError(
+                f"stream closed mid-frame with {len(self._buf)} bytes buffered"
+            )
+
+
+# ------------------------------------------------------------------- hello
+def encode_hello(rank: int) -> bytes:
+    """The one-off identification frame a fresh connection opens with."""
+    return encode_frame(KIND_HELLO, _HELLO.pack(rank))
+
+
+def decode_hello(payload: bytes) -> int:
+    if len(payload) != _HELLO.size:
+        raise ProtocolError(f"hello payload must be {_HELLO.size} bytes")
+    return _HELLO.unpack(payload)[0]
+
+
+# ----------------------------------------------------------------- batches
+def encode_batch(messages) -> bytes:
+    """Serialise submodel messages into one BATCH frame.
+
+    The resulting bytes are a complete frame (header included); the
+    payload starts with the message count, then each message as a packed
+    header plus raw parameter bytes.
+    """
+    parts = [_COUNT.pack(len(messages))]
+    for msg in messages:
+        theta = np.asarray(msg.theta)
+        # ascontiguousarray promotes 0-d to 1-d, so take the shape from
+        # the original; the raw bytes are identical either way.
+        shape = theta.shape
+        theta = np.ascontiguousarray(theta)
+        dtype = theta.dtype.str.encode("ascii")
+        if len(dtype) > 255:
+            raise ProtocolError(f"dtype string too long: {dtype!r}")
+        counter, epochs_left, t, n_updates = msg.wire_state()
+        parts.append(
+            _MSG_HEADER.pack(
+                msg.spec.sid, counter, epochs_left, t, n_updates,
+                len(shape), len(dtype),
+            )
+        )
+        parts.append(dtype)
+        for dim in shape:
+            parts.append(_DIM.pack(dim))
+        parts.append(theta.tobytes())
+    return encode_frame(KIND_BATCH, b"".join(parts))
+
+
+def decode_batch(payload: bytes, spec_by_sid) -> list[SubmodelMessage]:
+    """Rebuild the messages of one BATCH payload.
+
+    ``spec_by_sid`` is the receiving side's static spec table; an sid the
+    table does not know is a protocol violation, as is any truncation.
+    """
+    view = memoryview(payload)
+    offset = 0
+
+    def take(n: int) -> memoryview:
+        nonlocal offset
+        if offset + n > len(view):
+            raise ProtocolError(
+                f"batch payload truncated: wanted {n} bytes at offset "
+                f"{offset}, have {len(view) - offset}"
+            )
+        chunk = view[offset : offset + n]
+        offset += n
+        return chunk
+
+    (count,) = _COUNT.unpack(take(_COUNT.size))
+    messages = []
+    for _ in range(count):
+        sid, counter, epochs_left, t, n_updates, ndim, dlen = _MSG_HEADER.unpack(
+            take(_MSG_HEADER.size)
+        )
+        try:
+            dtype = np.dtype(bytes(take(dlen)).decode("ascii"))
+        except (TypeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"undecodable dtype in frame: {exc}") from None
+        shape = tuple(_DIM.unpack(take(_DIM.size))[0] for _ in range(ndim))
+        if any(dim < 0 for dim in shape):
+            raise ProtocolError(f"negative dimension in shape {shape}")
+        nbytes = int(dtype.itemsize * int(np.prod(shape, dtype=np.int64)))
+        theta = np.frombuffer(take(nbytes), dtype=dtype).reshape(shape).copy()
+        try:
+            spec = spec_by_sid[sid]
+        except KeyError:
+            raise ProtocolError(f"frame references unknown submodel sid {sid}") from None
+        messages.append(
+            SubmodelMessage.from_wire(spec, theta, counter, epochs_left, t, n_updates)
+        )
+    if offset != len(view):
+        raise ProtocolError(
+            f"{len(view) - offset} trailing bytes after {count} messages"
+        )
+    return messages

@@ -79,3 +79,29 @@ class SubmodelMessage:
             epochs_left=self.epochs_left,
             to_broadcast=None if self.to_broadcast is None else set(self.to_broadcast),
         )
+
+    # ------------------------------------------------------- wire interface
+    # Hooks for repro.distributed.framing: under the counter protocol the
+    # complete mutable wire state of a message is four scalars plus the
+    # parameter array; the spec is static per fit and referenced by sid.
+    def wire_state(self) -> tuple[int, int, int, int]:
+        """Scalar header fields: (counter, epochs_left, sgd t, sgd n_updates)."""
+        return (
+            self.counter,
+            self.epochs_left,
+            self.sgd_state.t,
+            self.sgd_state.n_updates,
+        )
+
+    @classmethod
+    def from_wire(
+        cls, spec, theta, counter: int, epochs_left: int, t: int, n_updates: int
+    ) -> "SubmodelMessage":
+        """Rebuild a message from decoded frame fields and a spec lookup."""
+        return cls(
+            spec=spec,
+            theta=theta,
+            sgd_state=SGDState(t=t, n_updates=n_updates),
+            counter=counter,
+            epochs_left=epochs_left,
+        )

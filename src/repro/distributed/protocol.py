@@ -143,6 +143,19 @@ class RoutePlan:
         rings = [RingTopology.random(machines, rng) for _ in range(protocol.n_rings)]
         return cls(rings, protocol)
 
+    # --------------------------------------------------- wire serialisation
+    # A RoutePlan reduces to its ring orders: cheap to ship to workers per
+    # iteration (plain lists of ints, no object graph) and rebuilt against
+    # the protocol each endpoint already holds.
+    def to_orders(self) -> list[list[int]]:
+        """The plan as plain per-epoch machine orders."""
+        return [ring.machines for ring in self.rings]
+
+    @classmethod
+    def from_orders(cls, orders, protocol: WStepProtocol) -> "RoutePlan":
+        """Rebuild a plan shipped as :meth:`to_orders` output."""
+        return cls([RingTopology(order) for order in orders], protocol)
+
     @property
     def machines(self) -> list[int]:
         return self.rings[0].machines

@@ -1,10 +1,15 @@
-"""Execution-backend layer: registry, parity, pool persistence.
+"""Execution-backend layer: registry, cross-backend conformance, pools.
 
-The paper's generality claim, as a test: for a fixed seed and no
+The paper's generality claim, as a test suite: for a fixed seed and no
 within-shard shuffling, the deterministic visit sequence of the counter
-protocol makes all three engines — sync tick simulation, discrete-event
-simulation, and real OS processes — produce *bit-identical* final
-submodels, for a binary autoencoder and for a deep net alike.
+protocol makes **every registered engine** — sync tick simulation,
+discrete-event simulation, real OS processes over queues, real OS
+processes over TCP sockets — produce *bit-identical* final submodels,
+for a binary autoencoder and for a deep net alike.
+
+The conformance classes parametrise over ``available_backends()``, so a
+newly registered engine is pulled into the parity contract automatically
+— registering a backend *is* opting into the suite.
 """
 
 import numpy as np
@@ -20,6 +25,7 @@ from repro.distributed.backends import (
     Backend,
     MultiprocessBackend,
     SyncSimBackend,
+    TCPBackend,
     available_backends,
     get_backend,
 )
@@ -28,7 +34,11 @@ from repro.nets.adapter import NetAdapter, make_net_shards
 from repro.nets.deepnet import DeepNet
 from repro.nets.mac_net import MACTrainerNet
 
-BACKENDS = ["sync", "async", "multiprocess"]
+BACKENDS = available_backends()
+#: The reference engine every other backend is compared against.
+REFERENCE = "sync"
+#: Engines that run real OS processes and report wall-clock time.
+WALLCLOCK_BACKENDS = ["multiprocess", "tcp"]
 
 
 @pytest.fixture(scope="module")
@@ -67,22 +77,50 @@ def final_params(adapter):
     return {s.sid: adapter.get_params(s).copy() for s in adapter.submodel_specs()}
 
 
+def caching_runner(make_problem):
+    """Run each backend at most once on the same deterministic problem.
+
+    ``make_problem()`` returns (adapter, shards, schedule); the runner
+    fits it with backend ``name`` and caches (history, final params).
+    """
+    cache = {}
+
+    def _run(name):
+        if name not in cache:
+            adapter, shards, schedule = make_problem()
+            trainer = ParMACTrainer(
+                adapter,
+                schedule,
+                backend=name,
+                epochs=2,
+                shuffle_within=False,
+                seed=0,
+            )
+            history = trainer.fit(shards)
+            trainer.close()
+            cache[name] = (history, final_params(adapter))
+        return cache[name]
+
+    return _run
+
+
 class TestRegistry:
-    def test_resolves_all_three_engines(self):
+    def test_resolves_all_engines(self):
         assert get_backend("sync") is SyncSimBackend
         assert get_backend("async") is AsyncSimBackend
         assert get_backend("multiprocess") is MultiprocessBackend
+        assert get_backend("tcp") is TCPBackend
 
     def test_available_backends(self):
-        assert set(BACKENDS) <= set(available_backends())
+        assert {"sync", "async", "multiprocess", "tcp"} <= set(BACKENDS)
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="smoke"):
             get_backend("smoke-signals")
 
-    def test_instances_satisfy_protocol(self):
-        for name in BACKENDS:
-            assert isinstance(get_backend(name)(), Backend)
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_instances_satisfy_protocol(self, name):
+        assert isinstance(get_backend(name)(), Backend)
 
     def test_trainer_accepts_instance(self, X):
         adapter, shards = ba_setup(X)
@@ -92,80 +130,60 @@ class TestRegistry:
         assert backend.cluster is not None
 
 
-class TestBackendParityBA:
+class TestConformanceBA:
+    """Bit-parity of a binary autoencoder fit across every engine."""
+
     @pytest.fixture(scope="class")
-    def runs(self, X):
-        out = {}
-        for name in BACKENDS:
-            adapter, shards = ba_setup(X)
-            trainer = ParMACTrainer(
-                adapter,
-                "sift10k",
-                backend=name,
-                epochs=2,
-                shuffle_within=False,
-                seed=0,
-            )
-            history = trainer.fit(shards)
-            out[name] = (history, final_params(adapter))
-            trainer.close()
-        return out
+    def run(self, X):
+        return caching_runner(lambda: (*ba_setup(X), "sift10k"))
 
-    def test_final_e_ba_identical(self, runs):
-        e_bas = {name: h.records[-1].e_ba for name, (h, _) in runs.items()}
-        assert e_bas["sync"] == e_bas["async"] == e_bas["multiprocess"]
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_final_e_ba_identical(self, run, name):
+        assert run(name)[0].records[-1].e_ba == run(REFERENCE)[0].records[-1].e_ba
 
-    def test_final_submodels_identical(self, runs):
-        ref = runs["sync"][1]
-        for name in ("async", "multiprocess"):
-            params = runs[name][1]
-            assert set(params) == set(ref)
-            for sid in ref:
-                assert np.array_equal(params[sid], ref[sid]), (name, sid)
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_final_submodels_identical(self, run, name):
+        ref = run(REFERENCE)[1]
+        params = run(name)[1]
+        assert set(params) == set(ref)
+        for sid in ref:
+            assert np.array_equal(params[sid], ref[sid]), (name, sid)
 
-    def test_iteration_counts_match(self, runs):
-        lengths = {len(h) for h, _ in runs.values()}
-        assert len(lengths) == 1
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_iteration_counts_match(self, run, name):
+        assert len(run(name)[0]) == len(run(REFERENCE)[0])
 
 
-class TestBackendParityNet:
+class TestConformanceNet:
+    """Bit-parity of a deep-net fit across every engine."""
+
     @pytest.fixture(scope="class")
-    def runs(self, net_problem):
+    def run(self, net_problem):
         X, Y = net_problem
-        out = {}
-        for name in BACKENDS:
-            adapter, shards = net_setup(X, Y)
-            trainer = ParMACTrainer(
-                adapter,
-                GeometricSchedule(0.5, 2.0, 5),
-                backend=name,
-                epochs=2,
-                shuffle_within=False,
-                seed=0,
-            )
-            history = trainer.fit(shards)
-            out[name] = (history, final_params(adapter))
-            trainer.close()
-        return out
+        return caching_runner(
+            lambda: (*net_setup(X, Y), GeometricSchedule(0.5, 2.0, 5))
+        )
 
-    def test_final_e_ba_identical(self, runs):
-        e_bas = {name: h.records[-1].e_ba for name, (h, _) in runs.items()}
-        assert e_bas["sync"] == e_bas["async"] == e_bas["multiprocess"]
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_final_e_ba_identical(self, run, name):
+        assert run(name)[0].records[-1].e_ba == run(REFERENCE)[0].records[-1].e_ba
 
-    def test_final_units_identical(self, runs):
-        ref = runs["sync"][1]
-        for name in ("async", "multiprocess"):
-            params = runs[name][1]
-            for sid in ref:
-                assert np.array_equal(params[sid], ref[sid]), (name, sid)
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_final_units_identical(self, run, name):
+        ref = run(REFERENCE)[1]
+        params = run(name)[1]
+        for sid in ref:
+            assert np.array_equal(params[sid], ref[sid]), (name, sid)
 
-    def test_deep_net_trains_on_multiprocess(self, net_problem):
-        # The acceptance headline: a DeepNet end-to-end on real processes.
+    @pytest.mark.parametrize("name", WALLCLOCK_BACKENDS)
+    def test_deep_net_trains_on_real_processes(self, net_problem, name):
+        # The acceptance headline: a DeepNet end-to-end on real processes
+        # (queue ring and socket ring alike).
         X, Y = net_problem
         adapter, shards = net_setup(X, Y)
         before = adapter.model.loss(X, Y)
         with ParMACTrainer(
-            adapter, GeometricSchedule(0.5, 2.0, 5), backend="multiprocess",
+            adapter, GeometricSchedule(0.5, 2.0, 5), backend=name,
             epochs=2, seed=0,
         ) as trainer:
             history = trainer.fit(shards)
@@ -173,11 +191,157 @@ class TestBackendParityNet:
         assert np.isfinite(history.records[-1].e_q)
 
 
-class TestMultiprocessPool:
-    def test_pool_persists_across_fits(self, X):
+class TestTransportBackpressure:
+    def test_simultaneous_large_sends_do_not_deadlock(self):
+        """Frames bigger than the kernel socket buffers must not wedge
+        the ring: two peers sending each other ~8 MB through 8 KB socket
+        buffers, then receiving. A blocking sendall-based transport
+        deadlocks here (circular wait on full buffers); the transport
+        must interleave reads while waiting for writability."""
+        import socket
+        import threading
+
+        from repro.distributed.backends.tcp import _SocketRingTransport
+        from repro.distributed.interfaces import SubmodelSpec
+        from repro.distributed.messages import SubmodelMessage
+        from repro.optim.sgd import SGDState
+
+        spec = SubmodelSpec(0, "w")
+        theta = np.arange(1_000_000, dtype=np.float64)  # ~8 MB payload
+
+        # One directed socketpair per mesh edge, with tiny buffers so
+        # the frame vastly exceeds the in-flight capacity.
+        def tiny_pair():
+            a, b = socket.socketpair()
+            for s in (a, b):
+                s.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 8192)
+                s.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+            return a, b
+
+        a_out, b_in = tiny_pair()
+        b_out, a_in = tiny_pair()
+        transports = {
+            0: _SocketRingTransport(0, {1: a_out}, {1: a_in}, {0: spec}),
+            1: _SocketRingTransport(1, {0: b_out}, {0: b_in}, {0: spec}),
+        }
+        received, errors = {}, {}
+
+        def node(rank, peer):
+            try:
+                msg = SubmodelMessage(
+                    spec=spec, theta=theta + rank, sgd_state=SGDState()
+                )
+                transports[rank].send(peer, msg)
+                transports[rank].flush()
+                received[rank] = transports[rank].recv()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors[rank] = exc
+
+        threads = [
+            threading.Thread(target=node, args=(0, 1), daemon=True),
+            threading.Thread(target=node, args=(1, 0), daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        try:
+            assert not errors, errors
+            assert not any(t.is_alive() for t in threads), "transport deadlocked"
+            assert np.array_equal(received[0].theta, theta + 1)
+            assert np.array_equal(received[1].theta, theta + 0)
+        finally:
+            for s in (a_out, a_in, b_out, b_in):
+                s.close()
+
+
+class TestTCPWire:
+    """Socket-specific behaviour: framing stats and the batching knob."""
+
+    def test_wire_stats_surfaced(self, X):
+        adapter, shards = ba_setup(X)
+        with ParMACTrainer(
+            adapter, GeometricSchedule(1e-3, 2.0, 2), backend="tcp", seed=0
+        ) as trainer:
+            history = trainer.fit(shards)
+        rec = history.records[-1]
+        assert rec.extra["bytes_sent"] > 0
+        assert rec.extra["hops"] > 0
+        assert rec.extra["frames"] > 0
+        # Frame overhead: wire bytes strictly exceed raw payload bytes.
+        assert rec.extra["bytes_sent"] > rec.extra["payload_bytes"]
+
+    def test_batching_coalesces_frames(self, X):
+        frames = {}
+        for batch_hops in (True, False):
+            adapter, shards = ba_setup(X)
+            with ParMACTrainer(
+                adapter, GeometricSchedule(1e-3, 2.0, 2), backend="tcp",
+                epochs=2, shuffle_within=False, seed=0,
+                backend_options={"batch_hops": batch_hops},
+            ) as trainer:
+                history = trainer.fit(shards)
+            rec = history.records[-1]
+            frames[batch_hops] = rec.extra["frames"]
+            # Hops (message count) are protocol-determined, identical
+            # either way; unbatched sends one frame per hop.
+            if not batch_hops:
+                assert rec.extra["frames"] == rec.extra["hops"]
+        assert frames[True] < frames[False]
+
+    def test_batching_does_not_change_bits(self, X):
+        finals = {}
+        for batch_hops in (True, False):
+            adapter, shards = ba_setup(X)
+            with ParMACTrainer(
+                adapter, GeometricSchedule(1e-3, 2.0, 2), backend="tcp",
+                epochs=2, shuffle_within=False, seed=0,
+                backend_options={"batch_hops": batch_hops},
+            ) as trainer:
+                trainer.fit(shards)
+            finals[batch_hops] = final_params(adapter)
+        for sid in finals[True]:
+            assert np.array_equal(finals[True][sid], finals[False][sid])
+
+    def test_explicit_ports(self, X):
+        import socket
+
+        # Grab free ports the OS hands out, then pin the workers to them.
+        socks = [socket.socket() for _ in range(3)]
+        try:
+            for s in socks:
+                s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                s.bind(("127.0.0.1", 0))
+            ports = [s.getsockname()[1] for s in socks]
+        finally:
+            for s in socks:
+                s.close()
+        adapter, shards = ba_setup(X)
+        with ParMACTrainer(
+            adapter, GeometricSchedule(1e-3, 2.0, 1), backend="tcp", seed=0,
+            backend_options={"ports": ports},
+        ) as trainer:
+            history = trainer.fit(shards)
+        assert np.isfinite(history.records[-1].e_q)
+
+    def test_shuffle_ring_over_sockets(self, X):
+        adapter, shards = ba_setup(X)
+        with ParMACTrainer(
+            adapter, "sift10k", backend="tcp",
+            epochs=2, shuffle_ring=True, seed=0,
+        ) as trainer:
+            history = trainer.fit(shards)
+        assert len(history) >= 1
+        assert all(np.isfinite(r.e_q) for r in history.records)
+        assert history.records[-1].e_q < history.records[0].e_q
+
+
+@pytest.mark.parametrize("name", WALLCLOCK_BACKENDS)
+class TestWorkerPools:
+    def test_pool_persists_across_fits(self, X, name):
         adapter, shards = ba_setup(X)
         trainer = ParMACTrainer(
-            adapter, GeometricSchedule(1e-3, 2.0, 2), backend="multiprocess", seed=0
+            adapter, GeometricSchedule(1e-3, 2.0, 2), backend=name, seed=0
         )
         try:
             trainer.fit(shards)
@@ -190,10 +354,10 @@ class TestMultiprocessPool:
             trainer.close()
         assert trainer.backend.worker_pids == []
 
-    def test_pool_respawns_on_machine_count_change(self, X):
+    def test_pool_respawns_on_machine_count_change(self, X, name):
         adapter, shards = ba_setup(X, P=3)
         trainer = ParMACTrainer(
-            adapter, GeometricSchedule(1e-3, 2.0, 1), backend="multiprocess", seed=0
+            adapter, GeometricSchedule(1e-3, 2.0, 1), backend=name, seed=0
         )
         try:
             trainer.fit(shards)
@@ -204,6 +368,19 @@ class TestMultiprocessPool:
         finally:
             trainer.close()
 
+    def test_worker_error_surfaces(self, X, name):
+        adapter, shards = ba_setup(X)
+        backend = get_backend(name)(seed=0)
+        backend.setup(adapter, shards)
+        try:
+            backend._cmd_qs[0].put(("iter", "not-a-mu", None, 0))
+            with pytest.raises(RuntimeError, match="worker 0 failed"):
+                backend._collect("result")
+        finally:
+            backend.close()
+
+
+class TestMultiprocessShuffling:
     def test_shuffle_ring_honoured(self, X):
         # The mp path used to silently ignore shuffle_ring; now it must
         # reshuffle the route per epoch and still satisfy the protocol
@@ -234,14 +411,3 @@ class TestMultiprocessPool:
             not np.array_equal(finals[False][sid], finals[True][sid])
             for sid in finals[False]
         )
-
-    def test_worker_error_surfaces(self, X):
-        adapter, shards = ba_setup(X)
-        backend = MultiprocessBackend(seed=0)
-        backend.setup(adapter, shards)
-        try:
-            backend._cmd_qs[0].put(("iter", "not-a-mu", None, 0))
-            with pytest.raises(RuntimeError, match="worker 0 failed"):
-                backend._collect("result")
-        finally:
-            backend.close()

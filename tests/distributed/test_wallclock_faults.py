@@ -1,0 +1,171 @@
+"""Faults and resource hygiene on the wall-clock engines.
+
+The simulated cluster has first-class fault *injection*
+(:class:`FaultEvent`, `tests/distributed/test_faults.py`); the real
+engines get fault *detection*: a worker process that dies mid-iteration
+must fail the fit with a raised error and tear down every peer within a
+bounded delay — no wedged processes blocked on ring receives that will
+never arrive — and a fit that fails for any reason must leave no
+``/dev/shm`` residue behind.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import BinaryAutoencoder
+from repro.autoencoder.adapter import BAAdapter
+from repro.autoencoder.init import init_codes_pca
+from repro.core.penalty import GeometricSchedule
+from repro.core.trainer import ParMACTrainer
+from repro.distributed.backends import get_backend
+from repro.distributed.backends.mp import _pack_shards
+from repro.distributed.partition import make_shards, partition_indices
+
+WALLCLOCK_BACKENDS = ["multiprocess", "tcp"]
+
+#: Outer bound on "the backend notices and tears down"; the liveness
+#: poll runs every 0.5 s, so this is generous.
+FAULT_DETECTION_TIMEOUT_S = 20.0
+
+
+@pytest.fixture(scope="module")
+def X():
+    from repro.data.synthetic import make_clustered
+
+    return make_clustered(120, 8, n_clusters=3, rng=4)
+
+
+def ba_setup(X, P=3, n_bits=4, seed=0, adapter_cls=BAAdapter):
+    ba = BinaryAutoencoder.linear(X.shape[1], n_bits)
+    adapter = adapter_cls(ba)
+    Z, _ = init_codes_pca(X, n_bits, rng=seed)
+    parts = partition_indices(len(X), P, rng=seed)
+    return adapter, make_shards(X, adapter.features(X), Z, parts)
+
+
+def shm_entries() -> set:
+    """Names of shared-memory segments currently backing /dev/shm."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except FileNotFoundError:  # non-Linux: fall back to "nothing observed"
+        return set()
+
+
+class ExplodingWUpdateAdapter(BAAdapter):
+    """Raises inside the workers' W step — a deterministic mid-fit failure."""
+
+    def w_update(self, *args, **kwargs):
+        raise RuntimeError("injected w_update failure")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", WALLCLOCK_BACKENDS)
+class TestWorkerDeath:
+    def test_killed_worker_fails_fit_and_tears_down_peers(self, X, name):
+        """SIGKILL one worker; the fit must raise and no peer may wedge."""
+        adapter, shards = ba_setup(X)
+        backend = get_backend(name)(seed=0, worker_timeout=FAULT_DETECTION_TIMEOUT_S)
+        backend.setup(adapter, shards)
+        pids = list(backend.worker_pids)
+        assert len(pids) == 3
+        shm_before = shm_entries()
+        os.kill(pids[1], signal.SIGKILL)
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match="died|failed|timed out"):
+            # The survivors block on ring receives from the dead peer;
+            # the coordinator must detect and abort, not wait forever.
+            backend.run_iteration(1e-3)
+        elapsed = time.monotonic() - t0
+        assert elapsed < FAULT_DETECTION_TIMEOUT_S
+        # Every peer is gone (no wedged processes)...
+        assert backend.worker_pids == []
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+        # ...and the fit's shared-memory segments were unlinked.
+        assert shm_entries() <= shm_before
+        # The backend stays usable: a fresh setup starts a clean pool.
+        adapter2, shards2 = ba_setup(X)
+        backend.setup(adapter2, shards2)
+        stats = backend.run_iteration(1e-3)
+        assert np.isfinite(stats.e_q)
+        backend.close()
+
+    def test_worker_dead_before_setup_is_detected(self, X, name):
+        """A pool member dying between fits must fail the next setup."""
+        adapter, shards = ba_setup(X)
+        backend = get_backend(name)(seed=0, worker_timeout=FAULT_DETECTION_TIMEOUT_S)
+        backend.setup(adapter, shards)
+        backend.run_iteration(1e-3)
+        backend.teardown()
+        os.kill(backend.worker_pids[0], signal.SIGKILL)
+        shm_before = shm_entries()
+        adapter2, shards2 = ba_setup(X)
+        with pytest.raises(RuntimeError, match="died|failed|timed out"):
+            backend.setup(adapter2, shards2)
+        assert backend.worker_pids == []
+        assert shm_entries() <= shm_before
+        backend.close()
+
+
+@pytest.mark.parametrize("name", WALLCLOCK_BACKENDS)
+class TestNoShmResidue:
+    def test_failed_fit_leaves_no_segments(self, X, name):
+        """A worker-side failure between shard shipping and teardown must
+        unlink every shared-memory segment the fit created."""
+        adapter, shards = ba_setup(X, adapter_cls=ExplodingWUpdateAdapter)
+        shm_before = shm_entries()
+        trainer = ParMACTrainer(
+            adapter, GeometricSchedule(1e-3, 2.0, 2), backend=name, seed=0
+        )
+        with pytest.raises(RuntimeError, match="injected w_update failure"):
+            trainer.fit(shards)
+        assert trainer.backend._segments == []
+        assert shm_entries() <= shm_before
+        trainer.close()
+
+    def test_setup_failure_after_packing_releases_segments(self, X, name, monkeypatch):
+        """If setup dies after the segments exist (spawn raced a resource
+        limit, a worker rejected the shard, ...), they must be unlinked
+        before the error propagates — the finally-based unlink."""
+        adapter, shards = ba_setup(X)
+        backend = get_backend(name)(seed=0)
+        shm_before = shm_entries()
+
+        def boom(adapter_, descs):
+            raise OSError("injected setup failure after packing")
+
+        monkeypatch.setattr(backend, "_ship_setup", boom)
+        with pytest.raises(OSError, match="injected setup failure"):
+            backend.setup(adapter, shards)
+        assert backend._segments == []
+        assert shm_entries() <= shm_before
+        backend.close()
+
+
+class TestPackShards:
+    def test_partial_packing_failure_unlinks_created_segments(self, X, monkeypatch):
+        """_pack_shards itself must not leak segments it already created
+        when a later shard fails to pack (e.g. /dev/shm fills up)."""
+        from multiprocessing import shared_memory as shm_mod
+
+        _, shards = ba_setup(X, P=3)
+        real = shm_mod.SharedMemory
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise OSError("injected segment-creation failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(shm_mod, "SharedMemory", flaky)
+        shm_before = shm_entries()
+        with pytest.raises(OSError, match="injected segment-creation"):
+            _pack_shards(shards)
+        assert calls["n"] == 3  # two segments existed before the failure
+        assert shm_entries() <= shm_before
