@@ -46,6 +46,11 @@ class ParMACTrainer:
         its favour.
     epochs, scheme, batch_size, shuffle_within, shuffle_ring, cost, seed :
         Backend configuration; see :class:`BaseBackend`.
+    fault_policy : str or FaultPolicy
+        What happens when a machine dies mid-fit: ``"fail_fast"``
+        (default — the fit raises and tears down) or ``"drop_shard"``
+        (the dead machine's shard is excised and training continues on
+        the survivors, paper section 4.3).
     evaluator : callable, optional
         Called with the adapter's model after every iteration; may return
         a dict with "precision" / "recall" entries for the history.
@@ -79,6 +84,7 @@ class ParMACTrainer:
         shuffle_within: bool = True,
         shuffle_ring: bool = False,
         cost=None,
+        fault_policy: str = "fail_fast",
         seed=None,
         evaluator=None,
         stop_on_fixed_point: bool = False,
@@ -96,6 +102,7 @@ class ParMACTrainer:
                 shuffle_within=shuffle_within,
                 shuffle_ring=shuffle_ring,
                 cost=cost,
+                fault_policy=fault_policy,
                 seed=seed,
                 **(backend_options or {}),
             )
@@ -109,16 +116,48 @@ class ParMACTrainer:
         """The underlying SimulatedCluster (simulated backends only)."""
         return getattr(self.backend, "cluster", None)
 
-    def fit(self, shards) -> TrainingHistory:
+    def ingest(self, p: int, X_new) -> None:
+        """Queue streamed rows for machine ``p`` (paper section 4.3).
+
+        Validated eagerly, applied at the next iteration boundary. Only
+        meaningful while a fit is active (``setup`` has run) — typically
+        from an ``evaluator`` callback or another thread observing a
+        live data source; for a known arrival schedule pass ``arrivals``
+        to :meth:`fit` instead.
+        """
+        self.backend.ingest(p, X_new)
+
+    @staticmethod
+    def _arrivals_for(arrivals, iteration: int):
+        """Arrival schedule lookup: mapping or callable → [(p, X_new)]."""
+        if arrivals is None:
+            return []
+        if callable(arrivals):
+            return arrivals(iteration) or []
+        return arrivals.get(iteration, [])
+
+    def fit(self, shards, *, arrivals=None) -> TrainingHistory:
         """Run one MAC iteration per mu over the given shards.
 
         ``shards`` must match the adapter (e.g. :class:`Shard` for a BA,
         :class:`NetShard` for a deep net); one machine per shard.
+
+        ``arrivals`` optionally streams data in mid-fit (section 4.3): a
+        mapping ``{iteration: [(machine, X_new), ...]}`` or a callable
+        ``iteration -> [(machine, X_new), ...]``. Each batch is queued at
+        the boundary before that iteration runs, coded by the current
+        nested model, and shipped to its machine — identically on every
+        backend, which is what the streaming-parity conformance tests
+        assert.
         """
         history = TrainingHistory()
         try:
             self.backend.setup(self.adapter, shards)
             for i, mu in enumerate(self.schedule):
+                # Drain this boundary's scheduled arrivals into the
+                # backend; run_iteration applies them before the W step.
+                for p, X_new in self._arrivals_for(arrivals, i):
+                    self.backend.ingest(p, X_new)
                 stats = self.backend.run_iteration(float(mu))
                 record = IterationRecord(
                     iteration=i,
@@ -130,6 +169,9 @@ class ParMACTrainer:
                     violations=stats.violations,
                     extra=dict(stats.extra),
                 )
+                record.extra.setdefault("rows_ingested", stats.rows_ingested)
+                record.extra.setdefault("shards_lost", stats.shards_lost)
+                record.extra.setdefault("n_machines", stats.n_machines)
                 if self.evaluator is not None:
                     metrics = self.evaluator(self.adapter.model)
                     record.precision = metrics.get("precision")

@@ -20,6 +20,7 @@ constructed instance.
 from repro.distributed.backends.base import (
     Backend,
     BaseBackend,
+    FaultPolicy,
     IterationStats,
     available_backends,
     get_backend,
@@ -28,11 +29,15 @@ from repro.distributed.backends.base import (
 from repro.distributed.backends.mp import MultiprocessBackend, home_assignment
 from repro.distributed.backends.sim import AsyncSimBackend, SyncSimBackend
 from repro.distributed.backends.tcp import TCPBackend
+from repro.distributed.dataplane import DataPlane, IngestBatch
 
 __all__ = [
     "Backend",
     "BaseBackend",
+    "FaultPolicy",
     "IterationStats",
+    "DataPlane",
+    "IngestBatch",
     "available_backends",
     "get_backend",
     "register_backend",

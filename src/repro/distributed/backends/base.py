@@ -29,10 +29,14 @@ binary autoencoders and deep nets train on the identical engines.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
+from repro.distributed.dataplane import DataPlane
+
 __all__ = [
+    "FaultPolicy",
     "IterationStats",
     "Backend",
     "BaseBackend",
@@ -40,6 +44,24 @@ __all__ = [
     "get_backend",
     "available_backends",
 ]
+
+
+class FaultPolicy(str, enum.Enum):
+    """What a backend does when a machine dies mid-fit.
+
+    ``FAIL_FAST``
+        Any worker death makes the whole fit unrecoverable: the backend
+        raises and tears down every peer (the safe default — identical
+        to the historical behaviour).
+    ``DROP_SHARD``
+        The paper's resilience claim (section 4.3): the dead machine's
+        shard is excised from the data plane, the ring is re-planned
+        around the survivor set, and the fit continues — a failure loses
+        only that machine's data, never the run.
+    """
+
+    FAIL_FAST = "fail_fast"
+    DROP_SHARD = "drop_shard"
 
 
 @dataclass
@@ -58,6 +80,12 @@ class IterationStats:
     from actual traffic; simulated engines account ``bytes_sent`` from
     the cost model's byte counting and leave ``hops`` at 0. Engines with
     no notion of a wire leave both 0.
+
+    ``rows_ingested``, ``shards_lost`` and ``n_machines`` are the data
+    plane's per-iteration view: streamed rows applied at this iteration's
+    boundary, shards lost to machine deaths during it, and the size of
+    the survivor set afterwards — the raw series degradation curves are
+    plotted from.
     """
 
     mu: float
@@ -70,6 +98,9 @@ class IterationStats:
     extra: dict = field(default_factory=dict)
     bytes_sent: int = 0
     hops: int = 0
+    rows_ingested: int = 0
+    shards_lost: int = 0
+    n_machines: int = 0
 
 
 @runtime_checkable
@@ -85,6 +116,16 @@ class Backend(Protocol):
 
         On return the adapter's model holds the assembled post-W-step
         parameters, so callers may evaluate it between iterations.
+        """
+        ...
+
+    def ingest(self, p: int, X_new) -> None:
+        """Queue streamed rows for machine ``p`` (paper section 4.3).
+
+        Validation is eager (unknown machine, empty or wrong-width batch
+        fail at the call site); application is deferred to the next
+        iteration boundary, where the rows are coded by the current
+        nested model and shipped to their owning machine.
         """
         ...
 
@@ -114,6 +155,9 @@ class BaseBackend:
         (section 4.3).
     cost : CostModel or None
         Virtual-clock constants; ignored by wall-clock backends.
+    fault_policy : FaultPolicy or str
+        ``"fail_fast"`` (default) or ``"drop_shard"``; see
+        :class:`FaultPolicy`.
     seed : int or None
     """
 
@@ -128,6 +172,7 @@ class BaseBackend:
         shuffle_within: bool = True,
         shuffle_ring: bool = False,
         cost=None,
+        fault_policy: FaultPolicy | str = FaultPolicy.FAIL_FAST,
         seed=None,
     ):
         if epochs < 1:
@@ -140,8 +185,17 @@ class BaseBackend:
         self.shuffle_within = bool(shuffle_within)
         self.shuffle_ring = bool(shuffle_ring)
         self.cost = cost
+        try:
+            self.fault_policy = FaultPolicy(fault_policy)
+        except ValueError:
+            raise ValueError(
+                f"unknown fault_policy {fault_policy!r}; expected one of "
+                f"{[p.value for p in FaultPolicy]}"
+            ) from None
         self.seed = seed
         self.adapter = None
+        self.dataplane: DataPlane | None = None
+        self._pending_ingests: list[tuple[int, object]] = []
 
     # Lifecycle defaults: subclasses must execute, may skip cleanup.
     def setup(self, adapter, shards) -> None:
@@ -150,8 +204,56 @@ class BaseBackend:
     def run_iteration(self, mu: float) -> IterationStats:
         raise NotImplementedError
 
+    # ----------------------------------------------------------- streaming
+    def _bind_dataplane(self, dataplane: DataPlane) -> None:
+        """Adopt a fresh fit's data plane, dropping any ingest batches
+        still queued from a previous fit (they belong to its shards)."""
+        self.dataplane = dataplane
+        self._pending_ingests = []
+
+    def ingest(self, p: int, X_new) -> None:
+        """Queue streamed rows for machine ``p``; applied at the next
+        iteration boundary (``drain_ingests``). Validation is eager."""
+        if self.dataplane is None:
+            raise RuntimeError("ingest() requires an active fit; run setup() first")
+        if self.dataplane.is_retired(p):
+            # The machine's data stream died with its shard (section 4.3
+            # semantics) — a late arrival for it is dropped, not an error.
+            return
+        X_new = self.dataplane.check_ingest(p, X_new)
+        self._pending_ingests.append((int(p), X_new))
+
+    def drain_ingests(self) -> int:
+        """Apply every pending ingest in arrival order; returns rows applied.
+
+        Engines call this at the start of ``run_iteration`` — the epoch
+        boundary — so streamed rows are coded by the model every machine
+        agreed on at the end of the previous iteration. Batches queued
+        for a machine that has since been retired are dropped: its data
+        stream is lost with its shard (paper section 4.3 semantics).
+        """
+        if self.dataplane is None or not self._pending_ingests:
+            return 0
+        pending, self._pending_ingests = self._pending_ingests, []
+        rows = 0
+        for p, X_new in pending:
+            if p not in self.dataplane.shards:
+                continue
+            batch = self.dataplane.prepare_ingest(p, X_new, validated=True)
+            rows += self._apply_ingest(batch)
+        return rows
+
+    def _apply_ingest(self, batch) -> int:
+        """Deliver one prepared batch to its owning machine.
+
+        The default covers in-process engines, where the data plane owns
+        the shard arrays; wall-clock backends override to ship the batch
+        to the worker that owns the rows, then account it here.
+        """
+        return self.dataplane.apply(batch)
+
     def teardown(self) -> None:
-        pass
+        self._pending_ingests = []
 
     def close(self) -> None:
         self.teardown()

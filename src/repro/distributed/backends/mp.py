@@ -19,22 +19,32 @@ Beyond the original one-shot ring this backend adds:
   shuffled per-epoch :class:`~repro.distributed.protocol.RoutePlan`
   every iteration (section 4.3), routed per-message via the full queue
   mesh, where the old backend silently ignored the option;
-* **fault detection** — the coordinator polls worker liveness while
-  waiting for results, so a worker that dies mid-iteration (OOM kill,
-  segfault, operator error) tears the whole pool down with a raised
-  error instead of wedging every peer on a receive that never comes.
+* **streaming ingestion** — ``ingest`` queues arriving rows with the
+  shared :class:`~repro.distributed.dataplane.DataPlane`; at the next
+  iteration boundary each drained batch is coded by the current nested
+  model and shipped to its owning worker as an incremental
+  shared-memory segment, which the worker appends to its shard;
+* **fault handling by policy** — the coordinator polls worker liveness
+  while waiting for results. Under ``fail_fast`` (default) a worker
+  that dies mid-iteration tears the whole pool down with a raised error
+  instead of wedging every peer on a receive that never comes. Under
+  ``drop_shard`` (paper section 4.3) the dead worker's shard is retired
+  from the data plane, survivors are woken with generation-tagged abort
+  sentinels, the ring/homes/protocol are re-planned over the survivor
+  set, and the iteration re-runs — the fit continues having lost only
+  the dead machine's data.
 
 The ring *transport* — how a forwarded submodel physically reaches the
 successor machine — is pluggable: this module's workers pass messages
 over ``multiprocessing`` queues, while the TCP backend
 (:mod:`repro.distributed.backends.tcp`) subclasses the coordinator and
 swaps in framed socket connections; everything else (counter protocol,
-shared-memory shards, pool lifecycle) is shared.
+shared-memory shards, pool lifecycle, recovery choreography) is shared.
 
-Workers report per-shard metrics after the Z step; worker 0 additionally
-reports the assembled final parameters, which the coordinator writes
-back into its adapter's model (the ParMAC invariant: after the W step
-every machine holds the full final model).
+Workers report per-shard metrics after the Z step; the lowest-ranked
+live worker additionally reports the assembled final parameters, which
+the coordinator writes back into its adapter's model (the ParMAC
+invariant: after the W step every machine holds the full final model).
 """
 
 from __future__ import annotations
@@ -48,23 +58,52 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.distributed.backends.base import BaseBackend, IterationStats, register_backend
-from repro.distributed.messages import SubmodelMessage
-from repro.distributed.protocol import RoutePlan, WStepProtocol, expected_receives
+from repro.distributed.backends.base import (
+    BaseBackend,
+    FaultPolicy,
+    IterationStats,
+    register_backend,
+)
+from repro.distributed.dataplane import DataPlane
+from repro.distributed.interfaces import get_params_many, set_params_many
+from repro.distributed.messages import ShardRetired, SubmodelMessage
+from repro.distributed.protocol import (
+    RoutePlan,
+    WStepProtocol,
+    expected_receives,
+    home_assignment,
+)
 from repro.distributed.topology import RingTopology
 from repro.optim.sgd import SGDState
 from repro.utils.rng import check_random_state
 
-__all__ = ["MultiprocessBackend", "home_assignment"]
+__all__ = ["MultiprocessBackend", "IterationAborted", "home_assignment"]
 
 #: How often the coordinator checks worker liveness while blocked on
 #: results; bounds how long a dead worker can go unnoticed.
 _LIVENESS_POLL_S = 0.5
 
 
-def home_assignment(n_submodels: int, n_machines: int) -> dict[int, int]:
-    """Contiguous-block home machines, as in paper fig. 2."""
-    return {sid: sid * n_machines // n_submodels for sid in range(n_submodels)}
+class IterationAborted(Exception):
+    """The in-flight iteration was cancelled for a survivor re-plan."""
+
+
+class _WorkersLost(Exception):
+    """Workers died mid-iteration under ``drop_shard``; re-plan needed.
+
+    ``payloads`` carries the survivors' results when the attempt in fact
+    ran to completion everywhere except on the dead workers (nobody
+    aborted — e.g. a worker died after its last ring send). Survivor
+    models and Z codes then already hold the completed iteration, so the
+    caller should keep these results rather than re-running, which would
+    silently train the same mu twice. ``None`` when any survivor aborted
+    (the attempt is partial and must be retried).
+    """
+
+    def __init__(self, dead: list[int], payloads: dict | None = None):
+        super().__init__(f"worker(s) {dead} died mid-iteration")
+        self.dead = dead
+        self.payloads = payloads
 
 
 def _unlink_segments(segments) -> None:
@@ -76,6 +115,25 @@ def _unlink_segments(segments) -> None:
             seg.close()
             seg.unlink()
         except FileNotFoundError:
+            pass
+
+
+def _maybe_untrack(seg, desc) -> None:
+    """Unregister an attached segment from a spawned worker's tracker.
+
+    Attaching registers the segment with the resource tracker (it cannot
+    tell an attach from a create). Under fork the tracker process is
+    shared with the coordinator, whose unlink() already unregisters the
+    (deduplicated) entry — nothing to do. A spawned worker has its *own*
+    tracker, which would warn about a "leaked" segment it does not own
+    at exit, so untrack there.
+    """
+    if desc.get("untrack"):
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
             pass
 
 
@@ -136,19 +194,7 @@ def _attach_shard(desc):
     if "pickle" in desc:
         return None, desc["pickle"]
     seg = shared_memory.SharedMemory(name=desc["name"])
-    # Attaching registers the segment with the resource tracker (it
-    # cannot tell an attach from a create). Under fork the tracker
-    # process is shared with the coordinator, whose unlink() already
-    # unregisters the (deduplicated) entry — nothing to do. A spawned
-    # worker has its *own* tracker, which would warn about a "leaked"
-    # segment it does not own at exit, so untrack there.
-    if desc.get("untrack"):
-        try:
-            from multiprocessing import resource_tracker
-
-            resource_tracker.unregister(seg._name, "shared_memory")
-        except Exception:
-            pass
+    _maybe_untrack(seg, desc)
     kwargs = dict(desc["values"])
     lists: dict[str, list] = {}
     for name, idx, dtype, shape, offset in desc["fields"]:
@@ -162,6 +208,37 @@ def _attach_shard(desc):
     return seg, desc["cls"](**kwargs)
 
 
+def _pack_array_block(arrays) -> tuple:
+    """Pack a flat list of arrays into one shared-memory segment.
+
+    The incremental-ingest sibling of :func:`_pack_shards`: returns
+    ``(segment, descriptor)`` where the descriptor rebuilds the arrays
+    as zero-copy views in the receiving worker.
+    """
+    arrays = [np.ascontiguousarray(a) for a in arrays]
+    total = sum(a.nbytes for a in arrays)
+    seg = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    fields = []
+    offset = 0
+    for a in arrays:
+        view = np.ndarray(a.shape, dtype=a.dtype, buffer=seg.buf, offset=offset)
+        view[...] = a
+        fields.append((a.dtype.str, a.shape, offset))
+        offset += a.nbytes
+    return seg, {"name": seg.name, "fields": fields}
+
+
+def _attach_array_block(desc):
+    """Rebuild the arrays of one :func:`_pack_array_block` descriptor."""
+    seg = shared_memory.SharedMemory(name=desc["name"])
+    _maybe_untrack(seg, desc)
+    arrays = [
+        np.ndarray(shape, dtype=dtype, buffer=seg.buf, offset=offset)
+        for dtype, shape, offset in desc["fields"]
+    ]
+    return seg, arrays
+
+
 # --------------------------------------------------------------- transport
 class _QueueRingTransport:
     """Ring transport over the coordinator-built full queue mesh.
@@ -173,24 +250,53 @@ class _QueueRingTransport:
     ``wire_stats()`` reports what the iteration cost on the wire. Queues
     deliver messages one at a time with no syscall to amortise, so this
     implementation sends eagerly and ``flush`` is a no-op.
+
+    Every queue item is tagged with the iteration *generation*: after a
+    ``drop_shard`` recovery the retried iteration runs under a new
+    generation, so stale traffic from the aborted attempt — including
+    unconsumed abort sentinels — is silently discarded instead of
+    corrupting the ring. A ``(gen, None)`` item is the coordinator's
+    abort sentinel: it wakes a worker blocked on a receive whose sender
+    died and raises :class:`IterationAborted`.
+
+    The sentinel alone is not a reliable wake-up: ``mp.Queue`` writes
+    funnel through a per-queue feeder lock, and a worker SIGKILLed
+    mid-write leaves that lock held forever — the coordinator's sentinel
+    for that queue would never be delivered. ``abort_ev`` is the
+    lock-free fallback: a per-worker ``Event`` the receive loop polls
+    between short blocking gets, set by the coordinator alongside the
+    sentinel.
     """
 
-    def __init__(self, rank: int, ring_qs):
+    def __init__(self, rank: int, ring_qs, gen: int = 0, abort_ev=None):
         self.rank = rank
         self._ring_qs = ring_qs
+        self.gen = gen
+        self._abort_ev = abort_ev
         self.msgs_sent = 0
         self.bytes_sent = 0
 
     def send(self, dest: int, msg: SubmodelMessage) -> None:
         self.msgs_sent += 1
         self.bytes_sent += msg.nbytes
-        self._ring_qs[dest].put(msg)
+        self._ring_qs[dest].put((self.gen, msg))
 
     def flush(self) -> None:
         pass
 
     def recv(self) -> SubmodelMessage:
-        return self._ring_qs[self.rank].get()
+        while True:
+            try:
+                gen, msg = self._ring_qs[self.rank].get(timeout=_LIVENESS_POLL_S)
+            except queue_mod.Empty:
+                if self._abort_ev is not None and self._abort_ev.is_set():
+                    raise IterationAborted() from None
+                continue
+            if gen != self.gen:
+                continue  # stale traffic from an aborted iteration
+            if msg is None:
+                raise IterationAborted()
+            return msg
 
     def wire_stats(self) -> dict:
         return {"hops": self.msgs_sent, "bytes_sent": self.bytes_sent}
@@ -220,7 +326,37 @@ def _build_worker_state(rank, adapter, desc, protocol, homes, batch_size,
     }
 
 
-def _run_worker_iteration(rank, state, mu, plan, n_expected, transport):
+def _apply_replan(rank, state, protocol, homes) -> None:
+    """Adopt a survivor re-plan: new counter protocol, new home set."""
+    state["protocol"] = protocol
+    state["my_sids"] = [sid for sid, h in homes.items() if h == rank]
+
+
+def _report_model(state) -> list:
+    """This worker's full model as ``(sid, theta)`` pairs.
+
+    After a completed iteration every worker's adapter holds the
+    identical final submodels, so any survivor can stand in for a model
+    holder that died after its last ring send.
+    """
+    specs = state["specs"]
+    thetas = get_params_many(state["adapter"], specs)
+    return [(s.sid, np.array(t, copy=True)) for s, t in zip(specs, thetas)]
+
+
+def _apply_worker_ingest(state, X, F, Z, indices) -> int:
+    """Append one shipped ingest batch to this worker's shard.
+
+    ``append`` concatenates into fresh private arrays, so the batch may
+    be handed in as views over a shared-memory segment the coordinator
+    unlinks right after the ack.
+    """
+    state["shard"].append(X, F, Z, indices)
+    return len(X)
+
+
+def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
+                          model_rank=0):
     """One W step + Z step on this worker's shard; returns the payload."""
     adapter = state["adapter"]
     shard = state["shard"]
@@ -247,12 +383,12 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport):
             transport.send(plan.successor(rank, msg.counter), msg)
 
     t_w0 = time.perf_counter()
-    for sid in state["my_sids"]:
-        spec = state["spec_by_sid"][sid]
+    my_specs = [state["spec_by_sid"][sid] for sid in state["my_sids"]]
+    for spec, theta in zip(my_specs, get_params_many(adapter, my_specs)):
         handle(
             SubmodelMessage(
                 spec=spec,
-                theta=np.array(adapter.get_params(spec), copy=True),
+                theta=np.array(theta, copy=True),
                 sgd_state=SGDState(),
             )
         )
@@ -261,8 +397,7 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport):
         handle(transport.recv())
     transport.flush()
     # W-step invariant: this worker now holds every final submodel.
-    for spec in specs:
-        adapter.set_params(spec, final[spec.sid])
+    set_params_many(adapter, [(spec, final[spec.sid]) for spec in specs])
     t_w = time.perf_counter() - t_w0
 
     t_z0 = time.perf_counter()
@@ -277,11 +412,11 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport):
         "w_time": t_w,
         "z_time": t_z,
         "wire": transport.wire_stats(),
-        "model": [(s.sid, final[s.sid]) for s in specs] if rank == 0 else None,
+        "model": [(s.sid, final[s.sid]) for s in specs] if rank == model_rank else None,
     }
 
 
-def _worker_main(rank, ring_qs, cmd_q, res_q):
+def _worker_main(rank, ring_qs, cmd_q, res_q, abort_ev):
     """Pool worker loop: serve setup/iter commands until told to stop."""
     state = None
     while True:
@@ -301,13 +436,31 @@ def _worker_main(rank, ring_qs, cmd_q, res_q):
                     shuffle_within, seed,
                 )
                 res_q.put((rank, "ready", None))
+            elif op == "ingest":
+                _, desc = cmd
+                seg, arrays = _attach_array_block(desc)
+                try:
+                    n = _apply_worker_ingest(state, *arrays)
+                finally:
+                    seg.close()
+                res_q.put((rank, "ingested", n))
+            elif op == "replan":
+                _, protocol, homes, _retired = cmd
+                _apply_replan(rank, state, protocol, homes)
+                res_q.put((rank, "replanned", None))
+            elif op == "model":
+                res_q.put((rank, "model", _report_model(state)))
             elif op == "iter":
-                _, mu, plan, n_expected = cmd
-                transport = _QueueRingTransport(rank, ring_qs)
-                payload = _run_worker_iteration(
-                    rank, state, mu, plan, n_expected, transport
-                )
-                res_q.put((rank, "result", payload))
+                _, mu, plan, n_expected, gen, model_rank = cmd
+                transport = _QueueRingTransport(rank, ring_qs, gen, abort_ev)
+                try:
+                    payload = _run_worker_iteration(
+                        rank, state, mu, plan, n_expected, transport, model_rank
+                    )
+                except IterationAborted:
+                    res_q.put((rank, "aborted", None))
+                else:
+                    res_q.put((rank, "result", payload))
         except Exception:
             res_q.put((rank, "error", traceback.format_exc()))
 
@@ -326,8 +479,10 @@ class MultiprocessBackend(BaseBackend):
         from issuing a command round (setup, iteration) until *all* P
         responses have arrived. ``None`` waits indefinitely — but a
         worker *dying* is always detected within
-        :data:`_LIVENESS_POLL_S` seconds and fails the fit, tearing down
-        the remaining peers.
+        :data:`_LIVENESS_POLL_S` seconds, and handled according to
+        ``fault_policy``: ``fail_fast`` fails the fit and tears down the
+        remaining peers; ``drop_shard`` retires the dead shard and
+        continues on the survivors.
 
     The adapter must be picklable; each worker gets its own copy at
     ``setup`` while the shard *data* travels through shared memory.
@@ -350,10 +505,13 @@ class MultiprocessBackend(BaseBackend):
         self._ctx = None
         self._procs: list = []
         self._ring_qs: list = []
+        self._abort_events: list = []
         self._cmd_qs: list = []
         self._res_q = None
         self._segments: list = []
         self._pool_size = 0
+        self._ranks: list[int] = []
+        self._gen = 0
 
     # ---------------------------------------------------------- lifecycle
     def setup(self, adapter, shards) -> None:
@@ -362,16 +520,22 @@ class MultiprocessBackend(BaseBackend):
         if P < 1:
             raise ValueError("need at least one shard")
         self.adapter = adapter
+        self._bind_dataplane(DataPlane(adapter, shards, own_data=False))
         specs = adapter.submodel_specs()
+        self._specs = specs
         self._spec_by_sid = {s.sid: s for s in specs}
         self._homes = home_assignment(len(specs), P)
         self._protocol = WStepProtocol(P, self.epochs, self.scheme)
         self._topology = RingTopology.identity(P)
         self._route_rng = check_random_state(self.seed)
-        if self._procs and self._pool_size != P:
+        # A pool degraded by shard retirements cannot serve a fresh fit
+        # (the retired ranks' workers are gone); rebuild it, like a
+        # machine-count change.
+        if self._procs and (self._pool_size != P or len(self._ranks) != self._pool_size):
             self.close()
         if not self._procs:
             self._spawn(P)
+        self._ranks = list(range(P))
         self._release_segments()
         # Anything that fails between shard shipping and a successful
         # ready-collection must not leak the just-created /dev/shm
@@ -395,7 +559,7 @@ class MultiprocessBackend(BaseBackend):
         mesh here).
         """
         base_seed = 0 if self.seed is None else int(self.seed)
-        for rank in range(self._pool_size):
+        for rank in self._ranks:
             self._cmd_qs[rank].put(
                 (
                     "setup",
@@ -425,6 +589,9 @@ class MultiprocessBackend(BaseBackend):
         self._ring_qs = (
             [self._ctx.Queue() for _ in range(P)] if self._needs_ring_queues else []
         )
+        self._abort_events = (
+            [self._ctx.Event() for _ in range(P)] if self._needs_ring_queues else []
+        )
         self._cmd_qs = [self._ctx.Queue() for _ in range(P)]
         self._res_q = self._ctx.Queue()
         self._procs = []
@@ -440,26 +607,71 @@ class MultiprocessBackend(BaseBackend):
 
     def _worker_args(self, rank: int) -> tuple:
         """Arguments for this rank's worker process."""
-        return (rank, self._ring_qs, self._cmd_qs[rank], self._res_q)
+        return (
+            rank, self._ring_qs, self._cmd_qs[rank], self._res_q,
+            self._abort_events[rank],
+        )
 
+    # ----------------------------------------------------------- streaming
+    def _apply_ingest(self, batch) -> int:
+        """Ship one drained batch to its worker as an incremental segment."""
+        seg, desc = _pack_array_block([batch.X, batch.F, batch.Z, batch.indices])
+        desc["untrack"] = self.ctx_method != "fork"
+        try:
+            self._cmd_qs[batch.machine].put(("ingest", desc))
+            self._collect("ingested", ranks=[batch.machine])
+        finally:
+            _unlink_segments([seg])
+        return self.dataplane.apply(batch)
+
+    # ----------------------------------------------------------- iteration
     def run_iteration(self, mu: float) -> IterationStats:
         if not self._procs:
             raise RuntimeError("setup() must run before run_iteration()")
         mu = float(mu)
-        P = self._pool_size
-        if self.shuffle_ring:
-            plan = RoutePlan.shuffled(
-                self._topology.machines, self._protocol, self._route_rng
-            )
-        else:
-            plan = RoutePlan.fixed(self._topology, self._protocol)
-        expected = expected_receives(plan, self._homes)
+        rows = self.drain_ingests()
+        lost: list[int] = []
         t0 = time.perf_counter()
-        self._dispatch_iteration(mu, plan, expected)
-        payloads = self._collect("result")
+        while True:
+            if self.shuffle_ring:
+                plan = RoutePlan.shuffled(
+                    self._topology.machines, self._protocol, self._route_rng
+                )
+            else:
+                plan = RoutePlan.fixed(self._topology, self._protocol)
+            expected = expected_receives(plan, self._homes)
+            self._gen += 1
+            model_rank = self._ranks[0]
+            self._dispatch_iteration(mu, plan, expected, model_rank)
+            try:
+                payloads = self._collect_results()
+                break
+            except _WorkersLost as loss:
+                lost.extend(loss.dead)
+                self._excise(loss.dead)
+                if loss.payloads is not None:
+                    # No survivor aborted: the attempt completed on every
+                    # survivor (models and Z codes already advanced) —
+                    # keep the results instead of training this mu a
+                    # second time. If the model-holding rank was the one
+                    # that died, any survivor's post-iteration adapter
+                    # holds the identical final model (the W-step
+                    # invariant); fetch it from the new lowest rank.
+                    payloads = loss.payloads
+                    if model_rank not in payloads:
+                        model_rank = self._ranks[0]
+                        self._cmd_qs[model_rank].put(("model",))
+                        fetched = self._collect("model", ranks=[model_rank])
+                        payloads[model_rank]["model"] = fetched[model_rank]
+                    break
         wall = time.perf_counter() - t0
-        for sid, theta in payloads[0]["model"]:
-            self.adapter.set_params(self._spec_by_sid[sid], theta)
+        set_params_many(
+            self.adapter,
+            [
+                (self._spec_by_sid[sid], theta)
+                for sid, theta in payloads[model_rank]["model"]
+            ],
+        )
         ranks = sorted(payloads)
         w_time = max(payloads[r]["w_time"] for r in ranks)
         z_time = max(payloads[r]["z_time"] for r in ranks)
@@ -480,33 +692,167 @@ class MultiprocessBackend(BaseBackend):
             extra=extra,
             bytes_sent=int(wire.get("bytes_sent", 0)),
             hops=int(wire.get("hops", 0)),
+            rows_ingested=rows,
+            shards_lost=len(lost),
+            n_machines=len(self._ranks),
         )
 
-    def _dispatch_iteration(self, mu: float, plan: RoutePlan, expected: dict) -> None:
-        """Send one iteration command to every worker (override point)."""
-        for rank in range(self._pool_size):
-            self._cmd_qs[rank].put(("iter", mu, plan, expected[rank]))
+    def _dispatch_iteration(self, mu: float, plan: RoutePlan, expected: dict,
+                            model_rank: int) -> None:
+        """Send one iteration command to every live worker (override point)."""
+        for ev in self._abort_events:
+            ev.clear()  # workers are idle between iterations; safe to reset
+        for rank in self._ranks:
+            self._cmd_qs[rank].put(
+                ("iter", mu, plan, expected[rank], self._gen, model_rank)
+            )
 
-    def _collect(self, expect: str) -> dict:
-        """Gather one response per worker, watching liveness throughout.
+    # ------------------------------------------------------------ recovery
+    def _request_abort(self, ranks) -> None:
+        """Wake workers blocked on ring receives that will never arrive.
 
-        Any worker error — or a worker found dead, or the configured
-        ``worker_timeout`` elapsing — makes the whole fit unrecoverable:
-        peers may be blocked on ring receives that will never arrive, and
-        their queued results would corrupt the next iteration. Tear
-        everything down so a later ``setup`` starts clean.
+        Queue transport: inject a generation-tagged sentinel into each
+        survivor's ring queue, and set the survivor's abort event — the
+        lock-free fallback for the case where the dead worker was killed
+        mid-write and left a ring queue's feeder lock held, which would
+        make the sentinel undeliverable. (The TCP transport needs
+        neither — survivors observe the dead peer's sockets reset and
+        self-abort.)
+        """
+        for rank in ranks:
+            self._abort_events[rank].set()
+            self._ring_qs[rank].put((self._gen, None))
+
+    def _collect_results(self) -> dict:
+        """Gather one iteration response per live worker.
+
+        Under ``fail_fast`` any death tears the pool down with a raised
+        error (historical behaviour). Under ``drop_shard`` a death turns
+        the gather into an abort round: survivors are woken, their
+        responses (results or abort acks) drained, and
+        :class:`_WorkersLost` reports the dead set to ``run_iteration``
+        for excision and retry.
         """
         deadline = (
             None
             if self.worker_timeout is None
             else time.monotonic() + self.worker_timeout
         )
-        payloads = {}
-        while len(payloads) < self._pool_size:
+        pending = set(self._ranks)
+        payloads: dict[int, dict] = {}
+        aborted: set[int] = set()
+        dead: set[int] = set()
+        abort_requested = False
+        while pending:
             try:
                 rank, kind, payload = self._res_q.get(timeout=_LIVENESS_POLL_S)
             except queue_mod.Empty:
-                dead = [r for r, p in enumerate(self._procs) if not p.is_alive()]
+                newly_dead = {r for r in pending if not self._procs[r].is_alive()}
+                if newly_dead:
+                    if self.fault_policy is not FaultPolicy.DROP_SHARD:
+                        self.close(force=True)
+                        raise RuntimeError(
+                            f"worker(s) {sorted(newly_dead)} died mid-result; "
+                            "pool torn down"
+                        ) from None
+                    dead |= newly_dead
+                    pending -= newly_dead
+                    if pending and not abort_requested:
+                        self._request_abort(pending)
+                        abort_requested = True
+                if deadline is not None and time.monotonic() > deadline:
+                    self.close(force=True)
+                    raise RuntimeError(
+                        f"timed out after {self.worker_timeout}s waiting for "
+                        f"'result' from {len(pending)} worker(s)"
+                    ) from None
+                continue
+            if kind == "error":
+                self.close(force=True)
+                raise RuntimeError(f"worker {rank} failed:\n{payload}")
+            if kind == "result":
+                payloads[rank] = payload
+                pending.discard(rank)
+            elif kind == "aborted":
+                aborted.add(rank)
+                pending.discard(rank)
+        if dead or aborted:
+            # An abort is always downstream of a death; find any not yet
+            # caught by the liveness poll (e.g. sockets reset before the
+            # first poll fired).
+            dead |= {
+                r
+                for r in self._ranks
+                if r not in dead and not self._procs[r].is_alive()
+            }
+            if not dead:
+                self.close(force=True)
+                raise RuntimeError(
+                    f"worker(s) {sorted(aborted)} aborted with every peer "
+                    "alive; pool torn down"
+                )
+            raise _WorkersLost(sorted(dead), None if aborted else payloads)
+        return payloads
+
+    def _excise(self, dead) -> None:
+        """Retire dead workers' shards and re-plan around the survivors."""
+        dead = set(dead)
+        survivors = [r for r in self._ranks if r not in dead]
+        if not survivors:
+            self.close(force=True)
+            raise RuntimeError("every worker died; pool torn down")
+        retired = []
+        for rank in sorted(dead):
+            proc = self._procs[rank]
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5)
+            rows = self.dataplane.retire(rank, lost=True)
+            retired.append(ShardRetired(machine=rank, rows_lost=rows))
+        self._ranks = survivors
+        self._topology = RingTopology(survivors)
+        self._protocol = WStepProtocol(len(survivors), self.epochs, self.scheme)
+        self._homes = home_assignment(len(self._specs), survivors)
+        self._rebuild_transport(retired)
+        self._announce_replan(retired)
+
+    def _rebuild_transport(self, retired) -> None:
+        """Restore the ring transport for the survivor set.
+
+        Queues survive as-is: stale traffic from the aborted attempt is
+        generation-filtered at the receivers. The TCP backend overrides
+        to rebuild its socket mesh.
+        """
+
+    def _announce_replan(self, retired) -> None:
+        """Ship the survivor protocol/home assignment to every worker."""
+        for rank in self._ranks:
+            self._cmd_qs[rank].put(("replan", self._protocol, self._homes, None))
+        self._collect("replanned")
+
+    # ----------------------------------------------------------- gathering
+    def _collect(self, expect: str, ranks=None) -> dict:
+        """Gather one ``expect`` response per rank, fail-fast on trouble.
+
+        Used for every command round outside the iteration gather
+        (setup, port exchange, replan, ingest acks): any worker error,
+        death or timeout there makes the fit unrecoverable regardless of
+        fault policy — tear everything down so a later ``setup`` starts
+        clean.
+        """
+        ranks = list(self._ranks) if ranks is None else list(ranks)
+        wanted = set(ranks)
+        deadline = (
+            None
+            if self.worker_timeout is None
+            else time.monotonic() + self.worker_timeout
+        )
+        payloads = {}
+        while len(payloads) < len(ranks):
+            try:
+                rank, kind, payload = self._res_q.get(timeout=_LIVENESS_POLL_S)
+            except queue_mod.Empty:
+                dead = [r for r in ranks if not self._procs[r].is_alive()]
                 if dead:
                     self.close(force=True)
                     raise RuntimeError(
@@ -516,18 +862,19 @@ class MultiprocessBackend(BaseBackend):
                     self.close(force=True)
                     raise RuntimeError(
                         f"timed out after {self.worker_timeout}s waiting for "
-                        f"{expect!r} from {self._pool_size - len(payloads)} worker(s)"
+                        f"{expect!r} from {len(ranks) - len(payloads)} worker(s)"
                     ) from None
                 continue
             if kind == "error":
                 self.close(force=True)
                 raise RuntimeError(f"worker {rank} failed:\n{payload}")
-            if kind == expect:
+            if kind == expect and rank in wanted:
                 payloads[rank] = payload
         return payloads
 
     def teardown(self) -> None:
         """End the fit: drop the shared-memory shards, keep the pool."""
+        super().teardown()
         self._release_segments()
 
     def _release_segments(self) -> None:
@@ -557,14 +904,16 @@ class MultiprocessBackend(BaseBackend):
         self._procs = []
         self._cmd_qs = []
         self._ring_qs = []
+        self._abort_events = []
         self._res_q = None
         self._pool_size = 0
+        self._ranks = []
         self._release_segments()
 
     @property
     def worker_pids(self) -> list[int]:
         """PIDs of the live pool (diagnostics; stable across fits)."""
-        return [p.pid for p in self._procs]
+        return [p.pid for p in self._procs if p.is_alive()]
 
     def __del__(self):
         try:

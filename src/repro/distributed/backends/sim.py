@@ -3,18 +3,34 @@
 Thin adapters putting :class:`~repro.distributed.cluster.SimulatedCluster`
 behind the generic :class:`~repro.distributed.backends.base.Backend`
 lifecycle. ``sync`` is the deterministic tick engine (fig. 3, supports
-fault injection via the underlying cluster); ``async`` is the
-discrete-event engine the speedup experiments measure. Both report
-virtual-clock time in ``IterationStats.time``.
+fault injection); ``async`` is the discrete-event engine the speedup
+experiments measure. Both report virtual-clock time in
+``IterationStats.time``.
+
+Streaming and fault handling are *backend capabilities* here, not
+simulator specials: ``ingest`` queues rows through the same
+:class:`~repro.distributed.dataplane.DataPlane` the wall-clock engines
+drive (drained at iteration boundaries), and :meth:`inject_fault` kills
+a simulated machine mid-W-step — honoured according to the declared
+:class:`~repro.distributed.backends.base.FaultPolicy`: ``fail_fast``
+raises exactly like a wall-clock pool teardown would, ``drop_shard``
+excises the shard, re-plans the ring around the survivors, and keeps
+training (paper section 4.3).
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.distributed.backends.base import BaseBackend, IterationStats, register_backend
-from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.backends.base import (
+    BaseBackend,
+    FaultPolicy,
+    IterationStats,
+    register_backend,
+)
+from repro.distributed.cluster import FaultEvent, SimulatedCluster
 from repro.distributed.costmodel import CostModel
+from repro.distributed.dataplane import DataPlane
 
 __all__ = ["SyncSimBackend", "AsyncSimBackend"]
 
@@ -38,9 +54,12 @@ class _SimBackend(BaseBackend):
         self.execute_updates = bool(execute_updates)
         self.message_dtype = message_dtype
         self.cluster: SimulatedCluster | None = None
+        self._pending_fault: FaultEvent | None = None
 
     def setup(self, adapter, shards) -> None:
         self.adapter = adapter
+        self._bind_dataplane(DataPlane(adapter, shards))
+        self._pending_fault = None
         self.cluster = SimulatedCluster(
             adapter,
             shards,
@@ -53,16 +72,51 @@ class _SimBackend(BaseBackend):
             engine=self.engine,
             execute_updates=self.execute_updates,
             message_dtype=self.message_dtype,
+            dataplane=self.dataplane,
             seed=self.seed,
         )
+
+    # --------------------------------------------------------------- faults
+    def inject_fault(self, machine: int, *, tick: int = 0) -> None:
+        """Schedule machine ``machine`` to die during the next W step.
+
+        Only the ``sync`` engine supports mid-W-step faults (the
+        discrete-event engine has no tick to anchor them to); the effect
+        is governed by ``fault_policy``.
+        """
+        if self.engine != "sync":
+            raise ValueError(
+                "fault injection is only supported by the sync engine"
+            )
+        if self.cluster is None:
+            raise RuntimeError("setup() must run before inject_fault()")
+        if machine not in self.cluster.shards:
+            raise KeyError(f"machine {machine} does not exist")
+        self._pending_fault = FaultEvent(machine=int(machine), tick=int(tick))
 
     def run_iteration(self, mu: float) -> IterationStats:
         if self.cluster is None:
             raise RuntimeError("setup() must run before run_iteration()")
         cluster = self.cluster
+        rows = self.drain_ingests()
+        fault, self._pending_fault = self._pending_fault, None
+        lost_before = self.dataplane.shards_lost
+        if fault is not None and self.fault_policy is FaultPolicy.FAIL_FAST:
+            raise RuntimeError(
+                f"machine {fault.machine} died mid-iteration; "
+                "fit aborted (fault_policy='fail_fast')"
+            )
         t0 = time.perf_counter()
-        wstats, zstats = cluster.iteration(mu)
+        wstats, zstats = cluster.iteration(mu, fault=fault)
         wall = time.perf_counter() - t0
+        if fault is not None and fault.machine in cluster.shards:
+            # The W step drained before the scheduled tick: the requested
+            # death never happened. A resilience experiment must not
+            # silently measure a fault-free run.
+            raise RuntimeError(
+                f"injected fault at tick {fault.tick} never fired: the W "
+                f"step finished after {wstats.ticks} ticks"
+            )
         violations = sum(
             self.adapter.violations_shard(cluster.shards[p]) for p in cluster.machines
         )
@@ -83,6 +137,9 @@ class _SimBackend(BaseBackend):
                 "wall_time": wall,
             },
             bytes_sent=int(wstats.bytes_sent),
+            rows_ingested=rows,
+            shards_lost=self.dataplane.shards_lost - lost_before,
+            n_machines=cluster.n_machines,
         )
 
     # The cluster stays accessible after teardown: streaming and fault

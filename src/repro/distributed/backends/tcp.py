@@ -42,10 +42,23 @@ first-principles predictions.
 A dead peer is detected, not waited for: a worker blocked on a receive
 observes the peer's sockets reset (EOF mid-frame), raises a
 :class:`~repro.distributed.framing.ProtocolError`, and reports the
-failure; the coordinator then tears down the remaining peers. The
-coordinator also polls worker liveness directly (inherited from the
-multiprocessing backend), so even a silently vanished worker fails the
-fit within a bounded delay.
+failure. What happens next is the declared
+:class:`~repro.distributed.backends.base.FaultPolicy`: under
+``fail_fast`` the coordinator tears down the remaining peers; under
+``drop_shard`` the surviving workers abort the iteration (closing their
+mesh, which cascades the EOF to any peer still blocked), the dead
+machine's shard is retired from the data plane, the mesh is rebuilt
+over the survivor set (fresh listen sockets, fresh HELLO handshakes —
+so no stale frames survive the aborted attempt), routes and homes are
+re-planned, and the iteration re-runs. The coordinator also polls
+worker liveness directly (inherited from the multiprocessing backend),
+so even a silently vanished worker is handled within a bounded delay.
+
+Streaming ingestion and retirement announcements travel as control
+frames (``KIND_INGEST`` / ``KIND_SHARD_RETIRED`` in
+:mod:`repro.distributed.framing`): on a single host they are carried to
+the workers over the command queues as encoded frame bytes — the same
+bytes a multi-host deployment would send down a coordinator socket.
 """
 
 from __future__ import annotations
@@ -54,21 +67,31 @@ import selectors
 import socket
 import traceback
 
-from repro.distributed.backends.base import register_backend
+from repro.distributed.backends.base import FaultPolicy, register_backend
 from repro.distributed.backends.mp import (
+    IterationAborted,
     MultiprocessBackend,
+    _apply_replan,
+    _apply_worker_ingest,
     _build_worker_state,
+    _report_model,
     _run_worker_iteration,
 )
 from repro.distributed.framing import (
     KIND_BATCH,
     KIND_HELLO,
+    KIND_INGEST,
+    KIND_SHARD_RETIRED,
     FrameDecoder,
     ProtocolError,
     decode_batch,
     decode_hello,
+    decode_ingest,
+    decode_shard_retired,
     encode_batch,
     encode_hello,
+    encode_ingest,
+    encode_shard_retired,
 )
 from repro.distributed.protocol import RoutePlan
 
@@ -231,13 +254,43 @@ def _close_net(net: dict | None) -> None:
 
 
 # ------------------------------------------------------------------ worker
+def _bind_listen_socket(host: str, port: int, batch_hops: bool) -> dict:
+    """A fresh net dict around a newly bound listening socket."""
+    listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listen.bind((host, port))
+    listen.listen(16)
+    return {"listen": listen, "out": {}, "in": {}, "batch_hops": batch_hops}
+
+
+def _decode_control_blob(blob: bytes, expected_kind: int) -> list:
+    """Decode a blob of concatenated control frames of one kind."""
+    decoders = {
+        KIND_INGEST: decode_ingest,
+        KIND_SHARD_RETIRED: decode_shard_retired,
+    }
+    out = []
+    decoder = FrameDecoder()
+    for kind, payload in decoder.feed(blob):
+        if kind != expected_kind:
+            raise ProtocolError(
+                f"expected control frame kind {expected_kind}, got {kind}"
+            )
+        out.append(decoders[expected_kind](payload))
+    decoder.eof()
+    return out
+
+
 def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
     """TCP pool worker: the mp command loop plus socket lifecycle.
 
     Commands: ``setup`` binds the listening socket and replies with the
     actual port; ``connect`` receives the full port map, dials every
     peer, accepts every peer, and acks; ``iter`` runs one MAC iteration
-    with the socket transport; ``stop`` closes everything.
+    with the socket transport; ``ingest`` appends a framed batch of
+    streamed rows to the local shard; ``rebind``/``replan`` rebuild the
+    mesh and adopt the survivor plan after a ``drop_shard`` recovery;
+    ``stop`` closes everything.
     """
     state = None
     net: dict | None = None
@@ -252,7 +305,7 @@ def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
         try:
             if op == "setup":
                 (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
-                 seed, host, port, batch_hops) = cmd
+                 seed, host, port, batch_hops, drop_on_fault) = cmd
                 _close_net(net)  # a new fit rebuilds the mesh
                 net = None
                 if state is not None and state["seg"] is not None:
@@ -261,13 +314,18 @@ def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
                     rank, adapter, desc, protocol, homes, batch_size,
                     shuffle_within, seed,
                 )
-                listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-                listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-                listen.bind((host, port))
-                listen.listen(16)
-                net = {"listen": listen, "out": {}, "in": {},
-                       "batch_hops": batch_hops}
-                res_q.put((rank, "port", listen.getsockname()[1]))
+                state["batch_hops"] = batch_hops
+                state["drop_on_fault"] = drop_on_fault
+                net = _bind_listen_socket(host, port, batch_hops)
+                res_q.put((rank, "port", net["listen"].getsockname()[1]))
+            elif op == "rebind":
+                # Drop_shard recovery, phase 1: fresh listen socket (the
+                # old mesh is dirty — dead-peer links, possibly stale
+                # frames from the aborted iteration).
+                _, host, port = cmd
+                _close_net(net)
+                net = _bind_listen_socket(host, port, state["batch_hops"])
+                res_q.put((rank, "port", net["listen"].getsockname()[1]))
             elif op == "connect":
                 _, addr_map = cmd
                 peers = sorted(p for p in addr_map if p != rank)
@@ -296,8 +354,29 @@ def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
                 finally:
                     net["listen"].settimeout(None)
                 res_q.put((rank, "ready", None))
+            elif op == "ingest":
+                _, frame = cmd
+                (msg,) = _decode_control_blob(frame, KIND_INGEST)
+                if msg.machine != rank:
+                    raise ProtocolError(
+                        f"ingest frame for machine {msg.machine} delivered "
+                        f"to rank {rank}"
+                    )
+                n = _apply_worker_ingest(state, msg.X, msg.F, msg.Z, msg.indices)
+                res_q.put((rank, "ingested", n))
+            elif op == "replan":
+                _, protocol, homes, retired_blob = cmd
+                # The retirement announcement arrives as SHARD_RETIRED
+                # control frames — validated here even on a single host,
+                # so the multi-host control channel ships proven bytes.
+                if retired_blob:
+                    _decode_control_blob(retired_blob, KIND_SHARD_RETIRED)
+                _apply_replan(rank, state, protocol, homes)
+                res_q.put((rank, "replanned", None))
+            elif op == "model":
+                res_q.put((rank, "model", _report_model(state)))
             elif op == "iter":
-                _, mu, orders, n_expected = cmd
+                _, mu, orders, n_expected, _gen, model_rank = cmd
                 plan = RoutePlan.from_orders(orders, state["protocol"])
                 transport = _SocketRingTransport(
                     rank,
@@ -307,12 +386,24 @@ def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
                     batch_hops=net["batch_hops"],
                 )
                 try:
-                    payload = _run_worker_iteration(
-                        rank, state, mu, plan, n_expected, transport
-                    )
-                finally:
-                    transport.close()
-                res_q.put((rank, "result", payload))
+                    try:
+                        payload = _run_worker_iteration(
+                            rank, state, mu, plan, n_expected, transport,
+                            model_rank,
+                        )
+                    finally:
+                        transport.close()
+                except (ProtocolError, IterationAborted):
+                    if not state.get("drop_on_fault"):
+                        raise
+                    # A peer vanished mid-iteration and the policy says
+                    # survive: drop the dirty mesh (cascading the EOF to
+                    # any peer still blocked) and await the re-plan.
+                    _close_net(net)
+                    net = None
+                    res_q.put((rank, "aborted", traceback.format_exc()))
+                else:
+                    res_q.put((rank, "result", payload))
         except Exception:
             res_q.put((rank, "error", traceback.format_exc()))
 
@@ -376,7 +467,7 @@ class TCPBackend(MultiprocessBackend):
     def _ship_setup(self, adapter, descs) -> None:
         """Three-phase socket setup: bind, exchange ports, build the mesh."""
         base_seed = 0 if self.seed is None else int(self.seed)
-        for rank in range(self._pool_size):
+        for rank in self._ranks:
             self._cmd_qs[rank].put(
                 (
                     "setup",
@@ -390,15 +481,47 @@ class TCPBackend(MultiprocessBackend):
                     self.host,
                     self._port_for(rank),
                     self.batch_hops,
+                    self.fault_policy is FaultPolicy.DROP_SHARD,
                 )
             )
+        self._connect_mesh()
+
+    def _connect_mesh(self) -> None:
+        """Exchange bound ports and build the all-pairs socket mesh."""
         bound = self._collect("port")
         addr_map = {rank: (self.host, port) for rank, port in bound.items()}
-        for rank in range(self._pool_size):
+        for rank in self._ranks:
             self._cmd_qs[rank].put(("connect", addr_map))
         self._collect("ready")
 
-    def _dispatch_iteration(self, mu: float, plan, expected: dict) -> None:
+    def _dispatch_iteration(self, mu: float, plan, expected: dict,
+                            model_rank: int) -> None:
         orders = plan.to_orders()
-        for rank in range(self._pool_size):
-            self._cmd_qs[rank].put(("iter", mu, orders, expected[rank]))
+        for rank in self._ranks:
+            self._cmd_qs[rank].put(
+                ("iter", mu, orders, expected[rank], self._gen, model_rank)
+            )
+
+    # ------------------------------------------------------------ recovery
+    def _request_abort(self, ranks) -> None:
+        """No injection needed: survivors observe the dead peer's sockets
+        reset (or an aborting peer's mesh teardown) and self-abort."""
+
+    def _apply_ingest(self, batch) -> int:
+        """Ship one drained batch to its worker as an INGEST frame."""
+        self._cmd_qs[batch.machine].put(("ingest", encode_ingest(batch)))
+        self._collect("ingested", ranks=[batch.machine])
+        return self.dataplane.apply(batch)
+
+    def _rebuild_transport(self, retired) -> None:
+        """Rebuild the socket mesh over the survivor set (fresh listen
+        sockets and HELLO handshakes — no stale frames survive)."""
+        for rank in self._ranks:
+            self._cmd_qs[rank].put(("rebind", self.host, self._port_for(rank)))
+        self._connect_mesh()
+
+    def _announce_replan(self, retired) -> None:
+        blob = b"".join(encode_shard_retired(m) for m in retired)
+        for rank in self._ranks:
+            self._cmd_qs[rank].put(("replan", self._protocol, self._homes, blob))
+        self._collect("replanned")

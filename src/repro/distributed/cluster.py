@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.distributed.costmodel import CostModel
+from repro.distributed.dataplane import DataPlane
+from repro.distributed.interfaces import get_params_many, set_params_many
 from repro.distributed.messages import SubmodelMessage
 from repro.distributed.partition import Shard
 from repro.distributed.topology import RingTopology
@@ -102,6 +104,11 @@ class SimulatedCluster:
         every hop round-trips the parameters through that dtype, and both
         ``bytes_sent`` and the per-hop communication time shrink by the
         itemsize ratio. None keeps full float64 messages.
+    dataplane : DataPlane or None
+        Shard-ownership bookkeeping. The execution backends construct one
+        and hand it in so streaming/fault counters are visible through the
+        generic :class:`~repro.distributed.backends.base.Backend` API;
+        standalone clusters build their own.
     seed : int or None
         Master seed; machine RNG streams are derived from it.
     """
@@ -120,6 +127,7 @@ class SimulatedCluster:
         engine: str = "sync",
         execute_updates: bool = True,
         message_dtype=None,
+        dataplane: DataPlane | None = None,
         seed=None,
     ):
         if epochs < 1:
@@ -135,7 +143,9 @@ class SimulatedCluster:
                     f"message_dtype must be a float dtype, got {message_dtype}"
                 )
         self.adapter = adapter
-        self.shards: dict[int, Shard] = {p: s for p, s in enumerate(shards)}
+        self.dataplane = (
+            dataplane if dataplane is not None else DataPlane(adapter, shards)
+        )
         self.epochs = int(epochs)
         self.scheme = scheme
         self.batch_size = int(batch_size)
@@ -151,27 +161,24 @@ class SimulatedCluster:
         )
 
         self._route_rng = check_random_state(seed)
-        self._machine_rngs = {
-            p: r for p, r in enumerate(spawn_rngs(self._route_rng, len(self.shards)))
-        }
-        self.topology = RingTopology.identity(len(self.shards))
+        self._machine_rngs = dict(
+            zip(
+                self.dataplane.machines,
+                spawn_rngs(self._route_rng, len(self.shards)),
+            )
+        )
+        self.topology = RingTopology(self.dataplane.machines)
         # store[p][sid] -> latest SubmodelMessage copy seen by machine p.
         self._stores: dict[int, dict[int, SubmodelMessage]] = {
             p: {} for p in self.shards
         }
-        self._next_machine_id = len(self.shards)
-        # Global row counter for streaming; only meaningful for shard types
-        # that track indices (deep-net shards do not support streaming).
-        self._next_global_index = 1 + max(
-            (
-                int(s.indices.max())
-                for s in self.shards.values()
-                if s.n and hasattr(s, "indices")
-            ),
-            default=-1,
-        )
 
     # ------------------------------------------------------------ topology
+    @property
+    def shards(self) -> dict[int, Shard]:
+        """Machine id -> shard, owned by the shared :class:`DataPlane`."""
+        return self.dataplane.shards
+
     @property
     def machines(self) -> list[int]:
         return self.topology.machines
@@ -182,7 +189,7 @@ class SimulatedCluster:
 
     @property
     def n_points(self) -> int:
-        return sum(s.n for s in self.shards.values())
+        return self.dataplane.n_points
 
     # -------------------------------------------------------- W-step setup
     @property
@@ -215,11 +222,13 @@ class SimulatedCluster:
         machines = self.machines
         P = len(machines)
         queues: dict[int, list[SubmodelMessage]] = {p: [] for p in machines}
-        for i, spec in enumerate(specs):
+        for i, (spec, theta) in enumerate(
+            zip(specs, get_params_many(self.adapter, specs))
+        ):
             home = machines[i * P // len(specs)]
             msg = SubmodelMessage(
                 spec=spec,
-                theta=np.array(self.adapter.get_params(spec), copy=True),
+                theta=np.array(theta, copy=True),
                 sgd_state=SGDState(),
                 to_visit=set(machines),
                 epochs_left=self._sgd_epochs,
@@ -283,8 +292,13 @@ class SimulatedCluster:
         the first machine in the ring.
         """
         store = self._stores[self.machines[0]]
-        for spec in self.adapter.submodel_specs():
-            self.adapter.set_params(spec, store[spec.sid].theta)
+        set_params_many(
+            self.adapter,
+            [
+                (spec, store[spec.sid].theta)
+                for spec in self.adapter.submodel_specs()
+            ],
+        )
 
     # ----------------------------------------------------------- W step
     def w_step(self, mu: float, *, fault: FaultEvent | None = None) -> WStepStats:
@@ -431,7 +445,7 @@ class SimulatedCluster:
             if not revived.done:
                 queues[succ].append(revived)
         # The machine leaves the cluster for good: shard, store, topology.
-        del self.shards[dead]
+        self.dataplane.retire(dead, lost=True)
         del self._stores[dead]
         del self._machine_rngs[dead]
         self.topology = self.topology.without_machine(dead)
@@ -462,22 +476,15 @@ class SimulatedCluster:
         """Streaming form 1: a machine acquires new points (section 4.3).
 
         Codes are created locally "by applying the nested model"; nothing
-        crosses the network.
+        crosses the network. Validation and application go through the
+        shared :class:`DataPlane` — the same code path the wall-clock
+        backends' ``ingest`` drains through.
         """
-        if p not in self.shards:
-            raise KeyError(f"machine {p} does not exist")
-        X_new = np.asarray(X_new, dtype=np.float64)
-        F_new = self.adapter.features(X_new)
-        Z_new = self.adapter.init_codes(F_new)
-        idx = np.arange(self._next_global_index, self._next_global_index + len(X_new))
-        self._next_global_index += len(X_new)
-        self.shards[p].append(X_new, F_new, Z_new, idx)
+        self.dataplane.apply(self.dataplane.prepare_ingest(p, X_new))
 
     def remove_data(self, p: int, local_idx) -> None:
         """Streaming form 1: a machine discards points (section 4.3)."""
-        if p not in self.shards:
-            raise KeyError(f"machine {p} does not exist")
-        self.shards[p].drop(local_idx)
+        self.dataplane.remove_rows(p, local_idx)
 
     def add_machine(self, X_new: np.ndarray, *, after: int | None = None) -> int:
         """Streaming form 2: a new preloaded machine joins the ring.
@@ -489,13 +496,12 @@ class SimulatedCluster:
         X_new = np.asarray(X_new, dtype=np.float64)
         if len(X_new) == 0:
             raise ValueError("a new machine needs at least one data point")
-        p = self._next_machine_id
-        self._next_machine_id += 1
         F_new = self.adapter.features(X_new)
         Z_new = self.adapter.init_codes(F_new)
-        idx = np.arange(self._next_global_index, self._next_global_index + len(X_new))
-        self._next_global_index += len(X_new)
-        self.shards[p] = Shard(X=X_new, F=F_new, Z=Z_new, indices=idx)
+        idx = self.dataplane.allocate_indices(len(X_new))
+        p = self.dataplane.register(
+            Shard(X=X_new, F=F_new, Z=Z_new, indices=idx)
+        )
         self.topology = self.topology.with_machine(p, after=after)
         donor = self._stores[self.machines[0]] if self._stores else {}
         self._stores[p] = {sid: m.copy() for sid, m in donor.items()}
@@ -508,7 +514,7 @@ class SimulatedCluster:
             raise KeyError(f"machine {p} does not exist")
         if self.n_machines == 1:
             raise ValueError("cannot remove the only machine")
-        del self.shards[p]
+        self.dataplane.retire(p, lost=False)
         del self._stores[p]
         del self._machine_rngs[p]
         self.topology = self.topology.without_machine(p)

@@ -1,0 +1,247 @@
+"""The data plane: shard ownership, streaming ingestion, retirement.
+
+ParMAC's resilience story (paper section 4.3) is a property of the *data
+plane*, not of any one engine: each machine privately owns one shard;
+new points may arrive at a machine mid-training and are coded locally
+"by applying the nested model"; a machine failure loses exactly that
+machine's shard while training continues on the survivors. This module
+holds that bookkeeping once, so the simulated cluster and the wall-clock
+backends drive the identical code instead of duplicating it:
+
+* **ownership** — which machine id owns which shard, how many rows each
+  holds, and the global row-index allocator that keeps streamed points
+  uniquely addressable across machines;
+* **ingestion** — validation of an arriving batch (target machine must
+  exist, the batch must be non-empty and match the shard's width, the
+  shard type must support streaming) and its conversion into an
+  :class:`IngestBatch` with features and codes computed from the current
+  nested model;
+* **retirement** — excising a shard when its machine dies (``lost=True``,
+  the fault path) or is deliberately removed (``lost=False``), with the
+  ``shards_lost`` / ``rows_lost`` counters the degradation metrics are
+  built from.
+
+A :class:`DataPlane` either *owns* the shard arrays (the simulated
+engines operate in-process on the very same objects) or merely *tracks*
+them (the wall-clock backends keep the authoritative rows in worker
+processes and ship :class:`IngestBatch` payloads over shared memory or
+framed sockets); the ``own_data`` flag selects which, and everything
+else — validation, index allocation, counters — is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["IngestBatch", "DataPlane"]
+
+
+@dataclass(frozen=True)
+class IngestBatch:
+    """One validated, model-coded batch of streamed rows for one machine.
+
+    ``F`` and ``Z`` were computed by the adapter's *current* nested model
+    at the iteration boundary where the batch was drained, so every
+    engine codes identical arrivals identically (the cross-backend
+    streaming-parity contract). ``indices`` are freshly allocated global
+    row numbers, unique across all machines and all prior ingests.
+    """
+
+    machine: int
+    X: np.ndarray
+    F: np.ndarray
+    Z: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.X)
+
+
+class DataPlane:
+    """Shard-ownership bookkeeping shared by every execution engine.
+
+    Parameters
+    ----------
+    adapter : ParMACAdapter
+        Supplies ``features`` / ``init_codes`` for coding streamed rows.
+        Adapters without those methods still get ownership/retirement
+        bookkeeping; ingestion raises a clear error.
+    shards : sequence or mapping
+        One shard per machine. A sequence assigns machine ids 0..P-1; a
+        mapping keeps its ids (machines may have been removed upstream).
+    own_data : bool
+        True (simulated engines): :meth:`apply` appends rows to the shard
+        objects held here. False (wall-clock engines): the authoritative
+        rows live in worker processes; :meth:`apply` only updates the
+        accounting after the backend has shipped the batch.
+    """
+
+    def __init__(self, adapter, shards, *, own_data: bool = True):
+        self.adapter = adapter
+        if hasattr(shards, "items"):
+            self.shards = {int(p): s for p, s in shards.items()}
+        else:
+            self.shards = {p: s for p, s in enumerate(shards)}
+        if not self.shards:
+            raise ValueError("need at least one shard")
+        self.own_data = bool(own_data)
+        self._n_rows = {p: s.n for p, s in self.shards.items()}
+        self._next_machine_id = 1 + max(self.shards)
+        # Global row counter for streaming; only meaningful for shard
+        # types that track indices.
+        self._next_global_index = 1 + max(
+            (
+                int(s.indices.max())
+                for s in self.shards.values()
+                if s.n and hasattr(s, "indices")
+            ),
+            default=-1,
+        )
+        self.rows_ingested = 0
+        self.shards_lost = 0
+        self.rows_lost = 0
+        self.retired: set[int] = set()
+
+    # ------------------------------------------------------------ ownership
+    @property
+    def machines(self) -> list[int]:
+        """Machine ids currently owning a shard, in id order."""
+        return sorted(self.shards)
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_points(self) -> int:
+        """Rows currently owned across all machines (tracked, so it stays
+        correct even when the authoritative rows live in workers)."""
+        return sum(self._n_rows.values())
+
+    def rows_of(self, p: int) -> int:
+        self._require_machine(p)
+        return self._n_rows[p]
+
+    def is_retired(self, p) -> bool:
+        """True when machine ``p`` once owned a shard that has left the
+        plane — its data stream is gone, as distinct from an id that
+        never existed (which is a caller error)."""
+        return int(p) in self.retired
+
+    def _require_machine(self, p) -> int:
+        p = int(p)
+        if p not in self.shards:
+            raise KeyError(f"machine {p} does not exist")
+        return p
+
+    def register(self, shard, *, machine: int | None = None) -> int:
+        """Add a shard under a fresh (or explicit) machine id; returns it."""
+        if machine is None:
+            machine = self._next_machine_id
+        machine = int(machine)
+        if machine in self.shards:
+            raise ValueError(f"machine {machine} already owns a shard")
+        self._next_machine_id = max(self._next_machine_id, machine + 1)
+        self.shards[machine] = shard
+        self._n_rows[machine] = shard.n
+        return machine
+
+    def allocate_indices(self, n: int) -> np.ndarray:
+        """Fresh global row indices for ``n`` streamed points."""
+        idx = np.arange(self._next_global_index, self._next_global_index + n)
+        self._next_global_index += n
+        return idx
+
+    # ------------------------------------------------------------ ingestion
+    def check_ingest(self, p: int, X_new) -> np.ndarray:
+        """Validate an arriving batch; returns it as a float64 2-d array.
+
+        Raises ``KeyError`` for an unknown machine, ``ValueError`` for an
+        empty or wrong-width batch, ``TypeError`` when the shard type or
+        the adapter cannot stream. Called eagerly at ``ingest()`` time so
+        a bad call fails at its site, not at the next epoch boundary.
+        """
+        p = self._require_machine(p)
+        X_new = np.asarray(X_new, dtype=np.float64)
+        if X_new.ndim != 2:
+            raise ValueError(
+                f"X_new must be 2-d (rows, features), got shape {X_new.shape}"
+            )
+        if len(X_new) == 0:
+            raise ValueError("cannot ingest an empty batch")
+        shard = self.shards[p]
+        if not hasattr(shard, "append") or not hasattr(shard, "X"):
+            raise TypeError(
+                f"{type(shard).__name__} does not support streaming ingestion"
+            )
+        width = shard.X.shape[1]
+        if X_new.shape[1] != width:
+            raise ValueError(
+                f"X_new has {X_new.shape[1]} columns but machine {p}'s shard "
+                f"holds {width}-dimensional points"
+            )
+        if not (hasattr(self.adapter, "features") and hasattr(self.adapter, "init_codes")):
+            raise TypeError(
+                f"{type(self.adapter).__name__} does not support streaming "
+                "(needs features() and init_codes())"
+            )
+        return X_new
+
+    def prepare_ingest(self, p: int, X_new, *, validated: bool = False) -> IngestBatch:
+        """Validate and code a batch with the current nested model.
+
+        ``validated=True`` skips re-validating arrays that already went
+        through :meth:`check_ingest` (the backends validate eagerly at
+        ``ingest()`` time and drain later); the target machine is still
+        re-checked, since it may have retired in between.
+        """
+        p = self._require_machine(p)
+        if not validated:
+            X_new = self.check_ingest(p, X_new)
+        F_new = self.adapter.features(X_new)
+        Z_new = self.adapter.init_codes(F_new)
+        return IngestBatch(
+            machine=p, X=X_new, F=F_new, Z=Z_new,
+            indices=self.allocate_indices(len(X_new)),
+        )
+
+    def apply(self, batch: IngestBatch) -> int:
+        """Account one shipped/applied batch; append rows when owning data."""
+        p = self._require_machine(batch.machine)
+        if self.own_data:
+            self.shards[p].append(batch.X, batch.F, batch.Z, batch.indices)
+        self._n_rows[p] += batch.n
+        self.rows_ingested += batch.n
+        return batch.n
+
+    def remove_rows(self, p: int, local_idx) -> None:
+        """Drop rows by local index (streaming form 1, data departure)."""
+        p = self._require_machine(p)
+        shard = self.shards[p]
+        if not hasattr(shard, "drop"):
+            raise TypeError(
+                f"{type(shard).__name__} does not support row removal"
+            )
+        shard.drop(local_idx)
+        self._n_rows[p] = shard.n
+
+    # ----------------------------------------------------------- retirement
+    def retire(self, p: int, *, lost: bool = True) -> int:
+        """Excise machine ``p``'s shard; returns the rows that left with it.
+
+        ``lost=True`` is the fault path (counts towards ``shards_lost`` /
+        ``rows_lost``); ``lost=False`` is a deliberate removal.
+        """
+        p = self._require_machine(p)
+        if self.n_machines == 1:
+            raise ValueError("cannot retire the only shard")
+        del self.shards[p]
+        rows = self._n_rows.pop(p)
+        self.retired.add(p)
+        if lost:
+            self.shards_lost += 1
+            self.rows_lost += rows
+        return rows

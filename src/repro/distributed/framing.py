@@ -30,7 +30,7 @@ import struct
 
 import numpy as np
 
-from repro.distributed.messages import SubmodelMessage
+from repro.distributed.messages import IngestMessage, ShardRetired, SubmodelMessage
 
 __all__ = [
     "ProtocolError",
@@ -38,12 +38,18 @@ __all__ = [
     "FRAME_VERSION",
     "KIND_HELLO",
     "KIND_BATCH",
+    "KIND_INGEST",
+    "KIND_SHARD_RETIRED",
     "encode_frame",
     "FrameDecoder",
     "encode_hello",
     "decode_hello",
     "encode_batch",
     "decode_batch",
+    "encode_ingest",
+    "decode_ingest",
+    "encode_shard_retired",
+    "decode_shard_retired",
 ]
 
 
@@ -55,10 +61,14 @@ FRAME_MAGIC = b"PM"
 FRAME_VERSION = 1
 
 #: Frame kinds. HELLO identifies the sending rank on a fresh connection;
-#: BATCH carries one coalesced hop's worth of submodel messages.
+#: BATCH carries one coalesced hop's worth of submodel messages. The
+#: control plane adds INGEST (streamed rows for the receiving machine's
+#: shard) and SHARD_RETIRED (a dead machine's shard left the data plane).
 KIND_HELLO = 0
 KIND_BATCH = 1
-_KNOWN_KINDS = (KIND_HELLO, KIND_BATCH)
+KIND_INGEST = 2
+KIND_SHARD_RETIRED = 3
+_KNOWN_KINDS = (KIND_HELLO, KIND_BATCH, KIND_INGEST, KIND_SHARD_RETIRED)
 
 # magic (2s) | version (B) | kind (B) | payload length (I)
 _FRAME_HEADER = struct.Struct("<2sBBI")
@@ -75,6 +85,14 @@ _HELLO = struct.Struct("<I")
 _MSG_HEADER = struct.Struct("<IIiqqBB")
 _DIM = struct.Struct("<q")
 _COUNT = struct.Struct("<I")
+
+# Ingest payload: machine (I) | 4 arrays (X, F, Z, indices), each as
+# ndim (B) | dtype-string length (B) | dtype | dims | raw bytes.
+_INGEST_HEADER = struct.Struct("<I")
+_ARRAY_HEADER = struct.Struct("<BB")
+
+# Shard-retired payload: machine (I) | rows_lost (q).
+_SHARD_RETIRED = struct.Struct("<Iq")
 
 
 # ------------------------------------------------------------------ frames
@@ -139,6 +157,25 @@ class FrameDecoder:
             raise ProtocolError(
                 f"stream closed mid-frame with {len(self._buf)} bytes buffered"
             )
+
+
+def _shape_nbytes(dtype, shape) -> int:
+    """Byte size of a decoded array, overflow-proof.
+
+    Computed in Python ints (no fixed-width wrap-around), so a crafted
+    frame whose dims multiply past 2^63 fails the cap check instead of
+    wrapping to a small — or negative — size that would let the reader
+    rewind or misparse the payload.
+    """
+    n = 1
+    for dim in shape:
+        n *= int(dim)
+    nbytes = int(dtype.itemsize) * n
+    if nbytes > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared array of {nbytes} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )
+    return nbytes
 
 
 # ------------------------------------------------------------------- hello
@@ -218,7 +255,7 @@ def decode_batch(payload: bytes, spec_by_sid) -> list[SubmodelMessage]:
         shape = tuple(_DIM.unpack(take(_DIM.size))[0] for _ in range(ndim))
         if any(dim < 0 for dim in shape):
             raise ProtocolError(f"negative dimension in shape {shape}")
-        nbytes = int(dtype.itemsize * int(np.prod(shape, dtype=np.int64)))
+        nbytes = _shape_nbytes(dtype, shape)
         theta = np.frombuffer(take(nbytes), dtype=dtype).reshape(shape).copy()
         try:
             spec = spec_by_sid[sid]
@@ -232,3 +269,99 @@ def decode_batch(payload: bytes, spec_by_sid) -> list[SubmodelMessage]:
             f"{len(view) - offset} trailing bytes after {count} messages"
         )
     return messages
+
+
+# ----------------------------------------------------------- control plane
+def _payload_reader(payload: bytes):
+    """A bounds-checked ``take(n)`` over one frame payload."""
+    view = memoryview(payload)
+    state = {"offset": 0}
+
+    def take(n: int) -> memoryview:
+        offset = state["offset"]
+        if offset + n > len(view):
+            raise ProtocolError(
+                f"payload truncated: wanted {n} bytes at offset "
+                f"{offset}, have {len(view) - offset}"
+            )
+        state["offset"] = offset + n
+        return view[offset : offset + n]
+
+    def remaining() -> int:
+        return len(view) - state["offset"]
+
+    return take, remaining
+
+
+def _encode_ndarray(parts: list, a) -> None:
+    """Append one ndarray (header, dtype, dims, raw bytes) to ``parts``."""
+    a = np.asarray(a)
+    shape = a.shape  # taken before ascontiguousarray, which promotes 0-d
+    a = np.ascontiguousarray(a)
+    dtype = a.dtype.str.encode("ascii")
+    if len(dtype) > 255:
+        raise ProtocolError(f"dtype string too long: {dtype!r}")
+    parts.append(_ARRAY_HEADER.pack(len(shape), len(dtype)))
+    parts.append(dtype)
+    for dim in shape:
+        parts.append(_DIM.pack(dim))
+    parts.append(a.tobytes())
+
+
+def _decode_ndarray(take) -> np.ndarray:
+    """Read one ndarray written by :func:`_encode_ndarray`."""
+    ndim, dlen = _ARRAY_HEADER.unpack(take(_ARRAY_HEADER.size))
+    try:
+        dtype = np.dtype(bytes(take(dlen)).decode("ascii"))
+    except (TypeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable dtype in frame: {exc}") from None
+    shape = tuple(_DIM.unpack(take(_DIM.size))[0] for _ in range(ndim))
+    if any(dim < 0 for dim in shape):
+        raise ProtocolError(f"negative dimension in shape {shape}")
+    nbytes = _shape_nbytes(dtype, shape)
+    return np.frombuffer(take(nbytes), dtype=dtype).reshape(shape).copy()
+
+
+def encode_ingest(msg: IngestMessage) -> bytes:
+    """Serialise one streamed-rows delivery into an INGEST frame."""
+    if not (len(msg.X) == len(msg.F) == len(msg.Z) == len(msg.indices)):
+        raise ProtocolError(
+            f"inconsistent ingest lengths: X={len(msg.X)}, F={len(msg.F)}, "
+            f"Z={len(msg.Z)}, indices={len(msg.indices)}"
+        )
+    parts = [_INGEST_HEADER.pack(msg.machine)]
+    for a in (msg.X, msg.F, msg.Z, msg.indices):
+        _encode_ndarray(parts, a)
+    return encode_frame(KIND_INGEST, b"".join(parts))
+
+
+def decode_ingest(payload: bytes) -> IngestMessage:
+    """Rebuild the :class:`IngestMessage` of one INGEST payload."""
+    take, remaining = _payload_reader(payload)
+    (machine,) = _INGEST_HEADER.unpack(take(_INGEST_HEADER.size))
+    X, F, Z, indices = (_decode_ndarray(take) for _ in range(4))
+    if remaining():
+        raise ProtocolError(f"{remaining()} trailing bytes after ingest arrays")
+    if not (len(X) == len(F) == len(Z) == len(indices)):
+        raise ProtocolError(
+            f"inconsistent ingest lengths: X={len(X)}, F={len(F)}, "
+            f"Z={len(Z)}, indices={len(indices)}"
+        )
+    return IngestMessage(machine=machine, X=X, F=F, Z=Z, indices=indices)
+
+
+def encode_shard_retired(msg: ShardRetired) -> bytes:
+    """Serialise one shard-retirement announcement."""
+    return encode_frame(
+        KIND_SHARD_RETIRED, _SHARD_RETIRED.pack(msg.machine, msg.rows_lost)
+    )
+
+
+def decode_shard_retired(payload: bytes) -> ShardRetired:
+    if len(payload) != _SHARD_RETIRED.size:
+        raise ProtocolError(
+            f"shard-retired payload must be {_SHARD_RETIRED.size} bytes, "
+            f"got {len(payload)}"
+        )
+    machine, rows_lost = _SHARD_RETIRED.unpack(payload)
+    return ShardRetired(machine=machine, rows_lost=rows_lost)

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.optim.sgd import SGDState
 
-__all__ = ["SubmodelSpec", "ParMACAdapter"]
+__all__ = ["SubmodelSpec", "ParMACAdapter", "get_params_many", "set_params_many"]
 
 
 @dataclass(frozen=True)
@@ -100,3 +100,33 @@ class ParMACAdapter(Protocol):
         nested model for a BA, ``sum_k ||Z_k - f_k(Z_{k-1})||^2`` for a
         deep net); 0 together with no Z changes is the stopping test."""
         ...
+
+
+def get_params_many(adapter, specs) -> list[np.ndarray]:
+    """Parameter vectors for many submodels, batched when the adapter can.
+
+    Engines read every resident submodel at seeding time and all M at
+    assembly; an adapter exposing ``get_params_batch`` (e.g. the deep-net
+    adapter, which turns M per-unit concatenates into one matrix slice
+    per layer) serves them in bulk. Wire granularity is unaffected —
+    messages still carry one sid each.
+    """
+    batch = getattr(adapter, "get_params_batch", None)
+    if batch is not None:
+        return batch(list(specs))
+    return [adapter.get_params(spec) for spec in specs]
+
+
+def set_params_many(adapter, items) -> None:
+    """Write many ``(spec, theta)`` pairs back, batched when the adapter can.
+
+    The shard-local hot path: every machine writes all M final submodels
+    into its model copy at the end of every W step.
+    """
+    items = list(items)
+    batch = getattr(adapter, "set_params_batch", None)
+    if batch is not None:
+        batch(items)
+        return
+    for spec, theta in items:
+        adapter.set_params(spec, theta)

@@ -1,13 +1,21 @@
-"""Submodel messages: what actually travels over the ring.
+"""Submodel and control messages: what actually travels between machines.
 
-Only model parameters are ever communicated — never data or coordinates
-(the defining property of ParMAC). A message carries the flat parameter
-vector, the SGD step counter (so the schedule continues seamlessly across
-machines), a visit counter (section 4.1 semantics, kept for statistics and
-the multiprocessing backend), and explicit visit/broadcast sets — the
-"more general mechanism" of section 4.3 that tags each submodel with the
+Only model parameters are ever communicated on the *ring* — never data
+or coordinates (the defining property of ParMAC). A
+:class:`SubmodelMessage` carries the flat parameter vector, the SGD step
+counter (so the schedule continues seamlessly across machines), a visit
+counter (section 4.1 semantics, kept for statistics and the
+multiprocessing backend), and explicit visit/broadcast sets — the "more
+general mechanism" of section 4.3 that tags each submodel with the
 machines it still has to visit, which is what makes per-epoch rerouting
 and fault recovery straightforward.
+
+The *control plane* adds two message types for streaming and fault
+tolerance (section 4.3): :class:`IngestMessage` ships newly arrived,
+already-coded rows to the machine that will own them, and
+:class:`ShardRetired` announces that a dead machine's shard has left the
+data plane so every survivor can re-plan around the new ring. Both have
+pickle-free wire codecs in :mod:`repro.distributed.framing`.
 """
 
 from __future__ import annotations
@@ -16,10 +24,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.distributed.dataplane import IngestBatch
 from repro.distributed.interfaces import SubmodelSpec
 from repro.optim.sgd import SGDState
 
-__all__ = ["SubmodelMessage"]
+__all__ = ["SubmodelMessage", "IngestMessage", "ShardRetired"]
+
+#: The ingest control message IS the data plane's prepared batch —
+#: machine id plus already-coded (X, F, Z, indices) — so the payload has
+#: one definition whether it crosses a process boundary or a socket.
+IngestMessage = IngestBatch
 
 
 @dataclass
@@ -105,3 +119,16 @@ class SubmodelMessage:
             counter=counter,
             epochs_left=epochs_left,
         )
+
+
+@dataclass(frozen=True)
+class ShardRetired:
+    """A machine died and its shard left the data plane (section 4.3).
+
+    Broadcast to every survivor during ring re-planning so each can
+    account the loss; ``rows_lost`` is what the degradation metrics
+    aggregate.
+    """
+
+    machine: int
+    rows_lost: int = 0

@@ -24,7 +24,24 @@ import numpy as np
 from repro.distributed.topology import RingTopology
 from repro.utils.rng import check_random_state
 
-__all__ = ["WStepProtocol", "RoutePlan", "expected_receives"]
+__all__ = ["WStepProtocol", "RoutePlan", "home_assignment", "expected_receives"]
+
+
+def home_assignment(n_submodels: int, machines) -> dict[int, int]:
+    """Contiguous-block home machines, as in paper fig. 2.
+
+    ``machines`` is either a machine count (homes are ranks 0..P-1) or an
+    explicit id list — the survivor set after shard retirements, whose
+    ids need not be contiguous. Each submodel sid maps to the machine
+    whose contiguous block of the sid-ordered submodel list contains it.
+    """
+    if isinstance(machines, int):
+        machines = range(machines)
+    machines = list(machines)
+    P = len(machines)
+    if P < 1:
+        raise ValueError("need at least one machine")
+    return {sid: machines[sid * P // n_submodels] for sid in range(n_submodels)}
 
 
 @dataclass(frozen=True)

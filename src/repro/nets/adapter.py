@@ -96,6 +96,45 @@ class NetAdapter:
         layer.W[j] = theta[:-1]
         layer.b[j] = float(theta[-1])
 
+    # Batched variants: the engines read every resident unit at seeding
+    # and write all M units back at assembly, every iteration, on every
+    # machine — per-unit concatenate/assign there is M python-level ops
+    # where one matrix slice per layer suffices. The wire keeps sid-level
+    # granularity (one travelling message per unit) regardless.
+    def get_params_batch(self, specs) -> list[np.ndarray]:
+        """Per-spec flat parameter vectors, one matrix op per layer."""
+        specs = list(specs)
+        by_layer: dict[int, list[tuple[int, SubmodelSpec]]] = {}
+        for pos, spec in enumerate(specs):
+            by_layer.setdefault(spec.index[0], []).append((pos, spec))
+        out: list[np.ndarray | None] = [None] * len(specs)
+        for k, group in by_layer.items():
+            layer = self.model.layers[k]
+            rows = np.fromiter((s.index[1] for _, s in group), dtype=np.intp)
+            Theta = np.concatenate([layer.W[rows], layer.b[rows, None]], axis=1)
+            for i, (pos, _) in enumerate(group):
+                out[pos] = Theta[i]
+        return out
+
+    def set_params_batch(self, items) -> None:
+        """Write many ``(spec, theta)`` pairs, one matrix op per layer."""
+        by_layer: dict[int, list] = {}
+        for spec, theta in items:
+            by_layer.setdefault(spec.index[0], []).append((spec, theta))
+        for k, group in by_layer.items():
+            layer = self.model.layers[k]
+            rows = np.fromiter((s.index[1] for s, _ in group), dtype=np.intp)
+            Theta = np.stack(
+                [np.asarray(th, dtype=np.float64).ravel() for _, th in group]
+            )
+            if Theta.shape[1] != layer.n_in + 1:
+                raise ValueError(
+                    f"expected {layer.n_in + 1} params per unit of layer {k}, "
+                    f"got {Theta.shape[1]}"
+                )
+            layer.W[rows] = Theta[:, :-1]
+            layer.b[rows] = Theta[:, -1]
+
     # ------------------------------------------------------------- W step
     def w_update(
         self,

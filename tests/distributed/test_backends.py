@@ -411,3 +411,163 @@ class TestMultiprocessShuffling:
             not np.array_equal(finals[False][sid], finals[True][sid])
             for sid in finals[False]
         )
+
+
+class TestStreamingConformance:
+    """Streaming is a backend capability: the identical arrival schedule
+    on every engine — queued via ``Backend.ingest``, drained at epoch
+    boundaries, coded by the current nested model — must yield
+    bit-identical final submodels (paper section 4.3, form 1)."""
+
+    @pytest.fixture(scope="class")
+    def arrivals(self, X):
+        from repro.data.synthetic import make_clustered
+
+        X1 = make_clustered(20, X.shape[1], n_clusters=3, rng=11)
+        X2 = make_clustered(15, X.shape[1], n_clusters=3, rng=12)
+        return {1: [(0, X1)], 3: [(2, X2), (1, X1)]}
+
+    @pytest.fixture(scope="class")
+    def run(self, X, arrivals):
+        cache = {}
+
+        def _run(name):
+            if name not in cache:
+                adapter, shards = ba_setup(X)
+                trainer = ParMACTrainer(
+                    adapter,
+                    GeometricSchedule(1e-3, 2.0, 5),
+                    backend=name,
+                    epochs=2,
+                    shuffle_within=False,
+                    seed=0,
+                )
+                history = trainer.fit(shards, arrivals=arrivals)
+                trainer.close()
+                cache[name] = (history, final_params(adapter))
+            return cache[name]
+
+        return _run
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_streamed_finals_identical(self, run, name):
+        ref = run(REFERENCE)[1]
+        params = run(name)[1]
+        assert set(params) == set(ref)
+        for sid in ref:
+            assert np.array_equal(params[sid], ref[sid]), (name, sid)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_rows_ingested_surfaced(self, run, name, arrivals):
+        history = run(name)[0]
+        per_iter = [r.extra["rows_ingested"] for r in history.records]
+        expected = [
+            sum(len(Xa) for _, Xa in arrivals.get(i, []))
+            for i in range(len(per_iter))
+        ]
+        assert per_iter == expected
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_streaming_changes_the_model(self, run, name, X):
+        # The streamed rows must actually influence training: a run
+        # without arrivals ends elsewhere.
+        adapter, shards = ba_setup(X)
+        with ParMACTrainer(
+            adapter, GeometricSchedule(1e-3, 2.0, 5), backend=name,
+            epochs=2, shuffle_within=False, seed=0,
+        ) as trainer:
+            trainer.fit(shards)
+        plain = final_params(adapter)
+        streamed = run(name)[1]
+        assert any(
+            not np.array_equal(plain[sid], streamed[sid]) for sid in plain
+        )
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_ingest_validation_is_eager(self, name, X):
+        adapter, shards = ba_setup(X)
+        backend = get_backend(name)(seed=0)
+        backend.setup(adapter, shards)
+        try:
+            with pytest.raises(KeyError):
+                backend.ingest(9, np.zeros((3, X.shape[1])))
+            with pytest.raises(ValueError, match="columns"):
+                backend.ingest(0, np.zeros((3, X.shape[1] + 1)))
+            with pytest.raises(ValueError, match="empty"):
+                backend.ingest(0, np.zeros((0, X.shape[1])))
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_pending_ingests_do_not_leak_across_fits(self, name, X):
+        # A batch queued but never drained in fit A must not land in
+        # fit B's shards.
+        adapter, shards = ba_setup(X)
+        backend = get_backend(name)(seed=0)
+        try:
+            backend.setup(adapter, shards)
+            backend.ingest(0, np.zeros((5, X.shape[1])))
+            adapter2, shards2 = ba_setup(X)
+            backend.setup(adapter2, shards2)
+            stats = backend.run_iteration(1e-3)
+            assert stats.rows_ingested == 0
+        finally:
+            backend.close()
+
+    def test_ingest_requires_setup(self):
+        backend = get_backend("sync")()
+        with pytest.raises(RuntimeError, match="setup"):
+            backend.ingest(0, np.zeros((3, 8)))
+
+
+class TestFaultPolicySim:
+    """Fault policies on the simulated engine: fail_fast raises exactly
+    like a wall-clock pool teardown; drop_shard retires the shard,
+    re-plans the ring and keeps training."""
+
+    def test_drop_shard_continues_with_survivors(self, X):
+        adapter, shards = ba_setup(X, P=4)
+        backend = get_backend("sync")(seed=0, fault_policy="drop_shard")
+        backend.setup(adapter, shards)
+        backend.run_iteration(1e-3)
+        lost_rows = backend.cluster.shards[2].n
+        n_before = backend.cluster.n_points
+        backend.inject_fault(2, tick=1)
+        stats = backend.run_iteration(2e-3)
+        assert stats.shards_lost == 1
+        assert stats.n_machines == 3
+        assert backend.cluster.n_points == n_before - lost_rows
+        assert np.isfinite(stats.e_q)
+        # Training continues and the survivor copies stay consistent.
+        stats = backend.run_iteration(4e-3)
+        assert stats.shards_lost == 0
+        assert backend.cluster.model_copies_consistent()
+
+    def test_fail_fast_raises_on_fault(self, X):
+        adapter, shards = ba_setup(X, P=3)
+        backend = get_backend("sync")(seed=0)  # fail_fast is the default
+        backend.setup(adapter, shards)
+        backend.inject_fault(1)
+        with pytest.raises(RuntimeError, match="fail_fast"):
+            backend.run_iteration(1e-3)
+
+    def test_unknown_fault_policy_rejected(self):
+        with pytest.raises(ValueError, match="fault_policy"):
+            get_backend("sync")(fault_policy="shrug")
+
+    def test_async_rejects_fault_injection(self, X):
+        adapter, shards = ba_setup(X, P=3)
+        backend = get_backend("async")(seed=0, fault_policy="drop_shard")
+        backend.setup(adapter, shards)
+        with pytest.raises(ValueError, match="sync"):
+            backend.inject_fault(1)
+
+    def test_unreached_fault_tick_raises(self, X):
+        # A scheduled death whose tick the W step never reaches must not
+        # silently measure a fault-free run.
+        adapter, shards = ba_setup(X, P=3)
+        backend = get_backend("sync")(seed=0, fault_policy="drop_shard")
+        backend.setup(adapter, shards)
+        backend.inject_fault(1, tick=10_000)
+        with pytest.raises(RuntimeError, match="never fired"):
+            backend.run_iteration(1e-3)

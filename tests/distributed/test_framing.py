@@ -16,16 +16,22 @@ from repro.distributed.framing import (
     FRAME_MAGIC,
     KIND_BATCH,
     KIND_HELLO,
+    KIND_INGEST,
+    KIND_SHARD_RETIRED,
     FrameDecoder,
     ProtocolError,
     decode_batch,
     decode_hello,
+    decode_ingest,
+    decode_shard_retired,
     encode_batch,
     encode_frame,
     encode_hello,
+    encode_ingest,
+    encode_shard_retired,
 )
 from repro.distributed.interfaces import SubmodelSpec
-from repro.distributed.messages import SubmodelMessage
+from repro.distributed.messages import IngestMessage, ShardRetired, SubmodelMessage
 from repro.optim.sgd import SGDState
 
 DTYPES = ["<f8", "<f4", "<f2", "<i8", "<i4", "<i2", "<u1", ">f8", ">f4"]
@@ -193,3 +199,86 @@ class TestMalformedInput:
         corrupt[start : start + 3] = b"\xff\xfe\xfd"
         with pytest.raises(ProtocolError):
             decode_batch(bytes(corrupt), {0: msg.spec})
+
+
+class TestControlFrames:
+    """INGEST / SHARD_RETIRED: the streaming & fault control plane."""
+
+    def make_ingest(self, n=7, d=5, bits=4):
+        rng = np.random.default_rng(0)
+        return IngestMessage(
+            machine=3,
+            X=rng.normal(size=(n, d)),
+            F=rng.normal(size=(n, d)).astype(np.float32),
+            Z=(rng.random(size=(n, bits)) > 0.5).astype(np.uint8),
+            indices=np.arange(100, 100 + n),
+        )
+
+    def test_ingest_roundtrip_identical(self):
+        msg = self.make_ingest()
+        kind, payload = unwrap(encode_ingest(msg))
+        assert kind == KIND_INGEST
+        out = decode_ingest(payload)
+        assert out.machine == msg.machine
+        for name in ("X", "F", "Z", "indices"):
+            a, b = getattr(msg, name), getattr(out, name)
+            assert a.dtype == b.dtype and np.array_equal(a, b), name
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_truncated_ingest_raises(self, data):
+        _, payload = unwrap(encode_ingest(self.make_ingest()))
+        cut = data.draw(st.integers(0, len(payload) - 1))
+        with pytest.raises(ProtocolError):
+            decode_ingest(payload[:cut])
+
+    def test_inconsistent_ingest_lengths_rejected(self):
+        good = self.make_ingest()
+        msg = IngestMessage(
+            machine=good.machine, X=good.X, F=good.F, Z=good.Z,
+            indices=good.indices[:-1],
+        )
+        with pytest.raises(ProtocolError, match="inconsistent"):
+            encode_ingest(msg)
+
+    def test_ingest_trailing_garbage_raises(self):
+        _, payload = unwrap(encode_ingest(self.make_ingest()))
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_ingest(payload + b"\x00")
+
+    def test_shard_retired_roundtrip(self):
+        kind, payload = unwrap(
+            encode_shard_retired(ShardRetired(machine=5, rows_lost=1234))
+        )
+        assert kind == KIND_SHARD_RETIRED
+        assert decode_shard_retired(payload) == ShardRetired(5, 1234)
+
+    def test_shard_retired_bad_length_raises(self):
+        with pytest.raises(ProtocolError, match="bytes"):
+            decode_shard_retired(b"\x00\x01")
+
+    def test_overflowing_batch_dims_fail_fast(self):
+        # A crafted/corrupt dim whose byte size overflows int64 must hit
+        # the cap check, not wrap into a tiny (or negative) read.
+        import struct
+
+        msg = SubmodelMessage(
+            spec=SubmodelSpec(0, "w"), theta=np.zeros(3), sgd_state=SGDState()
+        )
+        _, payload = unwrap(encode_batch([msg]))
+        corrupt = bytearray(payload)
+        # count(4) | msg header(30) | dtype "<f8"(3) | dim (q) ...
+        struct.pack_into("<q", corrupt, 4 + 30 + 3, 1 << 62)
+        with pytest.raises(ProtocolError, match="cap"):
+            decode_batch(bytes(corrupt), {0: msg.spec})
+
+    def test_overflowing_ingest_dims_fail_fast(self):
+        import struct
+
+        msg = self.make_ingest(n=2, d=3)
+        _, payload = unwrap(encode_ingest(msg))
+        corrupt = bytearray(payload)
+        # machine(4) | array header(2) | dtype "<f8"(3) | first dim (q) ...
+        struct.pack_into("<q", corrupt, 4 + 2 + 3, 1 << 62)
+        with pytest.raises(ProtocolError, match="cap"):
+            decode_ingest(bytes(corrupt))

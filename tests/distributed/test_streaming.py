@@ -120,3 +120,51 @@ class TestMachineStreaming:
         cluster, _ = build_cluster(X, P=2)
         with pytest.raises(KeyError):
             cluster.remove_machine(9)
+
+
+class TestIngestValidation:
+    """add_data routes through the shared DataPlane and fails loudly."""
+
+    def test_wrong_width_rejected(self, X):
+        cluster, _ = build_cluster(X, P=3)
+        with pytest.raises(ValueError, match="columns"):
+            cluster.add_data(0, np.zeros((5, X.shape[1] + 1)))
+
+    def test_empty_batch_rejected(self, X):
+        cluster, _ = build_cluster(X, P=3)
+        with pytest.raises(ValueError, match="empty"):
+            cluster.add_data(0, np.zeros((0, X.shape[1])))
+
+    def test_one_dimensional_batch_rejected(self, X):
+        cluster, _ = build_cluster(X, P=3)
+        with pytest.raises(ValueError, match="2-d"):
+            cluster.add_data(0, np.zeros(X.shape[1]))
+
+    def test_failed_ingest_leaves_shard_untouched(self, X):
+        cluster, _ = build_cluster(X, P=3)
+        n0 = cluster.shards[0].n
+        with pytest.raises(ValueError):
+            cluster.add_data(0, np.zeros((5, X.shape[1] + 3)))
+        assert cluster.shards[0].n == n0
+        assert cluster.dataplane.rows_ingested == 0
+
+    def test_dataplane_counts_ingested_rows(self, X, X_new):
+        cluster, _ = build_cluster(X, P=3)
+        cluster.add_data(1, X_new)
+        cluster.add_data(2, X_new)
+        assert cluster.dataplane.rows_ingested == 2 * len(X_new)
+        assert cluster.dataplane.n_points == len(X) + 2 * len(X_new)
+
+    def test_fault_counts_lost_shard(self, X):
+        from repro.distributed.cluster import FaultEvent
+
+        cluster, _ = build_cluster(X, P=4)
+        rows = cluster.shards[2].n
+        cluster.w_step(0.1, fault=FaultEvent(machine=2, tick=1))
+        assert cluster.dataplane.shards_lost == 1
+        assert cluster.dataplane.rows_lost == rows
+
+    def test_planned_removal_not_counted_lost(self, X):
+        cluster, _ = build_cluster(X, P=3)
+        cluster.remove_machine(1)
+        assert cluster.dataplane.shards_lost == 0

@@ -169,3 +169,186 @@ class TestPackShards:
             _pack_shards(shards)
         assert calls["n"] == 3  # two segments existed before the failure
         assert shm_entries() <= shm_before
+
+
+# --------------------------------------------------------------- drop_shard
+from dataclasses import dataclass
+
+from repro.distributed.partition import Shard
+
+
+@dataclass
+class KillableShard(Shard):
+    """A shard that marks its worker for death at a given mu.
+
+    ``kill_in_z=False`` dies on the first W-step touch of the fatal
+    iteration (mid-ring: survivors must abort and retry);
+    ``kill_in_z=True`` dies in the Z step — after the worker's last ring
+    send, so every survivor completes the attempt and the coordinator
+    must keep those results instead of re-running the iteration.
+    """
+
+    kill_at_mu: float = -1.0
+    kill_in_z: bool = False
+
+
+class SuicidalAdapter(BAAdapter):
+    """SIGKILLs its own worker process when it touches a marked shard —
+    a deterministic mid-iteration machine death."""
+
+    @staticmethod
+    def _fatal(shard, mu, in_z):
+        return (
+            getattr(shard, "kill_at_mu", -1.0) >= 0
+            and mu >= shard.kill_at_mu
+            and getattr(shard, "kill_in_z", False) == in_z
+        )
+
+    def w_update(self, spec, theta, state, shard, mu, **kwargs):
+        if self._fatal(shard, mu, in_z=False):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().w_update(spec, theta, state, shard, mu, **kwargs)
+
+    def z_update(self, shard, mu):
+        if self._fatal(shard, mu, in_z=True):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().z_update(shard, mu)
+
+
+def killable_setup(X, P=4, seed=0, kills=None, kill_in_z=False):
+    """BA problem whose shard p dies at mu for each (p, mu) in kills."""
+    kills = dict(kills or {})
+    adapter, shards = ba_setup(X, P=P, seed=seed, adapter_cls=SuicidalAdapter)
+    return adapter, [
+        KillableShard(
+            X=s.X, F=s.F, Z=s.Z, indices=s.indices,
+            kill_at_mu=kills.get(p, -1.0), kill_in_z=kill_in_z,
+        )
+        for p, s in enumerate(shards)
+    ]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", WALLCLOCK_BACKENDS)
+class TestDropShard:
+    def test_fit_survives_mid_iteration_kill(self, X, name):
+        """The acceptance headline: a SIGKILL'd worker loses its shard,
+        not the run — the fit completes on the survivors."""
+        adapter, shards = killable_setup(X, P=4, kills={2: 2e-3})
+        with ParMACTrainer(
+            adapter, GeometricSchedule(1e-3, 2.0, 4), backend=name, seed=0,
+            fault_policy="drop_shard",
+            backend_options={"worker_timeout": FAULT_DETECTION_TIMEOUT_S * 3},
+        ) as trainer:
+            history = trainer.fit(shards)
+        assert len(history) == 4  # every scheduled iteration completed
+        assert [r.extra["shards_lost"] for r in history.records] == [0, 1, 0, 0]
+        assert [r.extra["n_machines"] for r in history.records] == [4, 3, 3, 3]
+        assert all(np.isfinite(r.e_q) for r in history.records)
+        # The assembled model is sane: every submodel finite.
+        for spec in adapter.submodel_specs():
+            assert np.all(np.isfinite(adapter.get_params(spec)))
+
+    def test_double_fault_across_iterations(self, X, name):
+        adapter, shards = killable_setup(X, P=4, kills={1: 2e-3, 3: 4e-3})
+        with ParMACTrainer(
+            adapter, GeometricSchedule(1e-3, 2.0, 4), backend=name, seed=0,
+            fault_policy="drop_shard",
+            backend_options={"worker_timeout": FAULT_DETECTION_TIMEOUT_S * 3},
+        ) as trainer:
+            history = trainer.fit(shards)
+        assert len(history) == 4
+        assert sum(r.extra["shards_lost"] for r in history.records) == 2
+        assert history.records[-1].extra["n_machines"] == 2
+        assert np.isfinite(history.records[-1].e_q)
+
+    def test_pool_rebuilds_for_next_fit(self, X, name):
+        """A pool degraded by a retirement must serve the next fit at
+        full strength (fresh workers, full machine count)."""
+        adapter, shards = killable_setup(X, P=3, kills={1: 2e-3})
+        backend = get_backend(name)(
+            seed=0, fault_policy="drop_shard",
+            worker_timeout=FAULT_DETECTION_TIMEOUT_S * 3,
+        )
+        trainer = ParMACTrainer(
+            adapter, GeometricSchedule(1e-3, 2.0, 2), backend=backend,
+        )
+        try:
+            trainer.fit(shards)
+            assert len(backend.worker_pids) == 2
+            adapter2, shards2 = ba_setup(X, P=3)
+            trainer2 = ParMACTrainer(
+                adapter2, GeometricSchedule(1e-3, 2.0, 2), backend=backend
+            )
+            history = trainer2.fit(shards2)
+            assert len(backend.worker_pids) == 3
+            assert [r.extra["shards_lost"] for r in history.records] == [0, 0]
+            assert np.isfinite(history.records[-1].e_q)
+        finally:
+            backend.close()
+
+    def test_fail_fast_still_default(self, X, name):
+        """Without opting into drop_shard, a death still fails the fit."""
+        adapter, shards = killable_setup(X, P=3, kills={1: 1e-3})
+        backend = get_backend(name)(
+            seed=0, worker_timeout=FAULT_DETECTION_TIMEOUT_S
+        )
+        backend.setup(adapter, shards)
+        with pytest.raises(RuntimeError, match="died|failed|timed out"):
+            backend.run_iteration(1e-3)
+        assert backend.worker_pids == []
+        backend.close()
+
+    def test_arrival_for_dead_machine_is_dropped(self, X, name):
+        """Streaming + drop_shard compose: an arrival scheduled for a
+        machine that has since died is dropped with its shard, while
+        arrivals for survivors keep landing."""
+        from repro.data.synthetic import make_clustered
+
+        X_new = make_clustered(10, X.shape[1], n_clusters=3, rng=9)
+        adapter, shards = killable_setup(X, P=4, kills={2: 2e-3})
+        arrivals = {2: [(2, X_new), (0, X_new)], 3: [(2, X_new)]}
+        with ParMACTrainer(
+            adapter, GeometricSchedule(1e-3, 2.0, 4), backend=name, seed=0,
+            fault_policy="drop_shard",
+            backend_options={"worker_timeout": FAULT_DETECTION_TIMEOUT_S * 3},
+        ) as trainer:
+            history = trainer.fit(shards, arrivals=arrivals)
+        assert len(history) == 4
+        assert sum(r.extra["shards_lost"] for r in history.records) == 1
+        # Machine 2 died at iteration 1; only machine 0's batch lands.
+        assert [r.extra["rows_ingested"] for r in history.records] == [0, 0, 10, 0]
+
+    def test_death_after_last_send_keeps_completed_results(self, X, name):
+        """A worker dying in its Z step — after its last ring send — lets
+        every survivor finish the attempt; the coordinator must accept
+        those results (and still retire the shard) rather than silently
+        training the same mu twice."""
+        adapter, shards = killable_setup(X, P=3, kills={1: 2e-3}, kill_in_z=True)
+        with ParMACTrainer(
+            adapter, GeometricSchedule(1e-3, 2.0, 4), backend=name, seed=0,
+            fault_policy="drop_shard",
+            backend_options={"worker_timeout": FAULT_DETECTION_TIMEOUT_S * 3},
+        ) as trainer:
+            history = trainer.fit(shards)
+        assert len(history) == 4
+        assert [r.extra["shards_lost"] for r in history.records] == [0, 1, 0, 0]
+        assert [r.extra["n_machines"] for r in history.records] == [3, 2, 2, 2]
+        assert all(np.isfinite(r.e_q) for r in history.records)
+
+    def test_model_holder_death_after_last_send(self, X, name):
+        """When the model-holding rank (lowest) dies after its last ring
+        send, the completed attempt must still be accepted — the model is
+        fetched from a survivor (every worker holds the final copies)."""
+        adapter, shards = killable_setup(X, P=3, kills={0: 2e-3}, kill_in_z=True)
+        with ParMACTrainer(
+            adapter, GeometricSchedule(1e-3, 2.0, 4), backend=name, seed=0,
+            fault_policy="drop_shard",
+            backend_options={"worker_timeout": FAULT_DETECTION_TIMEOUT_S * 3},
+        ) as trainer:
+            history = trainer.fit(shards)
+        assert len(history) == 4
+        assert [r.extra["shards_lost"] for r in history.records] == [0, 1, 0, 0]
+        assert [r.extra["n_machines"] for r in history.records] == [3, 2, 2, 2]
+        for spec in adapter.submodel_specs():
+            assert np.all(np.isfinite(adapter.get_params(spec)))

@@ -112,3 +112,68 @@ class TestNetOnRing:
             adapter.e_q_shard(cluster.shards[p], 1.0) for p in cluster.machines
         )
         assert after <= before + 1e-9
+
+
+class TestBatchedParams:
+    """The vectorised per-layer param path must be bit-identical to the
+    per-unit one — it is the shard-local hot path every engine drives
+    through ``get_params_many`` / ``set_params_many``."""
+
+    def test_get_batch_matches_per_unit(self, problem):
+        X, Y = problem
+        net = DeepNet.create([4, 6, 2], rng=3)
+        adapter = NetAdapter(net)
+        specs = adapter.submodel_specs()
+        batched = adapter.get_params_batch(specs)
+        for spec, theta in zip(specs, batched):
+            assert np.array_equal(theta, adapter.get_params(spec))
+
+    def test_get_batch_preserves_arbitrary_spec_order(self, problem):
+        net = DeepNet.create([4, 6, 2], rng=3)
+        adapter = NetAdapter(net)
+        specs = adapter.submodel_specs()[::-1]  # interleaves the layers
+        batched = adapter.get_params_batch(specs)
+        for spec, theta in zip(specs, batched):
+            assert np.array_equal(theta, adapter.get_params(spec))
+
+    def test_set_batch_matches_per_unit(self, problem):
+        rng = np.random.default_rng(7)
+        net_a = DeepNet.create([4, 6, 2], rng=3)
+        net_b = DeepNet.create([4, 6, 2], rng=3)
+        a = NetAdapter(net_a)
+        b = NetAdapter(net_b)
+        specs = a.submodel_specs()
+        thetas = [rng.normal(size=a.get_params(s).shape) for s in specs]
+        for spec, theta in zip(specs, thetas):
+            a.set_params(spec, theta)
+        b.set_params_batch(list(zip(specs, thetas)))
+        for la, lb in zip(net_a.layers, net_b.layers):
+            assert np.array_equal(la.W, lb.W)
+            assert np.array_equal(la.b, lb.b)
+
+    def test_set_batch_rejects_wrong_width(self, problem):
+        net = DeepNet.create([4, 6, 2], rng=3)
+        adapter = NetAdapter(net)
+        spec = adapter.submodel_specs()[0]
+        with pytest.raises(ValueError, match="params"):
+            adapter.set_params_batch([(spec, np.zeros(99))])
+
+    def test_engines_use_the_batch_path(self, problem):
+        # get_params_many / set_params_many must dispatch to the batch
+        # implementations when an adapter provides them.
+        from repro.distributed.interfaces import get_params_many, set_params_many
+
+        net = DeepNet.create([4, 6, 2], rng=3)
+        adapter = NetAdapter(net)
+        calls = {"get": 0, "set": 0}
+        orig_get, orig_set = adapter.get_params_batch, adapter.set_params_batch
+        adapter.get_params_batch = lambda specs: (
+            calls.__setitem__("get", calls["get"] + 1) or orig_get(specs)
+        )
+        adapter.set_params_batch = lambda items: (
+            calls.__setitem__("set", calls["set"] + 1) or orig_set(items)
+        )
+        specs = adapter.submodel_specs()
+        thetas = get_params_many(adapter, specs)
+        set_params_many(adapter, list(zip(specs, thetas)))
+        assert calls == {"get": 1, "set": 1}
