@@ -1,0 +1,140 @@
+"""Elasticity & checkpointing cost on the wall-clock engines (section 4.3).
+
+Machine addition and checkpoint/restore are backend capabilities now, so
+their operational cost can be *measured* where it matters:
+
+* **join-iteration cost** — wall time of the iteration whose boundary
+  admits a new machine (worker spawn + shared-memory/framed shard ship +
+  mesh handshake + ring/home/protocol re-plan, reported as ``replan_s``)
+  against the preceding healthy iteration and the steady state after the
+  ring has grown;
+* **checkpoint/restore latency vs shard size** — how long
+  ``Backend.checkpoint()`` (collect worker shards + RNG streams +
+  assembled model into one :class:`ClusterState`) and
+  ``Backend.restore()`` (fresh pool, re-ship everything) take as the
+  per-machine shard grows — the restartability tax for long fits.
+"""
+
+import time
+
+import numpy as np
+
+from repro.autoencoder import BinaryAutoencoder
+from repro.autoencoder.adapter import BAAdapter
+from repro.autoencoder.init import init_codes_pca
+from repro.data.synthetic import make_gist_like
+from repro.distributed.backends import get_backend
+from repro.distributed.partition import make_shards, partition_indices
+from repro.utils.ascii_plot import ascii_table
+
+N, D, L, P = 3_000, 48, 16, 4
+JOIN_ROWS = 600
+CKPT_SIZES = [1_000, 3_000, 9_000]
+WALLCLOCK = ("multiprocess", "tcp")
+
+
+def ba_problem(X, Z, P=P):
+    ba = BinaryAutoencoder.linear(D, L)
+    adapter = BAAdapter(ba)
+    parts = partition_indices(len(X), P, rng=0)
+    return adapter, make_shards(X, adapter.features(X), Z, parts)
+
+
+def join_cost(name, X, Z, X_join):
+    """(healthy, join-iteration, post-join, replan) wall seconds."""
+    adapter, shards = ba_problem(X, Z)
+    with get_backend(name)(epochs=1, seed=0, shuffle_within=False) as backend:
+        backend.setup(adapter, shards)
+        healthy = backend.run_iteration(1e-3).wall_time
+        backend.add_machine(X_join)
+        stats = backend.run_iteration(2e-3)
+        assert stats.machines_added == 1 and stats.n_machines == P + 1
+        post = backend.run_iteration(4e-3).wall_time
+    return healthy, stats.wall_time, post, stats.replan_s
+
+
+def checkpoint_latency(name, n_rows):
+    """(rows/machine, checkpoint s, state MB, restore s) for one size."""
+    X = make_gist_like(n_rows, D, n_clusters=6, rng=7)
+    Z, _ = init_codes_pca(X, L, subset=min(1000, n_rows), rng=0)
+    adapter, shards = ba_problem(X, Z)
+    with get_backend(name)(epochs=1, seed=0, shuffle_within=False) as backend:
+        backend.setup(adapter, shards)
+        backend.run_iteration(1e-3)
+        t0 = time.perf_counter()
+        state = backend.checkpoint()
+        ckpt_s = time.perf_counter() - t0
+    nbytes = sum(
+        s.X.nbytes + s.F.nbytes + s.Z.nbytes + s.indices.nbytes
+        for s in state.shards.values()
+    )
+    with get_backend(name)(epochs=1, seed=0, shuffle_within=False) as backend:
+        t0 = time.perf_counter()
+        backend.restore(state)
+        restore_s = time.perf_counter() - t0
+        stats = backend.run_iteration(2e-3)
+        assert np.isfinite(stats.e_q)
+    return n_rows // P, ckpt_s, nbytes / 1e6, restore_s
+
+
+def test_join_and_checkpoint_cost(benchmark, report):
+    X = make_gist_like(N, D, n_clusters=6, rng=5)
+    Z, _ = init_codes_pca(X, L, subset=1000, rng=0)
+    X_join = make_gist_like(JOIN_ROWS, D, n_clusters=6, rng=8)
+
+    def run_all():
+        joins = {name: join_cost(name, X, Z, X_join) for name in WALLCLOCK}
+        ckpts = {
+            name: [checkpoint_latency(name, n) for n in CKPT_SIZES]
+            for name in WALLCLOCK
+        }
+        return joins, ckpts
+
+    joins, ckpts = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report()
+    report("=" * 72)
+    report(f"Join-iteration cost (N={N}, D={D}, L={L} -> M={2*L}, P={P}, "
+           f"{JOIN_ROWS}-row joiner)")
+    rows = []
+    for name, (healthy, join_iter, post, replan) in joins.items():
+        rows.append([
+            name,
+            f"{healthy * 1e3:.0f}",
+            f"{join_iter * 1e3:.0f}",
+            f"{replan * 1e3:.0f}",
+            f"{post * 1e3:.0f}",
+            f"{join_iter / healthy:.2f}x",
+        ])
+    report(ascii_table(
+        ["backend", "healthy ms", "join-iter ms", "replan ms",
+         "post-join ms", "join/healthy"],
+        rows,
+    ))
+    report("replan = spawn + shard ship + mesh/ring/home re-plan, from "
+           "IterationStats.replan_s.")
+
+    report()
+    report("Checkpoint/restore latency vs shard size")
+    rows = []
+    for name, series in ckpts.items():
+        for rows_per_machine, ckpt_s, mb, restore_s in series:
+            rows.append([
+                name,
+                f"{rows_per_machine:,}",
+                f"{mb:.1f}",
+                f"{ckpt_s * 1e3:.0f}",
+                f"{restore_s * 1e3:.0f}",
+            ])
+    report(ascii_table(
+        ["backend", "rows/machine", "state MB", "checkpoint ms", "restore ms"],
+        rows,
+    ))
+    report("checkpoint gathers worker shards + RNG streams + the model; "
+           "restore respawns the pool and re-ships everything.")
+
+    for name, (healthy, join_iter, _, replan) in joins.items():
+        assert np.isfinite(join_iter) and join_iter > 0 and replan >= 0
+    for series in ckpts.values():
+        for _, ckpt_s, _, restore_s in series:
+            assert ckpt_s > 0 and restore_s > 0

@@ -21,10 +21,13 @@ this class: they prepare shards and initial coordinates, then delegate.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.history import IterationRecord, TrainingHistory
 from repro.core.penalty import GeometricSchedule, penalty_schedule
 from repro.distributed.backends import get_backend
 from repro.distributed.backends.base import Backend
+from repro.distributed.dataplane import ClusterState
 
 __all__ = ["ParMACTrainer"]
 
@@ -127,6 +130,26 @@ class ParMACTrainer:
         """
         self.backend.ingest(p, X_new)
 
+    def add_machine(self, X_new, *, after=None) -> int:
+        """A preloaded machine joins the ring mid-fit (section 4.3,
+        streaming form 2); returns the new machine id. Admitted at the
+        next iteration boundary; for a known join schedule pass
+        ``joins`` to :meth:`fit` instead."""
+        return self.backend.add_machine(X_new, after=after)
+
+    def checkpoint(self, path=None):
+        """Snapshot the active fit into a :class:`ClusterState`.
+
+        With ``path``, the state is also written to that file (loadable
+        via ``fit(..., resume=path)``). Callable between iterations —
+        e.g. from an ``evaluator`` — or right after :meth:`fit` returns,
+        while the backend is still open.
+        """
+        state = self.backend.checkpoint()
+        if path is not None:
+            state.save(path)
+        return state
+
     @staticmethod
     def _arrivals_for(arrivals, iteration: int):
         """Arrival schedule lookup: mapping or callable → [(p, X_new)]."""
@@ -136,7 +159,30 @@ class ParMACTrainer:
             return arrivals(iteration) or []
         return arrivals.get(iteration, [])
 
-    def fit(self, shards, *, arrivals=None) -> TrainingHistory:
+    @staticmethod
+    def _joins_for(joins, iteration: int):
+        """Join schedule lookup; entries are ``X_new`` or ``(X_new, after)``."""
+        if joins is None:
+            return []
+        entries = joins(iteration) if callable(joins) else joins.get(iteration, [])
+        out = []
+        for entry in entries or []:
+            if isinstance(entry, tuple) and len(entry) == 2:
+                out.append(entry)
+            else:
+                out.append((entry, None))
+        return out
+
+    def fit(
+        self,
+        shards=None,
+        *,
+        arrivals=None,
+        joins=None,
+        resume=None,
+        checkpoint_path=None,
+        checkpoint_every: int = 1,
+    ) -> TrainingHistory:
         """Run one MAC iteration per mu over the given shards.
 
         ``shards`` must match the adapter (e.g. :class:`Shard` for a BA,
@@ -149,13 +195,52 @@ class ParMACTrainer:
         nested model, and shipped to its machine — identically on every
         backend, which is what the streaming-parity conformance tests
         assert.
+
+        ``joins`` optionally adds whole machines mid-fit (section 4.3,
+        streaming form 2): a mapping ``{iteration: [X_new, ...]}`` (each
+        entry an ``X_new`` array or an ``(X_new, after)`` tuple fixing
+        the ring insertion point) or the equivalent callable. The machine
+        is admitted at that iteration's boundary, receives the current
+        submodels, and trains from then on — identically on every
+        backend.
+
+        ``resume`` continues a checkpointed fit instead of starting one:
+        a path written by :meth:`checkpoint` / ``checkpoint_path``, or a
+        :class:`ClusterState`. The snapshot's shards and RNG streams are
+        restored (``shards`` is ignored and may be None), this trainer's
+        adapter receives the snapshot's parameters, and the mu schedule
+        picks up at the first un-run iteration — bit-identically to the
+        uninterrupted fit. Schedules (``arrivals``/``joins``) are indexed
+        by global iteration number, so the same schedule object works
+        for the original and the resumed fit.
+
+        ``checkpoint_path`` writes a snapshot after every
+        ``checkpoint_every``-th iteration (atomically replacing the
+        file), making the fit resumable after a crash or kill.
         """
         history = TrainingHistory()
+        start = 0
         try:
-            self.backend.setup(self.adapter, shards)
+            if resume is not None:
+                state = (
+                    resume
+                    if isinstance(resume, ClusterState)
+                    else ClusterState.load(resume)
+                )
+                self.backend.restore(state, adapter=self.adapter)
+                start = int(state.iteration)
+            else:
+                if shards is None:
+                    raise ValueError("fit() needs shards unless resuming")
+                self.backend.setup(self.adapter, shards)
             for i, mu in enumerate(self.schedule):
-                # Drain this boundary's scheduled arrivals into the
-                # backend; run_iteration applies them before the W step.
+                if i < start:
+                    continue  # already trained before the checkpoint
+                # Drain this boundary's scheduled joins and arrivals into
+                # the backend; run_iteration admits machines first, then
+                # applies arrivals, before the W step.
+                for X_new, after in self._joins_for(joins, i):
+                    self.backend.add_machine(X_new, after=after)
                 for p, X_new in self._arrivals_for(arrivals, i):
                     self.backend.ingest(p, X_new)
                 stats = self.backend.run_iteration(float(mu))
@@ -172,11 +257,17 @@ class ParMACTrainer:
                 record.extra.setdefault("rows_ingested", stats.rows_ingested)
                 record.extra.setdefault("shards_lost", stats.shards_lost)
                 record.extra.setdefault("n_machines", stats.n_machines)
+                record.extra.setdefault("machines_added", stats.machines_added)
+                record.extra.setdefault("replan_s", stats.replan_s)
                 if self.evaluator is not None:
                     metrics = self.evaluator(self.adapter.model)
                     record.precision = metrics.get("precision")
                     record.recall = metrics.get("recall")
                 history.append(record)
+                if checkpoint_path is not None and (i + 1) % max(
+                    1, int(checkpoint_every)
+                ) == 0:
+                    self._write_checkpoint(checkpoint_path)
                 if (
                     self.stop_on_fixed_point
                     and stats.z_changes == 0
@@ -190,6 +281,14 @@ class ParMACTrainer:
             self.backend.teardown()
         self.history_ = history
         return history
+
+    def _write_checkpoint(self, path) -> None:
+        """Snapshot to ``path`` atomically (write-temp-then-rename), so a
+        kill mid-write leaves the previous checkpoint intact."""
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        self.backend.checkpoint().save(tmp)
+        tmp.replace(path)
 
     def close(self) -> None:
         """Release backend resources (e.g. the multiprocessing pool)."""

@@ -29,13 +29,14 @@ from repro.distributed.backends.base import (
 from repro.distributed.backends.mp import MultiprocessBackend, home_assignment
 from repro.distributed.backends.sim import AsyncSimBackend, SyncSimBackend
 from repro.distributed.backends.tcp import TCPBackend
-from repro.distributed.dataplane import DataPlane, IngestBatch
+from repro.distributed.dataplane import ClusterState, DataPlane, IngestBatch
 
 __all__ = [
     "Backend",
     "BaseBackend",
     "FaultPolicy",
     "IterationStats",
+    "ClusterState",
     "DataPlane",
     "IngestBatch",
     "available_backends",

@@ -30,10 +30,11 @@ binary autoencoders and deep nets train on the identical engines.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
-from repro.distributed.dataplane import DataPlane
+from repro.distributed.dataplane import ClusterState, DataPlane
 
 __all__ = [
     "FaultPolicy",
@@ -86,6 +87,12 @@ class IterationStats:
     boundary, shards lost to machine deaths during it, and the size of
     the survivor set afterwards — the raw series degradation curves are
     plotted from.
+
+    ``machines_added`` counts machines that joined the ring at this
+    iteration's boundary (streaming form 2), and ``replan_s`` is the
+    wall-clock cost of admitting them — worker spawn, shard shipping,
+    mesh/ring/home re-planning — the join-side analogue of MLSYSIM-style
+    re-plan cost modelling.
     """
 
     mu: float
@@ -101,6 +108,8 @@ class IterationStats:
     rows_ingested: int = 0
     shards_lost: int = 0
     n_machines: int = 0
+    machines_added: int = 0
+    replan_s: float = 0.0
 
 
 @runtime_checkable
@@ -127,6 +136,24 @@ class Backend(Protocol):
         iteration boundary, where the rows are coded by the current
         nested model and shipped to their owning machine.
         """
+        ...
+
+    def add_machine(self, X_new, *, after=None) -> int:
+        """A preloaded machine joins the ring mid-fit (section 4.3,
+        streaming form 2). Returns the new machine id immediately;
+        engine plumbing (worker spawn, mesh handshake, ring/home
+        re-plan) happens at the next iteration boundary.
+        """
+        ...
+
+    def checkpoint(self) -> ClusterState:
+        """Snapshot the fit between iterations (resumable via
+        :meth:`restore`)."""
+        ...
+
+    def restore(self, state: ClusterState, adapter=None) -> None:
+        """Rebind a fit from a snapshot instead of ``setup``; training
+        continues bit-identically from ``state.iteration``."""
         ...
 
     def teardown(self) -> None:
@@ -196,6 +223,8 @@ class BaseBackend:
         self.adapter = None
         self.dataplane: DataPlane | None = None
         self._pending_ingests: list[tuple[int, object]] = []
+        self._pending_joins: list[tuple[int, int | None]] = []
+        self._iterations_done = 0
 
     # Lifecycle defaults: subclasses must execute, may skip cleanup.
     def setup(self, adapter, shards) -> None:
@@ -206,10 +235,13 @@ class BaseBackend:
 
     # ----------------------------------------------------------- streaming
     def _bind_dataplane(self, dataplane: DataPlane) -> None:
-        """Adopt a fresh fit's data plane, dropping any ingest batches
-        still queued from a previous fit (they belong to its shards)."""
+        """Adopt a fresh fit's data plane, dropping any ingest batches or
+        joins still queued from a previous fit (they belong to its
+        shards)."""
         self.dataplane = dataplane
         self._pending_ingests = []
+        self._pending_joins = []
+        self._iterations_done = 0
 
     def ingest(self, p: int, X_new) -> None:
         """Queue streamed rows for machine ``p``; applied at the next
@@ -252,8 +284,208 @@ class BaseBackend:
         """
         return self.dataplane.apply(batch)
 
+    # ---------------------------------------------------------- elasticity
+    def add_machine(self, X_new, *, after: int | None = None) -> int:
+        """A preloaded machine joins the ring mid-fit (section 4.3,
+        streaming form 2); returns its machine id.
+
+        Validation and coding are eager — the shard is checked by
+        :meth:`DataPlane.check_join` (the same clear errors ``ingest``
+        raises), coded by the current nested model, and registered with
+        the data plane at the call site, so ``ingest`` may immediately
+        target the new id. Engine plumbing — worker spawn, shard/mesh
+        shipping, ring + home + protocol re-plan — is deferred to the
+        next iteration boundary, where it's applied before any pending
+        ingests drain and surfaces as ``machines_added`` / ``replan_s``
+        in that iteration's :class:`IterationStats`.
+        """
+        if self.dataplane is None:
+            raise RuntimeError("add_machine() requires an active fit; run setup() first")
+        if after is not None:
+            after = int(after)
+            if after not in self.dataplane.shards:
+                raise KeyError(f"machine {after} does not exist")
+        # Reject a machine the engine could never address (e.g. an
+        # exhausted explicit TCP ports list) here at the call site,
+        # before anything registers with the data plane.
+        self._check_join_capacity(self.dataplane._next_machine_id)
+        p = self.dataplane.admit(X_new)
+        self._pending_joins.append((p, after))
+        return p
+
+    def _check_join_capacity(self, p: int) -> None:
+        """Engine veto for a machine id about to join (default: none)."""
+
+    def drain_joins(self) -> tuple[int, float]:
+        """Admit every pending join in arrival order; returns
+        ``(machines_added, replan_seconds)``. Engines call this at the
+        start of ``run_iteration``, *before* draining ingests (a batch
+        queued for a machine that joined at the same boundary must find
+        its worker alive)."""
+        if not self._pending_joins:
+            return 0, 0.0
+        pending, self._pending_joins = self._pending_joins, []
+        t0 = time.perf_counter()
+        for p, after in pending:
+            self._apply_join(p, after)
+        return len(pending), time.perf_counter() - t0
+
+    def _apply_join(self, p: int, after: int | None) -> None:
+        """Wire one registered-but-unadmitted machine into the engine."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------- checkpointing
+    def checkpoint(self) -> ClusterState:
+        """Snapshot the current fit into a :class:`ClusterState`.
+
+        Valid between iterations (and after a finished fit, while the
+        backend is still open). Pending joins must have been drained —
+        snapshot either before queueing a join or after the iteration
+        that admits it.
+        """
+        if self.dataplane is None or self.adapter is None:
+            raise RuntimeError("checkpoint() requires an active fit; run setup() first")
+        if self._pending_joins:
+            raise RuntimeError(
+                "cannot checkpoint with machines waiting to join; run an "
+                "iteration (or checkpoint before add_machine)"
+            )
+        from repro.distributed.interfaces import get_params_many
+
+        specs = self.adapter.submodel_specs()
+        params = {
+            s.sid: theta.copy()
+            for s, theta in zip(specs, get_params_many(self.adapter, specs))
+        }
+        shards, rng_states = self._collect_machine_state()
+        return ClusterState(
+            backend=self.name,
+            iteration=self._iterations_done,
+            ring_order=self._ring_order(),
+            params=params,
+            shards=shards,
+            bookkeeping=self.dataplane.bookkeeping(),
+            route_rng_state=self._route_rng_state(),
+            machine_rng_states=rng_states,
+            join_entropy=self._join_entropy_value(),
+            pending_ingests=[(p, X.copy()) for p, X in self._pending_ingests],
+            adapter=self.adapter,
+            meta={
+                "epochs": self.epochs,
+                "scheme": self.scheme,
+                "batch_size": self.batch_size,
+                "shuffle_within": self.shuffle_within,
+                "shuffle_ring": self.shuffle_ring,
+                "fault_policy": self.fault_policy.value,
+            },
+        )
+
+    def restore(self, state: ClusterState, adapter=None) -> None:
+        """Rebind a fit from a snapshot (in place of ``setup``).
+
+        ``adapter`` supplies the model object to train (its parameters
+        are overwritten from the snapshot); when omitted, the snapshot's
+        own pickled adapter is used. Training then continues
+        bit-identically from ``state.iteration``.
+        """
+        raise NotImplementedError
+
+    def _restore_common(self, state: ClusterState, adapter):
+        """Shared restore pre-work: check the snapshot matches this
+        backend's configuration, resolve the adapter, write the
+        snapshot's parameters into it. Returns the resolved adapter."""
+        from repro.distributed.interfaces import set_params_many
+
+        self._check_restore_compatible(state)
+        if adapter is None:
+            adapter = state.adapter
+        if adapter is None:
+            raise ValueError(
+                "state carries no adapter; pass one: restore(state, adapter=...)"
+            )
+        spec_by_sid = {s.sid: s for s in adapter.submodel_specs()}
+        missing = set(spec_by_sid) - set(state.params)
+        if missing:
+            raise ValueError(
+                f"checkpoint is missing parameters for submodels {sorted(missing)}"
+            )
+        set_params_many(
+            adapter,
+            [(spec_by_sid[sid], state.params[sid]) for sid in sorted(spec_by_sid)],
+        )
+        return adapter
+
+    def _check_restore_compatible(self, state: ClusterState) -> None:
+        """Refuse a snapshot whose recorded training configuration
+        differs from this backend's — resuming under a different
+        protocol cannot be bit-identical, so a mismatch is an error, not
+        a silent divergence. A different *engine* (same config) only
+        warns: snapshots are same-backend artefacts in general, but with
+        both shuffles off the RNG states are inert and cross-engine
+        restores are legitimately useful.
+        """
+        import warnings
+
+        mine = {
+            "epochs": self.epochs,
+            "scheme": self.scheme,
+            "batch_size": self.batch_size,
+            "shuffle_within": self.shuffle_within,
+            "shuffle_ring": self.shuffle_ring,
+        }
+        recorded = state.meta or {}
+        mismatched = {
+            key: (recorded[key], mine[key])
+            for key in mine
+            if key in recorded and recorded[key] != mine[key]
+        }
+        if mismatched:
+            detail = ", ".join(
+                f"{k}: checkpoint={a!r} vs backend={b!r}"
+                for k, (a, b) in sorted(mismatched.items())
+            )
+            raise ValueError(
+                f"checkpoint was taken under a different configuration "
+                f"({detail}); construct the backend with the snapshot's "
+                "settings to resume bit-identically"
+            )
+        if state.backend and self.name and state.backend != self.name:
+            warnings.warn(
+                f"restoring a {state.backend!r} checkpoint on the "
+                f"{self.name!r} backend: machine RNG streams are keyed "
+                "differently, so the resumed fit is only bit-identical "
+                "when shuffle_within and shuffle_ring are off",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _restore_pending_ingests(self, state: ClusterState) -> None:
+        self._pending_ingests = [
+            (int(p), self.dataplane.check_ingest(int(p), X))
+            for p, X in state.pending_ingests
+        ]
+        self._iterations_done = int(state.iteration)
+
+    # Engine hooks for the checkpoint template ---------------------------
+    def _collect_machine_state(self) -> tuple[dict, dict]:
+        """({machine: shard snapshot}, {machine: RNG state})."""
+        raise NotImplementedError
+
+    def _ring_order(self) -> list[int]:
+        """Current ring order (machine ids in cycle order)."""
+        raise NotImplementedError
+
+    def _route_rng_state(self):
+        """Route RNG state dict, or None when the engine has no route RNG."""
+        return None
+
+    def _join_entropy_value(self):
+        """Entropy of the join-stream lineage, when the engine keeps one."""
+        return None
+
     def teardown(self) -> None:
         self._pending_ingests = []
+        self._pending_joins = []
 
     def close(self) -> None:
         self.teardown()

@@ -51,9 +51,13 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing as mp
+import os
+import pickle
 import queue as queue_mod
+import struct
 import time
 import traceback
+from multiprocessing import connection as mp_connection
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -64,7 +68,7 @@ from repro.distributed.backends.base import (
     IterationStats,
     register_backend,
 )
-from repro.distributed.dataplane import DataPlane
+from repro.distributed.dataplane import ClusterState, DataPlane
 from repro.distributed.interfaces import get_params_many, set_params_many
 from repro.distributed.messages import ShardRetired, SubmodelMessage
 from repro.distributed.protocol import (
@@ -72,6 +76,7 @@ from repro.distributed.protocol import (
     WStepProtocol,
     expected_receives,
     home_assignment,
+    replan,
 )
 from repro.distributed.topology import RingTopology
 from repro.optim.sgd import SGDState
@@ -134,6 +139,77 @@ def _maybe_untrack(seg, desc) -> None:
 
             resource_tracker.unregister(seg._name, "shared_memory")
         except Exception:
+            pass
+
+
+# -------------------------------------------------------------- responses
+class _ResponseChannel:
+    """One worker's response stream, read without ever blocking.
+
+    Replaces the old *shared* result queue, which had a wedge the ring
+    queues were already hardened against but the result path was not: a
+    worker SIGKILLed while its feeder held the queue's cross-process
+    write lock left that semaphore held forever, stranding every
+    survivor's responses — under ``drop_shard`` the recovery could then
+    only end in a worker-timeout teardown. With one pipe per worker and
+    a single writer per pipe there is no shared lock to leak.
+
+    The coordinator side parses :class:`multiprocessing.Connection`'s
+    length-prefixed wire format itself from *nonblocking* reads, so a
+    worker killed mid-message can never block the coordinator either:
+    the partial frame just sits in the buffer and the death surfaces
+    through the liveness poll. Workers keep using plain
+    ``Connection.send``.
+    """
+
+    _HEADER = struct.Struct("!i")
+    _LONG = struct.Struct("!Q")
+
+    def __init__(self, reader):
+        self._conn = reader
+        os.set_blocking(reader.fileno(), False)
+        self._buf = bytearray()
+
+    def fileno(self) -> int:
+        """File descriptor, so ``multiprocessing.connection.wait`` can
+        multiplex channels directly."""
+        return self._conn.fileno()
+
+    def drain(self) -> list:
+        """Every complete message currently in the pipe (possibly none)."""
+        try:
+            while True:
+                chunk = os.read(self._conn.fileno(), 1 << 16)
+                if not chunk:
+                    break  # EOF: writer gone; any partial stays unparsed
+                self._buf.extend(chunk)
+        except BlockingIOError:
+            pass
+        except OSError:
+            pass
+        out = []
+        while True:
+            if len(self._buf) < self._HEADER.size:
+                break
+            (n,) = self._HEADER.unpack_from(self._buf)
+            if n == -1:  # extended header for >= 2**31 - 1 byte payloads
+                header = self._HEADER.size + self._LONG.size
+                if len(self._buf) < header:
+                    break
+                (n,) = self._LONG.unpack_from(self._buf, self._HEADER.size)
+            else:
+                header = self._HEADER.size
+            if len(self._buf) < header + n:
+                break
+            payload = bytes(self._buf[header : header + n])
+            del self._buf[: header + n]
+            out.append(pickle.loads(payload))
+        return out
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
             pass
 
 
@@ -304,14 +380,19 @@ class _QueueRingTransport:
 
 # ------------------------------------------------------------------ worker
 def _build_worker_state(rank, adapter, desc, protocol, homes, batch_size,
-                        shuffle_within, seed) -> dict:
+                        shuffle_within, seed, rng_state=None) -> dict:
     """Per-fit worker state, shared by every wall-clock worker loop.
 
     One construction site keeps the queue and TCP workers bit-identical:
     a field added here (RNG stream, batching knob, ...) reaches both.
+    ``rng_state`` restores a checkpointed SGD stream in place of the
+    fresh seed-derived one.
     """
     seg, shard = _attach_shard(desc)
     specs = adapter.submodel_specs()
+    rng = np.random.default_rng(seed)
+    if rng_state is not None:
+        rng.bit_generator.state = rng_state
     return {
         "adapter": adapter,
         "shard": shard,
@@ -322,7 +403,20 @@ def _build_worker_state(rank, adapter, desc, protocol, homes, batch_size,
         "my_sids": [sid for sid, h in homes.items() if h == rank],
         "batch_size": batch_size,
         "shuffle_within": shuffle_within,
-        "rng": np.random.default_rng(seed),
+        "rng": rng,
+    }
+
+
+def _checkpoint_worker_state(state) -> dict:
+    """This worker's resumable state: its (private) shard and SGD stream.
+
+    The shard arrays pickle by value through the result queue, so the
+    coordinator's snapshot is decoupled from further training even when
+    the arrays are still zero-copy views over a shared-memory segment.
+    """
+    return {
+        "shard": state["shard"],
+        "rng_state": state["rng"].bit_generator.state,
     }
 
 
@@ -416,7 +510,7 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
     }
 
 
-def _worker_main(rank, ring_qs, cmd_q, res_q, abort_ev):
+def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
     """Pool worker loop: serve setup/iter commands until told to stop."""
     state = None
     while True:
@@ -428,14 +522,17 @@ def _worker_main(rank, ring_qs, cmd_q, res_q, abort_ev):
             break
         try:
             if op == "setup":
-                _, adapter, desc, protocol, homes, batch_size, shuffle_within, seed = cmd
+                (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
+                 seed, rng_state) = cmd
                 if state is not None and state["seg"] is not None:
                     state["seg"].close()
                 state = _build_worker_state(
                     rank, adapter, desc, protocol, homes, batch_size,
-                    shuffle_within, seed,
+                    shuffle_within, seed, rng_state,
                 )
-                res_q.put((rank, "ready", None))
+                res.send((rank, "ready", None))
+            elif op == "checkpoint":
+                res.send((rank, "checkpoint", _checkpoint_worker_state(state)))
             elif op == "ingest":
                 _, desc = cmd
                 seg, arrays = _attach_array_block(desc)
@@ -443,13 +540,13 @@ def _worker_main(rank, ring_qs, cmd_q, res_q, abort_ev):
                     n = _apply_worker_ingest(state, *arrays)
                 finally:
                     seg.close()
-                res_q.put((rank, "ingested", n))
+                res.send((rank, "ingested", n))
             elif op == "replan":
                 _, protocol, homes, _retired = cmd
                 _apply_replan(rank, state, protocol, homes)
-                res_q.put((rank, "replanned", None))
+                res.send((rank, "replanned", None))
             elif op == "model":
-                res_q.put((rank, "model", _report_model(state)))
+                res.send((rank, "model", _report_model(state)))
             elif op == "iter":
                 _, mu, plan, n_expected, gen, model_rank = cmd
                 transport = _QueueRingTransport(rank, ring_qs, gen, abort_ev)
@@ -458,11 +555,11 @@ def _worker_main(rank, ring_qs, cmd_q, res_q, abort_ev):
                         rank, state, mu, plan, n_expected, transport, model_rank
                     )
                 except IterationAborted:
-                    res_q.put((rank, "aborted", None))
+                    res.send((rank, "aborted", None))
                 else:
-                    res_q.put((rank, "result", payload))
+                    res.send((rank, "result", payload))
         except Exception:
-            res_q.put((rank, "error", traceback.format_exc()))
+            res.send((rank, "error", traceback.format_exc()))
 
 
 # ------------------------------------------------------------- coordinator
@@ -483,6 +580,14 @@ class MultiprocessBackend(BaseBackend):
         ``fault_policy``: ``fail_fast`` fails the fit and tears down the
         remaining peers; ``drop_shard`` retires the dead shard and
         continues on the survivors.
+    join_slots : int
+        Spare ring-queue slots pre-provisioned at pool spawn for machines
+        that may join mid-fit. Existing workers hold their fork-time copy
+        of the ring-queue table, so a joiner can only be reached through
+        a slot that already existed when they started; when the spares
+        run out the pool is transparently rebuilt (workers'
+        shards/RNG streams are collected and re-shipped, so the fit stays
+        bit-identical — just a slower join).
 
     The adapter must be picklable; each worker gets its own copy at
     ``setup`` while the shard *data* travels through shared memory.
@@ -497,23 +602,30 @@ class MultiprocessBackend(BaseBackend):
     _needs_ring_queues = True
 
     def __init__(
-        self, *, ctx_method: str = "fork", worker_timeout: float | None = None, **kwargs
+        self, *, ctx_method: str = "fork", worker_timeout: float | None = None,
+        join_slots: int = 4, **kwargs
     ):
         super().__init__(**kwargs)
         self.ctx_method = ctx_method
         self.worker_timeout = worker_timeout
+        self.join_slots = int(join_slots)
         self._ctx = None
-        self._procs: list = []
+        self._procs: dict[int, object] = {}
         self._ring_qs: list = []
-        self._abort_events: list = []
-        self._cmd_qs: list = []
-        self._res_q = None
+        self._abort_events: dict = {}
+        self._cmd_qs: dict = {}
+        self._res_chans: dict[int, _ResponseChannel] = {}
         self._segments: list = []
-        self._pool_size = 0
+        self._capacity = 0
         self._ranks: list[int] = []
         self._gen = 0
 
     # ---------------------------------------------------------- lifecycle
+    def _mark_untrack(self, descs) -> None:
+        for desc in descs:
+            if "pickle" not in desc:
+                desc["untrack"] = self.ctx_method != "fork"
+
     def setup(self, adapter, shards) -> None:
         shards = list(shards)
         P = len(shards)
@@ -524,17 +636,20 @@ class MultiprocessBackend(BaseBackend):
         specs = adapter.submodel_specs()
         self._specs = specs
         self._spec_by_sid = {s.sid: s for s in specs}
-        self._homes = home_assignment(len(specs), P)
-        self._protocol = WStepProtocol(P, self.epochs, self.scheme)
         self._topology = RingTopology.identity(P)
+        self._protocol, self._homes = replan(
+            self._topology.machines, len(specs), self.epochs, self.scheme
+        )
         self._route_rng = check_random_state(self.seed)
-        # A pool degraded by shard retirements cannot serve a fresh fit
-        # (the retired ranks' workers are gone); rebuild it, like a
-        # machine-count change.
-        if self._procs and (self._pool_size != P or len(self._ranks) != self._pool_size):
+        # A pool degraded by shard retirements — or grown by joins —
+        # cannot serve a fresh fit as-is; rebuild it, like a machine-count
+        # change. (A tracked member that silently *died* between fits is
+        # deliberately kept: shipping setup to it makes the death surface
+        # as an error, not a quiet respawn.)
+        if self._procs and sorted(self._procs) != list(range(P)):
             self.close()
         if not self._procs:
-            self._spawn(P)
+            self._spawn(range(P))
         self._ranks = list(range(P))
         self._release_segments()
         # Anything that fails between shard shipping and a successful
@@ -543,23 +658,22 @@ class MultiprocessBackend(BaseBackend):
         # re-raise.
         try:
             self._segments, descs = _pack_shards(shards)
-            for desc in descs:
-                if "pickle" not in desc:
-                    desc["untrack"] = self.ctx_method != "fork"
-            self._ship_setup(adapter, descs)
+            self._mark_untrack(descs)
+            self._ship_setup(adapter, dict(enumerate(descs)))
         except Exception:
             self.close(force=True)
             raise
 
-    def _ship_setup(self, adapter, descs) -> None:
+    def _ship_setup(self, adapter, descs: dict, rng_states: dict | None = None) -> None:
         """Send per-worker setup commands and wait for every ack.
 
-        Override point for subclasses whose workers need extra setup
-        phases (the TCP backend negotiates ports and builds the socket
-        mesh here).
+        ``descs`` maps rank -> shard descriptor (ranks need not be
+        contiguous after a restore). Override point for subclasses whose
+        workers need extra setup phases (the TCP backend negotiates
+        ports and builds the socket mesh here).
         """
         base_seed = 0 if self.seed is None else int(self.seed)
-        for rank in self._ranks:
+        for rank in sorted(descs):
             self._cmd_qs[rank].put(
                 (
                     "setup",
@@ -570,11 +684,22 @@ class MultiprocessBackend(BaseBackend):
                     self.batch_size,
                     self.shuffle_within,
                     base_seed + rank,
+                    None if rng_states is None else rng_states.get(rank),
                 )
             )
-        self._collect("ready")
+        self._collect("ready", ranks=sorted(descs))
 
-    def _spawn(self, P: int) -> None:
+    def _spawn(self, ranks, *, capacity: int | None = None) -> None:
+        """Start worker processes for ``ranks``, with slot headroom.
+
+        ``capacity`` (default ``max(ranks) + 1``) is the number of
+        addressable machine slots; ``join_slots`` spares are provisioned
+        beyond it so machines joining mid-fit can be reached by workers
+        that inherited the ring-queue table at this spawn.
+        """
+        ranks = [int(r) for r in ranks]
+        if capacity is None:
+            capacity = max(ranks) + 1
         # Start the parent's resource tracker *before* forking so workers
         # inherit it; otherwise the first pool's workers lazily spawn
         # private trackers on shared-memory attach, which then warn about
@@ -586,29 +711,38 @@ class MultiprocessBackend(BaseBackend):
         except Exception:
             pass
         self._ctx = mp.get_context(self.ctx_method)
-        self._ring_qs = (
-            [self._ctx.Queue() for _ in range(P)] if self._needs_ring_queues else []
-        )
+        n_slots = capacity + self.join_slots if self._needs_ring_queues else 0
+        self._ring_qs = [self._ctx.Queue() for _ in range(n_slots)]
         self._abort_events = (
-            [self._ctx.Event() for _ in range(P)] if self._needs_ring_queues else []
+            {r: self._ctx.Event() for r in ranks} if self._needs_ring_queues else {}
         )
-        self._cmd_qs = [self._ctx.Queue() for _ in range(P)]
-        self._res_q = self._ctx.Queue()
-        self._procs = []
-        for rank in range(P):
+        self._cmd_qs = {r: self._ctx.Queue() for r in ranks}
+        self._res_chans = {}
+        self._procs = {}
+        for rank in ranks:
+            self._launch_worker(rank)
+        self._capacity = capacity
+
+    def _launch_worker(self, rank: int) -> None:
+        """Fork one worker with its private response pipe; the parent's
+        copy of the write end is closed right after the fork."""
+        reader, writer = self._ctx.Pipe(duplex=False)
+        self._res_chans[rank] = _ResponseChannel(reader)
+        try:
             proc = self._ctx.Process(
                 target=self._worker_fn,
-                args=self._worker_args(rank),
+                args=self._worker_args(rank, writer),
                 daemon=True,
             )
             proc.start()
-            self._procs.append(proc)
-        self._pool_size = P
+        finally:
+            writer.close()
+        self._procs[rank] = proc
 
-    def _worker_args(self, rank: int) -> tuple:
+    def _worker_args(self, rank: int, res_conn) -> tuple:
         """Arguments for this rank's worker process."""
         return (
-            rank, self._ring_qs, self._cmd_qs[rank], self._res_q,
+            rank, self._ring_qs, self._cmd_qs[rank], res_conn,
             self._abort_events[rank],
         )
 
@@ -624,11 +758,112 @@ class MultiprocessBackend(BaseBackend):
             _unlink_segments([seg])
         return self.dataplane.apply(batch)
 
+    # ----------------------------------------------------------- elasticity
+    def _start_worker(self, rank: int) -> None:
+        """Spawn one additional pool worker at ``rank`` (its own command
+        queue, response pipe and abort event; under fork, the
+        coordinator's current ring-queue table comes along)."""
+        if self._ctx is None:
+            raise RuntimeError("no active pool to add a worker to")
+        self._cmd_qs[rank] = self._ctx.Queue()
+        if self._needs_ring_queues:
+            self._abort_events[rank] = self._ctx.Event()
+        self._launch_worker(rank)
+        self._capacity = max(self._capacity, rank + 1)
+
+    def _apply_join(self, p: int, after: int | None) -> None:
+        """Admit one registered machine: spawn its worker, ship its shard
+        via shared memory, re-plan ring/homes/protocol, announce.
+
+        Fails closed: any error after the pool/topology started changing
+        tears the fit down (like a failed ``setup``) rather than leaving
+        a half-joined ring behind.
+        """
+        if not self._procs:
+            raise RuntimeError("add_machine() requires an active fit")
+        if self._needs_ring_queues and p >= len(self._ring_qs):
+            # The fork-time ring-queue tables in existing workers cannot
+            # address slot p; rebuild the pool with fresh headroom (the
+            # workers' shards and RNG streams are preserved).
+            self._grow_pool(p)
+        old_ranks = list(self._ranks)
+        try:
+            self._start_worker(p)
+            segments, descs = _pack_shards([self.dataplane.shards[p]])
+            self._segments.extend(segments)
+            self._mark_untrack(descs)
+            self._topology = self._topology.with_machine(p, after=after)
+            self._protocol, self._homes = replan(
+                self._topology.machines, len(self._specs), self.epochs,
+                self.scheme,
+            )
+            self._ranks = sorted(old_ranks + [p])
+            # The joiner's setup carries the coordinator's adapter, whose
+            # parameters are the assembled post-iteration model — the
+            # joining machine "receives the current submodels" (§4.3).
+            self._ship_join(p, descs[0], old_ranks)
+            # The joiner already holds the new plan from its setup; only
+            # the standing workers need the announcement.
+            self._announce_replan([], ranks=old_ranks)
+        except Exception:
+            self.close(force=True)
+            raise
+
+    def _ship_join(self, p: int, desc, old_ranks) -> None:
+        """Deliver shard + plan to the joining worker (override point:
+        the TCP backend adds the mesh handshake and WELCOME transfer)."""
+        base_seed = 0 if self.seed is None else int(self.seed)
+        self._cmd_qs[p].put(
+            (
+                "setup",
+                self.adapter,
+                desc,
+                self._protocol,
+                self._homes,
+                self.batch_size,
+                self.shuffle_within,
+                base_seed + p,
+                None,
+            )
+        )
+        self._collect("ready", ranks=[p])
+
+    def _grow_pool(self, p: int) -> None:
+        """Rebuild the pool with ring-queue headroom covering slot ``p``.
+
+        Collects every live worker's shard and SGD stream, tears the
+        processes down, respawns with a larger slot table and re-ships
+        the collected state — bit-identical, just a slower join.
+        """
+        live = list(self._ranks)
+        collected = self._collect_worker_pool_state()
+        self._close_pool()
+        self._spawn(live, capacity=p + 1)
+        try:
+            segments, descs = _pack_shards([collected[r]["shard"] for r in live])
+            self._segments.extend(segments)
+            self._mark_untrack(descs)
+            self._ship_setup(
+                self.adapter,
+                dict(zip(live, descs)),
+                rng_states={r: collected[r]["rng_state"] for r in live},
+            )
+        except Exception:
+            self.close(force=True)
+            raise
+
+    def _collect_worker_pool_state(self) -> dict:
+        """{rank: {"shard": ..., "rng_state": ...}} from every live worker."""
+        for rank in self._ranks:
+            self._cmd_qs[rank].put(("checkpoint",))
+        return self._collect("checkpoint")
+
     # ----------------------------------------------------------- iteration
     def run_iteration(self, mu: float) -> IterationStats:
         if not self._procs:
             raise RuntimeError("setup() must run before run_iteration()")
         mu = float(mu)
+        added, replan_s = self.drain_joins()
         rows = self.drain_ingests()
         lost: list[int] = []
         t0 = time.perf_counter()
@@ -681,6 +916,7 @@ class MultiprocessBackend(BaseBackend):
                 wire[key] = wire.get(key, 0) + value
         extra = {"wall_time": wall, "w_time": w_time, "z_time": z_time}
         extra.update(wire)
+        self._iterations_done += 1
         return IterationStats(
             mu=mu,
             e_q=sum(payloads[r]["e_q"] for r in ranks),
@@ -695,12 +931,14 @@ class MultiprocessBackend(BaseBackend):
             rows_ingested=rows,
             shards_lost=len(lost),
             n_machines=len(self._ranks),
+            machines_added=added,
+            replan_s=replan_s,
         )
 
     def _dispatch_iteration(self, mu: float, plan: RoutePlan, expected: dict,
                             model_rank: int) -> None:
         """Send one iteration command to every live worker (override point)."""
-        for ev in self._abort_events:
+        for ev in self._abort_events.values():
             ev.clear()  # workers are idle between iterations; safe to reset
         for rank in self._ranks:
             self._cmd_qs[rank].put(
@@ -723,6 +961,22 @@ class MultiprocessBackend(BaseBackend):
             self._abort_events[rank].set()
             self._ring_qs[rank].put((self._gen, None))
 
+    def _recv_available(self, ranks, timeout: float) -> list:
+        """Every response currently deliverable from ``ranks``.
+
+        Waits up to ``timeout`` for the first readable channel, then
+        drains all of them; returns ``(rank, kind, payload)`` tuples.
+        Never blocks beyond the timeout — a worker killed mid-message
+        leaves a partial frame in its own channel and nothing else.
+        """
+        chans = [self._res_chans[r] for r in ranks if r in self._res_chans]
+        if not chans:
+            return []
+        out = []
+        for chan in mp_connection.wait(chans, timeout=timeout):
+            out.extend(chan.drain())
+        return out
+
     def _collect_results(self) -> dict:
         """Gather one iteration response per live worker.
 
@@ -744,10 +998,15 @@ class MultiprocessBackend(BaseBackend):
         dead: set[int] = set()
         abort_requested = False
         while pending:
-            try:
-                rank, kind, payload = self._res_q.get(timeout=_LIVENESS_POLL_S)
-            except queue_mod.Empty:
+            msgs = self._recv_available(pending, _LIVENESS_POLL_S)
+            if not msgs:
                 newly_dead = {r for r in pending if not self._procs[r].is_alive()}
+                if newly_dead:
+                    # A worker may have completed the attempt — response
+                    # already in its pipe — before dying; pick that up
+                    # before writing the rank off.
+                    msgs = self._recv_available(newly_dead, 0)
+                    newly_dead -= {m[0] for m in msgs}
                 if newly_dead:
                     if self.fault_policy is not FaultPolicy.DROP_SHARD:
                         self.close(force=True)
@@ -760,22 +1019,24 @@ class MultiprocessBackend(BaseBackend):
                     if pending and not abort_requested:
                         self._request_abort(pending)
                         abort_requested = True
-                if deadline is not None and time.monotonic() > deadline:
+                if not msgs:
+                    if deadline is not None and time.monotonic() > deadline:
+                        self.close(force=True)
+                        raise RuntimeError(
+                            f"timed out after {self.worker_timeout}s waiting "
+                            f"for 'result' from {len(pending)} worker(s)"
+                        ) from None
+                    continue
+            for rank, kind, payload in msgs:
+                if kind == "error":
                     self.close(force=True)
-                    raise RuntimeError(
-                        f"timed out after {self.worker_timeout}s waiting for "
-                        f"'result' from {len(pending)} worker(s)"
-                    ) from None
-                continue
-            if kind == "error":
-                self.close(force=True)
-                raise RuntimeError(f"worker {rank} failed:\n{payload}")
-            if kind == "result":
-                payloads[rank] = payload
-                pending.discard(rank)
-            elif kind == "aborted":
-                aborted.add(rank)
-                pending.discard(rank)
+                    raise RuntimeError(f"worker {rank} failed:\n{payload}")
+                if kind == "result":
+                    payloads[rank] = payload
+                    pending.discard(rank)
+                elif kind == "aborted":
+                    aborted.add(rank)
+                    pending.discard(rank)
         if dead or aborted:
             # An abort is always downstream of a death; find any not yet
             # caught by the liveness poll (e.g. sockets reset before the
@@ -803,16 +1064,25 @@ class MultiprocessBackend(BaseBackend):
             raise RuntimeError("every worker died; pool torn down")
         retired = []
         for rank in sorted(dead):
-            proc = self._procs[rank]
+            proc = self._procs.pop(rank)
+            self._cmd_qs.pop(rank, None)
+            self._abort_events.pop(rank, None)
+            chan = self._res_chans.pop(rank, None)
+            if chan is not None:
+                chan.close()
             if proc.is_alive():
                 proc.terminate()
             proc.join(timeout=5)
             rows = self.dataplane.retire(rank, lost=True)
             retired.append(ShardRetired(machine=rank, rows_lost=rows))
+            # Reconnect predecessor -> successor, preserving the cycle
+            # order (which joins may have made non-sorted) exactly like
+            # the simulated cluster's recovery.
+            self._topology = self._topology.without_machine(rank)
         self._ranks = survivors
-        self._topology = RingTopology(survivors)
-        self._protocol = WStepProtocol(len(survivors), self.epochs, self.scheme)
-        self._homes = home_assignment(len(self._specs), survivors)
+        self._protocol, self._homes = replan(
+            self._topology.machines, len(self._specs), self.epochs, self.scheme
+        )
         self._rebuild_transport(retired)
         self._announce_replan(retired)
 
@@ -824,11 +1094,13 @@ class MultiprocessBackend(BaseBackend):
         to rebuild its socket mesh.
         """
 
-    def _announce_replan(self, retired) -> None:
-        """Ship the survivor protocol/home assignment to every worker."""
-        for rank in self._ranks:
+    def _announce_replan(self, retired, ranks=None) -> None:
+        """Ship the new protocol/home assignment to ``ranks`` (default:
+        every live worker)."""
+        ranks = list(self._ranks) if ranks is None else list(ranks)
+        for rank in ranks:
             self._cmd_qs[rank].put(("replan", self._protocol, self._homes, None))
-        self._collect("replanned")
+        self._collect("replanned", ranks=ranks)
 
     # ----------------------------------------------------------- gathering
     def _collect(self, expect: str, ranks=None) -> dict:
@@ -849,9 +1121,8 @@ class MultiprocessBackend(BaseBackend):
         )
         payloads = {}
         while len(payloads) < len(ranks):
-            try:
-                rank, kind, payload = self._res_q.get(timeout=_LIVENESS_POLL_S)
-            except queue_mod.Empty:
+            msgs = self._recv_available(wanted - set(payloads), _LIVENESS_POLL_S)
+            if not msgs:
                 dead = [r for r in ranks if not self._procs[r].is_alive()]
                 if dead:
                     self.close(force=True)
@@ -865,12 +1136,78 @@ class MultiprocessBackend(BaseBackend):
                         f"{expect!r} from {len(ranks) - len(payloads)} worker(s)"
                     ) from None
                 continue
-            if kind == "error":
-                self.close(force=True)
-                raise RuntimeError(f"worker {rank} failed:\n{payload}")
-            if kind == expect and rank in wanted:
-                payloads[rank] = payload
+            for rank, kind, payload in msgs:
+                if kind == "error":
+                    self.close(force=True)
+                    raise RuntimeError(f"worker {rank} failed:\n{payload}")
+                if kind == expect and rank in wanted:
+                    payloads[rank] = payload
         return payloads
+
+    # ------------------------------------------------------- checkpointing
+    def _collect_machine_state(self) -> tuple[dict, dict]:
+        if not self._procs:
+            raise RuntimeError("checkpoint() requires an active pool")
+        collected = self._collect_worker_pool_state()
+        return (
+            {r: c["shard"] for r, c in collected.items()},
+            {r: c["rng_state"] for r, c in collected.items()},
+        )
+
+    def _ring_order(self) -> list[int]:
+        return self._topology.machines
+
+    def _route_rng_state(self):
+        import copy
+
+        return copy.deepcopy(self._route_rng.bit_generator.state)
+
+    def restore(self, state: ClusterState, adapter=None) -> None:
+        """Rebind a fit from a snapshot: fresh pool, shards re-shipped
+        via shared memory, worker SGD streams and the route stream
+        restored — training continues bit-identically."""
+        adapter = self._restore_common(state, adapter)
+        self.adapter = adapter
+        shards = {int(p): s for p, s in state.shards.items()}
+        ring_order = [int(p) for p in state.ring_order]
+        if sorted(shards) != sorted(ring_order):
+            raise ValueError(
+                f"checkpoint ring {ring_order} does not match its shard "
+                f"owners {sorted(shards)}"
+            )
+        dataplane = DataPlane(adapter, shards, own_data=False)
+        dataplane.restore_bookkeeping(state.bookkeeping)
+        self._bind_dataplane(dataplane)
+        specs = adapter.submodel_specs()
+        self._specs = specs
+        self._spec_by_sid = {s.sid: s for s in specs}
+        self._topology = RingTopology(ring_order)
+        self._protocol, self._homes = replan(
+            self._topology.machines, len(specs), self.epochs, self.scheme
+        )
+        self._route_rng = check_random_state(self.seed)
+        if state.route_rng_state is not None:
+            self._route_rng.bit_generator.state = state.route_rng_state
+        # The restored membership rarely matches a standing pool's ranks
+        # (gaps from retirements, extras from joins); start clean.
+        if self._procs:
+            self._close_pool()
+        live = sorted(shards)
+        self._spawn(live)
+        self._ranks = live
+        self._release_segments()
+        try:
+            self._segments, descs = _pack_shards([shards[r] for r in live])
+            self._mark_untrack(descs)
+            self._ship_setup(
+                adapter,
+                dict(zip(live, descs)),
+                rng_states={int(p): st for p, st in state.machine_rng_states.items()},
+            )
+        except Exception:
+            self.close(force=True)
+            raise
+        self._restore_pending_ingests(state)
 
     def teardown(self) -> None:
         """End the fit: drop the shared-memory shards, keep the pool."""
@@ -881,6 +1218,32 @@ class MultiprocessBackend(BaseBackend):
         _unlink_segments(self._segments)
         self._segments = []
 
+    def _close_pool(self, *, force: bool = False) -> None:
+        """Stop the worker processes and drop the queue tables, leaving
+        fit state (data plane, topology, segments) in place — the
+        process half of :meth:`close`, reused by pool rebuilds."""
+        if self._procs:
+            if not force:
+                for q in self._cmd_qs.values():
+                    try:
+                        q.put(("stop",))
+                    except Exception:
+                        pass
+            for proc in self._procs.values():
+                if not force:
+                    proc.join(timeout=30)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+        self._procs = {}
+        self._cmd_qs = {}
+        self._ring_qs = []
+        self._abort_events = {}
+        for chan in self._res_chans.values():
+            chan.close()
+        self._res_chans = {}
+        self._capacity = 0
+
     def close(self, *, force: bool = False) -> None:
         """Stop the worker pool and release every resource.
 
@@ -888,32 +1251,14 @@ class MultiprocessBackend(BaseBackend):
         when peers may be blocked on ring receives that will never arrive
         and would ignore a queued stop command.
         """
-        if self._procs:
-            if not force:
-                for q in self._cmd_qs:
-                    try:
-                        q.put(("stop",))
-                    except Exception:
-                        pass
-            for proc in self._procs:
-                if not force:
-                    proc.join(timeout=30)
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=5)
-        self._procs = []
-        self._cmd_qs = []
-        self._ring_qs = []
-        self._abort_events = []
-        self._res_q = None
-        self._pool_size = 0
+        self._close_pool(force=force)
         self._ranks = []
         self._release_segments()
 
     @property
     def worker_pids(self) -> list[int]:
         """PIDs of the live pool (diagnostics; stable across fits)."""
-        return [p.pid for p in self._procs if p.is_alive()]
+        return [p.pid for p in self._procs.values() if p.is_alive()]
 
     def __del__(self):
         try:

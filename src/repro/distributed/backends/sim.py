@@ -20,6 +20,7 @@ training (paper section 4.3).
 
 from __future__ import annotations
 
+import copy
 import time
 
 from repro.distributed.backends.base import (
@@ -30,7 +31,7 @@ from repro.distributed.backends.base import (
 )
 from repro.distributed.cluster import FaultEvent, SimulatedCluster
 from repro.distributed.costmodel import CostModel
-from repro.distributed.dataplane import DataPlane
+from repro.distributed.dataplane import ClusterState, DataPlane
 
 __all__ = ["SyncSimBackend", "AsyncSimBackend"]
 
@@ -98,6 +99,7 @@ class _SimBackend(BaseBackend):
         if self.cluster is None:
             raise RuntimeError("setup() must run before run_iteration()")
         cluster = self.cluster
+        added, replan_s = self.drain_joins()
         rows = self.drain_ingests()
         fault, self._pending_fault = self._pending_fault, None
         lost_before = self.dataplane.shards_lost
@@ -120,6 +122,7 @@ class _SimBackend(BaseBackend):
         violations = sum(
             self.adapter.violations_shard(cluster.shards[p]) for p in cluster.machines
         )
+        self._iterations_done += 1
         return IterationStats(
             mu=float(mu),
             e_q=cluster.e_q(mu),
@@ -140,7 +143,69 @@ class _SimBackend(BaseBackend):
             rows_ingested=rows,
             shards_lost=self.dataplane.shards_lost - lost_before,
             n_machines=cluster.n_machines,
+            machines_added=added,
+            replan_s=replan_s,
         )
+
+    # ----------------------------------------------------------- elasticity
+    def _apply_join(self, p: int, after: int | None) -> None:
+        """Admit a registered machine: ring insertion, model hand-off from
+        a verified-live survivor store, join-stream RNG."""
+        self.cluster._admit_machine(p, after=after)
+
+    # ------------------------------------------------------- checkpointing
+    def _collect_machine_state(self) -> tuple[dict, dict]:
+        # The simulated engines own the shard arrays in-process; deep-copy
+        # them so the snapshot is decoupled from further training.
+        shards = {p: copy.deepcopy(s) for p, s in self.dataplane.shards.items()}
+        _, machine_states = self.cluster.rng_states()
+        return shards, copy.deepcopy(machine_states)
+
+    def _ring_order(self) -> list[int]:
+        return self.cluster.topology.machines
+
+    def _route_rng_state(self):
+        route_state, _ = self.cluster.rng_states()
+        return copy.deepcopy(route_state)
+
+    def _join_entropy_value(self):
+        return self.cluster._join_entropy
+
+    def restore(self, state: ClusterState, adapter=None) -> None:
+        from repro.distributed.topology import RingTopology
+
+        adapter = self._restore_common(state, adapter)
+        self.adapter = adapter
+        shards = {int(p): copy.deepcopy(s) for p, s in state.shards.items()}
+        dataplane = DataPlane(adapter, shards)
+        dataplane.restore_bookkeeping(state.bookkeeping)
+        self._bind_dataplane(dataplane)
+        self._pending_fault = None
+        self.cluster = SimulatedCluster(
+            adapter,
+            shards,
+            epochs=self.epochs,
+            scheme=self.scheme,
+            batch_size=self.batch_size,
+            shuffle_within=self.shuffle_within,
+            shuffle_ring=self.shuffle_ring,
+            cost=self.cost if self.cost is not None else CostModel(),
+            engine=self.engine,
+            execute_updates=self.execute_updates,
+            message_dtype=self.message_dtype,
+            dataplane=dataplane,
+            seed=self.seed,
+        )
+        # Overwrite the fresh cluster's stochastic state with the
+        # snapshot's: ring order (joins may have inserted mid-cycle),
+        # route/machine RNG streams, the join-stream lineage, and the
+        # redundant model stores.
+        self.cluster.topology = RingTopology(state.ring_order)
+        self.cluster.restore_rngs(state.route_rng_state, state.machine_rng_states)
+        if state.join_entropy is not None:
+            self.cluster._join_entropy = state.join_entropy
+        self.cluster.seed_stores(state.params)
+        self._restore_pending_ingests(state)
 
     # The cluster stays accessible after teardown: streaming and fault
     # experiments poke at it between and after fits.

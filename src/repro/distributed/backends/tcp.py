@@ -74,6 +74,7 @@ from repro.distributed.backends.mp import (
     _apply_replan,
     _apply_worker_ingest,
     _build_worker_state,
+    _checkpoint_worker_state,
     _report_model,
     _run_worker_iteration,
 )
@@ -81,18 +82,26 @@ from repro.distributed.framing import (
     KIND_BATCH,
     KIND_HELLO,
     KIND_INGEST,
+    KIND_JOIN,
     KIND_SHARD_RETIRED,
+    KIND_WELCOME,
     FrameDecoder,
     ProtocolError,
     decode_batch,
     decode_hello,
     decode_ingest,
+    decode_join,
     decode_shard_retired,
+    decode_welcome,
     encode_batch,
     encode_hello,
     encode_ingest,
+    encode_join,
     encode_shard_retired,
+    encode_welcome,
 )
+from repro.distributed.interfaces import get_params_many, set_params_many
+from repro.distributed.messages import SubmodelMessage
 from repro.distributed.protocol import RoutePlan
 
 __all__ = ["TCPBackend"]
@@ -222,23 +231,35 @@ class _SocketRingTransport:
 
 
 # ----------------------------------------------------------------- sockets
-def _read_one_frame(conn, timeout: float) -> tuple[int, bytes]:
-    """Blocking read of exactly one frame (used for the HELLO handshake)."""
+def _read_frames(conn, n: int, timeout: float) -> list[tuple[int, bytes]]:
+    """Blocking read of exactly ``n`` frames from one connection.
+
+    Used for handshakes (HELLO; JOIN → WELCOME + BATCH), where the
+    sender transmits a known frame sequence and nothing else: coalesced
+    arrivals are handled, but any bytes beyond the ``n``-th frame are a
+    protocol violation.
+    """
     decoder = FrameDecoder()
+    frames: list[tuple[int, bytes]] = []
     conn.settimeout(timeout)
     try:
         while True:
-            data = conn.recv(4096)
+            data = conn.recv(1 << 16)
             if not data:
                 decoder.eof()
                 raise ProtocolError("connection closed before a full frame arrived")
-            frames = decoder.feed(data)
-            if frames:
-                if len(frames) > 1 or decoder.pending:
-                    raise ProtocolError("unexpected bytes after handshake frame")
-                return frames[0]
+            frames.extend(decoder.feed(data))
+            if len(frames) >= n:
+                if len(frames) > n or decoder.pending:
+                    raise ProtocolError("unexpected bytes after handshake frames")
+                return frames
     finally:
         conn.settimeout(None)
+
+
+def _read_one_frame(conn, timeout: float) -> tuple[int, bytes]:
+    """Blocking read of exactly one frame (used for the HELLO handshake)."""
+    return _read_frames(conn, 1, timeout)[0]
 
 
 def _close_net(net: dict | None) -> None:
@@ -281,7 +302,7 @@ def _decode_control_blob(blob: bytes, expected_kind: int) -> list:
     return out
 
 
-def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
+def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
     """TCP pool worker: the mp command loop plus socket lifecycle.
 
     Commands: ``setup`` binds the listening socket and replies with the
@@ -305,19 +326,21 @@ def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
         try:
             if op == "setup":
                 (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
-                 seed, host, port, batch_hops, drop_on_fault) = cmd
+                 seed, rng_state, host, port, batch_hops, drop_on_fault) = cmd
                 _close_net(net)  # a new fit rebuilds the mesh
                 net = None
                 if state is not None and state["seg"] is not None:
                     state["seg"].close()
                 state = _build_worker_state(
                     rank, adapter, desc, protocol, homes, batch_size,
-                    shuffle_within, seed,
+                    shuffle_within, seed, rng_state,
                 )
                 state["batch_hops"] = batch_hops
                 state["drop_on_fault"] = drop_on_fault
                 net = _bind_listen_socket(host, port, batch_hops)
-                res_q.put((rank, "port", net["listen"].getsockname()[1]))
+                res.send((rank, "port", net["listen"].getsockname()[1]))
+            elif op == "checkpoint":
+                res.send((rank, "checkpoint", _checkpoint_worker_state(state)))
             elif op == "rebind":
                 # Drop_shard recovery, phase 1: fresh listen socket (the
                 # old mesh is dirty — dead-peer links, possibly stale
@@ -325,7 +348,7 @@ def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
                 _, host, port = cmd
                 _close_net(net)
                 net = _bind_listen_socket(host, port, state["batch_hops"])
-                res_q.put((rank, "port", net["listen"].getsockname()[1]))
+                res.send((rank, "port", net["listen"].getsockname()[1]))
             elif op == "connect":
                 _, addr_map = cmd
                 peers = sorted(p for p in addr_map if p != rank)
@@ -353,7 +376,97 @@ def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
                         net["in"][decode_hello(payload)] = conn
                 finally:
                     net["listen"].settimeout(None)
-                res_q.put((rank, "ready", None))
+                res.send((rank, "ready", None))
+            elif op == "join_mesh":
+                # An established worker links a machine joining mid-fit
+                # into its mesh: accept the joiner's JOIN-identified
+                # connection (incoming link), optionally hand it the
+                # current model (WELCOME + BATCH back over that same
+                # socket — the only time a "receive" link carries writes),
+                # and dial the joiner's listener (outgoing link).
+                _, new_rank, addr, is_donor = cmd
+                net["listen"].settimeout(connect_timeout)
+                try:
+                    conn, _ = net["listen"].accept()
+                finally:
+                    net["listen"].settimeout(None)
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                kind, payload = _read_one_frame(conn, connect_timeout)
+                if kind != KIND_JOIN:
+                    raise ProtocolError(
+                        f"expected JOIN from a joining machine, got kind {kind}"
+                    )
+                if decode_join(payload) != new_rank:
+                    raise ProtocolError(
+                        f"JOIN announced machine {decode_join(payload)}, "
+                        f"expected {new_rank}"
+                    )
+                if is_donor:
+                    specs = state["specs"]
+                    finals = [
+                        SubmodelMessage.final(s, theta)
+                        for s, theta in zip(
+                            specs, get_params_many(state["adapter"], specs)
+                        )
+                    ]
+                    conn.sendall(
+                        encode_welcome(rank, len(finals)) + encode_batch(finals)
+                    )
+                net["in"][new_rank] = conn
+                out = socket.create_connection(addr, timeout=connect_timeout)
+                out.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                out.sendall(encode_hello(rank))
+                net["out"][new_rank] = out
+                res.send((rank, "joined", None))
+            elif op == "join_handshake":
+                # The joining worker handshakes into the standing mesh:
+                # dial every peer with a JOIN frame, read the donor's
+                # WELCOME + submodel BATCH off the donor link, then accept
+                # every peer's HELLO-identified connection.
+                _, addr_map, donor, n_submodels = cmd
+                peers = sorted(p for p in addr_map if p != rank)
+                for peer in peers:
+                    conn = socket.create_connection(
+                        addr_map[peer], timeout=connect_timeout
+                    )
+                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    conn.sendall(encode_join(rank))
+                    net["out"][peer] = conn
+                frames = _read_frames(net["out"][donor], 2, connect_timeout)
+                (kind_w, payload_w), (kind_b, payload_b) = frames
+                if kind_w != KIND_WELCOME or kind_b != KIND_BATCH:
+                    raise ProtocolError(
+                        f"expected WELCOME then BATCH from the donor, got "
+                        f"kinds {kind_w}, {kind_b}"
+                    )
+                donor_rank, n_expected_models = decode_welcome(payload_w)
+                if donor_rank != donor:
+                    raise ProtocolError(
+                        f"WELCOME names donor {donor_rank}, expected {donor}"
+                    )
+                finals = decode_batch(payload_b, state["spec_by_sid"])
+                if len(finals) != n_expected_models or n_expected_models != n_submodels:
+                    raise ProtocolError(
+                        f"WELCOME hand-off carried {len(finals)} submodels, "
+                        f"expected {n_submodels}"
+                    )
+                set_params_many(
+                    state["adapter"], [(m.spec, m.theta) for m in finals]
+                )
+                net["listen"].settimeout(connect_timeout)
+                try:
+                    while len(net["in"]) < len(peers):
+                        conn, _ = net["listen"].accept()
+                        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                        kind, payload = _read_one_frame(conn, connect_timeout)
+                        if kind != KIND_HELLO:
+                            raise ProtocolError(
+                                f"expected HELLO on fresh connection, got kind {kind}"
+                            )
+                        net["in"][decode_hello(payload)] = conn
+                finally:
+                    net["listen"].settimeout(None)
+                res.send((rank, "joined", None))
             elif op == "ingest":
                 _, frame = cmd
                 (msg,) = _decode_control_blob(frame, KIND_INGEST)
@@ -363,7 +476,7 @@ def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
                         f"to rank {rank}"
                     )
                 n = _apply_worker_ingest(state, msg.X, msg.F, msg.Z, msg.indices)
-                res_q.put((rank, "ingested", n))
+                res.send((rank, "ingested", n))
             elif op == "replan":
                 _, protocol, homes, retired_blob = cmd
                 # The retirement announcement arrives as SHARD_RETIRED
@@ -372,9 +485,9 @@ def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
                 if retired_blob:
                     _decode_control_blob(retired_blob, KIND_SHARD_RETIRED)
                 _apply_replan(rank, state, protocol, homes)
-                res_q.put((rank, "replanned", None))
+                res.send((rank, "replanned", None))
             elif op == "model":
-                res_q.put((rank, "model", _report_model(state)))
+                res.send((rank, "model", _report_model(state)))
             elif op == "iter":
                 _, mu, orders, n_expected, _gen, model_rank = cmd
                 plan = RoutePlan.from_orders(orders, state["protocol"])
@@ -401,11 +514,11 @@ def _tcp_worker_main(rank, cmd_q, res_q, connect_timeout):
                     # any peer still blocked) and await the re-plan.
                     _close_net(net)
                     net = None
-                    res_q.put((rank, "aborted", traceback.format_exc()))
+                    res.send((rank, "aborted", traceback.format_exc()))
                 else:
-                    res_q.put((rank, "result", payload))
+                    res.send((rank, "result", payload))
         except Exception:
-            res_q.put((rank, "error", traceback.format_exc()))
+            res.send((rank, "error", traceback.format_exc()))
 
 
 # ------------------------------------------------------------- coordinator
@@ -448,9 +561,10 @@ class TCPBackend(MultiprocessBackend):
         self.ports = ports
         self.batch_hops = bool(batch_hops)
         self.connect_timeout = float(connect_timeout)
+        self._addr_map: dict[int, tuple] = {}
 
-    def _worker_args(self, rank: int) -> tuple:
-        return (rank, self._cmd_qs[rank], self._res_q, self.connect_timeout)
+    def _worker_args(self, rank: int, res_conn) -> tuple:
+        return (rank, self._cmd_qs[rank], res_conn, self.connect_timeout)
 
     def _port_for(self, rank: int) -> int:
         if self.ports is None:
@@ -458,16 +572,16 @@ class TCPBackend(MultiprocessBackend):
         if isinstance(self.ports, int):
             return self.ports + rank
         ports = list(self.ports)
-        if len(ports) < self._pool_size:
+        if rank >= len(ports):
             raise ValueError(
-                f"ports has {len(ports)} entries for {self._pool_size} workers"
+                f"ports has {len(ports)} entries but worker {rank} needs one"
             )
         return int(ports[rank])
 
-    def _ship_setup(self, adapter, descs) -> None:
+    def _ship_setup(self, adapter, descs: dict, rng_states: dict | None = None) -> None:
         """Three-phase socket setup: bind, exchange ports, build the mesh."""
         base_seed = 0 if self.seed is None else int(self.seed)
-        for rank in self._ranks:
+        for rank in sorted(descs):
             self._cmd_qs[rank].put(
                 (
                     "setup",
@@ -478,6 +592,7 @@ class TCPBackend(MultiprocessBackend):
                     self.batch_size,
                     self.shuffle_within,
                     base_seed + rank,
+                    None if rng_states is None else rng_states.get(rank),
                     self.host,
                     self._port_for(rank),
                     self.batch_hops,
@@ -490,6 +605,7 @@ class TCPBackend(MultiprocessBackend):
         """Exchange bound ports and build the all-pairs socket mesh."""
         bound = self._collect("port")
         addr_map = {rank: (self.host, port) for rank, port in bound.items()}
+        self._addr_map = dict(addr_map)
         for rank in self._ranks:
             self._cmd_qs[rank].put(("connect", addr_map))
         self._collect("ready")
@@ -501,6 +617,54 @@ class TCPBackend(MultiprocessBackend):
             self._cmd_qs[rank].put(
                 ("iter", mu, orders, expected[rank], self._gen, model_rank)
             )
+
+    # ----------------------------------------------------------- elasticity
+    def _check_join_capacity(self, p: int) -> None:
+        """An explicit ports list must cover the joiner's rank — checked
+        before any pool/topology state changes, so an exhausted list
+        rejects the join cleanly instead of corrupting the fit."""
+        self._port_for(p)
+
+    def _ship_join(self, p: int, desc, old_ranks) -> None:
+        """Socket flavour of the join: the new worker binds and announces
+        its port, every standing worker links it in (JOIN accepted, HELLO
+        dialed), and the donor — the lowest live rank — hands the current
+        submodels over as a WELCOME + framed BATCH. No pickle: the model
+        reaches the joiner exactly as it travels the ring.
+        """
+        base_seed = 0 if self.seed is None else int(self.seed)
+        self._cmd_qs[p].put(
+            (
+                "setup",
+                self.adapter,
+                desc,
+                self._protocol,
+                self._homes,
+                self.batch_size,
+                self.shuffle_within,
+                base_seed + p,
+                None,
+                self.host,
+                self._port_for(p),
+                self.batch_hops,
+                self.fault_policy is FaultPolicy.DROP_SHARD,
+            )
+        )
+        bound = self._collect("port", ranks=[p])
+        addr = (self.host, bound[p])
+        donor = old_ranks[0]
+        for rank in old_ranks:
+            self._cmd_qs[rank].put(("join_mesh", p, addr, rank == donor))
+        self._cmd_qs[p].put(
+            (
+                "join_handshake",
+                {r: self._addr_map[r] for r in old_ranks},
+                donor,
+                len(self._specs),
+            )
+        )
+        self._collect("joined", ranks=[*old_ranks, p])
+        self._addr_map[p] = addr
 
     # ------------------------------------------------------------ recovery
     def _request_abort(self, ranks) -> None:
@@ -520,8 +684,9 @@ class TCPBackend(MultiprocessBackend):
             self._cmd_qs[rank].put(("rebind", self.host, self._port_for(rank)))
         self._connect_mesh()
 
-    def _announce_replan(self, retired) -> None:
+    def _announce_replan(self, retired, ranks=None) -> None:
+        ranks = list(self._ranks) if ranks is None else list(ranks)
         blob = b"".join(encode_shard_retired(m) for m in retired)
-        for rank in self._ranks:
+        for rank in ranks:
             self._cmd_qs[rank].put(("replan", self._protocol, self._homes, blob))
-        self._collect("replanned")
+        self._collect("replanned", ranks=ranks)

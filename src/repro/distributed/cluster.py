@@ -37,7 +37,7 @@ from repro.distributed.messages import SubmodelMessage
 from repro.distributed.partition import Shard
 from repro.distributed.topology import RingTopology
 from repro.optim.sgd import SGDState
-from repro.utils.rng import check_random_state, spawn_rngs
+from repro.utils.rng import check_random_state, seed_entropy, spawn_rngs
 
 __all__ = ["SimulatedCluster", "WStepStats", "ZStepStats", "FaultEvent"]
 
@@ -167,6 +167,13 @@ class SimulatedCluster:
                 spawn_rngs(self._route_rng, len(self.shards)),
             )
         )
+        # Joining machines draw their RNG streams from a side lineage
+        # keyed by machine id — independent of the route stream, so a
+        # join can never perturb the remaining shuffle_ring schedule
+        # (cross-backend bit-parity would silently break otherwise).
+        self._join_entropy = seed_entropy(seed)
+        if self._join_entropy is None:
+            self._join_entropy = np.random.SeedSequence().entropy
         self.topology = RingTopology(self.dataplane.machines)
         # store[p][sid] -> latest SubmodelMessage copy seen by machine p.
         self._stores: dict[int, dict[int, SubmodelMessage]] = {
@@ -491,22 +498,50 @@ class SimulatedCluster:
 
         It receives a copy of the current model (trivially: the stores are
         in-process; in the paper it picks the copies up during the final
-        broadcast round).
+        broadcast round). Validation goes through the shared
+        :meth:`DataPlane.check_join` — the same clear errors ``ingest``
+        raises, so a wrong-width shard fails here instead of joining
+        silently and exploding later.
         """
-        X_new = np.asarray(X_new, dtype=np.float64)
-        if len(X_new) == 0:
-            raise ValueError("a new machine needs at least one data point")
-        F_new = self.adapter.features(X_new)
-        Z_new = self.adapter.init_codes(F_new)
-        idx = self.dataplane.allocate_indices(len(X_new))
-        p = self.dataplane.register(
-            Shard(X=X_new, F=F_new, Z=Z_new, indices=idx)
-        )
-        self.topology = self.topology.with_machine(p, after=after)
-        donor = self._stores[self.machines[0]] if self._stores else {}
-        self._stores[p] = {sid: m.copy() for sid, m in donor.items()}
-        self._machine_rngs[p] = spawn_rngs(self._route_rng, 1)[0]
+        p = self.dataplane.admit(X_new)
+        self._admit_machine(p, after=after)
         return p
+
+    def _join_rng(self, p: int) -> np.random.Generator:
+        """Machine ``p``'s join-time RNG stream, keyed by id.
+
+        Derived from the cluster's side entropy lineage, never from the
+        route RNG: spawning a stream for a join must not advance the
+        route stream, or the join would perturb every subsequent
+        ``shuffle_ring`` schedule and break cross-backend bit-parity for
+        the rest of the fit. Keying by machine id (not join order) also
+        makes the stream independent of when the machine joined.
+        """
+        # spawn_key entries must fit in uint32; 0x4A4F494E is "JOIN".
+        ss = np.random.SeedSequence(
+            entropy=self._join_entropy, spawn_key=(0x4A4F494E, int(p))
+        )
+        return np.random.default_rng(ss)
+
+    def _admit_machine(self, p: int, *, after: int | None = None) -> None:
+        """Wire an already-registered shard's machine into the cluster:
+        ring insertion, model hand-off, private RNG stream."""
+        self.topology = self.topology.with_machine(p, after=after)
+        # Clone the model from verified-live survivors only, taking the
+        # freshest copy of each submodel (highest visit counter; earliest
+        # live machine wins ties). Between iterations every store holds
+        # identical finals, but a join racing a same-tick retirement must
+        # never clone from a stale or deleted store.
+        donor: dict[int, SubmodelMessage] = {}
+        for q in self.topology.machines:
+            if q == p or q not in self._stores or self.dataplane.is_retired(q):
+                continue
+            for sid, m in self._stores[q].items():
+                best = donor.get(sid)
+                if best is None or m.counter > best.counter:
+                    donor[sid] = m
+        self._stores[p] = {sid: m.copy() for sid, m in donor.items()}
+        self._machine_rngs[p] = self._join_rng(p)
 
     def remove_machine(self, p: int) -> None:
         """Streaming form 2 / Z-step fault: drop a machine and its data."""
@@ -518,6 +553,45 @@ class SimulatedCluster:
         del self._stores[p]
         del self._machine_rngs[p]
         self.topology = self.topology.without_machine(p)
+
+    # ------------------------------------------------------- checkpointing
+    def rng_states(self) -> tuple[dict, dict]:
+        """(route RNG state, {machine: RNG state}) as picklable dicts."""
+        return (
+            self._route_rng.bit_generator.state,
+            {p: rng.bit_generator.state for p, rng in self._machine_rngs.items()},
+        )
+
+    def restore_rngs(self, route_state, machine_states) -> None:
+        """Adopt RNG states captured by :meth:`rng_states`."""
+        if route_state is not None:
+            self._route_rng.bit_generator.state = route_state
+        for p, st in machine_states.items():
+            p = int(p)
+            if p in self._machine_rngs:
+                self._machine_rngs[p].bit_generator.state = st
+
+    def seed_stores(self, params_by_sid: dict) -> None:
+        """Fill every machine's store with the given final submodels.
+
+        Restoring a checkpoint recreates the post-W-step invariant (every
+        machine holds identical final copies) from the snapshot's
+        assembled parameters; the visit counter is set to 0 uniformly —
+        nothing between iterations reads it, and the next W step seeds
+        fresh messages from the adapter anyway.
+        """
+        specs = {s.sid: s for s in self.adapter.submodel_specs()}
+        self._stores = {
+            p: {
+                sid: SubmodelMessage(
+                    spec=specs[sid],
+                    theta=np.array(theta, copy=True),
+                    sgd_state=SGDState(),
+                )
+                for sid, theta in params_by_sid.items()
+            }
+            for p in self.machines
+        }
 
     # -------------------------------------------------------- diagnostics
     def gather_codes(self) -> tuple[np.ndarray, np.ndarray]:

@@ -31,11 +31,13 @@ else — validation, index allocation, counters — is shared.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
-__all__ = ["IngestBatch", "DataPlane"]
+__all__ = ["IngestBatch", "DataPlane", "ClusterState"]
 
 
 @dataclass(frozen=True)
@@ -156,6 +158,41 @@ class DataPlane:
         return idx
 
     # ------------------------------------------------------------ ingestion
+    def _check_stream_batch(self, X_new, shard, *, empty_error: str,
+                            width_owner: str) -> np.ndarray:
+        """Shared validation for any rows entering the plane mid-fit.
+
+        One implementation behind both :meth:`check_ingest` and
+        :meth:`check_join`, so a validation rule added for one path can
+        never silently skip the other: the batch must be 2-d, non-empty
+        and match ``shard``'s width, ``shard``'s type must support
+        streaming, and the adapter must be able to code new rows.
+        Returns the batch as a float64 2-d array.
+        """
+        X_new = np.asarray(X_new, dtype=np.float64)
+        if X_new.ndim != 2:
+            raise ValueError(
+                f"X_new must be 2-d (rows, features), got shape {X_new.shape}"
+            )
+        if len(X_new) == 0:
+            raise ValueError(empty_error)
+        if not hasattr(shard, "append") or not hasattr(shard, "X"):
+            raise TypeError(
+                f"{type(shard).__name__} does not support streaming"
+            )
+        width = shard.X.shape[1]
+        if X_new.shape[1] != width:
+            raise ValueError(
+                f"X_new has {X_new.shape[1]} columns but {width_owner} "
+                f"holds {width}-dimensional points"
+            )
+        if not (hasattr(self.adapter, "features") and hasattr(self.adapter, "init_codes")):
+            raise TypeError(
+                f"{type(self.adapter).__name__} does not support streaming "
+                "(needs features() and init_codes())"
+            )
+        return X_new
+
     def check_ingest(self, p: int, X_new) -> np.ndarray:
         """Validate an arriving batch; returns it as a float64 2-d array.
 
@@ -165,30 +202,46 @@ class DataPlane:
         a bad call fails at its site, not at the next epoch boundary.
         """
         p = self._require_machine(p)
-        X_new = np.asarray(X_new, dtype=np.float64)
-        if X_new.ndim != 2:
-            raise ValueError(
-                f"X_new must be 2-d (rows, features), got shape {X_new.shape}"
-            )
-        if len(X_new) == 0:
-            raise ValueError("cannot ingest an empty batch")
-        shard = self.shards[p]
-        if not hasattr(shard, "append") or not hasattr(shard, "X"):
-            raise TypeError(
-                f"{type(shard).__name__} does not support streaming ingestion"
-            )
-        width = shard.X.shape[1]
-        if X_new.shape[1] != width:
-            raise ValueError(
-                f"X_new has {X_new.shape[1]} columns but machine {p}'s shard "
-                f"holds {width}-dimensional points"
-            )
-        if not (hasattr(self.adapter, "features") and hasattr(self.adapter, "init_codes")):
-            raise TypeError(
-                f"{type(self.adapter).__name__} does not support streaming "
-                "(needs features() and init_codes())"
-            )
-        return X_new
+        return self._check_stream_batch(
+            X_new,
+            self.shards[p],
+            empty_error="cannot ingest an empty batch",
+            width_owner=f"machine {p}'s shard",
+        )
+
+    def check_join(self, X_new) -> np.ndarray:
+        """Validate a new machine's preloaded shard (streaming form 2).
+
+        Same contract as :meth:`check_ingest`, minus the target machine:
+        the new shard is held to the width of the live ones. Raises the
+        identical clear errors, so a wrong-width machine fails at the
+        ``add_machine`` call site instead of joining silently and
+        exploding later.
+        """
+        return self._check_stream_batch(
+            X_new,
+            self.shards[self.machines[0]],
+            empty_error="a new machine needs at least one data point",
+            width_owner="the cluster's shards",
+        )
+
+    def admit(self, X_new, *, validated: bool = False) -> int:
+        """Register a joining machine's shard; returns its fresh machine id.
+
+        The rows are coded by the adapter's *current* nested model — the
+        paper's "preloaded with data" machine computes its codes locally
+        while it waits to pick the submodels up — and get fresh global
+        indices, exactly like an ingested batch. Topology/engine plumbing
+        (ring insertion, model hand-off) is the caller's job.
+        """
+        from repro.distributed.partition import Shard
+
+        if not validated:
+            X_new = self.check_join(X_new)
+        F_new = self.adapter.features(X_new)
+        Z_new = self.adapter.init_codes(F_new)
+        idx = self.allocate_indices(len(X_new))
+        return self.register(Shard(X=X_new, F=F_new, Z=Z_new, indices=idx))
 
     def prepare_ingest(self, p: int, X_new, *, validated: bool = False) -> IngestBatch:
         """Validate and code a batch with the current nested model.
@@ -245,3 +298,104 @@ class DataPlane:
             self.shards_lost += 1
             self.rows_lost += rows
         return rows
+
+    # --------------------------------------------------------- checkpointing
+    def bookkeeping(self) -> dict:
+        """The plane's scalar state (everything except the shard arrays),
+        as plain picklable values — the DataPlane half of a
+        :class:`ClusterState`."""
+        return {
+            "rows_ingested": self.rows_ingested,
+            "shards_lost": self.shards_lost,
+            "rows_lost": self.rows_lost,
+            "retired": set(self.retired),
+            "next_machine_id": self._next_machine_id,
+            "next_global_index": self._next_global_index,
+        }
+
+    def restore_bookkeeping(self, book: dict) -> None:
+        """Adopt counters/ids captured by :meth:`bookkeeping`.
+
+        Called right after construction during a checkpoint restore, so
+        that global index allocation, machine-id allocation and the
+        loss/ingest counters continue exactly where the snapshot left
+        off (a post-restore join must not reuse a retired machine's id).
+        """
+        self.rows_ingested = int(book["rows_ingested"])
+        self.shards_lost = int(book["shards_lost"])
+        self.rows_lost = int(book["rows_lost"])
+        self.retired = set(book["retired"])
+        self._next_machine_id = max(
+            self._next_machine_id, int(book["next_machine_id"])
+        )
+        self._next_global_index = max(
+            self._next_global_index, int(book["next_global_index"])
+        )
+
+
+#: Format tag written into every checkpoint; bumped on layout changes.
+CLUSTER_STATE_VERSION = 1
+
+
+@dataclass
+class ClusterState:
+    """One resumable snapshot of a ParMAC fit, taken between iterations.
+
+    Everything a backend needs to continue a fit bit-identically after a
+    process kill, in one picklable object (→ one file via :meth:`save`):
+    the assembled submodels, every machine's shard (with its evolved Z
+    codes and any ingested rows), the DataPlane bookkeeping, the ring
+    order, and the RNG states of the route stream and every machine's
+    SGD stream. ``iteration`` counts *completed* MAC iterations, so a
+    resuming trainer knows where in the mu schedule to pick up.
+
+    Checkpoints are same-backend artefacts: sim and wall-clock engines
+    key their machine RNG streams differently, so restore on the engine
+    that produced the snapshot (the ``backend`` field records it; with
+    ``shuffle_within=False`` and ``shuffle_ring=False`` the RNG states
+    are inert and snapshots are portable in practice).
+
+    The file format is a pickle — load checkpoints only from paths you
+    trust, like any pickle.
+    """
+
+    backend: str
+    iteration: int
+    ring_order: list
+    params: dict  # sid -> final parameter vector
+    shards: dict  # machine id -> shard object (arrays by value)
+    bookkeeping: dict  # DataPlane.bookkeeping()
+    route_rng_state: dict | None = None
+    machine_rng_states: dict = field(default_factory=dict)
+    join_entropy: object = None
+    pending_ingests: list = field(default_factory=list)
+    adapter: object = None  # optional pickled adapter for standalone restore
+    meta: dict = field(default_factory=dict)
+    version: int = CLUSTER_STATE_VERSION
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.ring_order)
+
+    def save(self, path) -> Path:
+        """Serialise to a single file; returns the path written."""
+        path = Path(path)
+        with open(path, "wb") as fh:
+            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        return path
+
+    @classmethod
+    def load(cls, path) -> "ClusterState":
+        """Read a snapshot written by :meth:`save`."""
+        with open(Path(path), "rb") as fh:
+            state = pickle.load(fh)
+        if not isinstance(state, cls):
+            raise TypeError(
+                f"{path} does not contain a ClusterState (got {type(state).__name__})"
+            )
+        if state.version > CLUSTER_STATE_VERSION:
+            raise ValueError(
+                f"checkpoint version {state.version} is newer than this "
+                f"code understands ({CLUSTER_STATE_VERSION})"
+            )
+        return state

@@ -40,6 +40,8 @@ __all__ = [
     "KIND_BATCH",
     "KIND_INGEST",
     "KIND_SHARD_RETIRED",
+    "KIND_JOIN",
+    "KIND_WELCOME",
     "encode_frame",
     "FrameDecoder",
     "encode_hello",
@@ -50,6 +52,10 @@ __all__ = [
     "decode_ingest",
     "encode_shard_retired",
     "decode_shard_retired",
+    "encode_join",
+    "decode_join",
+    "encode_welcome",
+    "decode_welcome",
 ]
 
 
@@ -63,12 +69,22 @@ FRAME_VERSION = 1
 #: Frame kinds. HELLO identifies the sending rank on a fresh connection;
 #: BATCH carries one coalesced hop's worth of submodel messages. The
 #: control plane adds INGEST (streamed rows for the receiving machine's
-#: shard) and SHARD_RETIRED (a dead machine's shard left the data plane).
+#: shard), SHARD_RETIRED (a dead machine's shard left the data plane),
+#: JOIN (a machine joining the ring mid-fit opens its connections with
+#: this instead of HELLO, announcing itself as new) and WELCOME (a live
+#: donor's reply to a joiner — immediately followed on the same
+#: connection by a BATCH of the current submodels, which is how the
+#: joining machine "picks up the model": framed bytes, no pickle).
 KIND_HELLO = 0
 KIND_BATCH = 1
 KIND_INGEST = 2
 KIND_SHARD_RETIRED = 3
-_KNOWN_KINDS = (KIND_HELLO, KIND_BATCH, KIND_INGEST, KIND_SHARD_RETIRED)
+KIND_JOIN = 4
+KIND_WELCOME = 5
+_KNOWN_KINDS = (
+    KIND_HELLO, KIND_BATCH, KIND_INGEST, KIND_SHARD_RETIRED,
+    KIND_JOIN, KIND_WELCOME,
+)
 
 # magic (2s) | version (B) | kind (B) | payload length (I)
 _FRAME_HEADER = struct.Struct("<2sBBI")
@@ -93,6 +109,13 @@ _ARRAY_HEADER = struct.Struct("<BB")
 
 # Shard-retired payload: machine (I) | rows_lost (q).
 _SHARD_RETIRED = struct.Struct("<Iq")
+
+# Join payload: the joining machine's id (I).
+_JOIN = struct.Struct("<I")
+
+# Welcome payload: donor machine (I) | submodel count the following
+# BATCH frame must carry (I) — lets the joiner validate the hand-off.
+_WELCOME = struct.Struct("<II")
 
 
 # ------------------------------------------------------------------ frames
@@ -348,6 +371,30 @@ def decode_ingest(payload: bytes) -> IngestMessage:
             f"Z={len(Z)}, indices={len(indices)}"
         )
     return IngestMessage(machine=machine, X=X, F=F, Z=Z, indices=indices)
+
+
+def encode_join(rank: int) -> bytes:
+    """The identification frame a *joining* machine opens connections
+    with — HELLO's elastic sibling (section 4.3, streaming form 2)."""
+    return encode_frame(KIND_JOIN, _JOIN.pack(rank))
+
+
+def decode_join(payload: bytes) -> int:
+    if len(payload) != _JOIN.size:
+        raise ProtocolError(f"join payload must be {_JOIN.size} bytes")
+    return _JOIN.unpack(payload)[0]
+
+
+def encode_welcome(donor: int, n_submodels: int) -> bytes:
+    """A donor's reply to a JOIN: the next frame on this connection is a
+    BATCH carrying exactly ``n_submodels`` current submodels."""
+    return encode_frame(KIND_WELCOME, _WELCOME.pack(donor, n_submodels))
+
+
+def decode_welcome(payload: bytes) -> tuple[int, int]:
+    if len(payload) != _WELCOME.size:
+        raise ProtocolError(f"welcome payload must be {_WELCOME.size} bytes")
+    return _WELCOME.unpack(payload)
 
 
 def encode_shard_retired(msg: ShardRetired) -> bytes:

@@ -120,6 +120,25 @@ class SubmodelMessage:
             epochs_left=epochs_left,
         )
 
+    @classmethod
+    def final(cls, spec, theta) -> "SubmodelMessage":
+        """A broadcast-style message carrying *final* parameters.
+
+        What a live donor sends a machine joining the ring mid-fit
+        (section 4.3, streaming form 2): semantically the last broadcast
+        lap replayed for the newcomer — no SGD state, no visits owed,
+        just the assembled submodel. Travels inside the WELCOME hand-off
+        as an ordinary BATCH frame.
+        """
+        return cls(
+            spec=spec,
+            theta=np.array(theta, copy=True),
+            sgd_state=SGDState(),
+            counter=0,
+            epochs_left=0,
+            to_broadcast=set(),
+        )
+
 
 @dataclass(frozen=True)
 class ShardRetired:

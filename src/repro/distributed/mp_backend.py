@@ -11,6 +11,7 @@ API for existing callers; new code should go through
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.distributed.backends.mp import MultiprocessBackend, home_assignment
@@ -70,6 +71,14 @@ class MultiprocessRing:
         seed: int = 0,
         ctx_method: str = "fork",
     ):
+        warnings.warn(
+            "MultiprocessRing is deprecated; construct the engine through "
+            'get_backend("multiprocess") (or ParMACTrainer(backend='
+            '"multiprocess")) instead — same protocol, plus streaming, '
+            "fault policies, elasticity and checkpointing.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.adapter = adapter
         self.shards = list(shards)
         self.n_machines = len(self.shards)

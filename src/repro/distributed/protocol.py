@@ -24,7 +24,13 @@ import numpy as np
 from repro.distributed.topology import RingTopology
 from repro.utils.rng import check_random_state
 
-__all__ = ["WStepProtocol", "RoutePlan", "home_assignment", "expected_receives"]
+__all__ = [
+    "WStepProtocol",
+    "RoutePlan",
+    "home_assignment",
+    "expected_receives",
+    "replan",
+]
 
 
 def home_assignment(n_submodels: int, machines) -> dict[int, int]:
@@ -42,6 +48,24 @@ def home_assignment(n_submodels: int, machines) -> dict[int, int]:
     if P < 1:
         raise ValueError("need at least one machine")
     return {sid: machines[sid * P // n_submodels] for sid in range(n_submodels)}
+
+
+def replan(machines, n_submodels: int, epochs: int, scheme: str):
+    """(protocol, homes) for the given ring order.
+
+    The one re-planning call shared by fit setup, survivor excision after
+    a ``drop_shard`` recovery, and mid-fit machine joins: the counter
+    protocol is sized to the machine count and homes are dealt over the
+    machines *in cycle order* — the same order the simulated engines use,
+    which is what keeps home assignment (and therefore every travelling
+    submodel's visit sequence) bit-identical across backends after any
+    membership change.
+    """
+    machines = list(machines)
+    return (
+        WStepProtocol(len(machines), epochs, scheme),
+        home_assignment(n_submodels, machines),
+    )
 
 
 @dataclass(frozen=True)

@@ -520,6 +520,176 @@ class TestStreamingConformance:
             backend.ingest(0, np.zeros((3, 8)))
 
 
+class TestElasticConformance:
+    """Machine addition is a backend capability: the identical join
+    schedule on every engine — queued via ``Backend.add_machine``,
+    admitted at the iteration boundary with the current submodels handed
+    over (in-process clone, shared-memory ship + replan, or JOIN/WELCOME
+    framed hand-off) — must yield bit-identical final submodels (paper
+    section 4.3, form 2)."""
+
+    @pytest.fixture(scope="class")
+    def joins(self, X):
+        from repro.data.synthetic import make_clustered
+
+        X1 = make_clustered(18, X.shape[1], n_clusters=3, rng=21)
+        X2 = make_clustered(12, X.shape[1], n_clusters=3, rng=22)
+        # One plain append-join early, one mid-ring insertion later.
+        return {1: [X1], 3: [(X2, 1)]}
+
+    @pytest.fixture(scope="class")
+    def run(self, X, joins):
+        cache = {}
+
+        def _run(name):
+            if name not in cache:
+                adapter, shards = ba_setup(X)
+                trainer = ParMACTrainer(
+                    adapter,
+                    GeometricSchedule(1e-3, 2.0, 5),
+                    backend=name,
+                    epochs=2,
+                    shuffle_within=False,
+                    seed=0,
+                )
+                history = trainer.fit(shards, joins=joins)
+                trainer.close()
+                cache[name] = (history, final_params(adapter))
+            return cache[name]
+
+        return _run
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_joined_finals_identical(self, run, name):
+        ref = run(REFERENCE)[1]
+        params = run(name)[1]
+        assert set(params) == set(ref)
+        for sid in ref:
+            assert np.array_equal(params[sid], ref[sid]), (name, sid)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_joins_surfaced_in_stats(self, run, name):
+        history = run(name)[0]
+        added = [r.extra["machines_added"] for r in history.records]
+        machines = [r.extra["n_machines"] for r in history.records]
+        assert added == [0, 1, 0, 1, 0]
+        assert machines == [3, 4, 4, 5, 5]
+        # Admitting a machine costs re-planning time, and it is measured.
+        assert all(
+            r.extra["replan_s"] > 0
+            for r in history.records
+            if r.extra["machines_added"]
+        )
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_join_changes_the_model(self, run, name, X):
+        adapter, shards = ba_setup(X)
+        with ParMACTrainer(
+            adapter, GeometricSchedule(1e-3, 2.0, 5), backend=name,
+            epochs=2, shuffle_within=False, seed=0,
+        ) as trainer:
+            trainer.fit(shards)
+        plain = final_params(adapter)
+        joined = run(name)[1]
+        assert any(
+            not np.array_equal(plain[sid], joined[sid]) for sid in plain
+        )
+
+
+class TestCheckpointRestore:
+    """``checkpoint()`` → kill → ``restore()`` reaches the same final
+    model as the uninterrupted run, on every engine (shuffle_within on,
+    so the snapshot's RNG states are load-bearing)."""
+
+    MUS = [1e-3 * 2.0**i for i in range(5)]
+    CUT = 2
+
+    def backend_for(self, name):
+        return get_backend(name)(epochs=2, shuffle_within=True, seed=0)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_restore_matches_uninterrupted_run(self, name, X, tmp_path):
+        adapter, shards = ba_setup(X)
+        with self.backend_for(name) as backend:
+            backend.setup(adapter, shards)
+            for mu in self.MUS:
+                backend.run_iteration(mu)
+            ref = final_params(adapter)
+
+        adapter2, shards2 = ba_setup(X)
+        path = tmp_path / "fit.ckpt"
+        with self.backend_for(name) as backend:
+            backend.setup(adapter2, shards2)
+            for mu in self.MUS[: self.CUT]:
+                backend.run_iteration(mu)
+            state = backend.checkpoint()
+            assert state.iteration == self.CUT
+            assert state.backend == name
+            state.save(path)
+        # The pool/cluster is gone (close); a brand-new backend resumes
+        # from the file alone (the snapshot carries the adapter).
+        with self.backend_for(name) as backend:
+            restored = type(state).load(path)
+            backend.restore(restored)
+            for mu in self.MUS[self.CUT :]:
+                backend.run_iteration(mu)
+            got = final_params(backend.adapter)
+        assert set(got) == set(ref)
+        for sid in ref:
+            assert np.array_equal(got[sid], ref[sid]), (name, sid)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_trainer_resume_from_checkpoint_file(self, name, X, tmp_path):
+        schedule = GeometricSchedule(1e-3, 2.0, 5)
+        adapter, shards = ba_setup(X)
+        with ParMACTrainer(
+            adapter, schedule, backend=name, epochs=2, seed=0
+        ) as trainer:
+            full = trainer.fit(shards)
+        ref = final_params(adapter)
+
+        path = tmp_path / "trainer.ckpt"
+        adapter2, shards2 = ba_setup(X)
+        with ParMACTrainer(
+            adapter2, GeometricSchedule(1e-3, 2.0, 2), backend=name,
+            epochs=2, seed=0,
+        ) as trainer:
+            trainer.fit(shards2, checkpoint_path=path)
+        # A fresh trainer — fresh model object, fresh backend — resumes
+        # from the file; its adapter receives the snapshot parameters.
+        adapter3, _ = ba_setup(X)
+        with ParMACTrainer(
+            adapter3, schedule, backend=name, epochs=2, seed=0
+        ) as trainer:
+            resumed = trainer.fit(resume=path)
+        assert [r.iteration for r in resumed.records] == [2, 3, 4]
+        assert resumed.records[-1].e_ba == full.records[-1].e_ba
+        got = final_params(adapter3)
+        for sid in ref:
+            assert np.array_equal(got[sid], ref[sid]), (name, sid)
+
+    def test_restore_preserves_streaming_counters(self, X):
+        # Ingest before the cut; the restored plane must keep counting
+        # from the snapshot (global indices, rows_ingested) — not reset.
+        backend = get_backend("sync")(epochs=1, shuffle_within=False, seed=0)
+        adapter, shards = ba_setup(X)
+        backend.setup(adapter, shards)
+        backend.run_iteration(1e-3)
+        backend.ingest(0, X[:9])
+        backend.run_iteration(2e-3)
+        state = backend.checkpoint()
+        assert state.bookkeeping["rows_ingested"] == 9
+        backend.close()
+
+        fresh = get_backend("sync")(epochs=1, shuffle_within=False, seed=0)
+        fresh.restore(state)
+        fresh.ingest(1, X[9:14])
+        stats = fresh.run_iteration(4e-3)
+        assert stats.rows_ingested == 5
+        assert fresh.dataplane.rows_ingested == 14
+        fresh.close()
+
+
 class TestFaultPolicySim:
     """Fault policies on the simulated engine: fail_fast raises exactly
     like a wall-clock pool teardown; drop_shard retires the shard,

@@ -1,0 +1,428 @@
+"""Elasticity & checkpointing: join correctness and resumable state.
+
+Regression coverage for the three historical ``add_machine`` bugs —
+unvalidated shards joining silently, joins perturbing the route RNG
+(breaking bit-parity for the rest of the fit), and the donor model being
+cloned from a possibly-stale store — plus property tests for the
+:class:`~repro.distributed.dataplane.ClusterState` snapshot format and
+the multiprocess pool's join-slot growth path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autoencoder import BinaryAutoencoder
+from repro.autoencoder.adapter import BAAdapter
+from repro.autoencoder.init import init_codes_pca
+from repro.core.penalty import GeometricSchedule
+from repro.core.trainer import ParMACTrainer
+from repro.distributed.backends import get_backend
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.dataplane import ClusterState, DataPlane
+from repro.distributed.partition import (
+    Shard,
+    TimingShard,
+    make_shards,
+    partition_indices,
+)
+
+
+@pytest.fixture(scope="module")
+def X():
+    from repro.data.synthetic import make_clustered
+
+    return make_clustered(120, 8, n_clusters=3, rng=4)
+
+
+def ba_setup(X, P=3, n_bits=4, seed=0):
+    ba = BinaryAutoencoder.linear(X.shape[1], n_bits)
+    adapter = BAAdapter(ba)
+    Z, _ = init_codes_pca(X, n_bits, rng=seed)
+    parts = partition_indices(len(X), P, rng=seed)
+    return adapter, make_shards(X, adapter.features(X), Z, parts)
+
+
+def make_cluster(X, P=3, seed=0, **kwargs):
+    adapter, shards = ba_setup(X, P=P, seed=seed)
+    return SimulatedCluster(adapter, shards, seed=seed, **kwargs)
+
+
+def final_params(adapter):
+    return {s.sid: adapter.get_params(s).copy() for s in adapter.submodel_specs()}
+
+
+class TestAddMachineValidation:
+    """Bugfix 1: joins go through DataPlane validation — the same clear
+    errors ``ingest`` raises — instead of a bare len() check plus a
+    silent float64 force-cast."""
+
+    def test_wrong_width_rejected(self, X):
+        cluster = make_cluster(X)
+        with pytest.raises(ValueError, match="columns"):
+            cluster.add_machine(np.zeros((5, X.shape[1] + 1)))
+
+    def test_empty_rejected(self, X):
+        cluster = make_cluster(X)
+        with pytest.raises(ValueError, match="data point"):
+            cluster.add_machine(np.zeros((0, X.shape[1])))
+
+    def test_one_dimensional_rejected(self, X):
+        cluster = make_cluster(X)
+        with pytest.raises(ValueError, match="2-d"):
+            cluster.add_machine(np.zeros(X.shape[1]))
+
+    def test_non_streamable_shards_rejected(self):
+        ba = BinaryAutoencoder.linear(8, 4)
+        cluster = SimulatedCluster(
+            BAAdapter(ba), [TimingShard(50) for _ in range(3)],
+            execute_updates=False, seed=0,
+        )
+        with pytest.raises(TypeError, match="streaming"):
+            cluster.add_machine(np.zeros((5, 8)))
+
+    def test_failed_join_registers_nothing(self, X):
+        cluster = make_cluster(X)
+        machines_before = list(cluster.machines)
+        next_id_before = cluster.dataplane._next_machine_id
+        with pytest.raises(ValueError):
+            cluster.add_machine(np.zeros((5, X.shape[1] + 3)))
+        assert cluster.machines == machines_before
+        assert cluster.dataplane._next_machine_id == next_id_before
+
+    def test_backend_add_machine_validates_eagerly(self, X):
+        backend = get_backend("sync")(seed=0)
+        adapter, shards = ba_setup(X)
+        backend.setup(adapter, shards)
+        with pytest.raises(ValueError, match="columns"):
+            backend.add_machine(np.zeros((5, X.shape[1] + 1)))
+        with pytest.raises(KeyError):
+            backend.add_machine(np.zeros((5, X.shape[1])), after=99)
+
+    def test_backend_add_machine_requires_setup(self):
+        backend = get_backend("sync")()
+        with pytest.raises(RuntimeError, match="setup"):
+            backend.add_machine(np.zeros((5, 8)))
+
+
+class TestJoinRouteRNGIndependence:
+    """Bugfix 2: a join must not advance the route RNG — the remaining
+    shuffle_ring schedule has to be identical with and without it."""
+
+    def test_route_rng_state_untouched_by_join(self, X):
+        cluster = make_cluster(X, shuffle_ring=True)
+        cluster.iteration(1e-3)
+        state_before = cluster._route_rng.bit_generator.state
+        cluster.add_machine(X[:10])
+        assert cluster._route_rng.bit_generator.state == state_before
+
+    def test_schedule_agrees_up_to_the_join(self, X):
+        # Two identical shuffle_ring fits; one admits a machine after
+        # iteration 1. Iterations 0 and 1 — everything up to the join
+        # point — must be bit-identical, route draws included.
+        def run(join):
+            adapter, shards = ba_setup(X)
+            backend = get_backend("sync")(
+                epochs=2, shuffle_within=False, shuffle_ring=True, seed=0
+            )
+            backend.setup(adapter, shards)
+            stats = [backend.run_iteration(1e-3)]
+            if join:
+                backend.add_machine(X[:10])
+            stats.append(backend.run_iteration(2e-3))
+            return stats, backend
+
+        (plain, b1), (joined, b2) = run(False), run(True)
+        assert plain[0].e_ba == joined[0].e_ba
+        # The join drains at iteration 1's boundary; the ring draws for
+        # iteration 1 come from the same route stream position either
+        # way, which the paired sim times expose deterministically.
+        assert joined[1].machines_added == 1
+        assert joined[1].n_machines == plain[1].n_machines + 1
+
+    def test_join_streams_are_distinct_and_id_keyed(self, X):
+        cluster = make_cluster(X)
+        p1 = cluster.add_machine(X[:10])
+        p2 = cluster.add_machine(X[10:20])
+        a = cluster._machine_rngs[p1].integers(0, 2**63, size=4)
+        b = cluster._machine_rngs[p2].integers(0, 2**63, size=4)
+        assert not np.array_equal(a, b)
+        # Same seed, same machine id → same stream, regardless of what
+        # else happened in between (keyed derivation, not a counter).
+        other = make_cluster(X)
+        other.iteration(1e-3)
+        q1 = other.add_machine(X[:10])
+        assert q1 == p1
+        assert np.array_equal(
+            other._machine_rngs[q1].integers(0, 2**63, size=4), a
+        )
+
+
+class TestJoinDonorLiveness:
+    """Bugfix 3: the donor model is assembled from verified-live
+    survivor stores, taking the freshest copy of each submodel — never a
+    stale (or deleted) store."""
+
+    def test_clone_prefers_freshest_live_copies(self, X):
+        cluster = make_cluster(X)
+        cluster.iteration(1e-3)
+        first = cluster.machines[0]
+        sid = cluster.adapter.submodel_specs()[0].sid
+        # Make the first machine's copy of one submodel stale: older
+        # counter, perturbed parameters.
+        stale = cluster._stores[first][sid]
+        stale.counter -= 1
+        stale.theta = stale.theta + 123.0
+        p = cluster.add_machine(X[:10])
+        fresh = cluster._stores[cluster.machines[1]][sid]
+        assert np.array_equal(cluster._stores[p][sid].theta, fresh.theta)
+        assert not np.array_equal(cluster._stores[p][sid].theta, stale.theta)
+
+    def test_clone_skips_retired_stores(self, X):
+        cluster = make_cluster(X, P=4)
+        cluster.iteration(1e-3)
+        dead = cluster.machines[0]
+        cluster.remove_machine(dead)
+        p = cluster.add_machine(X[:10])
+        survivor = cluster._stores[cluster.machines[0]]
+        for sid, msg in cluster._stores[p].items():
+            assert np.array_equal(msg.theta, survivor[sid].theta)
+
+    def test_joined_machine_holds_current_model(self, X):
+        cluster = make_cluster(X)
+        cluster.iteration(1e-3)
+        p = cluster.add_machine(X[:10])
+        specs = cluster.adapter.submodel_specs()
+        for spec in specs:
+            assert np.array_equal(
+                cluster._stores[p][spec.sid].theta,
+                cluster.adapter.get_params(spec),
+            )
+        cluster.iteration(2e-3)
+        assert cluster.model_copies_consistent()
+
+
+# --------------------------------------------------------- ClusterState
+arrays = st.builds(
+    lambda shape, fill: np.full(shape, fill, dtype=np.float64),
+    shape=st.tuples(st.integers(1, 5), st.integers(1, 4)),
+    fill=st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+def _states():
+    def build(machines, params, counters, iteration, order_seed):
+        rng = np.random.default_rng(order_seed)
+        ring = list(rng.permutation(machines))
+        shards = {
+            int(p): Shard(
+                X=np.full((2, 3), p, dtype=np.float64),
+                F=np.full((2, 3), p + 0.5),
+                Z=np.sign(np.full((2, 2), p - 0.5)),
+                indices=np.arange(2) + 2 * p,
+            )
+            for p in machines
+        }
+        return ClusterState(
+            backend="sync",
+            iteration=iteration,
+            ring_order=[int(p) for p in ring],
+            params={i: a for i, a in enumerate(params)},
+            shards=shards,
+            bookkeeping={
+                "rows_ingested": counters[0],
+                "shards_lost": counters[1],
+                "rows_lost": counters[2],
+                "retired": set(),
+                "next_machine_id": max(machines) + 1,
+                "next_global_index": 2 * len(machines),
+            },
+            machine_rng_states={
+                int(p): np.random.default_rng(p).bit_generator.state
+                for p in machines
+            },
+            pending_ingests=[(int(machines[0]), np.zeros((1, 3)))],
+        )
+
+    return st.builds(
+        build,
+        machines=st.lists(
+            st.integers(0, 40), min_size=1, max_size=5, unique=True
+        ),
+        params=st.lists(arrays, min_size=1, max_size=4),
+        counters=st.tuples(
+            st.integers(0, 10**6), st.integers(0, 50), st.integers(0, 10**6)
+        ),
+        iteration=st.integers(0, 1000),
+        order_seed=st.integers(0, 2**31 - 1),
+    )
+
+
+def assert_states_equal(a: ClusterState, b: ClusterState) -> None:
+    assert a.backend == b.backend
+    assert a.iteration == b.iteration
+    assert a.ring_order == b.ring_order
+    assert set(a.params) == set(b.params)
+    for sid in a.params:
+        assert np.array_equal(a.params[sid], b.params[sid])
+    assert set(a.shards) == set(b.shards)
+    for p in a.shards:
+        for field in ("X", "F", "Z", "indices"):
+            assert np.array_equal(
+                getattr(a.shards[p], field), getattr(b.shards[p], field)
+            )
+    assert a.bookkeeping == b.bookkeeping
+    assert a.machine_rng_states == b.machine_rng_states
+    assert len(a.pending_ingests) == len(b.pending_ingests)
+    for (pa, Xa), (pb, Xb) in zip(a.pending_ingests, b.pending_ingests):
+        assert pa == pb and np.array_equal(Xa, Xb)
+
+
+class TestClusterStateSerialization:
+    @settings(max_examples=25, deadline=None)
+    @given(state=_states())
+    def test_save_load_roundtrip(self, state, tmp_path_factory):
+        path = tmp_path_factory.mktemp("ckpt") / "state.ckpt"
+        state.save(path)
+        assert_states_equal(state, ClusterState.load(path))
+
+    def test_load_rejects_non_state_pickle(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "bogus.ckpt"
+        path.write_bytes(pickle.dumps({"not": "a state"}))
+        with pytest.raises(TypeError, match="ClusterState"):
+            ClusterState.load(path)
+
+    def test_load_rejects_newer_version(self, tmp_path):
+        state = ClusterState(
+            backend="sync", iteration=0, ring_order=[0], params={},
+            shards={}, bookkeeping={}, version=999,
+        )
+        path = tmp_path / "future.ckpt"
+        state.save(path)
+        with pytest.raises(ValueError, match="version"):
+            ClusterState.load(path)
+
+    def test_bookkeeping_roundtrip_through_dataplane(self, X):
+        adapter, shards = ba_setup(X)
+        plane = DataPlane(adapter, shards)
+        plane.apply(plane.prepare_ingest(0, X[:7]))
+        plane.retire(2, lost=True)
+        book = plane.bookkeeping()
+        plane2 = DataPlane(adapter, {p: s for p, s in plane.shards.items()})
+        plane2.restore_bookkeeping(book)
+        assert plane2.rows_ingested == plane.rows_ingested
+        assert plane2.shards_lost == 1
+        assert plane2.retired == {2}
+        assert plane2._next_global_index == plane._next_global_index
+        assert plane2._next_machine_id == plane._next_machine_id
+
+
+class TestCheckpointGuards:
+    def test_checkpoint_requires_setup(self):
+        backend = get_backend("sync")()
+        with pytest.raises(RuntimeError, match="setup"):
+            backend.checkpoint()
+
+    def test_checkpoint_rejects_pending_joins(self, X):
+        adapter, shards = ba_setup(X)
+        backend = get_backend("sync")(seed=0)
+        backend.setup(adapter, shards)
+        backend.run_iteration(1e-3)
+        backend.add_machine(X[:10])
+        with pytest.raises(RuntimeError, match="join"):
+            backend.checkpoint()
+        backend.run_iteration(2e-3)  # join drains; snapshot is legal again
+        assert backend.checkpoint().n_machines == 4
+
+    def test_restore_requires_an_adapter(self, X):
+        adapter, shards = ba_setup(X)
+        backend = get_backend("sync")(seed=0)
+        backend.setup(adapter, shards)
+        backend.run_iteration(1e-3)
+        state = backend.checkpoint()
+        state.adapter = None
+        with pytest.raises(ValueError, match="adapter"):
+            get_backend("sync")(seed=0).restore(state)
+
+    def test_restore_rejects_mismatched_configuration(self, X):
+        # Resuming under a different protocol cannot be bit-identical;
+        # the snapshot records its configuration and restore refuses a
+        # mismatch instead of silently diverging.
+        adapter, shards = ba_setup(X)
+        backend = get_backend("sync")(seed=0, epochs=2)
+        backend.setup(adapter, shards)
+        backend.run_iteration(1e-3)
+        state = backend.checkpoint()
+        backend.close()
+        with pytest.raises(ValueError, match="epochs"):
+            get_backend("sync")(seed=0, epochs=1).restore(state)
+        with pytest.raises(ValueError, match="scheme"):
+            get_backend("sync")(seed=0, epochs=2, scheme="tworound").restore(state)
+
+    def test_cross_engine_restore_warns(self, X):
+        adapter, shards = ba_setup(X)
+        backend = get_backend("sync")(seed=0, shuffle_within=False)
+        backend.setup(adapter, shards)
+        backend.run_iteration(1e-3)
+        state = backend.checkpoint()
+        backend.close()
+        fresh = get_backend("async")(seed=0, shuffle_within=False)
+        with pytest.warns(RuntimeWarning, match="'sync' checkpoint"):
+            fresh.restore(state)
+        assert np.isfinite(fresh.run_iteration(2e-3).e_q)
+        fresh.close()
+
+    def test_tcp_exhausted_ports_reject_join_eagerly(self, X):
+        # An explicit ports list with no slot for the joiner must fail
+        # at the add_machine call site, leaving the fit healthy.
+        import socket
+
+        socks = [socket.socket() for _ in range(3)]
+        try:
+            for s in socks:
+                s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                s.bind(("127.0.0.1", 0))
+            ports = [s.getsockname()[1] for s in socks]
+        finally:
+            for s in socks:
+                s.close()
+        adapter, shards = ba_setup(X)
+        backend = get_backend("tcp")(seed=0, ports=ports)
+        try:
+            backend.setup(adapter, shards)
+            backend.run_iteration(1e-3)
+            with pytest.raises(ValueError, match="ports"):
+                backend.add_machine(X[:10])
+            # Nothing half-joined: the fit keeps running on 3 machines.
+            stats = backend.run_iteration(2e-3)
+            assert stats.n_machines == 3 and stats.machines_added == 0
+        finally:
+            backend.close()
+
+
+class TestMultiprocessJoinSlots:
+    def test_exhausted_slots_grow_the_pool_bit_identically(self, X):
+        # join_slots=0 forces the transparent pool rebuild on the first
+        # join; the fit must still match the simulated reference bit for
+        # bit.
+        schedule = GeometricSchedule(1e-3, 2.0, 4)
+        joins = {2: [X[:15]]}
+        finals = {}
+        for name, options in [
+            ("sync", {}),
+            ("multiprocess", {"join_slots": 0}),
+        ]:
+            adapter, shards = ba_setup(X)
+            trainer = ParMACTrainer(
+                adapter, schedule, backend=name, epochs=2,
+                shuffle_within=False, seed=0, backend_options=options,
+            )
+            history = trainer.fit(shards, joins=joins)
+            trainer.close()
+            finals[name] = final_params(adapter)
+            assert [r.extra["machines_added"] for r in history.records] == [0, 0, 1, 0]
+        for sid in finals["sync"]:
+            assert np.array_equal(finals["sync"][sid], finals["multiprocess"][sid])

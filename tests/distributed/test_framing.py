@@ -17,18 +17,24 @@ from repro.distributed.framing import (
     KIND_BATCH,
     KIND_HELLO,
     KIND_INGEST,
+    KIND_JOIN,
     KIND_SHARD_RETIRED,
+    KIND_WELCOME,
     FrameDecoder,
     ProtocolError,
     decode_batch,
     decode_hello,
     decode_ingest,
+    decode_join,
     decode_shard_retired,
+    decode_welcome,
     encode_batch,
     encode_frame,
     encode_hello,
     encode_ingest,
+    encode_join,
     encode_shard_retired,
+    encode_welcome,
 )
 from repro.distributed.interfaces import SubmodelSpec
 from repro.distributed.messages import IngestMessage, ShardRetired, SubmodelMessage
@@ -282,3 +288,48 @@ class TestControlFrames:
         struct.pack_into("<q", corrupt, 4 + 2 + 3, 1 << 62)
         with pytest.raises(ProtocolError, match="cap"):
             decode_ingest(bytes(corrupt))
+
+
+class TestJoinWelcomeFrames:
+    """The elastic handshake frames (section 4.3, streaming form 2)."""
+
+    @given(rank=st.integers(0, 2**32 - 1))
+    def test_join_roundtrip(self, rank):
+        kind, payload = unwrap(encode_join(rank))
+        assert kind == KIND_JOIN
+        assert decode_join(payload) == rank
+
+    @given(donor=st.integers(0, 2**32 - 1), n=st.integers(0, 2**32 - 1))
+    def test_welcome_roundtrip(self, donor, n):
+        kind, payload = unwrap(encode_welcome(donor, n))
+        assert kind == KIND_WELCOME
+        assert decode_welcome(payload) == (donor, n)
+
+    def test_join_bad_length_raises(self):
+        with pytest.raises(ProtocolError, match="bytes"):
+            decode_join(b"\x00\x01\x02")
+
+    def test_welcome_bad_length_raises(self):
+        with pytest.raises(ProtocolError, match="bytes"):
+            decode_welcome(b"\x00\x01\x02\x04")
+
+    def test_welcome_model_handoff_is_framed(self):
+        # The donor's hand-off: WELCOME then a BATCH of final submodels —
+        # two ordinary frames any FrameDecoder can split, no pickle.
+        specs = [SubmodelSpec(sid, "w") for sid in range(3)]
+        finals = [
+            SubmodelMessage.final(s, np.arange(4, dtype=np.float64) + s.sid)
+            for s in specs
+        ]
+        blob = encode_welcome(7, len(finals)) + encode_batch(finals)
+        decoder = FrameDecoder()
+        frames = decoder.feed(blob)
+        assert [k for k, _ in frames] == [KIND_WELCOME, KIND_BATCH]
+        assert decoder.pending == 0
+        donor, n = decode_welcome(frames[0][1])
+        assert (donor, n) == (7, 3)
+        got = decode_batch(frames[1][1], {s.sid: s for s in specs})
+        assert len(got) == 3
+        for orig, back in zip(finals, got):
+            assert back.spec.sid == orig.spec.sid
+            assert np.array_equal(back.theta, orig.theta)

@@ -88,3 +88,8 @@ class TestMultiprocessRing:
     def test_rejects_empty_shards(self):
         with pytest.raises(ValueError):
             MultiprocessRing(None, [])
+
+    def test_legacy_wrapper_is_deprecated(self, workload):
+        with pytest.warns(DeprecationWarning, match="multiprocess"):
+            ring, _ = build_ring(workload)
+        ring._backend.close()

@@ -352,3 +352,90 @@ class TestDropShard:
         assert [r.extra["n_machines"] for r in history.records] == [3, 2, 2, 2]
         for spec in adapter.submodel_specs():
             assert np.all(np.isfinite(adapter.get_params(spec)))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", WALLCLOCK_BACKENDS)
+class TestCheckpointSurvivesKill:
+    def test_checkpoint_sigkill_restore_reaches_same_model(self, X, name, tmp_path):
+        """The restartability contract: snapshot between iterations,
+        SIGKILL every worker process (the checkpointed fit dies for
+        real), restore into a brand-new backend, and finish — the final
+        submodels must match the uninterrupted run bit for bit."""
+        mus = [1e-3 * 2.0**i for i in range(5)]
+        cut = 2
+
+        def fresh_backend():
+            from repro.distributed.backends import get_backend
+
+            return get_backend(name)(epochs=2, shuffle_within=True, seed=0)
+
+        adapter, shards = ba_setup(X)
+        with fresh_backend() as backend:
+            backend.setup(adapter, shards)
+            for mu in mus:
+                backend.run_iteration(mu)
+        ref = {
+            s.sid: adapter.get_params(s).copy()
+            for s in adapter.submodel_specs()
+        }
+
+        path = tmp_path / "killed.ckpt"
+        adapter2, shards2 = ba_setup(X)
+        backend = fresh_backend()
+        backend.setup(adapter2, shards2)
+        for mu in mus[:cut]:
+            backend.run_iteration(mu)
+        backend.checkpoint().save(path)
+        pids = list(backend.worker_pids)
+        assert pids
+        for pid in pids:
+            os.kill(pid, signal.SIGKILL)
+        deadline = time.monotonic() + FAULT_DETECTION_TIMEOUT_S
+        while backend.worker_pids and time.monotonic() < deadline:
+            time.sleep(0.05)
+        backend.close(force=True)
+
+        from repro.distributed.dataplane import ClusterState
+
+        with fresh_backend() as backend:
+            backend.restore(ClusterState.load(path))
+            for mu in mus[cut:]:
+                backend.run_iteration(mu)
+            got = {
+                s.sid: backend.adapter.get_params(s).copy()
+                for s in backend.adapter.submodel_specs()
+            }
+        assert set(got) == set(ref)
+        for sid in ref:
+            assert np.array_equal(got[sid], ref[sid]), (name, sid)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", WALLCLOCK_BACKENDS)
+class TestIdleKillRecovery:
+    def test_drop_shard_survives_kill_between_iterations(self, X, name):
+        """A worker SIGKILLed while *idle* (between iterations) must not
+        wedge the next iteration's recovery. Historically this could
+        strand every survivor's response: the shared result queue's
+        cross-process write lock died with the worker if the kill landed
+        inside the feeder's send window; per-worker response channels
+        have no shared lock to leak."""
+        adapter, shards = ba_setup(X, P=4)
+        backend = get_backend(name)(
+            seed=0, fault_policy="drop_shard",
+            worker_timeout=FAULT_DETECTION_TIMEOUT_S * 3,
+        )
+        try:
+            backend.setup(adapter, shards)
+            backend.run_iteration(1e-3)
+            os.kill(backend.worker_pids[-1], signal.SIGKILL)
+            t0 = time.monotonic()
+            stats = backend.run_iteration(2e-3)
+            assert time.monotonic() - t0 < FAULT_DETECTION_TIMEOUT_S * 3
+            assert stats.shards_lost == 1
+            assert stats.n_machines == 3
+            stats = backend.run_iteration(4e-3)
+            assert np.isfinite(stats.e_q) and stats.shards_lost == 0
+        finally:
+            backend.close()
