@@ -133,6 +133,32 @@ def test_join_and_checkpoint_cost(benchmark, report):
     report("checkpoint gathers worker shards + RNG streams + the model; "
            "restore respawns the pool and re-ships everything.")
 
+    from conftest import write_bench_json
+
+    write_bench_json("elastic", {
+        "joins": {
+            name: {
+                "healthy_iter_s": healthy,
+                "join_iter_s": join_iter,
+                "post_join_iter_s": post,
+                "replan_s": replan,
+            }
+            for name, (healthy, join_iter, post, replan) in joins.items()
+        },
+        "checkpoint": {
+            name: [
+                {
+                    "rows_per_machine": rows_pm,
+                    "checkpoint_s": ckpt_s,
+                    "state_mb": mb,
+                    "restore_s": restore_s,
+                }
+                for rows_pm, ckpt_s, mb, restore_s in series
+            ]
+            for name, series in ckpts.items()
+        },
+    })
+
     for name, (healthy, join_iter, _, replan) in joins.items():
         assert np.isfinite(join_iter) and join_iter > 0 and replan >= 0
     for series in ckpts.values():

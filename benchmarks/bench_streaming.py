@@ -112,5 +112,21 @@ def test_streaming_and_fault_cost(benchmark, report):
     report("ingest rows/s counts queue -> code -> ship -> train-boundary;")
     report("fault-iter includes death detection, survivor abort and re-plan.")
 
+    from conftest import write_bench_json
+
+    write_bench_json("streaming", {
+        "config": {"N": N, "D": D, "L": L, "P": P, "ingest_rows": INGEST_ROWS},
+        "backends": {
+            name: {
+                "ingest_rows_per_s": rows_s,
+                "ship_s": ship_s,
+                "healthy_iter_s": healthy,
+                "fault_iter_s": faulted,
+                "post_fault_iter_s": post,
+            }
+            for name, (rows_s, ship_s, healthy, faulted, post) in results.items()
+        },
+    })
+
     for name, (rows_s, _, healthy, faulted, _) in results.items():
         assert rows_s > 0 and np.isfinite(faulted) and faulted >= 0

@@ -1,0 +1,174 @@
+"""Batched co-resident-unit W step: wall-clock speedup and precision cost.
+
+The ROADMAP "hot paths" items, measured:
+
+* **Batched vs per-unit W step.** A deep net's submodels are single
+  hidden units, so the legacy W step runs one Python-level SGD loop per
+  unit per machine visit — for a 256-unit layer that is 256 interpreted
+  loops over the same shard rows per visit. With ``batch_units`` the
+  co-resident units of a layer collapse into one stacked GEMM per
+  minibatch (see ``repro.distributed.batching``); this bench reports the
+  W-step wall-clock ratio at ``shuffle_within=False``, where batching
+  engages. Acceptance floor for this repo: >= 3x on the 256-unit layer.
+
+* **float32 vs float64 end to end.** ``DeepNet.create(..., dtype=...)``
+  now threads the compute precision through shards, engines and wire, so
+  the section-9 claim ("reduced-precision values ... with little effect
+  on the accuracy") is measurable: per-iteration wall time and the final
+  E_Q gap between the two precisions.
+
+Writes ``BENCH_wstep.json`` via the shared helper in conftest.py.
+
+Run standalone (the nightly lane does)::
+
+    PYTHONPATH=src python benchmarks/bench_wstep_batched.py --smoke
+
+or through pytest: ``pytest benchmarks/bench_wstep_batched.py``.
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from conftest import write_bench_json  # noqa: E402  (shared bench helper)
+
+from repro.core.penalty import GeometricSchedule  # noqa: E402
+from repro.core.trainer import ParMACTrainer  # noqa: E402
+from repro.nets.adapter import NetAdapter, make_net_shards  # noqa: E402
+from repro.nets.deepnet import DeepNet  # noqa: E402
+from repro.nets.mac_net import MACTrainerNet  # noqa: E402
+from repro.optim.schedules import InverseSchedule  # noqa: E402
+from repro.distributed.partition import partition_indices  # noqa: E402
+
+FULL = {"n": 4000, "d_in": 32, "units": 256, "d_out": 16, "P": 2, "iters": 2}
+SMOKE = {"n": 600, "d_in": 16, "units": 256, "d_out": 8, "P": 2, "iters": 1}
+
+
+def net_problem(cfg, dtype=np.float64, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(cfg["n"], cfg["d_in"]))
+    Y = np.tanh(X @ rng.normal(size=(cfg["d_in"], cfg["d_out"])))
+    net = DeepNet.create(
+        [cfg["d_in"], cfg["units"], cfg["d_out"]], rng=1, dtype=dtype
+    )
+    # A 256-unit output fan-in needs a gentler step size than the front
+    # end's default, or SGD diverges and the precision gap is meaningless.
+    adapter = NetAdapter(
+        net, z_steps=3, w_schedule=InverseSchedule(eta0=0.02, t0=100.0)
+    )
+    Zs = MACTrainerNet(net, seed=seed).init_coords(X)
+    parts = partition_indices(cfg["n"], cfg["P"], rng=seed)
+    return adapter, make_net_shards(X, Y, Zs, parts)
+
+
+def run_fit(cfg, *, batch_units, dtype=np.float64):
+    """One short fit; returns (mean W-step seconds, mean iter seconds,
+    final E_Q)."""
+    adapter, shards = net_problem(cfg, dtype)
+    trainer = ParMACTrainer(
+        adapter,
+        GeometricSchedule(0.5, 2.0, cfg["iters"]),
+        backend="sync",
+        epochs=1,
+        batch_size=100,
+        shuffle_within=False,
+        seed=0,
+        backend_options={"batch_units": batch_units},
+    )
+    t0 = time.perf_counter()
+    history = trainer.fit(shards)
+    elapsed = time.perf_counter() - t0
+    trainer.close()
+    w_times = [r.extra["w_time"] for r in history.records]
+    return {
+        "w_step_s": float(np.mean(w_times)),
+        "iteration_s": elapsed / len(history),
+        "e_q": float(history.records[-1].e_q),
+        "batched_w": bool(history.records[-1].extra["batched_w"]),
+    }
+
+
+def measure(cfg) -> dict:
+    legacy = run_fit(cfg, batch_units=False)
+    batched = run_fit(cfg, batch_units=True)
+    assert batched["batched_w"] and not legacy["batched_w"]
+    f64 = run_fit(cfg, batch_units=True, dtype=np.float64)
+    f32 = run_fit(cfg, batch_units=True, dtype=np.float32)
+    return {
+        "config": dict(cfg),
+        "wstep": {
+            "legacy_s": legacy["w_step_s"],
+            "batched_s": batched["w_step_s"],
+            "speedup": legacy["w_step_s"] / batched["w_step_s"],
+            "e_q_rel_gap": abs(batched["e_q"] - legacy["e_q"])
+            / abs(legacy["e_q"]),
+        },
+        "precision": {
+            "float64": {"iteration_s": f64["iteration_s"], "e_q": f64["e_q"]},
+            "float32": {"iteration_s": f32["iteration_s"], "e_q": f32["e_q"]},
+            "iteration_speedup": f64["iteration_s"] / f32["iteration_s"],
+            "e_q_rel_gap": abs(f32["e_q"] - f64["e_q"]) / abs(f64["e_q"]),
+        },
+    }
+
+
+def report_lines(results) -> list:
+    w, prec = results["wstep"], results["precision"]
+    cfg = results["config"]
+    return [
+        "=" * 72,
+        f"Batched W step ({cfg['units']}-unit layer, N={cfg['n']}, "
+        f"P={cfg['P']}, shuffle_within=False, sync engine)",
+        f"  per-unit W step : {w['legacy_s'] * 1e3:8.1f} ms",
+        f"  batched  W step : {w['batched_s'] * 1e3:8.1f} ms",
+        f"  speedup         : {w['speedup']:8.2f}x   "
+        f"(E_Q rel gap {w['e_q_rel_gap']:.2e})",
+        f"float32 vs float64 (batched, end to end)",
+        f"  iter f64 / f32  : {prec['float64']['iteration_s'] * 1e3:.1f} / "
+        f"{prec['float32']['iteration_s'] * 1e3:.1f} ms "
+        f"({prec['iteration_speedup']:.2f}x)",
+        f"  E_Q f64 / f32   : {prec['float64']['e_q']:.4f} / "
+        f"{prec['float32']['e_q']:.4f} (rel gap {prec['e_q_rel_gap']:.2e})",
+    ]
+
+
+def test_wstep_batched_speedup(benchmark, report):
+    """Pytest entry: smoke-size run with the >= 3x acceptance assertion."""
+    results = benchmark.pedantic(lambda: measure(SMOKE), rounds=1, iterations=1)
+    report()
+    for line in report_lines(results):
+        report(line)
+    write_bench_json("wstep", results)
+    assert results["wstep"]["speedup"] >= 3.0
+    assert results["wstep"]["e_q_rel_gap"] < 1e-6
+    assert results["precision"]["e_q_rel_gap"] < 1e-3
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small problem sizes (nightly CI lane)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="directory for BENCH_wstep.json (default: benchmarks/)",
+    )
+    args = parser.parse_args(argv)
+    results = measure(SMOKE if args.smoke else FULL)
+    for line in report_lines(results):
+        print(line)
+    path = write_bench_json("wstep", results, directory=args.out)
+    print(f"wrote {path}")
+    if results["wstep"]["speedup"] < 3.0:
+        print("FAIL: batched W step below the 3x acceptance floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

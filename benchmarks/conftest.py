@@ -2,11 +2,37 @@
 
 Every bench prints the rows/series of the table or figure it regenerates
 (visible in bench_output.txt via capsys.disabled) and times a
-representative kernel with pytest-benchmark.
+representative kernel with pytest-benchmark. Benches with a headline
+number additionally write a machine-readable ``BENCH_<name>.json``
+summary via :func:`write_bench_json`, so the nightly lane (and future
+perf-trajectory tooling) can diff runs without scraping tables.
 """
+
+import json
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
+
+
+def write_bench_json(name: str, payload: dict, directory=None) -> Path:
+    """Write one bench's machine-readable summary to ``BENCH_<name>.json``.
+
+    The default destination is this benchmarks/ directory; set the
+    ``BENCH_JSON_DIR`` environment variable (or pass ``directory``) to
+    redirect, e.g. to a CI artefact folder. Values are coerced through
+    ``float`` when not JSON-native, so numpy scalars are fine.
+    """
+    directory = Path(
+        directory or os.environ.get("BENCH_JSON_DIR") or Path(__file__).parent
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n"
+    )
+    return path
 
 from repro.autoencoder import BinaryAutoencoder
 from repro.autoencoder.adapter import BAAdapter

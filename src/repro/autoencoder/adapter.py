@@ -79,6 +79,16 @@ class BAAdapter:
     def n_submodels(self) -> int:
         return len(self._specs)
 
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """End-to-end compute precision (the model's parameter dtype)."""
+        return self.model.compute_dtype
+
+    def batch_key(self, spec: SubmodelSpec):
+        """Encoder bits batch with encoder bits (shared SVM features),
+        decoder groups with decoder groups (shared code inputs)."""
+        return (spec.kind,)
+
     # ------------------------------------------------------------- params
     def get_params(self, spec: SubmodelSpec) -> np.ndarray:
         if spec.kind == "enc":
@@ -114,14 +124,16 @@ class BAAdapter:
         of each separable W-step objective (section 3.1) — but the argument
         is part of the generic adapter signature.
         """
+        cd = self.compute_dtype
         if spec.kind == "enc":
             svm = LinearSVM(
                 self.model.encoder.n_features,
                 lam=self.model.encoder.lam,
                 schedule=self.model.encoder.schedule,
+                dtype=cd,
             )
             svm.set_params(theta)
-            y = 2.0 * shard.Z[:, spec.index].astype(np.float64) - 1.0
+            y = 2.0 * shard.Z[:, spec.index].astype(cd) - 1.0
             svm.partial_fit(
                 shard.F, y, state, batch_size=batch_size, shuffle=shuffle, rng=rng
             )
@@ -129,11 +141,12 @@ class BAAdapter:
         if spec.kind == "dec":
             rows = np.asarray(spec.index)
             reg = LinearRegression(
-                self.model.n_bits, len(rows), schedule=self.model.decoder.schedule
+                self.model.n_bits, len(rows), schedule=self.model.decoder.schedule,
+                dtype=cd,
             )
             reg.set_params(theta)
             reg.partial_fit(
-                shard.Z.astype(np.float64),
+                shard.Z.astype(cd),
                 shard.X[:, rows],
                 state,
                 batch_size=batch_size,
@@ -142,6 +155,113 @@ class BAAdapter:
             )
             return reg.get_params()
         raise ValueError(f"unknown submodel kind {spec.kind!r}")
+
+    def w_update_batch(
+        self,
+        specs,
+        thetas,
+        states,
+        shard,
+        mu: float,
+        *,
+        batch_size: int,
+        shuffle: bool,
+        rng,
+    ) -> list[np.ndarray]:
+        """One shared SGD pass for co-resident submodels of one kind.
+
+        Encoder bits stack into one multi-column SVM pass (scores and the
+        hinge-masked gradient are single GEMMs over all bits); decoder row
+        groups stack into one multi-output regression pass. The shared
+        sequential draw order is what ``shuffle_within=False`` guarantees;
+        per-submodel schedules are preserved through each carried
+        ``SGDState``.
+        """
+        if shuffle:
+            raise ValueError(
+                "batched W updates share one draw order; per-unit shuffling "
+                "(shuffle_within=True) requires the per-unit w_update path"
+            )
+        kinds = {spec.kind for spec in specs}
+        if kinds == {"enc"}:
+            return self._w_update_batch_enc(specs, thetas, states, shard, batch_size)
+        if kinds == {"dec"}:
+            return self._w_update_batch_dec(specs, thetas, states, shard, batch_size)
+        raise ValueError(
+            f"a BA batch must be all-encoder or all-decoder, got kinds {sorted(kinds)}"
+        )
+
+    def _w_update_batch_enc(self, specs, thetas, states, shard, batch_size):
+        """Stacked SVMSGD: all bits' hinge subgradients from two GEMMs."""
+        enc = self.model.encoder
+        cd = self.compute_dtype
+        lam = enc.lam
+        F = np.asarray(shard.F, dtype=cd)
+        bits = np.fromiter((spec.index for spec in specs), dtype=np.intp)
+        Yt = 2.0 * shard.Z[:, bits].astype(cd) - 1.0  # (n, m) in {-1, +1}
+        Theta = np.stack([np.asarray(th, dtype=cd).ravel() for th in thetas])
+        if Theta.shape[1] != enc.n_features + 1:
+            raise ValueError(
+                f"expected {enc.n_features + 1} params per bit, got {Theta.shape[1]}"
+            )
+        W = np.ascontiguousarray(Theta[:, :-1])
+        b = np.ascontiguousarray(Theta[:, -1])
+        n = shard.n
+        for start in range(0, n, batch_size):
+            sl = slice(start, min(start + batch_size, n))
+            m_b = sl.stop - sl.start
+            etas = np.array([enc.schedule.rate(st.t) for st in states]).astype(cd)
+            scores = F[sl] @ W.T + b  # (m_b, m)
+            # Hinge-active mask per bit; inactive terms contribute exact
+            # zeros, so the masked GEMM equals the per-bit subset sums.
+            Ya = Yt[sl] * ((Yt[sl] * scores) < 1.0)
+            W -= etas[:, None] * (lam * W - (Ya.T @ F[sl]) / m_b)
+            b -= etas * (-Ya.sum(axis=0) / m_b)
+            for st in states:
+                st.advance(m_b)
+        return [np.concatenate([W[i], b[i : i + 1]]) for i in range(len(specs))]
+
+    def _w_update_batch_dec(self, specs, thetas, states, shard, batch_size):
+        """Stacked least-squares SGD over concatenated decoder row groups."""
+        dec = self.model.decoder
+        cd = self.compute_dtype
+        L = self.model.n_bits
+        groups = [np.asarray(spec.index, dtype=np.intp) for spec in specs]
+        sizes = [len(rows) for rows in groups]
+        Z = shard.Z.astype(cd)
+        T = np.asarray(shard.X, dtype=cd)[:, np.concatenate(groups)]
+        W_blocks, c_blocks = [], []
+        for spec, theta, rows in zip(specs, thetas, groups):
+            theta = np.asarray(theta, dtype=cd).ravel()
+            kk = len(rows) * L
+            if theta.shape != (kk + len(rows),):
+                raise ValueError(
+                    f"expected {kk + len(rows)} params for decoder group "
+                    f"{spec.sid}, got {theta.shape}"
+                )
+            W_blocks.append(theta[:kk].reshape(len(rows), L))
+            c_blocks.append(theta[kk:])
+        W = np.ascontiguousarray(np.vstack(W_blocks))
+        c = np.concatenate(c_blocks)
+        # Each row's step size comes from its group's carried schedule.
+        group_of_row = np.repeat(np.arange(len(specs)), sizes)
+        n = shard.n
+        for start in range(0, n, batch_size):
+            sl = slice(start, min(start + batch_size, n))
+            m_b = sl.stop - sl.start
+            etas = np.array([dec.schedule.rate(st.t) for st in states]).astype(cd)
+            eta_rows = etas[group_of_row]
+            resid = Z[sl] @ W.T + c - T[sl]  # (m_b, total_rows)
+            W -= eta_rows[:, None] * ((2.0 / m_b) * (resid.T @ Z[sl]))
+            c -= eta_rows * ((2.0 / m_b) * resid.sum(axis=0))
+            for st in states:
+                st.advance(m_b)
+        out, offset = [], 0
+        for size in sizes:
+            rows = slice(offset, offset + size)
+            out.append(np.concatenate([W[rows].ravel(), c[rows]]))
+            offset += size
+        return out
 
     # ------------------------------------------------------------- Z step
     def _encode_features(self, F: np.ndarray) -> np.ndarray:
@@ -171,9 +291,10 @@ class BAAdapter:
     # --------------------------------------------------------- objectives
     def e_q_shard(self, shard, mu: float) -> float:
         """Shard contribution to E_Q (eq. 3)."""
-        Zf = shard.Z.astype(np.float64)
+        cd = self.compute_dtype
+        Zf = shard.Z.astype(cd)
         R = shard.X - self.model.decoder.decode(Zf)
-        dzh = Zf - self._encode_features(shard.F).astype(np.float64)
+        dzh = Zf - self._encode_features(shard.F).astype(cd)
         return float((R * R).sum() + mu * (dzh * dzh).sum())
 
     def e_ba_shard(self, shard) -> float:

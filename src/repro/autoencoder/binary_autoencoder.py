@@ -36,18 +36,27 @@ class BinaryAutoencoder:
             raise ValueError(
                 f"encoder has {encoder.n_bits} bits but decoder expects {decoder.n_bits}"
             )
+        if encoder.dtype != decoder.dtype:
+            raise ValueError(
+                f"encoder computes in {encoder.dtype} but decoder in "
+                f"{decoder.dtype}; both halves must share one compute dtype"
+            )
         self.encoder = encoder
         self.decoder = decoder
 
     # ------------------------------------------------------------ factory
     @classmethod
-    def linear(cls, n_features: int, n_bits: int, *, lam: float = 1e-4) -> "BinaryAutoencoder":
-        """Linear-encoder BA for D-dimensional inputs and L-bit codes."""
+    def linear(cls, n_features: int, n_bits: int, *, lam: float = 1e-4,
+               dtype=np.float64) -> "BinaryAutoencoder":
+        """Linear-encoder BA for D-dimensional inputs and L-bit codes.
+
+        ``dtype`` sets the end-to-end compute precision (paper section 9).
+        """
         n_features = check_positive_int(n_features, name="n_features")
         n_bits = check_positive_int(n_bits, name="n_bits")
         return cls(
-            LinearEncoder(n_features, n_bits, lam=lam),
-            LinearDecoder(n_bits, n_features),
+            LinearEncoder(n_features, n_bits, lam=lam, dtype=dtype),
+            LinearDecoder(n_bits, n_features, dtype=dtype),
         )
 
     @classmethod
@@ -60,19 +69,26 @@ class BinaryAutoencoder:
         sigma=None,
         lam: float = 1e-4,
         rng=None,
+        dtype=np.float64,
     ) -> "BinaryAutoencoder":
         """RBF-encoder BA with centres sampled from ``X`` (section 8.4).
 
         The decoder still reconstructs the raw input space.
         """
-        enc = RBFEncoder.from_data(X, n_centres, n_bits, sigma=sigma, lam=lam, rng=rng)
-        dec = LinearDecoder(n_bits, np.asarray(X).shape[1])
+        enc = RBFEncoder.from_data(X, n_centres, n_bits, sigma=sigma, lam=lam,
+                                   rng=rng, dtype=dtype)
+        dec = LinearDecoder(n_bits, np.asarray(X).shape[1], dtype=dtype)
         return cls(enc, dec)
 
     # ------------------------------------------------------------------ API
     @property
     def n_bits(self) -> int:
         return self.encoder.n_bits
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """The model's end-to-end compute precision."""
+        return self.encoder.dtype
 
     def encode(self, X: np.ndarray) -> np.ndarray:
         """L-bit binary codes, uint8 (n, L)."""
@@ -89,7 +105,7 @@ class BinaryAutoencoder:
     # ------------------------------------------------------------ objectives
     def e_ba(self, X: np.ndarray) -> float:
         """Nested reconstruction error ``E_BA`` (eq. 1), summed over points."""
-        X = np.asarray(X, dtype=np.float64)
+        X = np.asarray(X, dtype=self.compute_dtype)
         R = X - self.reconstruct(X)
         return float((R * R).sum())
 
@@ -97,10 +113,11 @@ class BinaryAutoencoder:
         """Quadratic-penalty objective ``E_Q`` (eq. 3), summed over points."""
         if mu < 0:
             raise ValueError(f"mu must be >= 0, got {mu}")
-        X = np.asarray(X, dtype=np.float64)
-        Zf = np.asarray(Z, dtype=np.float64)
+        cd = self.compute_dtype
+        X = np.asarray(X, dtype=cd)
+        Zf = np.asarray(Z, dtype=cd)
         R = X - self.decode(Zf)
-        dzh = Zf - self.encode(X).astype(np.float64)
+        dzh = Zf - self.encode(X).astype(cd)
         return float((R * R).sum() + mu * (dzh * dzh).sum())
 
     def constraint_violation(self, X: np.ndarray, Z: np.ndarray) -> int:

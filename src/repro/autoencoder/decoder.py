@@ -14,7 +14,7 @@ import numpy as np
 from repro.optim.linreg import LinearRegression
 from repro.optim.schedules import InverseSchedule
 from repro.optim.sgd import SGDState
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_float_dtype, check_positive_int
 
 __all__ = ["LinearDecoder"]
 
@@ -28,23 +28,25 @@ class LinearDecoder:
     c : ndarray (n_outputs,)
     """
 
-    def __init__(self, n_bits: int, n_outputs: int, *, schedule=None):
+    def __init__(self, n_bits: int, n_outputs: int, *, schedule=None,
+                 dtype=np.float64):
         self.n_bits = check_positive_int(n_bits, name="n_bits")
         self.n_outputs = check_positive_int(n_outputs, name="n_outputs")
         self.schedule = schedule if schedule is not None else InverseSchedule(eta0=0.05, t0=50.0)
-        self.B = np.zeros((self.n_outputs, self.n_bits), dtype=np.float64)
-        self.c = np.zeros(self.n_outputs, dtype=np.float64)
+        self.dtype = check_float_dtype(dtype)
+        self.B = np.zeros((self.n_outputs, self.n_bits), dtype=self.dtype)
+        self.c = np.zeros(self.n_outputs, dtype=self.dtype)
 
     # ------------------------------------------------------------------ API
     def decode(self, Z: np.ndarray) -> np.ndarray:
         """Reconstructions ``Z B^T + c`` from float or uint8 codes."""
-        return np.asarray(Z, dtype=np.float64) @ self.B.T + self.c
+        return np.asarray(Z, dtype=self.dtype) @ self.B.T + self.c
 
     # -------------------------------------------------------- exact solve
     def fit_lstsq(self, Z: np.ndarray, X: np.ndarray) -> "LinearDecoder":
         """Exact least-squares fit of (B, c) to reconstruct X from Z."""
-        reg = LinearRegression(self.n_bits, self.n_outputs)
-        reg.fit_lstsq(np.asarray(Z, dtype=np.float64), X)
+        reg = LinearRegression(self.n_bits, self.n_outputs, dtype=self.dtype)
+        reg.fit_lstsq(np.asarray(Z, dtype=self.dtype), X)
         self.B = reg.W
         self.c = reg.c
         return self
@@ -68,11 +70,12 @@ class LinearDecoder:
         submodel work unit for a decoder group.
         """
         rows = np.asarray(rows, dtype=np.int64)
-        reg = LinearRegression(self.n_bits, len(rows), schedule=self.schedule)
+        reg = LinearRegression(self.n_bits, len(rows), schedule=self.schedule,
+                               dtype=self.dtype)
         reg.W = self.B[rows].copy()
         reg.c = self.c[rows].copy()
         state = reg.partial_fit(
-            np.asarray(Z, dtype=np.float64),
+            np.asarray(Z, dtype=self.dtype),
             X_rows,
             state,
             batch_size=batch_size,
@@ -91,7 +94,7 @@ class LinearDecoder:
 
     def set_row_params(self, rows: np.ndarray, theta: np.ndarray) -> None:
         rows = np.asarray(rows, dtype=np.int64)
-        theta = np.asarray(theta, dtype=np.float64).ravel()
+        theta = np.asarray(theta, dtype=self.dtype).ravel()
         k = len(rows) * self.n_bits
         if theta.shape != (k + len(rows),):
             raise ValueError(f"expected {k + len(rows)} params, got {theta.shape}")
@@ -99,7 +102,8 @@ class LinearDecoder:
         self.c[rows] = theta[k:]
 
     def copy(self) -> "LinearDecoder":
-        new = LinearDecoder(self.n_bits, self.n_outputs, schedule=self.schedule)
+        new = LinearDecoder(self.n_bits, self.n_outputs, schedule=self.schedule,
+                            dtype=self.dtype)
         new.B = self.B.copy()
         new.c = self.c.copy()
         return new

@@ -15,7 +15,12 @@ from repro.optim.schedules import BottouSchedule
 from repro.optim.sgd import SGDState
 from repro.optim.svm import LinearSVM
 from repro.utils.rng import check_random_state
-from repro.utils.validation import check_array, check_positive, check_positive_int
+from repro.utils.validation import (
+    check_array,
+    check_float_dtype,
+    check_positive,
+    check_positive_int,
+)
 
 __all__ = ["LinearEncoder", "RBFEncoder", "gaussian_kernel_features"]
 
@@ -56,6 +61,9 @@ class LinearEncoder:
         Code length L.
     lam : float
         L2 regularisation of each per-bit SVM.
+    dtype : float dtype, optional
+        Compute precision of the parameters, features and SGD updates
+        (paper section 9's reduced-precision refinement); default float64.
 
     Attributes
     ----------
@@ -65,18 +73,20 @@ class LinearEncoder:
         Biases.
     """
 
-    def __init__(self, n_features: int, n_bits: int, *, lam: float = 1e-4, schedule=None):
+    def __init__(self, n_features: int, n_bits: int, *, lam: float = 1e-4,
+                 schedule=None, dtype=np.float64):
         self.n_features = check_positive_int(n_features, name="n_features")
         self.n_bits = check_positive_int(n_bits, name="n_bits")
         self.lam = check_positive(lam, name="lam")
         self.schedule = schedule if schedule is not None else BottouSchedule(lam=lam)
-        self.A = np.zeros((self.n_bits, self.n_features), dtype=np.float64)
-        self.a = np.zeros(self.n_bits, dtype=np.float64)
+        self.dtype = check_float_dtype(dtype)
+        self.A = np.zeros((self.n_bits, self.n_features), dtype=self.dtype)
+        self.a = np.zeros(self.n_bits, dtype=self.dtype)
 
     # ------------------------------------------------------------------ API
     def features(self, X: np.ndarray) -> np.ndarray:
         """Feature map seen by the linear hash functions (identity here)."""
-        return np.asarray(X, dtype=np.float64)
+        return np.asarray(X, dtype=self.dtype)
 
     def scores(self, X: np.ndarray) -> np.ndarray:
         """Pre-threshold activations ``X A^T + a`` of shape (n, n_bits)."""
@@ -89,9 +99,10 @@ class LinearEncoder:
     # ------------------------------------------------------------ training
     def _svm_for_bit(self, l: int) -> LinearSVM:
         """Materialise bit ``l`` as a LinearSVM sharing this encoder's row."""
-        svm = LinearSVM(self.n_features, lam=self.lam, schedule=self.schedule)
+        svm = LinearSVM(self.n_features, lam=self.lam, schedule=self.schedule,
+                        dtype=self.dtype)
         svm.w = self.A[l].copy()
-        svm.b = float(self.a[l])
+        svm.b = self.a[l]
         return svm
 
     def fit_bit(
@@ -111,7 +122,7 @@ class LinearEncoder:
         """
         if not 0 <= l < self.n_bits:
             raise IndexError(f"bit index {l} out of range [0, {self.n_bits})")
-        y = 2.0 * np.asarray(z_l, dtype=np.float64) - 1.0
+        y = 2.0 * np.asarray(z_l, dtype=self.dtype) - 1.0
         svm = self._svm_for_bit(l)
         state = svm.partial_fit(
             self.features(X), y, state, batch_size=batch_size, shuffle=shuffle, rng=rng
@@ -130,7 +141,7 @@ class LinearEncoder:
         rng=None,
     ) -> "LinearEncoder":
         """Serial W-step-h: fit all L SVMs to (X, Z) with ``epochs`` passes."""
-        X = check_array(np.asarray(X, dtype=np.float64), name="X")
+        X = check_array(X, name="X", dtype=self.dtype)
         rng = check_random_state(rng)
         F = self.features(X)
         for l in range(self.n_bits):
@@ -145,14 +156,15 @@ class LinearEncoder:
         return np.concatenate([self.A[l], [self.a[l]]])
 
     def set_bit_params(self, l: int, theta: np.ndarray) -> None:
-        theta = np.asarray(theta, dtype=np.float64).ravel()
+        theta = np.asarray(theta, dtype=self.dtype).ravel()
         if theta.shape != (self.n_features + 1,):
             raise ValueError(f"expected {self.n_features + 1} params, got {theta.shape}")
         self.A[l] = theta[:-1]
-        self.a[l] = float(theta[-1])
+        self.a[l] = theta[-1]
 
     def copy(self) -> "LinearEncoder":
-        new = LinearEncoder(self.n_features, self.n_bits, lam=self.lam, schedule=self.schedule)
+        new = LinearEncoder(self.n_features, self.n_bits, lam=self.lam,
+                            schedule=self.schedule, dtype=self.dtype)
         new.A = self.A.copy()
         new.a = self.a.copy()
         return new
@@ -175,16 +187,19 @@ class RBFEncoder(LinearEncoder):
         *,
         lam: float = 1e-4,
         schedule=None,
+        dtype=np.float64,
     ):
         centres = check_array(np.asarray(centres, dtype=np.float64), name="centres")
-        super().__init__(n_features=len(centres), n_bits=n_bits, lam=lam, schedule=schedule)
+        super().__init__(n_features=len(centres), n_bits=n_bits, lam=lam,
+                         schedule=schedule, dtype=dtype)
         self.centres = centres
         self.sigma = check_positive(sigma, name="sigma")
         self.input_dim = centres.shape[1]
 
     @classmethod
     def from_data(
-        cls, X: np.ndarray, n_centres: int, n_bits: int, *, sigma=None, lam: float = 1e-4, rng=None
+        cls, X: np.ndarray, n_centres: int, n_bits: int, *, sigma=None,
+        lam: float = 1e-4, rng=None, dtype=np.float64
     ) -> "RBFEncoder":
         """Pick ``n_centres`` random training points as centres.
 
@@ -205,7 +220,7 @@ class RBFEncoder(LinearEncoder):
             sigma = float(np.median(off)) if off.size else 1.0
             if sigma <= 0:
                 sigma = 1.0
-        return cls(centres, sigma, n_bits, lam=lam)
+        return cls(centres, sigma, n_bits, lam=lam, dtype=dtype)
 
     def features(self, X: np.ndarray) -> np.ndarray:
         """Kernel feature map; passes through already-mapped (n, m) inputs.
@@ -214,18 +229,24 @@ class RBFEncoder(LinearEncoder):
         assumed to be precomputed kernel values (the ParMAC shards store
         those, quantised, rather than recomputing per visit).
         """
-        X = np.asarray(X, dtype=np.float64)
+        X = np.asarray(X)
         if X.ndim == 2 and X.shape[1] == self.n_features and self.input_dim != self.n_features:
-            return X
+            return np.asarray(X, dtype=self.dtype)
         if X.ndim == 2 and X.shape[1] == self.input_dim:
-            return gaussian_kernel_features(X, self.centres, self.sigma)
+            # The kernel map itself is evaluated in float64 for a stable
+            # exp() — from the raw inputs, not dtype-truncated ones;
+            # storage/compute precision applies to the result.
+            return gaussian_kernel_features(
+                np.asarray(X, dtype=np.float64), self.centres, self.sigma
+            ).astype(self.dtype)
         raise ValueError(
             f"expected inputs of dim {self.input_dim} (raw) or {self.n_features} "
             f"(kernel features), got shape {X.shape}"
         )
 
     def copy(self) -> "RBFEncoder":
-        new = RBFEncoder(self.centres, self.sigma, self.n_bits, lam=self.lam, schedule=self.schedule)
+        new = RBFEncoder(self.centres, self.sigma, self.n_bits, lam=self.lam,
+                         schedule=self.schedule, dtype=self.dtype)
         new.A = self.A.copy()
         new.a = self.a.copy()
         return new

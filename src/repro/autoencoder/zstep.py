@@ -28,6 +28,14 @@ import numpy as np
 
 from repro.utils.validation import check_binary_codes
 
+
+def _solver_dtype(B) -> np.dtype:
+    """Compute precision of a Z-step solve: the decoder matrix's float
+    dtype (float64 when ``B`` is not floating) — the solvers run entirely
+    in the model's compute precision (paper section 9)."""
+    dtype = np.asarray(B).dtype
+    return dtype if dtype.kind == "f" else np.dtype(np.float64)
+
 __all__ = [
     "zstep_objective",
     "zstep_enumerate",
@@ -45,18 +53,19 @@ def zstep_objective(
     X: np.ndarray, B: np.ndarray, c: np.ndarray, H: np.ndarray, mu: float, Z: np.ndarray
 ) -> np.ndarray:
     """Per-point Z-step objective values (n,) for codes ``Z``."""
-    Zf = np.asarray(Z, dtype=np.float64)
-    Hf = np.asarray(H, dtype=np.float64)
-    R = X - Zf @ B.T - c
+    cd = _solver_dtype(B)
+    Zf = np.asarray(Z, dtype=cd)
+    Hf = np.asarray(H, dtype=cd)
+    R = np.asarray(X, dtype=cd) - Zf @ B.T - c
     dzh = Zf - Hf
     return (R * R).sum(axis=1) + mu * (dzh * dzh).sum(axis=1)
 
 
-def _all_codes(L: int) -> np.ndarray:
+def _all_codes(L: int, dtype=np.float64) -> np.ndarray:
     """All 2^L binary codes as a (2^L, L) float array (bit l = column l)."""
     ints = np.arange(2**L, dtype=np.uint32)
     return ((ints[:, None] >> np.arange(L, dtype=np.uint32)[None, :]) & 1).astype(
-        np.float64
+        dtype
     )
 
 
@@ -82,9 +91,10 @@ def zstep_enumerate(
         )
     if mu < 0:
         raise ValueError(f"mu must be >= 0, got {mu}")
-    X = np.asarray(X, dtype=np.float64)
-    Hf = np.asarray(H, dtype=np.float64)
-    C = _all_codes(L)  # (2^L, L)
+    cd = _solver_dtype(B)
+    X = np.asarray(X, dtype=cd)
+    Hf = np.asarray(H, dtype=cd)
+    C = _all_codes(L, cd)  # (2^L, L)
     # Per-code quadratic term: z^T BtB z + mu * sum(z); shared by all points.
     BtB = B.T @ B
     quad = np.einsum("kl,lm,km->k", C, BtB, C) + mu * C.sum(axis=1)
@@ -110,10 +120,11 @@ def zstep_relaxed(
     """
     if mu < 0:
         raise ValueError(f"mu must be >= 0, got {mu}")
-    X = np.asarray(X, dtype=np.float64)
-    Hf = np.asarray(H, dtype=np.float64)
+    cd = _solver_dtype(B)
+    X = np.asarray(X, dtype=cd)
+    Hf = np.asarray(H, dtype=cd)
     L = B.shape[1]
-    G = B.T @ B + mu * np.eye(L)
+    G = B.T @ B + mu * np.eye(L, dtype=cd)
     Lin = (X - c) @ B + mu * Hf  # (n, L)
     # Guard the mu = 0, rank-deficient-decoder corner with a pseudo-inverse.
     try:
@@ -150,11 +161,12 @@ def zstep_alternate(
     """
     if max_sweeps < 1:
         raise ValueError(f"max_sweeps must be >= 1, got {max_sweeps}")
-    X = np.asarray(X, dtype=np.float64)
-    Hf = np.asarray(H, dtype=np.float64)
+    cd = _solver_dtype(B)
+    X = np.asarray(X, dtype=cd)
+    Hf = np.asarray(H, dtype=cd)
     if Z0 is None:
         Z0 = zstep_relaxed(X, B, c, H, mu)
-    Z = check_binary_codes(Z0).astype(np.float64)
+    Z = check_binary_codes(Z0).astype(cd)
     L = B.shape[1]
     b_norms = (B * B).sum(axis=0)  # ||b_l||^2 for each column l
     R = X - Z @ B.T - c  # current residual x - f(z)
@@ -165,7 +177,7 @@ def zstep_alternate(
             # Residual with bit l's contribution removed.
             r_base = R + np.outer(Z[:, l], b_l)
             delta = b_norms[l] - 2.0 * r_base @ b_l + mu * (1.0 - 2.0 * Hf[:, l])
-            new_zl = (delta <= 0.0).astype(np.float64)
+            new_zl = (delta <= 0.0).astype(cd)
             diff = new_zl - Z[:, l]
             if np.any(diff != 0.0):
                 changed = True

@@ -200,8 +200,9 @@ class ParMACTrainerBA:
 
     # --------------------------------------------------------------- fit
     def fit(self, X: np.ndarray, Z0: np.ndarray | None = None) -> TrainingHistory:
-        """Run distributed MAC over the full mu schedule."""
-        X = check_array(X, name="X")
+        """Run distributed MAC over the full mu schedule (in the model's
+        compute dtype, end to end)."""
+        X = check_array(X, name="X", dtype=self.model.compute_dtype)
         rng = check_random_state(self.seed)
         trainer = self._make_trainer()
         adapter = trainer.adapter

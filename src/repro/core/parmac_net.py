@@ -150,9 +150,10 @@ class ParMACTrainerNet:
         return None if self.trainer_ is None else self.trainer_.cluster_
 
     def fit(self, X: np.ndarray, Y: np.ndarray) -> TrainingHistory:
-        """Run distributed MAC over the mu schedule."""
-        X = np.asarray(X, dtype=np.float64)
-        Y = np.asarray(Y, dtype=np.float64)
+        """Run distributed MAC over the mu schedule (in the net's
+        compute dtype, end to end)."""
+        X = np.asarray(X, dtype=self.net.compute_dtype)
+        Y = np.asarray(Y, dtype=self.net.compute_dtype)
         if Y.ndim == 1:
             Y = Y[:, None]
         if len(X) != len(Y):

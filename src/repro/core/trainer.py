@@ -63,9 +63,10 @@ class ParMACTrainer:
         by the binary-autoencoder front end).
     backend_options : dict, optional
         Extra keyword arguments for the backend class (e.g.
-        ``execute_updates``/``message_dtype`` for simulated engines,
-        ``ctx_method`` for the multiprocessing pool, ``ports`` /
-        ``batch_hops`` for the TCP ring).
+        ``message_dtype`` / ``batch_units`` on any engine,
+        ``execute_updates`` for simulated engines, ``ctx_method`` for
+        the multiprocessing pool, ``ports`` / ``batch_hops`` for the
+        TCP ring).
 
     Attributes
     ----------

@@ -34,7 +34,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
+from repro.distributed.batching import supports_unit_batching
 from repro.distributed.dataplane import ClusterState, DataPlane
+from repro.utils.validation import check_float_dtype
 
 __all__ = [
     "FaultPolicy",
@@ -185,6 +189,18 @@ class BaseBackend:
     fault_policy : FaultPolicy or str
         ``"fail_fast"`` (default) or ``"drop_shard"``; see
         :class:`FaultPolicy`.
+    batch_units : bool
+        Run co-resident compatible submodels' W updates as one stacked
+        pass (one GEMM per minibatch) instead of per-unit Python loops
+        (default True). Engages only when ``shuffle_within`` is off —
+        per-unit shuffling demands per-unit draw order — and the adapter
+        implements ``w_update_batch``; see
+        :mod:`repro.distributed.batching`.
+    message_dtype : numpy float dtype or None
+        Reduced-precision communication (paper section 9): every ring hop
+        round-trips the parameters through this dtype, shrinking wire
+        bytes by the itemsize ratio, on simulated *and* wall-clock
+        engines alike. None (default) keeps full-precision messages.
     seed : int or None
     """
 
@@ -200,6 +216,8 @@ class BaseBackend:
         shuffle_ring: bool = False,
         cost=None,
         fault_policy: FaultPolicy | str = FaultPolicy.FAIL_FAST,
+        batch_units: bool = True,
+        message_dtype=None,
         seed=None,
     ):
         if epochs < 1:
@@ -211,6 +229,12 @@ class BaseBackend:
         self.batch_size = int(batch_size)
         self.shuffle_within = bool(shuffle_within)
         self.shuffle_ring = bool(shuffle_ring)
+        self.batch_units = bool(batch_units)
+        self.message_dtype = (
+            None
+            if message_dtype is None
+            else check_float_dtype(message_dtype, name="message_dtype")
+        )
         self.cost = cost
         try:
             self.fault_policy = FaultPolicy(fault_policy)
@@ -232,6 +256,40 @@ class BaseBackend:
 
     def run_iteration(self, mu: float) -> IterationStats:
         raise NotImplementedError
+
+    # --------------------------------------------------------- hot paths
+    def units_batched(self) -> bool:
+        """Whether this fit runs the batched co-resident-unit W step.
+
+        True when the knob is on, within-shard shuffling is off (a shared
+        pass shares its draw order), the bound adapter implements the
+        batched entry points, and the engine actually executes numerics
+        (simulated engines expose ``execute_updates``; a timing-only
+        sweep runs no W kernels at all, batched or otherwise).
+        """
+        return (
+            self.batch_units
+            and not self.shuffle_within
+            and getattr(self, "execute_updates", True)
+            and self.adapter is not None
+            and supports_unit_batching(self.adapter)
+        )
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """The bound adapter's end-to-end float precision."""
+        return np.dtype(getattr(self.adapter, "compute_dtype", np.float64))
+
+    def _dtype_extras(self) -> dict:
+        """Per-iteration precision/batching info for ``IterationStats.extra``
+        — how the history records what each iteration actually ran with."""
+        return {
+            "compute_dtype": str(self.compute_dtype),
+            "message_dtype": (
+                None if self.message_dtype is None else str(self.message_dtype)
+            ),
+            "batched_w": self.units_batched(),
+        }
 
     # ----------------------------------------------------------- streaming
     def _bind_dataplane(self, dataplane: DataPlane) -> None:
@@ -377,6 +435,11 @@ class BaseBackend:
                 "shuffle_within": self.shuffle_within,
                 "shuffle_ring": self.shuffle_ring,
                 "fault_policy": self.fault_policy.value,
+                "batch_units": self.batch_units,
+                "message_dtype": (
+                    None if self.message_dtype is None else str(self.message_dtype)
+                ),
+                "compute_dtype": str(self.compute_dtype),
             },
         )
 
@@ -409,6 +472,14 @@ class BaseBackend:
             raise ValueError(
                 f"checkpoint is missing parameters for submodels {sorted(missing)}"
             )
+        recorded_dtype = (state.meta or {}).get("compute_dtype")
+        actual_dtype = str(np.dtype(getattr(adapter, "compute_dtype", np.float64)))
+        if recorded_dtype is not None and recorded_dtype != actual_dtype:
+            raise ValueError(
+                f"checkpoint was trained in {recorded_dtype} but the adapter "
+                f"computes in {actual_dtype}; build the model with the "
+                "snapshot's compute dtype to resume bit-identically"
+            )
         set_params_many(
             adapter,
             [(spec_by_sid[sid], state.params[sid]) for sid in sorted(spec_by_sid)],
@@ -432,6 +503,10 @@ class BaseBackend:
             "batch_size": self.batch_size,
             "shuffle_within": self.shuffle_within,
             "shuffle_ring": self.shuffle_ring,
+            "batch_units": self.batch_units,
+            "message_dtype": (
+                None if self.message_dtype is None else str(self.message_dtype)
+            ),
         }
         recorded = state.meta or {}
         mismatched = {

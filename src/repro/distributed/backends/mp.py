@@ -68,6 +68,12 @@ from repro.distributed.backends.base import (
     IterationStats,
     register_backend,
 )
+from repro.distributed.batching import (
+    BatchAccumulator,
+    GroupTable,
+    supports_unit_batching,
+    train_message_batch,
+)
 from repro.distributed.dataplane import ClusterState, DataPlane
 from repro.distributed.interfaces import get_params_many, set_params_many
 from repro.distributed.messages import ShardRetired, SubmodelMessage
@@ -344,15 +350,25 @@ class _QueueRingTransport:
     sentinel.
     """
 
-    def __init__(self, rank: int, ring_qs, gen: int = 0, abort_ev=None):
+    def __init__(self, rank: int, ring_qs, gen: int = 0, abort_ev=None, *,
+                 wire_dtype=None, compute_dtype=None):
         self.rank = rank
         self._ring_qs = ring_qs
         self.gen = gen
         self._abort_ev = abort_ev
+        # Reduced-precision wire (paper section 9): parameters are cast
+        # down at pack time — the pickled payload genuinely shrinks — and
+        # cast back to the compute dtype on receive. The worker already
+        # round-tripped theta through the wire dtype after training, so
+        # both casts are value-exact.
+        self._wire_dtype = wire_dtype
+        self._compute_dtype = compute_dtype
         self.msgs_sent = 0
         self.bytes_sent = 0
 
     def send(self, dest: int, msg: SubmodelMessage) -> None:
+        if self._wire_dtype is not None and dest != self.rank:
+            msg.theta = np.asarray(msg.theta, dtype=self._wire_dtype)
         self.msgs_sent += 1
         self.bytes_sent += msg.nbytes
         self._ring_qs[dest].put((self.gen, msg))
@@ -372,6 +388,8 @@ class _QueueRingTransport:
                 continue  # stale traffic from an aborted iteration
             if msg is None:
                 raise IterationAborted()
+            if self._wire_dtype is not None:
+                msg.theta = np.asarray(msg.theta, dtype=self._compute_dtype)
             return msg
 
     def wire_stats(self) -> dict:
@@ -380,7 +398,8 @@ class _QueueRingTransport:
 
 # ------------------------------------------------------------------ worker
 def _build_worker_state(rank, adapter, desc, protocol, homes, batch_size,
-                        shuffle_within, seed, rng_state=None) -> dict:
+                        shuffle_within, seed, rng_state=None,
+                        message_dtype=None, batch_units=True) -> dict:
     """Per-fit worker state, shared by every wall-clock worker loop.
 
     One construction site keeps the queue and TCP workers bit-identical:
@@ -400,9 +419,13 @@ def _build_worker_state(rank, adapter, desc, protocol, homes, batch_size,
         "protocol": protocol,
         "specs": specs,
         "spec_by_sid": {s.sid: s for s in specs},
+        "homes": dict(homes),
         "my_sids": [sid for sid, h in homes.items() if h == rank],
         "batch_size": batch_size,
         "shuffle_within": shuffle_within,
+        "message_dtype": message_dtype,
+        "batch_units": batch_units,
+        "compute_dtype": np.dtype(getattr(adapter, "compute_dtype", np.float64)),
         "rng": rng,
     }
 
@@ -423,6 +446,7 @@ def _checkpoint_worker_state(state) -> dict:
 def _apply_replan(rank, state, protocol, homes) -> None:
     """Adopt a survivor re-plan: new counter protocol, new home set."""
     state["protocol"] = protocol
+    state["homes"] = dict(homes)
     state["my_sids"] = [sid for sid, h in homes.items() if h == rank]
 
 
@@ -449,6 +473,15 @@ def _apply_worker_ingest(state, X, F, Z, indices) -> int:
     return len(X)
 
 
+def _worker_units_batched(state) -> bool:
+    """Whether this worker runs the batched co-resident-unit W step."""
+    return (
+        state.get("batch_units", True)
+        and not state["shuffle_within"]
+        and supports_unit_batching(state["adapter"])
+    )
+
+
 def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
                           model_rank=0):
     """One W step + Z step on this worker's shard; returns the payload."""
@@ -457,10 +490,36 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
     protocol: WStepProtocol = state["protocol"]
     specs = state["specs"]
     final: dict[int, np.ndarray] = {}
+    # Batched co-resident-unit W step: arriving messages accumulate per
+    # (home block, batch_key, counter) convoy group and train as one
+    # stacked pass when the group completes — composition is
+    # protocol-determined, so it is identical on every engine.
+    acc = (
+        BatchAccumulator(GroupTable(adapter, state["homes"]))
+        if _worker_units_batched(state)
+        else None
+    )
+    # Reduced-precision wire: like the simulated engines, every visit
+    # round-trips the updated parameters through the wire dtype when
+    # anything travels at all (P > 1), so stored finals and travelling
+    # copies stay bit-identical across backends.
+    wire_dtype = state.get("message_dtype")
+    if protocol.n_machines <= 1:
+        wire_dtype = None
+    compute_dtype = state.get("compute_dtype", np.float64)
 
-    def handle(msg: SubmodelMessage) -> None:
-        msg.counter += 1
-        for _ in range(protocol.train_passes(msg.counter)):
+    def finish_visit(msg: SubmodelMessage) -> None:
+        """Post-numerics tail of one visit: wire cast, final capture,
+        forwarding."""
+        if wire_dtype is not None:
+            msg.theta = msg.theta.astype(wire_dtype).astype(compute_dtype)
+        if protocol.is_final(msg.counter):
+            final[msg.spec.sid] = np.array(msg.theta, copy=True)
+        if protocol.should_forward(msg.counter):
+            transport.send(plan.successor(rank, msg.counter), msg)
+
+    def train_inline(msg: SubmodelMessage, passes: int) -> None:
+        for _ in range(passes):
             msg.theta = adapter.w_update(
                 msg.spec,
                 msg.theta,
@@ -471,10 +530,23 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
                 shuffle=state["shuffle_within"],
                 rng=state["rng"],
             )
-        if protocol.is_final(msg.counter):
-            final[msg.spec.sid] = np.array(msg.theta, copy=True)
-        if protocol.should_forward(msg.counter):
-            transport.send(plan.successor(rank, msg.counter), msg)
+
+    def handle(msg: SubmodelMessage) -> None:
+        msg.counter += 1
+        passes = protocol.train_passes(msg.counter)
+        if passes and acc is not None and acc.table.batchable(msg.spec.sid):
+            group = acc.add(msg)
+            if group is None:
+                return  # convoy incomplete; numerics wait for the rest
+            train_message_batch(
+                adapter, group, shard, mu, passes=passes,
+                batch_size=state["batch_size"], rng=state["rng"],
+            )
+            for member in group:
+                finish_visit(member)
+            return
+        train_inline(msg, passes)
+        finish_visit(msg)
 
     t_w0 = time.perf_counter()
     my_specs = [state["spec_by_sid"][sid] for sid in state["my_sids"]]
@@ -490,6 +562,11 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
     for _ in range(n_expected):
         handle(transport.recv())
     transport.flush()
+    if acc is not None and acc.n_pending:
+        raise RuntimeError(
+            f"{acc.n_pending} submodel visit(s) never completed their batch "
+            "group — convoy tracking bug"
+        )
     # W-step invariant: this worker now holds every final submodel.
     set_params_many(adapter, [(spec, final[spec.sid]) for spec in specs])
     t_w = time.perf_counter() - t_w0
@@ -523,12 +600,12 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
         try:
             if op == "setup":
                 (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
-                 seed, rng_state) = cmd
+                 seed, rng_state, message_dtype, batch_units) = cmd
                 if state is not None and state["seg"] is not None:
                     state["seg"].close()
                 state = _build_worker_state(
                     rank, adapter, desc, protocol, homes, batch_size,
-                    shuffle_within, seed, rng_state,
+                    shuffle_within, seed, rng_state, message_dtype, batch_units,
                 )
                 res.send((rank, "ready", None))
             elif op == "checkpoint":
@@ -549,7 +626,15 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
                 res.send((rank, "model", _report_model(state)))
             elif op == "iter":
                 _, mu, plan, n_expected, gen, model_rank = cmd
-                transport = _QueueRingTransport(rank, ring_qs, gen, abort_ev)
+                transport = _QueueRingTransport(
+                    rank, ring_qs, gen, abort_ev,
+                    wire_dtype=(
+                        state["message_dtype"]
+                        if state["protocol"].n_machines > 1
+                        else None
+                    ),
+                    compute_dtype=state["compute_dtype"],
+                )
                 try:
                     payload = _run_worker_iteration(
                         rank, state, mu, plan, n_expected, transport, model_rank
@@ -685,6 +770,8 @@ class MultiprocessBackend(BaseBackend):
                     self.shuffle_within,
                     base_seed + rank,
                     None if rng_states is None else rng_states.get(rank),
+                    self.message_dtype,
+                    self.batch_units,
                 )
             )
         self._collect("ready", ranks=sorted(descs))
@@ -824,6 +911,8 @@ class MultiprocessBackend(BaseBackend):
                 self.shuffle_within,
                 base_seed + p,
                 None,
+                self.message_dtype,
+                self.batch_units,
             )
         )
         self._collect("ready", ranks=[p])
@@ -916,6 +1005,7 @@ class MultiprocessBackend(BaseBackend):
                 wire[key] = wire.get(key, 0) + value
         extra = {"wall_time": wall, "w_time": w_time, "z_time": z_time}
         extra.update(wire)
+        extra.update(self._dtype_extras())
         self._iterations_done += 1
         return IterationStats(
             mu=mu,

@@ -39,21 +39,19 @@ __all__ = ["SyncSimBackend", "AsyncSimBackend"]
 class _SimBackend(BaseBackend):
     """Common machinery for the two simulated engines.
 
-    Extra parameters beyond :class:`BaseBackend`:
+    Extra parameters beyond :class:`BaseBackend` (``message_dtype`` and
+    ``batch_units`` are base knobs shared by every engine):
 
     execute_updates : bool
         When False, skip the numerics and only simulate time (timing-only
         protocol sweeps).
-    message_dtype : numpy dtype or None
-        Reduced-precision communication (paper section 9).
     """
 
     engine: str = ""
 
-    def __init__(self, *, execute_updates: bool = True, message_dtype=None, **kwargs):
+    def __init__(self, *, execute_updates: bool = True, **kwargs):
         super().__init__(**kwargs)
         self.execute_updates = bool(execute_updates)
-        self.message_dtype = message_dtype
         self.cluster: SimulatedCluster | None = None
         self._pending_fault: FaultEvent | None = None
 
@@ -73,6 +71,7 @@ class _SimBackend(BaseBackend):
             engine=self.engine,
             execute_updates=self.execute_updates,
             message_dtype=self.message_dtype,
+            batch_units=self.batch_units,
             dataplane=self.dataplane,
             seed=self.seed,
         )
@@ -138,6 +137,9 @@ class _SimBackend(BaseBackend):
                 "comm_time": wstats.comm_time,
                 "bytes_sent": wstats.bytes_sent,
                 "wall_time": wall,
+                "w_time": wstats.wall_time,
+                "z_time": zstats.wall_time,
+                **self._dtype_extras(),
             },
             bytes_sent=int(wstats.bytes_sent),
             rows_ingested=rows,
@@ -193,6 +195,7 @@ class _SimBackend(BaseBackend):
             engine=self.engine,
             execute_updates=self.execute_updates,
             message_dtype=self.message_dtype,
+            batch_units=self.batch_units,
             dataplane=dataplane,
             seed=self.seed,
         )

@@ -67,6 +67,8 @@ import selectors
 import socket
 import traceback
 
+import numpy as np
+
 from repro.distributed.backends.base import FaultPolicy, register_backend
 from repro.distributed.backends.mp import (
     IterationAborted,
@@ -126,13 +128,21 @@ class _SocketRingTransport:
     because it is itself blocked sending.
     """
 
-    def __init__(self, rank, out_conns, in_conns, spec_by_sid, *, batch_hops=True):
+    def __init__(self, rank, out_conns, in_conns, spec_by_sid, *, batch_hops=True,
+                 wire_dtype=None, compute_dtype=None):
         self.rank = rank
         self._out = out_conns
         self._in = in_conns
         self._peer_of = {conn: peer for peer, conn in in_conns.items()}
         self._spec_by_sid = spec_by_sid
         self.batch_hops = bool(batch_hops)
+        # Reduced-precision wire (paper section 9): parameters are cast
+        # down before framing — the frame's ndarray bytes genuinely shrink
+        # (the dtype travels in the per-message header) — and cast back to
+        # the compute dtype on receive. The worker already round-tripped
+        # theta after training, so both casts are value-exact.
+        self._wire_dtype = wire_dtype
+        self._compute_dtype = compute_dtype
         self._outbox: dict[int, list] = {}
         self._inbox: list = []
         self._decoders = {peer: FrameDecoder() for peer in in_conns}
@@ -148,6 +158,8 @@ class _SocketRingTransport:
 
     # ------------------------------------------------------------- sending
     def send(self, dest: int, msg) -> None:
+        if self._wire_dtype is not None and dest != self.rank:
+            msg.theta = np.asarray(msg.theta, dtype=self._wire_dtype)
         self.msgs_sent += 1
         self.payload_bytes += msg.nbytes
         if self.batch_hops:
@@ -209,13 +221,15 @@ class _SocketRingTransport:
             self._inbox.extend(decode_batch(payload, self._spec_by_sid))
 
     def recv(self):
-        if self._inbox:
-            return self._inbox.pop(0)
-        self.flush()
-        while not self._inbox:
-            for key, _ in self._selector.select():
-                self._read_socket(key.fileobj)
-        return self._inbox.pop(0)
+        if not self._inbox:
+            self.flush()
+            while not self._inbox:
+                for key, _ in self._selector.select():
+                    self._read_socket(key.fileobj)
+        msg = self._inbox.pop(0)
+        if self._wire_dtype is not None:
+            msg.theta = np.asarray(msg.theta, dtype=self._compute_dtype)
+        return msg
 
     # -------------------------------------------------------------- stats
     def wire_stats(self) -> dict:
@@ -326,14 +340,15 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
         try:
             if op == "setup":
                 (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
-                 seed, rng_state, host, port, batch_hops, drop_on_fault) = cmd
+                 seed, rng_state, message_dtype, batch_units,
+                 host, port, batch_hops, drop_on_fault) = cmd
                 _close_net(net)  # a new fit rebuilds the mesh
                 net = None
                 if state is not None and state["seg"] is not None:
                     state["seg"].close()
                 state = _build_worker_state(
                     rank, adapter, desc, protocol, homes, batch_size,
-                    shuffle_within, seed, rng_state,
+                    shuffle_within, seed, rng_state, message_dtype, batch_units,
                 )
                 state["batch_hops"] = batch_hops
                 state["drop_on_fault"] = drop_on_fault
@@ -497,6 +512,12 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                     net["in"],
                     state["spec_by_sid"],
                     batch_hops=net["batch_hops"],
+                    wire_dtype=(
+                        state["message_dtype"]
+                        if state["protocol"].n_machines > 1
+                        else None
+                    ),
+                    compute_dtype=state["compute_dtype"],
                 )
                 try:
                     try:
@@ -593,6 +614,8 @@ class TCPBackend(MultiprocessBackend):
                     self.shuffle_within,
                     base_seed + rank,
                     None if rng_states is None else rng_states.get(rank),
+                    self.message_dtype,
+                    self.batch_units,
                     self.host,
                     self._port_for(rank),
                     self.batch_hops,
@@ -644,6 +667,8 @@ class TCPBackend(MultiprocessBackend):
                 self.shuffle_within,
                 base_seed + p,
                 None,
+                self.message_dtype,
+                self.batch_units,
                 self.host,
                 self._port_for(p),
                 self.batch_hops,

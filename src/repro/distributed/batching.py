@@ -1,0 +1,129 @@
+"""Co-resident-unit batching for the W step — one GEMM per group visit.
+
+ParMAC's W step is embarrassingly parallel across submodels, but the unit
+of work the engines schedule — one travelling submodel's SGD pass over one
+shard — is tiny for models with many small submodels (a deep net has one
+submodel per *hidden unit*). Running M/P of those passes as M/P separate
+Python loops per machine visit leaves almost all the machine's FLOPs on
+the table. This module implements the ROADMAP "hot paths" fix: submodels
+that are co-resident on a machine and compatible (same layer for a net,
+same kind for a BA) run their visit as **one stacked pass** through the
+adapter's ``w_update_batch`` — the per-unit ``delta`` vectors become an
+``(n_batch, m_units)`` matrix and the whole group's gradients come from a
+single GEMM per minibatch.
+
+Batching must not change *what* is computed, only how fast — and the
+conformance suite holds every engine to bit-identical results. Two rules
+make that possible:
+
+* **It only engages when ``shuffle_within`` is off.** Per-unit shuffling
+  draws a fresh minibatch order per submodel from the machine's RNG
+  stream; a shared pass would need a shared order, which is a different
+  algorithm. With shuffling off the order is the deterministic sequential
+  one, shared trivially.
+
+* **Groups are protocol-deterministic, not timing-dependent.** A batch is
+  a *convoy*: the submodels of one home machine's contiguous block (split
+  by the adapter's ``batch_key``) at one visit counter. Convoy members
+  follow identical routes — the successor of a message depends only on
+  (machine, counter) — so they are co-resident on every engine, whether
+  the engine is a lockstep tick simulation, a discrete-event simulation
+  or real processes racing over sockets. Engines accumulate arriving
+  messages per (group, counter) in a :class:`BatchAccumulator` and train
+  a group exactly when its last member arrives; group composition (and
+  therefore every GEMM's operand shapes, hence its bits) is identical
+  everywhere. Stacked GEMMs and the legacy per-unit GEMVs associate their
+  reductions differently, so batched-vs-unbatched parity is *numerical*
+  (machine precision), while batched runs are bit-identical across
+  engines — see docs/architecture.md.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "supports_unit_batching",
+    "GroupTable",
+    "BatchAccumulator",
+    "train_message_batch",
+]
+
+
+def supports_unit_batching(adapter) -> bool:
+    """Whether the adapter implements the batched W-update entry points."""
+    return hasattr(adapter, "w_update_batch") and hasattr(adapter, "batch_key")
+
+
+class GroupTable:
+    """sid -> batch group, derived once per iteration from the home map.
+
+    A group is ``(home machine, adapter batch_key)``: the members of one
+    home's contiguous submodel block that the adapter allows to train
+    together. ``homes`` maps sid -> home machine — the same assignment
+    every engine plans with, which is what makes the grouping identical
+    across backends.
+    """
+
+    def __init__(self, adapter, homes):
+        self.group_of: dict[int, tuple | None] = {}
+        self.group_size: dict[tuple, int] = {}
+        for spec in adapter.submodel_specs():
+            key = adapter.batch_key(spec)
+            gid = None if key is None else (homes[spec.sid], key)
+            self.group_of[spec.sid] = gid
+            if gid is not None:
+                self.group_size[gid] = self.group_size.get(gid, 0) + 1
+
+    def batchable(self, sid: int) -> bool:
+        return self.group_of.get(sid) is not None
+
+
+class BatchAccumulator:
+    """Per-machine buffer completing convoys as their members arrive.
+
+    ``add`` stashes a message under its (group, counter) bucket and
+    returns the full sid-sorted group exactly when the last member lands,
+    else None. Because convoy members share their entire visit sequence,
+    every bucket that opens during an iteration is guaranteed to fill —
+    :attr:`n_pending` must be zero when the iteration's receives are
+    exhausted, which the engines assert.
+    """
+
+    def __init__(self, table: GroupTable):
+        self.table = table
+        self._pending: dict[tuple, list] = {}
+
+    def add(self, msg):
+        gid = self.table.group_of.get(msg.spec.sid)
+        if gid is None:
+            return [msg]
+        bucket = self._pending.setdefault((gid, msg.counter), [])
+        bucket.append(msg)
+        if len(bucket) < self.table.group_size[gid]:
+            return None
+        del self._pending[(gid, msg.counter)]
+        bucket.sort(key=lambda m: m.spec.sid)
+        return bucket
+
+    @property
+    def n_pending(self) -> int:
+        return sum(len(bucket) for bucket in self._pending.values())
+
+
+def train_message_batch(adapter, msgs, shard, mu, *, passes, batch_size, rng):
+    """Run ``passes`` stacked SGD passes for one completed group in place.
+
+    Members are already sid-sorted (stacking order fixes GEMM operand
+    layout, so it must be deterministic); each message's theta is replaced
+    by its updated parameters and its carried ``SGDState`` advances
+    exactly as the per-unit path would have advanced it.
+    """
+    specs = [msg.spec for msg in msgs]
+    thetas = [msg.theta for msg in msgs]
+    states = [msg.sgd_state for msg in msgs]
+    for _ in range(passes):
+        thetas = adapter.w_update_batch(
+            specs, thetas, states, shard, mu,
+            batch_size=batch_size, shuffle=False, rng=rng,
+        )
+    for msg, theta in zip(msgs, thetas):
+        msg.theta = theta

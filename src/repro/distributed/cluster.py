@@ -26,10 +26,16 @@ speedup does not depend on parameter values, only on the protocol).
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.distributed.batching import (
+    GroupTable,
+    supports_unit_batching,
+    train_message_batch,
+)
 from repro.distributed.costmodel import CostModel
 from repro.distributed.dataplane import DataPlane
 from repro.distributed.interfaces import get_params_many, set_params_many
@@ -44,7 +50,12 @@ __all__ = ["SimulatedCluster", "WStepStats", "ZStepStats", "FaultEvent"]
 
 @dataclass
 class WStepStats:
-    """Virtual-clock accounting for one W step."""
+    """Virtual-clock accounting for one W step.
+
+    ``wall_time`` is the coordinator-observed wall clock of the step —
+    virtual time models the cluster, wall time measures this process's
+    actual numerics (what the batched-W-step speedup shows up in).
+    """
 
     sim_time: float = 0.0
     comp_time: float = 0.0  # summed over machines
@@ -53,6 +64,7 @@ class WStepStats:
     n_messages: int = 0  # hops performed
     bytes_sent: int = 0
     ticks: int = 0  # sync engine only
+    wall_time: float = 0.0
     per_machine_comp: dict = field(default_factory=dict)
     per_machine_comm: dict = field(default_factory=dict)
 
@@ -63,6 +75,7 @@ class ZStepStats:
 
     sim_time: float = 0.0
     z_changes: int = 0
+    wall_time: float = 0.0
     per_machine_time: dict = field(default_factory=dict)
 
 
@@ -103,7 +116,13 @@ class SimulatedCluster:
         little effect on the accuracy"). When set (e.g. ``np.float32``),
         every hop round-trips the parameters through that dtype, and both
         ``bytes_sent`` and the per-hop communication time shrink by the
-        itemsize ratio. None keeps full float64 messages.
+        itemsize ratio. None keeps messages at the model's full compute
+        precision.
+    batch_units : bool
+        Train co-resident compatible submodels as one stacked pass per
+        machine visit (see :mod:`repro.distributed.batching`); engages
+        only with ``shuffle_within=False`` on adapters implementing
+        ``w_update_batch``.
     dataplane : DataPlane or None
         Shard-ownership bookkeeping. The execution backends construct one
         and hand it in so streaming/fault counters are visible through the
@@ -127,6 +146,7 @@ class SimulatedCluster:
         engine: str = "sync",
         execute_updates: bool = True,
         message_dtype=None,
+        batch_units: bool = True,
         dataplane: DataPlane | None = None,
         seed=None,
     ):
@@ -155,9 +175,16 @@ class SimulatedCluster:
         self.engine = engine
         self.execute_updates = bool(execute_updates)
         self.message_dtype = message_dtype
-        # Hop time and bytes scale with the wire itemsize (8 = float64).
+        self.batch_units = bool(batch_units)
+        self._compute_dtype = np.dtype(
+            getattr(adapter, "compute_dtype", np.float64)
+        )
+        # Hop time and bytes scale with the wire itemsize relative to the
+        # compute dtype's (both default to 8 = float64).
         self._comm_scale = (
-            1.0 if message_dtype is None else message_dtype.itemsize / 8.0
+            1.0
+            if message_dtype is None
+            else message_dtype.itemsize / self._compute_dtype.itemsize
         )
 
         self._route_rng = check_random_state(seed)
@@ -222,50 +249,72 @@ class SimulatedCluster:
         epoch_idx = self._sgd_epochs - msg.epochs_left
         return rings[min(epoch_idx, len(rings) - 1)].successor(p)
 
-    def _initial_messages(self) -> dict[int, list[SubmodelMessage]]:
-        """Home assignment: contiguous portions of sid-ordered submodels
-        (fig. 2's layout), seeded into each home machine's queue."""
+    def _home_assignment(self) -> dict[int, int]:
+        """sid -> home machine: contiguous portions of the sid-ordered
+        submodel list over the machines in cycle order (fig. 2's layout —
+        the same dealing the wall-clock engines plan with)."""
         specs = self.adapter.submodel_specs()
         machines = self.machines
         P = len(machines)
-        queues: dict[int, list[SubmodelMessage]] = {p: [] for p in machines}
-        for i, (spec, theta) in enumerate(
-            zip(specs, get_params_many(self.adapter, specs))
-        ):
-            home = machines[i * P // len(specs)]
+        return {
+            spec.sid: machines[i * P // len(specs)] for i, spec in enumerate(specs)
+        }
+
+    def _units_batched(self) -> bool:
+        """Whether this W step runs batched co-resident-unit updates."""
+        return (
+            self.batch_units
+            and self.execute_updates
+            and not self.shuffle_within
+            and supports_unit_batching(self.adapter)
+        )
+
+    def _initial_messages(self) -> dict[int, list[SubmodelMessage]]:
+        """Home assignment seeded into each home machine's queue."""
+        specs = self.adapter.submodel_specs()
+        homes = self._home_assignment()
+        queues: dict[int, list[SubmodelMessage]] = {p: [] for p in self.machines}
+        for spec, theta in zip(specs, get_params_many(self.adapter, specs)):
             msg = SubmodelMessage(
                 spec=spec,
                 theta=np.array(theta, copy=True),
                 sgd_state=SGDState(),
-                to_visit=set(machines),
+                to_visit=set(self.machines),
                 epochs_left=self._sgd_epochs,
             )
-            queues[home].append(msg)
+            queues[homes[spec.sid]].append(msg)
         return queues
 
-    def _process_visit(self, msg: SubmodelMessage, p: int, mu: float) -> float:
+    def _train_inline(self, msg: SubmodelMessage, p: int, mu: float) -> None:
+        """The legacy per-unit SGD pass for one visit of one submodel."""
+        for _ in range(self._passes_per_visit):
+            msg.theta = self.adapter.w_update(
+                msg.spec,
+                msg.theta,
+                msg.sgd_state,
+                self.shards[p],
+                mu,
+                batch_size=self.batch_size,
+                shuffle=self.shuffle_within,
+                rng=self._machine_rngs[p],
+            )
+
+    def _process_visit(
+        self, msg: SubmodelMessage, p: int, mu: float, *, pretrained: bool = False
+    ) -> float:
         """Apply one visit of ``msg`` at machine ``p``; returns work time.
 
         Mutates the message (training, visit bookkeeping) and the machine's
-        local store. Does not route.
+        local store. Does not route. ``pretrained`` marks visits whose
+        numerics already ran through the batched co-resident-unit pass.
         """
         msg.counter += 1
         shard = self.shards[p]
         work = 0.0
         if not msg.training_done:
             if p in msg.to_visit:
-                if self.execute_updates:
-                    for _ in range(self._passes_per_visit):
-                        msg.theta = self.adapter.w_update(
-                            msg.spec,
-                            msg.theta,
-                            msg.sgd_state,
-                            shard,
-                            mu,
-                            batch_size=self.batch_size,
-                            shuffle=self.shuffle_within,
-                            rng=self._machine_rngs[p],
-                        )
+                if self.execute_updates and not pretrained:
+                    self._train_inline(msg, p, mu)
                 work = self.cost.w_work(p, shard.n, self._passes_per_visit)
                 msg.to_visit.discard(p)
             if not msg.to_visit:
@@ -288,7 +337,9 @@ class SimulatedCluster:
     def _transmit(self, msg: SubmodelMessage) -> SubmodelMessage:
         """Apply wire-precision loss to a message about to be sent."""
         if self.message_dtype is not None:
-            msg.theta = msg.theta.astype(self.message_dtype).astype(np.float64)
+            msg.theta = msg.theta.astype(self.message_dtype).astype(
+                self._compute_dtype
+            )
         return msg
 
     def _assemble(self) -> None:
@@ -310,6 +361,7 @@ class SimulatedCluster:
     # ----------------------------------------------------------- W step
     def w_step(self, mu: float, *, fault: FaultEvent | None = None) -> WStepStats:
         """Run one full W step; assembles the final model into the adapter."""
+        t0 = time.perf_counter()
         if self.engine == "sync":
             stats = self._w_step_sync(mu, fault)
         else:
@@ -317,11 +369,54 @@ class SimulatedCluster:
                 raise ValueError("fault injection is only supported by the sync engine")
             stats = self._w_step_async(mu)
         self._assemble()
+        stats.wall_time = time.perf_counter() - t0
         return stats
+
+    def _train_tick_groups(
+        self, batch, p: int, mu: float, table: GroupTable
+    ) -> None:
+        """Batched numerics for one machine's tick batch (sync engine).
+
+        Lockstep delivery keeps convoys intact, so the trainable messages
+        of one tick partition into complete convoy groups — keyed by the
+        shared :class:`GroupTable`'s (home, batch_key) group id plus the
+        visit counter, the same definition every other engine uses; each
+        group runs as one stacked pass, submodels whose adapter opts out
+        (``batch_key`` None) fall back to the per-unit kernel. No
+        completeness wait is needed (or wanted: mid-W-step fault recovery
+        can strand partial convoys in a queue, and a tick must train
+        whatever is co-resident). Visit bookkeeping, cost accounting and
+        routing stay per-message in :meth:`_process_visit` (called with
+        ``pretrained=True``).
+        """
+        groups: dict[tuple, list[SubmodelMessage]] = {}
+        singles: list[SubmodelMessage] = []
+        for msg in batch:
+            if msg.training_done or p not in msg.to_visit:
+                continue
+            gid = table.group_of.get(msg.spec.sid)
+            if gid is None:
+                singles.append(msg)
+            else:
+                groups.setdefault((gid, msg.counter), []).append(msg)
+        for msgs in groups.values():
+            msgs.sort(key=lambda m: m.spec.sid)
+            train_message_batch(
+                self.adapter, msgs, self.shards[p], mu,
+                passes=self._passes_per_visit, batch_size=self.batch_size,
+                rng=self._machine_rngs[p],
+            )
+        for msg in singles:
+            self._train_inline(msg, p, mu)
 
     def _w_step_sync(self, mu: float, fault: FaultEvent | None) -> WStepStats:
         rings = self._rings()
         queues = self._initial_messages()
+        table = (
+            GroupTable(self.adapter, self._home_assignment())
+            if self._units_batched()
+            else None
+        )
         stats = WStepStats(
             per_machine_comp={p: 0.0 for p in self.machines},
             per_machine_comm={p: 0.0 for p in self.machines},
@@ -338,8 +433,12 @@ class SimulatedCluster:
                 batch, queues[p] = queues[p], []
                 work_p = comm_p = 0.0
                 sends: list[tuple[int, SubmodelMessage]] = []
+                if table is not None:
+                    self._train_tick_groups(batch, p, mu, table)
                 for msg in batch:
-                    work_p += self._process_visit(msg, p, mu)
+                    work_p += self._process_visit(
+                        msg, p, mu, pretrained=table is not None
+                    )
                     if not msg.done:
                         q = self._successor(rings, msg, p)
                         comm_p += self.cost.comm(p, q) * self._comm_scale
@@ -363,9 +462,117 @@ class SimulatedCluster:
         stats.ticks = tick
         return stats
 
+    class _DeferredBatching:
+        """Batched-mode visit machinery for the discrete-event engine.
+
+        Bookkeeping, cost accounting and routing state advance at pop time
+        exactly as in :meth:`_process_visit` (they never read parameter
+        values), but the *numerics* of a training visit are deferred until
+        the message's whole convoy group has popped at the machine — then
+        the group trains as one stacked pass. Event order makes the
+        deferral safe for downstream *training* reads: a group's last
+        member is only pushed onward during the pop that completes the
+        group, so a successor's deferred numerics always run strictly
+        later in the heap order than this machine's.
+
+        Broadcast visits are the one place a reader can outrun pending
+        numerics: the message object is pushed onward at pop time, so a
+        broadcast machine may pop it while an upstream training visit is
+        still waiting for its convoy. Its store copy is therefore
+        registered as a *lazy copy* and back-filled (theta, SGD state)
+        every time one of the message's outstanding training visits
+        completes — the last completion writes the final parameters, which
+        is exactly what the legacy engine would have stored.
+        """
+
+        def __init__(self, cluster: "SimulatedCluster", mu: float):
+            self.cluster = cluster
+            self.mu = mu
+            self.table = GroupTable(cluster.adapter, cluster._home_assignment())
+            self.pending: dict[tuple, list] = {}  # (p, gid, counter) -> pairs
+            self.outstanding: dict[int, int] = {}  # sid -> deferred visits
+            self.lazy: dict[int, list] = {}  # sid -> store copies to back-fill
+
+        @property
+        def n_pending(self) -> int:
+            return sum(len(bucket) for bucket in self.pending.values())
+
+        def visit(self, msg: SubmodelMessage, p: int) -> float:
+            cluster = self.cluster
+            msg.counter += 1
+            shard = cluster.shards[p]
+            work = 0.0
+            trains = False
+            if not msg.training_done:
+                if p in msg.to_visit:
+                    trains = True
+                    work = cluster.cost.w_work(p, shard.n, cluster._passes_per_visit)
+                    msg.to_visit.discard(p)
+                if not msg.to_visit:
+                    msg.epochs_left -= 1
+                    if msg.epochs_left > 0:
+                        msg.to_visit = set(cluster.machines)
+                    else:
+                        msg.to_broadcast = set(cluster.machines) - {p}
+            else:
+                msg.to_broadcast.discard(p)
+            sid = msg.spec.sid
+            if not trains:
+                stored = msg.copy()
+                cluster._stores[p][sid] = stored
+                if self.outstanding.get(sid, 0):
+                    # Upstream numerics still pending: back-fill later.
+                    self.lazy.setdefault(sid, []).append(stored)
+                elif cluster.n_machines > 1:
+                    cluster._transmit(msg)
+                    stored.theta = np.array(msg.theta, copy=True)
+                return work
+            # The store receives its copy now (legacy write order) but the
+            # parameters land in it when the group's numerics run.
+            stored = msg.copy()
+            cluster._stores[p][sid] = stored
+            self.outstanding[sid] = self.outstanding.get(sid, 0) + 1
+            gid = self.table.group_of.get(sid)
+            if gid is None:
+                self._finish(p, [(msg, stored)], batched=False)
+                return work
+            bucket = self.pending.setdefault((p, gid, msg.counter), [])
+            bucket.append((msg, stored))
+            if len(bucket) == self.table.group_size[gid]:
+                del self.pending[(p, gid, msg.counter)]
+                bucket.sort(key=lambda pair: pair[0].spec.sid)
+                self._finish(p, bucket, batched=True)
+            return work
+
+        def _finish(self, p: int, pairs, *, batched: bool) -> None:
+            """Run a completed group's numerics, wire cast and store fills."""
+            cluster = self.cluster
+            msgs = [msg for msg, _ in pairs]
+            if batched:
+                train_message_batch(
+                    cluster.adapter, msgs, cluster.shards[p], self.mu,
+                    passes=cluster._passes_per_visit,
+                    batch_size=cluster.batch_size,
+                    rng=cluster._machine_rngs[p],
+                )
+            else:
+                for msg in msgs:
+                    cluster._train_inline(msg, p, self.mu)
+            for msg, stored in pairs:
+                if cluster.n_machines > 1:
+                    cluster._transmit(msg)
+                sid = msg.spec.sid
+                self.outstanding[sid] -= 1
+                for copy_ in (stored, *self.lazy.get(sid, ())):
+                    copy_.theta = np.array(msg.theta, copy=True)
+                    copy_.sgd_state = msg.sgd_state.copy()
+                if not self.outstanding[sid]:
+                    self.lazy.pop(sid, None)
+
     def _w_step_async(self, mu: float) -> WStepStats:
         rings = self._rings()
         queues = self._initial_messages()
+        deferred = self._DeferredBatching(self, mu) if self._units_batched() else None
         stats = WStepStats(
             per_machine_comp={p: 0.0 for p in self.machines},
             per_machine_comm={p: 0.0 for p in self.machines},
@@ -382,7 +589,10 @@ class SimulatedCluster:
             arrival, _, p, msg = heapq.heappop(heap)
             start = max(clock[p], arrival)
             stats.idle_time += max(0.0, arrival - clock[p]) if clock[p] < arrival else 0.0
-            work = self._process_visit(msg, p, mu)
+            if deferred is not None:
+                work = deferred.visit(msg, p)
+            else:
+                work = self._process_visit(msg, p, mu)
             clock[p] = start + work
             stats.comp_time += work
             stats.per_machine_comp[p] += work
@@ -398,10 +608,18 @@ class SimulatedCluster:
                 stats.per_machine_comm[p] += hop
                 if p != q:
                     stats.bytes_sent += int(msg.nbytes * self._comm_scale)
-                    self._transmit(msg)
+                    if deferred is None:
+                        # Batched mode applies the wire cast when the
+                        # group's deferred numerics run.
+                        self._transmit(msg)
                 stats.n_messages += 1
                 heapq.heappush(heap, (clock[p], seq, q, msg))
                 seq += 1
+        if deferred is not None and deferred.n_pending:
+            raise RuntimeError(
+                f"{deferred.n_pending} submodel visit(s) never completed "
+                "their batch group — convoy tracking bug"
+            )
         stats.sim_time = max(clock.values(), default=0.0)
         return stats
 
@@ -461,6 +679,7 @@ class SimulatedCluster:
     # ------------------------------------------------------------- Z step
     def z_step(self, mu: float) -> ZStepStats:
         """Run the Z step on every shard — no communication at all."""
+        t0 = time.perf_counter()
         stats = ZStepStats(per_machine_time={})
         n_submodels = len(self.adapter.submodel_specs())
         for p in self.machines:
@@ -470,6 +689,7 @@ class SimulatedCluster:
             t = self.cost.z_work(p, shard.n, n_submodels)
             stats.per_machine_time[p] = t
         stats.sim_time = max(stats.per_machine_time.values(), default=0.0)
+        stats.wall_time = time.perf_counter() - t0
         return stats
 
     def iteration(self, mu: float, *, fault: FaultEvent | None = None):

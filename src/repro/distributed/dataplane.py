@@ -109,6 +109,12 @@ class DataPlane:
 
     # ------------------------------------------------------------ ownership
     @property
+    def compute_dtype(self) -> np.dtype:
+        """The adapter's end-to-end float precision (float64 for adapters
+        that do not declare one)."""
+        return np.dtype(getattr(self.adapter, "compute_dtype", np.float64))
+
+    @property
     def machines(self) -> list[int]:
         """Machine ids currently owning a shard, in id order."""
         return sorted(self.shards)
@@ -167,9 +173,11 @@ class DataPlane:
         never silently skip the other: the batch must be 2-d, non-empty
         and match ``shard``'s width, ``shard``'s type must support
         streaming, and the adapter must be able to code new rows.
-        Returns the batch as a float64 2-d array.
+        Returns the batch as a 2-d array in the adapter's compute dtype,
+        so streamed rows enter the plane at the same precision the model
+        trains in.
         """
-        X_new = np.asarray(X_new, dtype=np.float64)
+        X_new = np.asarray(X_new, dtype=self.compute_dtype)
         if X_new.ndim != 2:
             raise ValueError(
                 f"X_new must be 2-d (rows, features), got shape {X_new.shape}"

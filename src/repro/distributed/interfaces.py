@@ -13,6 +13,24 @@ into an adapter for the actual numerics. An adapter supplies:
 
 This mirrors the paper's observation that ParMAC is a *meta*-algorithm: the
 ring protocol is identical for any nested model (section 9).
+
+Adapters may additionally implement the **batched W-step** entry points
+(both adapters in this repo do):
+
+* ``batch_key(spec)`` — a hashable compatibility key; submodels of one
+  home block sharing a key may train as one stacked pass (same layer for
+  a net, same kind for a BA). ``None`` opts a submodel out.
+* ``w_update_batch(specs, thetas, states, shard, mu, *, batch_size,
+  shuffle, rng)`` — one shared SGD pass for a compatible group, collapsing
+  the group's per-unit loops into one GEMM per minibatch; returns the new
+  theta per spec. Only called with ``shuffle=False`` (a shared pass shares
+  its draw order).
+* ``compute_dtype`` — the model's end-to-end float precision; engines,
+  the data plane and checkpoints thread it through so reduced-precision
+  training (paper section 9) is a model property, not a per-engine hack.
+
+Engines drive these through :mod:`repro.distributed.batching` behind the
+``batch_units`` backend knob.
 """
 
 from __future__ import annotations

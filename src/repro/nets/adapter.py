@@ -41,10 +41,20 @@ class NetShard:
         return len(self.X)
 
 
-def make_net_shards(X, Y, Zs, parts) -> list[NetShard]:
-    """Materialise deep-net shards from global arrays and a partition."""
-    X = np.asarray(X, dtype=np.float64)
-    Y = np.asarray(Y, dtype=np.float64)
+def make_net_shards(X, Y, Zs, parts, *, dtype=None) -> list[NetShard]:
+    """Materialise deep-net shards from global arrays and a partition.
+
+    ``dtype`` fixes the shards' compute precision; when omitted it is
+    inferred from the auxiliary coordinates (which the net's forward pass
+    produced in the model's compute dtype), falling back to float64.
+    """
+    if dtype is None:
+        z_dtype = np.asarray(Zs[0]).dtype if len(Zs) else np.dtype(np.float64)
+        dtype = z_dtype if z_dtype.kind == "f" else np.dtype(np.float64)
+    dtype = np.dtype(dtype)
+    X = np.asarray(X, dtype=dtype)
+    Y = np.asarray(Y, dtype=dtype)
+    Zs = [np.asarray(Z, dtype=dtype) for Z in Zs]
     return [
         NetShard(X=X[idx].copy(), Y=Y[idx].copy(), Zs=[Z[idx].copy() for Z in Zs])
         for idx in parts
@@ -81,20 +91,31 @@ class NetAdapter:
     def submodel_specs(self) -> list[SubmodelSpec]:
         return list(self._specs)
 
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """End-to-end compute precision (the model's parameter dtype)."""
+        return self.model.compute_dtype
+
+    def batch_key(self, spec: SubmodelSpec):
+        """Units of one layer may share a batched W update (they read the
+        same shard inputs/targets, so their SGD passes stack into one
+        GEMM per minibatch)."""
+        return ("unit", spec.index[0])
+
     # ------------------------------------------------------------- params
     def get_params(self, spec: SubmodelSpec) -> np.ndarray:
         k, j = spec.index
         layer = self.model.layers[k]
-        return np.concatenate([layer.W[j], [layer.b[j]]])
+        return np.concatenate([layer.W[j], layer.b[j : j + 1]])
 
     def set_params(self, spec: SubmodelSpec, theta: np.ndarray) -> None:
         k, j = spec.index
         layer = self.model.layers[k]
-        theta = np.asarray(theta, dtype=np.float64).ravel()
+        theta = np.asarray(theta, dtype=layer.W.dtype).ravel()
         if theta.shape != (layer.n_in + 1,):
             raise ValueError(f"expected {layer.n_in + 1} params, got {theta.shape}")
         layer.W[j] = theta[:-1]
-        layer.b[j] = float(theta[-1])
+        layer.b[j] = theta[-1]
 
     # Batched variants: the engines read every resident unit at seeding
     # and write all M units back at assembly, every iteration, on every
@@ -125,7 +146,7 @@ class NetAdapter:
             layer = self.model.layers[k]
             rows = np.fromiter((s.index[1] for s, _ in group), dtype=np.intp)
             Theta = np.stack(
-                [np.asarray(th, dtype=np.float64).ravel() for _, th in group]
+                [np.asarray(th, dtype=layer.W.dtype).ravel() for _, th in group]
             )
             if Theta.shape[1] != layer.n_in + 1:
                 raise ValueError(
@@ -154,18 +175,86 @@ class NetAdapter:
         A_in = shard.X if k == 0 else shard.Zs[k - 1]
         target = shard.Y if k == len(self.model.layers) - 1 else shard.Zs[k]
         t = target[:, j] if target.ndim == 2 else target
-        w = np.array(theta[:-1], copy=True)
-        b = float(theta[-1])
+        theta = np.asarray(theta, dtype=layer.W.dtype).ravel()
+        w = theta[:-1].copy()
+        b = theta[-1]
+        f, fprime = ACTIVATIONS[layer.activation]
         for idx in minibatch_indices(shard.n, batch_size, shuffle=shuffle, rng=rng):
             eta = self.w_schedule.rate(state.t) / len(idx)
             pre = A_in[idx] @ w + b
-            f, fprime = ACTIVATIONS[layer.activation]
             a = f(pre)
             delta = (a - t[idx]) * fprime(a)
             w -= eta * (delta @ A_in[idx])
-            b -= eta * float(delta.sum())
+            b = b - eta * delta.sum()
             state.advance(len(idx))
-        return np.concatenate([w, [b]])
+        return np.concatenate([w, np.asarray([b], dtype=w.dtype)])
+
+    def w_update_batch(
+        self,
+        specs,
+        thetas,
+        states,
+        shard: NetShard,
+        mu: float,
+        *,
+        batch_size: int,
+        shuffle: bool,
+        rng,
+    ) -> list[np.ndarray]:
+        """One shared SGD pass of co-resident units of one layer.
+
+        The whole group draws a single minibatch index order (sequential —
+        per-unit shuffling would demand per-unit draws, which is why the
+        engines fall back to :meth:`w_update` when ``shuffle_within`` is
+        on) and each minibatch becomes one stacked GEMM: the per-unit
+        ``delta`` vectors form an ``(n_batch, m_units)`` matrix and all
+        gradients come from one ``Delta.T @ A_in[idx]`` instead of
+        ``m_units`` Python-level loops. Per-unit step-size schedules are
+        preserved: each unit's carried ``SGDState`` drives its own row of
+        the update.
+        """
+        if shuffle:
+            raise ValueError(
+                "batched W updates share one draw order; per-unit shuffling "
+                "(shuffle_within=True) requires the per-unit w_update path"
+            )
+        ks = {spec.index[0] for spec in specs}
+        if len(ks) != 1:
+            raise ValueError(
+                f"a unit batch must come from one layer, got layers {sorted(ks)}"
+            )
+        (k,) = ks
+        layer = self.model.layers[k]
+        cd = layer.W.dtype
+        A_in = shard.X if k == 0 else shard.Zs[k - 1]
+        target = shard.Y if k == len(self.model.layers) - 1 else shard.Zs[k]
+        cols = np.fromiter((spec.index[1] for spec in specs), dtype=np.intp)
+        T = target[:, cols] if target.ndim == 2 else np.asarray(target)[:, None]
+        Theta = np.stack([np.asarray(th, dtype=cd).ravel() for th in thetas])
+        if Theta.shape[1] != layer.n_in + 1:
+            raise ValueError(
+                f"expected {layer.n_in + 1} params per unit, got {Theta.shape[1]}"
+            )
+        W = np.ascontiguousarray(Theta[:, :-1])
+        b = np.ascontiguousarray(Theta[:, -1])
+        f, fprime = ACTIVATIONS[layer.activation]
+        n = shard.n
+        for start in range(0, n, batch_size):
+            sl = slice(start, min(start + batch_size, n))
+            m_b = sl.stop - sl.start
+            # Same scalar rounding as the per-unit path: rate/m in float64,
+            # then one cast into the compute dtype.
+            etas = (
+                np.array([self.w_schedule.rate(st.t) for st in states]) / m_b
+            ).astype(cd)
+            Pre = A_in[sl] @ W.T + b
+            A = f(Pre)
+            Delta = (A - T[sl]) * fprime(A)
+            W -= etas[:, None] * (Delta.T @ A_in[sl])
+            b -= etas * Delta.sum(axis=0)
+            for st in states:
+                st.advance(m_b)
+        return [np.concatenate([W[i], b[i : i + 1]]) for i in range(len(specs))]
 
     # ------------------------------------------------------------- Z step
     def z_update(self, shard: NetShard, mu: float) -> int:

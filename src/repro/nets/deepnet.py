@@ -25,6 +25,11 @@ class DeepNet:
                 raise ValueError(
                     f"layer size mismatch: {prev.n_out} -> {nxt.n_in}"
                 )
+        dtypes = {lay.dtype for lay in layers}
+        if len(dtypes) > 1:
+            raise ValueError(
+                f"all layers must share one compute dtype, got {sorted(map(str, dtypes))}"
+            )
         self.layers = layers
 
     @classmethod
@@ -35,15 +40,23 @@ class DeepNet:
         hidden_activation: str = "sigmoid",
         output_activation: str = "linear",
         rng=None,
+        dtype=np.float64,
     ) -> "DeepNet":
-        """Random net with layer widths ``sizes = [d_in, h_1, ..., d_out]``."""
+        """Random net with layer widths ``sizes = [d_in, h_1, ..., d_out]``.
+
+        ``dtype`` sets the end-to-end compute precision: parameters,
+        forward passes and (through the adapters) every W/Z update run in
+        it (paper section 9's reduced-precision refinement).
+        """
         if len(sizes) < 2:
             raise ValueError("sizes must list at least input and output widths")
         rng = check_random_state(rng)
         layers = []
         for i in range(len(sizes) - 1):
             act = output_activation if i == len(sizes) - 2 else hidden_activation
-            layers.append(DenseLayer.create(sizes[i], sizes[i + 1], act, rng=rng))
+            layers.append(
+                DenseLayer.create(sizes[i], sizes[i + 1], act, rng=rng, dtype=dtype)
+            )
         return cls(layers)
 
     # ------------------------------------------------------------------ API
@@ -56,8 +69,13 @@ class DeepNet:
     def sizes(self) -> list[int]:
         return [self.layers[0].n_in] + [lay.n_out for lay in self.layers]
 
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """The net's end-to-end compute precision (all layers share it)."""
+        return self.layers[0].dtype
+
     def forward(self, X: np.ndarray) -> np.ndarray:
-        A = np.asarray(X, dtype=np.float64)
+        A = np.asarray(X, dtype=self.compute_dtype)
         for layer in self.layers:
             A = layer.forward(A)
         return A
@@ -65,7 +83,7 @@ class DeepNet:
     def activations(self, X: np.ndarray) -> list[np.ndarray]:
         """Per-layer outputs ``[f_1(x), f_2(f_1(x)), ..., f(x)]``."""
         out = []
-        A = np.asarray(X, dtype=np.float64)
+        A = np.asarray(X, dtype=self.compute_dtype)
         for layer in self.layers:
             A = layer.forward(A)
             out.append(A)
@@ -73,7 +91,7 @@ class DeepNet:
 
     def loss(self, X: np.ndarray, Y: np.ndarray) -> float:
         """Nested objective ``1/2 sum ||y - f(x)||^2`` (eq. 4)."""
-        R = np.asarray(Y, dtype=np.float64) - self.forward(X)
+        R = np.asarray(Y, dtype=self.compute_dtype) - self.forward(X)
         return 0.5 * float((R * R).sum())
 
     def copy(self) -> "DeepNet":

@@ -71,8 +71,13 @@ class DenseLayer:
     activation: str = "sigmoid"
 
     def __post_init__(self):
-        self.W = np.asarray(self.W, dtype=np.float64)
-        self.b = np.asarray(self.b, dtype=np.float64).ravel()
+        # The layer's compute precision is carried by W's float dtype
+        # (paper section 9: reduced-precision storage and computation);
+        # non-float inputs are promoted to the float64 default.
+        self.W = np.asarray(self.W)
+        if self.W.dtype.kind != "f":
+            self.W = self.W.astype(np.float64)
+        self.b = np.asarray(self.b, dtype=self.W.dtype).ravel()
         if self.W.ndim != 2 or self.b.shape != (self.W.shape[0],):
             raise ValueError(
                 f"inconsistent layer shapes W={self.W.shape}, b={self.b.shape}"
@@ -84,15 +89,17 @@ class DenseLayer:
 
     @classmethod
     def create(
-        cls, n_in: int, n_out: int, activation: str = "sigmoid", *, rng=None, scale=None
+        cls, n_in: int, n_out: int, activation: str = "sigmoid", *, rng=None,
+        scale=None, dtype=np.float64
     ) -> "DenseLayer":
-        """Random Glorot-style initialisation."""
+        """Random Glorot-style initialisation (in ``dtype`` precision)."""
         rng = check_random_state(rng)
         if scale is None:
             scale = np.sqrt(2.0 / (n_in + n_out))
+        dtype = np.dtype(dtype)
         return cls(
-            W=rng.normal(0.0, scale, size=(n_out, n_in)),
-            b=np.zeros(n_out),
+            W=rng.normal(0.0, scale, size=(n_out, n_in)).astype(dtype),
+            b=np.zeros(n_out, dtype=dtype),
             activation=activation,
         )
 
@@ -104,8 +111,13 @@ class DenseLayer:
     def n_out(self) -> int:
         return self.W.shape[0]
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Compute precision of this layer's parameters and forward pass."""
+        return self.W.dtype
+
     def preactivation(self, X: np.ndarray) -> np.ndarray:
-        return X @ self.W.T + self.b
+        return np.asarray(X, dtype=self.W.dtype) @ self.W.T + self.b
 
     def forward(self, X: np.ndarray) -> np.ndarray:
         f, _ = ACTIVATIONS[self.activation]

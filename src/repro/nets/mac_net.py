@@ -77,24 +77,29 @@ class MACTrainerNet:
         self.history_: TrainingHistory | None = None
 
     # --------------------------------------------------------- objectives
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """The net's end-to-end compute precision."""
+        return self.net.compute_dtype
+
     def e_q(self, X, Y, Zs, mu: float) -> float:
         """Quadratic-penalty objective, eq. (6)."""
-        ins = [np.asarray(X, dtype=np.float64)] + list(Zs)
+        ins = [np.asarray(X, dtype=self.compute_dtype)] + list(Zs)
         total = 0.0
         for k, layer in enumerate(self.net.layers[:-1]):
             R = Zs[k] - layer.forward(ins[k])
             total += 0.5 * mu * float((R * R).sum())
-        R = np.asarray(Y, dtype=np.float64) - self.net.layers[-1].forward(Zs[-1])
+        R = np.asarray(Y, dtype=self.compute_dtype) - self.net.layers[-1].forward(Zs[-1])
         total += 0.5 * float((R * R).sum())
         return total
 
     def _e_q_per_point(self, X, Y, Zs, mu: float) -> np.ndarray:
-        ins = [np.asarray(X, dtype=np.float64)] + list(Zs)
+        ins = [np.asarray(X, dtype=self.compute_dtype)] + list(Zs)
         total = np.zeros(len(X))
         for k, layer in enumerate(self.net.layers[:-1]):
             R = Zs[k] - layer.forward(ins[k])
             total += 0.5 * mu * (R * R).sum(axis=1)
-        R = np.asarray(Y, dtype=np.float64) - self.net.layers[-1].forward(Zs[-1])
+        R = np.asarray(Y, dtype=self.compute_dtype) - self.net.layers[-1].forward(Zs[-1])
         total += 0.5 * (R * R).sum(axis=1)
         return total
 
@@ -122,15 +127,15 @@ class MACTrainerNet:
 
     def w_step(self, X: np.ndarray, Y: np.ndarray, Zs: list[np.ndarray]) -> None:
         """Train every layer on its (input, target) coordinate pair."""
-        ins = [np.asarray(X, dtype=np.float64)] + list(Zs)
-        targets = list(Zs) + [np.asarray(Y, dtype=np.float64)]
+        ins = [np.asarray(X, dtype=self.compute_dtype)] + list(Zs)
+        targets = list(Zs) + [np.asarray(Y, dtype=self.compute_dtype)]
         for k, layer in enumerate(self.net.layers):
             self._train_layer(layer, ins[k], targets[k])
 
     # ------------------------------------------------------------- Z step
     def _z_gradients(self, X, Y, Zs, mu: float) -> list[np.ndarray]:
         """Gradient of E_Q w.r.t. each Z_k, vectorised over points."""
-        ins = [np.asarray(X, dtype=np.float64)] + list(Zs)
+        ins = [np.asarray(X, dtype=self.compute_dtype)] + list(Zs)
         grads = []
         for k in range(len(Zs)):
             layer_k = self.net.layers[k]
@@ -141,7 +146,7 @@ class MACTrainerNet:
                 R_next = Zs[k + 1] - A_next
                 weight = mu
             else:
-                R_next = np.asarray(Y, dtype=np.float64) - A_next
+                R_next = np.asarray(Y, dtype=self.compute_dtype) - A_next
                 weight = 1.0
             g -= weight * (R_next * nxt.derivative_from_output(A_next)) @ nxt.W
             grads.append(g)
@@ -168,8 +173,8 @@ class MACTrainerNet:
     # ----------------------------------------------------------------- fit
     def fit(self, X: np.ndarray, Y: np.ndarray) -> TrainingHistory:
         """Run MAC over the mu schedule; returns the history (E_Q, nested)."""
-        X = np.asarray(X, dtype=np.float64)
-        Y = np.asarray(Y, dtype=np.float64)
+        X = np.asarray(X, dtype=self.compute_dtype)
+        Y = np.asarray(Y, dtype=self.compute_dtype)
         if Y.ndim == 1:
             Y = Y[:, None]
         if len(X) != len(Y):

@@ -18,7 +18,7 @@ import numpy as np
 from repro.optim.schedules import InverseSchedule
 from repro.optim.sgd import SGDState, sgd_epoch
 from repro.utils.rng import check_random_state
-from repro.utils.validation import check_array, check_positive
+from repro.utils.validation import check_array, check_float_dtype, check_positive
 
 __all__ = ["LinearRegression", "squared_loss"]
 
@@ -39,6 +39,9 @@ class LinearRegression:
     lam : float
         L2 regularisation on ``W`` (0 disables it; the closed-form solve
         then uses plain ``lstsq``).
+    dtype : float dtype, optional
+        Compute precision of the parameters and every SGD step; default
+        float64.
 
     Attributes
     ----------
@@ -46,7 +49,8 @@ class LinearRegression:
     c : ndarray of shape (n_outputs,)
     """
 
-    def __init__(self, n_inputs: int, n_outputs: int, *, lam: float = 0.0, schedule=None):
+    def __init__(self, n_inputs: int, n_outputs: int, *, lam: float = 0.0,
+                 schedule=None, dtype=np.float64):
         if n_inputs < 1 or n_outputs < 1:
             raise ValueError(
                 f"n_inputs and n_outputs must be >= 1, got {n_inputs}, {n_outputs}"
@@ -57,8 +61,9 @@ class LinearRegression:
         self.n_outputs = int(n_outputs)
         self.lam = float(lam)
         self.schedule = schedule if schedule is not None else InverseSchedule(eta0=0.1, t0=100.0)
-        self.W = np.zeros((self.n_outputs, self.n_inputs), dtype=np.float64)
-        self.c = np.zeros(self.n_outputs, dtype=np.float64)
+        self.dtype = check_float_dtype(dtype)
+        self.W = np.zeros((self.n_outputs, self.n_inputs), dtype=self.dtype)
+        self.c = np.zeros(self.n_outputs, dtype=self.dtype)
 
     # ------------------------------------------------------------------ API
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -77,8 +82,8 @@ class LinearRegression:
         normal equations on the augmented design matrix; the intercept
         column is not regularised.
         """
-        X = check_array(X, name="X")
-        Y = np.asarray(Y, dtype=np.float64)
+        X = check_array(X, name="X", dtype=self.dtype)
+        Y = np.asarray(Y, dtype=self.dtype)
         if Y.ndim == 1:
             Y = Y[:, None]
         if len(X) != len(Y):
@@ -86,9 +91,9 @@ class LinearRegression:
         n = len(X)
         if n == 0:
             raise ValueError("cannot fit on an empty dataset")
-        A = np.hstack([X, np.ones((n, 1))])
+        A = np.hstack([X, np.ones((n, 1), dtype=self.dtype)])
         if self.lam > 0:
-            reg = np.eye(self.n_inputs + 1) * (n * self.lam)
+            reg = np.eye(self.n_inputs + 1, dtype=self.dtype) * (n * self.lam)
             reg[-1, -1] = 0.0  # do not regularise the intercept
             G = A.T @ A + reg
             theta = np.linalg.solve(G, A.T @ Y)
@@ -101,6 +106,7 @@ class LinearRegression:
     # ------------------------------------------------------------ training
     def _step(self, X: np.ndarray, Y: np.ndarray, eta: float) -> None:
         """One minibatch gradient step on the MSE objective."""
+        eta = self.dtype.type(eta)
         m = len(X)
         resid = X @ self.W.T + self.c - Y  # (m, n_outputs)
         grad_W = (2.0 / m) * resid.T @ X + 2.0 * self.lam * self.W
@@ -119,8 +125,8 @@ class LinearRegression:
         rng=None,
     ) -> SGDState:
         """One SGD pass over a shard, continuing the carried ``state``."""
-        X = check_array(X, name="X")
-        Y = np.asarray(Y, dtype=np.float64)
+        X = check_array(X, name="X", dtype=self.dtype)
+        Y = np.asarray(Y, dtype=self.dtype)
         if Y.ndim == 1:
             Y = Y[:, None]
         if len(X) != len(Y):
@@ -156,7 +162,7 @@ class LinearRegression:
         return np.concatenate([self.W.ravel(), self.c])
 
     def set_params(self, theta: np.ndarray) -> None:
-        theta = np.asarray(theta, dtype=np.float64).ravel()
+        theta = np.asarray(theta, dtype=self.dtype).ravel()
         expect = self.n_outputs * self.n_inputs + self.n_outputs
         if theta.shape != (expect,):
             raise ValueError(f"expected {expect} parameters, got {theta.shape}")

@@ -43,23 +43,40 @@ class SGDState:
         return SGDState(t=self.t, n_updates=self.n_updates)
 
 
-def minibatch_indices(
-    n: int, batch_size: int, *, shuffle: bool = True, rng=None
-) -> list[np.ndarray]:
-    """Split ``range(n)`` into minibatches of at most ``batch_size``.
+def minibatch_indices(n: int, batch_size: int, *, shuffle: bool = True, rng=None):
+    """Yield minibatches of at most ``batch_size`` indices covering ``range(n)``.
 
     With ``shuffle`` the order of points is randomised (within-machine
     shuffling, paper section 4.3); the final batch may be smaller.
+
+    Batches are yielded lazily: one epoch over a large shard allocates a
+    single permutation when shuffling and only per-batch index arrays when
+    not — never a full list of every batch (the W step runs this once per
+    submodel per machine visit, so the old eager list was a hot-path
+    allocation). Argument validation still happens eagerly at the call
+    site, and the shuffle order is drawn exactly once, before the first
+    batch is yielded.
     """
     if n < 0:
         raise ValueError(f"n must be >= 0, got {n}")
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    order = np.arange(n)
     if shuffle:
         rng = check_random_state(rng)
-        rng.shuffle(order)
-    return [order[i : i + batch_size] for i in range(0, n, batch_size)]
+
+        def batches():
+            order = np.arange(n)
+            rng.shuffle(order)
+            for i in range(0, n, batch_size):
+                yield order[i : i + batch_size]
+
+    else:
+
+        def batches():
+            for i in range(0, n, batch_size):
+                yield np.arange(i, min(i + batch_size, n))
+
+    return batches()
 
 
 def sgd_epoch(

@@ -18,7 +18,7 @@ import numpy as np
 from repro.optim.schedules import BottouSchedule
 from repro.optim.sgd import SGDState, sgd_epoch
 from repro.utils.rng import check_random_state
-from repro.utils.validation import check_array, check_positive
+from repro.utils.validation import check_array, check_float_dtype, check_positive
 
 __all__ = ["LinearSVM", "hinge_loss", "svm_objective"]
 
@@ -45,23 +45,29 @@ class LinearSVM:
     schedule : optional
         Step-size schedule with a ``rate(t)`` method; defaults to
         :class:`~repro.optim.schedules.BottouSchedule` with this ``lam``.
+    dtype : float dtype, optional
+        Compute precision of the parameters and every SGD step (paper
+        section 9: reduced-precision storage and computation); default
+        float64.
 
     Attributes
     ----------
     w : ndarray of shape (n_features,)
         Weight vector.
-    b : float
+    b : scalar of ``dtype``
         Unregularised bias.
     """
 
-    def __init__(self, n_features: int, *, lam: float = 1e-4, schedule=None):
+    def __init__(self, n_features: int, *, lam: float = 1e-4, schedule=None,
+                 dtype=np.float64):
         if n_features < 1:
             raise ValueError(f"n_features must be >= 1, got {n_features}")
         self.n_features = int(n_features)
         self.lam = check_positive(lam, name="lam")
         self.schedule = schedule if schedule is not None else BottouSchedule(lam=self.lam)
-        self.w = np.zeros(self.n_features, dtype=np.float64)
-        self.b = 0.0
+        self.dtype = check_float_dtype(dtype)
+        self.w = np.zeros(self.n_features, dtype=self.dtype)
+        self.b = self.dtype.type(0.0)
 
     # ------------------------------------------------------------------ API
     def decision_function(self, X: np.ndarray) -> np.ndarray:
@@ -80,6 +86,7 @@ class LinearSVM:
     # ------------------------------------------------------------ training
     def _step(self, X: np.ndarray, y: np.ndarray, eta: float) -> None:
         """One minibatch subgradient step at step size ``eta``."""
+        eta = self.dtype.type(eta)
         scores = X @ self.w + self.b
         active = (y * scores) < 1.0
         m = len(y)
@@ -87,11 +94,11 @@ class LinearSVM:
         if active.any():
             ya = y[active]
             grad_w = grad_w - (ya @ X[active]) / m
-            grad_b = -float(ya.sum()) / m
+            grad_b = -ya.sum() / m
         else:
-            grad_b = 0.0
+            grad_b = self.dtype.type(0.0)
         self.w -= eta * grad_w
-        self.b -= eta * grad_b
+        self.b = self.b - eta * grad_b
 
     def partial_fit(
         self,
@@ -108,8 +115,8 @@ class LinearSVM:
         This is the unit of work a travelling ParMAC submodel performs on
         each machine it visits.
         """
-        X = check_array(X, name="X")
-        y = np.asarray(y, dtype=np.float64).ravel()
+        X = check_array(X, name="X", dtype=self.dtype)
+        y = np.asarray(y, dtype=self.dtype).ravel()
         if len(y) != len(X):
             raise ValueError(f"X has {len(X)} rows but y has {len(y)} labels")
         if len(y) and not np.isin(y, (-1.0, 1.0)).all():
@@ -144,13 +151,13 @@ class LinearSVM:
     # -------------------------------------------------------- (de)serialise
     def get_params(self) -> np.ndarray:
         """Flat parameter vector ``[w, b]`` (what travels over the ring)."""
-        return np.concatenate([self.w, [self.b]])
+        return np.concatenate([self.w, np.asarray([self.b], dtype=self.dtype)])
 
     def set_params(self, theta: np.ndarray) -> None:
-        theta = np.asarray(theta, dtype=np.float64).ravel()
+        theta = np.asarray(theta, dtype=self.dtype).ravel()
         if theta.shape != (self.n_features + 1,):
             raise ValueError(
                 f"expected {self.n_features + 1} parameters, got {theta.shape}"
             )
         self.w = theta[:-1].copy()
-        self.b = float(theta[-1])
+        self.b = theta[-1]

@@ -9,9 +9,26 @@ import numpy as np
 __all__ = [
     "check_array",
     "check_binary_codes",
+    "check_float_dtype",
     "check_positive",
     "check_positive_int",
 ]
+
+
+def check_float_dtype(dtype, *, name: str = "dtype") -> np.dtype:
+    """Validate a floating-point dtype spec and return it as ``np.dtype``.
+
+    ``None`` means "the library default" and resolves to float64. This is
+    the single gate every ``compute_dtype`` / ``message_dtype`` knob goes
+    through, so an integer or object dtype fails at configuration time
+    with one consistent message instead of deep inside a GEMM.
+    """
+    if dtype is None:
+        return np.dtype(np.float64)
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        raise ValueError(f"{name} must be a float dtype, got {dtype}")
+    return dtype
 
 
 def check_array(X, *, name: str = "X", ndim: int = 2, dtype=np.float64) -> np.ndarray:
