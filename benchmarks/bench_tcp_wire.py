@@ -12,9 +12,22 @@ an actual socket transport.
 Batching must cut frames (syscalls, latency opportunities) by roughly
 the number of submodels resident per machine while leaving hops — a
 protocol invariant — and the trained bits unchanged.
+
+The dtype sweep measures the other wire lever: casting submodel
+parameters to ``message_dtype`` before framing (paper section 9,
+"reduced-precision values ... with little effect on the accuracy").
+Per dtype it reports bytes per hop and the E_Q drift against the
+full-precision wire, and merges the section into ``BENCH_zstep.json``
+next to the stacked-kernel numbers.
 """
 
+import sys
+from pathlib import Path
+
 import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from conftest import write_bench_json  # noqa: E402  (shared bench helper)
 
 from repro.autoencoder import BinaryAutoencoder
 from repro.autoencoder.adapter import BAAdapter
@@ -28,14 +41,14 @@ N, D, L, P = 3_000, 48, 16, 4
 MUS = [1e-3, 2e-3, 4e-3]
 
 
-def run(X, Z, *, batch_hops):
+def run(X, Z, *, batch_hops, message_dtype=None):
     ba = BinaryAutoencoder.linear(D, L)
     adapter = BAAdapter(ba)
     parts = partition_indices(len(X), P, rng=0)
     shards = make_shards(X, adapter.features(X), Z, parts)
     with get_backend("tcp")(
         epochs=2, batch_size=100, seed=0, shuffle_within=False,
-        batch_hops=batch_hops,
+        batch_hops=batch_hops, message_dtype=message_dtype,
     ) as backend:
         backend.setup(adapter, shards)
         results = [backend.run_iteration(mu) for mu in MUS]
@@ -82,3 +95,43 @@ def test_tcp_wire_cost(benchmark, report):
     # And the wire format does not change the learned bits.
     for sid, theta in runs[True][1].items():
         assert np.array_equal(theta, runs[False][1][sid])
+
+
+def test_tcp_wire_dtype_sweep(benchmark, report):
+    """Message-dtype sweep: bytes/hop shrink with the wire width while the
+    E_Q drift stays small (section 9's reduced-precision claim)."""
+    X = make_gist_like(N, D, n_clusters=6, rng=5)
+    Z, _ = init_codes_pca(X, L, subset=1000, rng=0)
+    dtypes = [None, "float32", "float16"]
+
+    def run_sweep():
+        return {dt: run(X, Z, batch_hops=True, message_dtype=dt) for dt in dtypes}
+
+    runs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    report()
+    report("=" * 72)
+    report(f"TCP wire dtype sweep (N={N}, D={D}, L={L} -> M={2*L}, P={P}, e=2)")
+    base_eq = runs[None][0][-1].e_q
+    sweep = {}
+    rows = []
+    for dt, (results, _) in runs.items():
+        last = results[-1]
+        bph = np.mean([r.bytes_sent / r.hops for r in results])
+        drift = abs(last.e_q - base_eq) / abs(base_eq)
+        sweep[dt or "float64"] = {
+            "bytes_per_hop": float(bph),
+            "e_q": float(last.e_q),
+            "e_q_rel_drift": float(drift),
+        }
+        rows.append([dt or "float64", int(bph), round(last.e_q, 5),
+                     f"{drift:.2e}"])
+    report(ascii_table(["wire dtype", "bytes/hop", "E_Q", "E_Q drift"], rows))
+    write_bench_json("zstep", {"wire_dtypes": sweep}, merge=True)
+
+    # Halving the wire width must actually halve the dominant payload...
+    assert sweep["float32"]["bytes_per_hop"] < 0.6 * sweep["float64"]["bytes_per_hop"]
+    assert sweep["float16"]["bytes_per_hop"] < 0.6 * sweep["float32"]["bytes_per_hop"]
+    # ...while the objective barely moves (float16 gets a looser rein).
+    assert sweep["float32"]["e_q_rel_drift"] < 1e-3
+    assert sweep["float16"]["e_q_rel_drift"] < 1e-1

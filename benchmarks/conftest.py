@@ -16,19 +16,33 @@ import numpy as np
 import pytest
 
 
-def write_bench_json(name: str, payload: dict, directory=None) -> Path:
+def write_bench_json(name: str, payload: dict, directory=None, *,
+                     merge: bool = False) -> Path:
     """Write one bench's machine-readable summary to ``BENCH_<name>.json``.
 
     The default destination is this benchmarks/ directory; set the
     ``BENCH_JSON_DIR`` environment variable (or pass ``directory``) to
     redirect, e.g. to a CI artefact folder. Values are coerced through
     ``float`` when not JSON-native, so numpy scalars are fine.
+
+    ``merge=True`` folds ``payload``'s top-level keys into an existing
+    ``BENCH_<name>.json`` instead of replacing the file — used when
+    several benches contribute sections to one summary (e.g. the wire
+    dtype sweep adding to ``BENCH_zstep.json``). Corrupt or unreadable
+    existing files are overwritten rather than fatal.
     """
     directory = Path(
         directory or os.environ.get("BENCH_JSON_DIR") or Path(__file__).parent
     )
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
+    if merge and path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, ValueError):
+            existing = {}
+        if isinstance(existing, dict):
+            payload = {**existing, **payload}
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n"
     )

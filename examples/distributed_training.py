@@ -49,7 +49,11 @@ def main():
         ("tcp sockets", dict(n_machines=P, backend="tcp")),
     ]:
         ba = BinaryAutoencoder.linear(dim, n_bits)
-        trainer = ParMACTrainerBA(ba, schedule, epochs=epochs, seed=0, **kwargs)
+        # This demo is about the execution backends; pin the alternating
+        # Z solver so the L=16 runs don't spend their time enumerating
+        # 2^16 codes per iteration (auto dispatch would, exactly).
+        trainer = ParMACTrainerBA(ba, schedule, epochs=epochs, seed=0,
+                                  zstep_method="alternate", **kwargs)
         history = trainer.fit(X)
         runs[label] = (ba, history)
         wallclock = label in ("multiprocessing", "tcp sockets")

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autoencoder.binary_autoencoder import BinaryAutoencoder
-from repro.autoencoder.zstep import zstep
+from repro.autoencoder.zstep import MAX_ENUM_BITS, zstep
 from repro.distributed.interfaces import SubmodelSpec
 from repro.optim.linreg import LinearRegression
 from repro.optim.sgd import SGDState
@@ -43,7 +43,7 @@ class BAAdapter:
         *,
         n_decoder_groups: int | None = None,
         zstep_method: str = "auto",
-        max_enum_bits: int = 12,
+        max_enum_bits: int = MAX_ENUM_BITS,
         max_sweeps: int = 20,
     ):
         self.model = model

@@ -20,6 +20,18 @@ Three solvers, as in the paper:
 
 All solvers are vectorised across points: the per-point problems share
 ``B^T B`` so the quadratic term is computed once.
+
+Every solver ships two implementations selected by ``impl``:
+
+* ``"stacked"`` (default) — loop-free linear algebra: the alternating
+  solver maintains ``G = R B`` (an n x L stack of per-bit linear terms)
+  with one rank-1 update per flipped bit instead of materialising per-bit
+  n x D residual copies, and enumeration reuses the code table and the
+  per-code quadratic across calls (they depend only on ``(L, B, dtype)``,
+  which is constant across the minibatch chunks and shards of one
+  iteration).
+* ``"legacy"`` — the original residual-sweeping formulation, kept as the
+  reference the parity tests compare against.
 """
 
 from __future__ import annotations
@@ -48,6 +60,57 @@ __all__ = [
 # dispatcher switches to the alternating solver (the paper does the same).
 MAX_ENUM_BITS = 16
 
+# Shared-work caches. The code table depends only on (L, dtype); the Gram
+# matrix and the per-code quadratic depend on the decoder content, which is
+# frozen while a shard's Z solves sweep its minibatch chunks — so one
+# iteration computes each entry once and every subsequent call reuses it
+# bitwise-identically. Keyed by value (``tobytes``), never by object id, so
+# a retrained decoder can never hit a stale entry.
+_CODES_CACHE: dict[tuple[int, str], np.ndarray] = {}
+_GRAM_CACHE: dict[tuple, np.ndarray] = {}
+_QUAD_CACHE: dict[tuple, np.ndarray] = {}
+_CSUM_CACHE: dict[tuple[int, str], np.ndarray] = {}
+_CACHE_MAX = 8
+
+
+def _cache_put(cache: dict, key, value: np.ndarray) -> np.ndarray:
+    value.setflags(write=False)
+    if len(cache) >= _CACHE_MAX:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+    return value
+
+
+def _gram(B: np.ndarray) -> np.ndarray:
+    """Cached ``B^T B`` (read-only), keyed by the decoder's content."""
+    B = np.asarray(B)
+    key = (B.shape, B.dtype.str, B.tobytes())
+    hit = _GRAM_CACHE.get(key)
+    if hit is None:
+        hit = _cache_put(_GRAM_CACHE, key, B.T @ B)
+    return hit
+
+
+def _code_quad(B: np.ndarray, C: np.ndarray) -> np.ndarray:
+    """Cached per-code quadratic ``z^T (B^T B) z`` for all codes in ``C``."""
+    B = np.asarray(B)
+    key = (B.shape, B.dtype.str, C.dtype.str, B.tobytes())
+    hit = _QUAD_CACHE.get(key)
+    if hit is None:
+        # One GEMM + an elementwise reduce beats the einsum contraction the
+        # legacy path uses, and the result is reused across chunks/calls.
+        hit = _cache_put(_QUAD_CACHE, key, ((C @ _gram(B)) * C).sum(axis=1))
+    return hit
+
+
+def _code_sums(L: int, dtype) -> np.ndarray:
+    """Cached ``sum(z)`` per code (the mu-linear term's code part)."""
+    key = (int(L), np.dtype(dtype).str)
+    hit = _CSUM_CACHE.get(key)
+    if hit is None:
+        hit = _cache_put(_CSUM_CACHE, key, _all_codes(L, dtype).sum(axis=1))
+    return hit
+
 
 def zstep_objective(
     X: np.ndarray, B: np.ndarray, c: np.ndarray, H: np.ndarray, mu: float, Z: np.ndarray
@@ -62,11 +125,21 @@ def zstep_objective(
 
 
 def _all_codes(L: int, dtype=np.float64) -> np.ndarray:
-    """All 2^L binary codes as a (2^L, L) float array (bit l = column l)."""
-    ints = np.arange(2**L, dtype=np.uint32)
-    return ((ints[:, None] >> np.arange(L, dtype=np.uint32)[None, :]) & 1).astype(
-        dtype
-    )
+    """All 2^L binary codes as a (2^L, L) float array (bit l = column l).
+
+    Cached (read-only) per ``(L, dtype)``: the table is pure structure, so
+    reuse is trivially bit-identical and saves the dominant allocation of
+    repeated enumeration calls.
+    """
+    key = (int(L), np.dtype(dtype).str)
+    C = _CODES_CACHE.get(key)
+    if C is None:
+        ints = np.arange(2**L, dtype=np.uint32)
+        C = ((ints[:, None] >> np.arange(L, dtype=np.uint32)[None, :]) & 1).astype(
+            dtype
+        )
+        C = _cache_put(_CODES_CACHE, key, C)
+    return C
 
 
 def zstep_enumerate(
@@ -77,11 +150,13 @@ def zstep_enumerate(
     mu: float,
     *,
     chunk: int = 2048,
+    impl: str = "stacked",
 ) -> np.ndarray:
     """Exact Z step by enumerating all 2^L codes.
 
     Memory is bounded by ``chunk * 2^L`` scores at a time. Raises for
-    ``L > MAX_ENUM_BITS``.
+    ``L > MAX_ENUM_BITS``. ``impl="stacked"`` reuses the cached code table
+    and per-code quadratic; ``impl="legacy"`` recomputes them per call.
     """
     L = B.shape[1]
     if L > MAX_ENUM_BITS:
@@ -96,8 +171,13 @@ def zstep_enumerate(
     Hf = np.asarray(H, dtype=cd)
     C = _all_codes(L, cd)  # (2^L, L)
     # Per-code quadratic term: z^T BtB z + mu * sum(z); shared by all points.
-    BtB = B.T @ B
-    quad = np.einsum("kl,lm,km->k", C, BtB, C) + mu * C.sum(axis=1)
+    if impl == "legacy":
+        BtB = B.T @ B
+        quad = np.einsum("kl,lm,km->k", C, BtB, C) + mu * C.sum(axis=1)
+    elif impl == "stacked":
+        quad = _code_quad(B, C) + mu * _code_sums(L, cd)
+    else:
+        raise ValueError(f"unknown impl {impl!r}")
     # Per-point linear term coefficient.
     Lin = (X - c) @ B + mu * Hf  # (n, L)
     n = len(X)
@@ -110,13 +190,21 @@ def zstep_enumerate(
 
 
 def zstep_relaxed(
-    X: np.ndarray, B: np.ndarray, c: np.ndarray, H: np.ndarray, mu: float
+    X: np.ndarray,
+    B: np.ndarray,
+    c: np.ndarray,
+    H: np.ndarray,
+    mu: float,
+    *,
+    impl: str = "stacked",
 ) -> np.ndarray:
     """Truncated solution of the [0,1]-relaxed Z step.
 
     The relaxed problem is unconstrained quadratic with solution
     ``(B^T B + mu I) z = B^T (x - c) + mu h``; we clip to [0,1] and
     threshold at 1/2 (ties -> 1, matching the step convention).
+    ``impl="stacked"`` reuses the cached Gram matrix (the cached product is
+    the same array ``B.T @ B`` produces, so both impls are bit-identical).
     """
     if mu < 0:
         raise ValueError(f"mu must be >= 0, got {mu}")
@@ -124,7 +212,12 @@ def zstep_relaxed(
     X = np.asarray(X, dtype=cd)
     Hf = np.asarray(H, dtype=cd)
     L = B.shape[1]
-    G = B.T @ B + mu * np.eye(L, dtype=cd)
+    if impl == "legacy":
+        G = B.T @ B + mu * np.eye(L, dtype=cd)
+    elif impl == "stacked":
+        G = _gram(B) + mu * np.eye(L, dtype=cd)
+    else:
+        raise ValueError(f"unknown impl {impl!r}")
     Lin = (X - c) @ B + mu * Hf  # (n, L)
     # Guard the mu = 0, rank-deficient-decoder corner with a pseudo-inverse.
     try:
@@ -143,6 +236,7 @@ def zstep_alternate(
     Z0: np.ndarray | None = None,
     *,
     max_sweeps: int = 20,
+    impl: str = "stacked",
 ) -> np.ndarray:
     """Alternating optimisation over bits, initialised from ``Z0``.
 
@@ -156,33 +250,61 @@ def zstep_alternate(
     update is exact given the others, so sweeps never increase the
     objective; we stop when a full sweep changes nothing.
 
+    ``impl="stacked"`` never materialises ``r_base``: since
+    ``r_base . b_l == (R B)_l + z_l ||b_l||^2``, it maintains the n x L
+    stack ``G = R B`` with one GEMM up front and a rank-1 update per
+    flipped bit — O(n L) per bit instead of O(n D). ``impl="legacy"`` is
+    the original per-bit residual sweep.
+
     ``Z0`` defaults to the truncated relaxed solution (the paper's
     initialisation).
     """
     if max_sweeps < 1:
         raise ValueError(f"max_sweeps must be >= 1, got {max_sweeps}")
+    if impl not in ("stacked", "legacy"):
+        raise ValueError(f"unknown impl {impl!r}")
     cd = _solver_dtype(B)
     X = np.asarray(X, dtype=cd)
     Hf = np.asarray(H, dtype=cd)
     if Z0 is None:
-        Z0 = zstep_relaxed(X, B, c, H, mu)
+        Z0 = zstep_relaxed(X, B, c, H, mu, impl=impl)
     Z = check_binary_codes(Z0).astype(cd)
     L = B.shape[1]
     b_norms = (B * B).sum(axis=0)  # ||b_l||^2 for each column l
-    R = X - Z @ B.T - c  # current residual x - f(z)
+    if impl == "legacy":
+        R = X - Z @ B.T - c  # current residual x - f(z)
+        for _ in range(max_sweeps):
+            changed = False
+            for l in range(L):
+                b_l = B[:, l]
+                # Residual with bit l's contribution removed.
+                r_base = R + np.outer(Z[:, l], b_l)
+                delta = b_norms[l] - 2.0 * r_base @ b_l + mu * (1.0 - 2.0 * Hf[:, l])
+                new_zl = (delta <= 0.0).astype(cd)
+                diff = new_zl - Z[:, l]
+                if np.any(diff != 0.0):
+                    changed = True
+                    R -= np.outer(diff, b_l)
+                    Z[:, l] = new_zl
+            if not changed:
+                break
+        return Z.astype(np.uint8)
+    BtB = _gram(B)
+    # G = R @ B, the per-bit linear terms, built by one GEMM pair; flipping
+    # bit l of some rows moves G by a rank-1 update with row l of B^T B.
+    G = (X - c) @ B - Z @ BtB
+    mu_term = mu * (1.0 - 2.0 * Hf)
     for _ in range(max_sweeps):
         changed = False
         for l in range(L):
-            b_l = B[:, l]
-            # Residual with bit l's contribution removed.
-            r_base = R + np.outer(Z[:, l], b_l)
-            delta = b_norms[l] - 2.0 * r_base @ b_l + mu * (1.0 - 2.0 * Hf[:, l])
+            delta = b_norms[l] - 2.0 * (G[:, l] + Z[:, l] * b_norms[l]) + mu_term[:, l]
             new_zl = (delta <= 0.0).astype(cd)
             diff = new_zl - Z[:, l]
-            if np.any(diff != 0.0):
+            rows = np.flatnonzero(diff)
+            if rows.size:
                 changed = True
-                R -= np.outer(diff, b_l)
-                Z[:, l] = new_zl
+                G[rows] -= diff[rows, None] * BtB[l][None, :]
+                Z[rows, l] = new_zl[rows]
         if not changed:
             break
     return Z.astype(np.uint8)
@@ -197,7 +319,7 @@ def zstep(
     *,
     method: str = "auto",
     Z0: np.ndarray | None = None,
-    max_enum_bits: int = 12,
+    max_enum_bits: int = MAX_ENUM_BITS,
     max_sweeps: int = 20,
 ) -> np.ndarray:
     """Dispatch to a Z-step solver.
@@ -205,7 +327,10 @@ def zstep(
     ``method='auto'`` enumerates exactly when ``L <= max_enum_bits`` and
     otherwise runs the alternating solver from the truncated relaxed
     initialisation — the paper's policy ("enumeration for SIFT-10K and
-    SIFT-1M, and alternating optimisation ... otherwise").
+    SIFT-1M, and alternating optimisation ... otherwise"). The cutoff
+    defaults to :data:`MAX_ENUM_BITS`, the same bound ``zstep_enumerate``
+    enforces, so auto dispatch uses exact enumeration everywhere it is
+    allowed (L = 16 is the paper's SIFT setting).
     """
     if method == "auto":
         method = "enumerate" if B.shape[1] <= max_enum_bits else "alternate"

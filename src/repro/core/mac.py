@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.autoencoder.binary_autoencoder import BinaryAutoencoder
 from repro.autoencoder.init import init_codes_pca
-from repro.autoencoder.zstep import zstep
+from repro.autoencoder.zstep import MAX_ENUM_BITS, zstep
 from repro.core.convergence import EarlyStopping, z_fixed_point
 from repro.core.history import IterationRecord, TrainingHistory
 from repro.core.penalty import penalty_schedule
@@ -71,7 +71,7 @@ class MACTrainerBA:
         batch_size: int = 100,
         decoder_exact: bool = True,
         zstep_method: str = "auto",
-        max_enum_bits: int = 12,
+        max_enum_bits: int = MAX_ENUM_BITS,
         max_sweeps: int = 20,
         evaluator=None,
         early_stopping: bool = False,

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autoencoder.adapter import BAAdapter
+from repro.autoencoder.zstep import MAX_ENUM_BITS
 from repro.autoencoder.binary_autoencoder import BinaryAutoencoder
 from repro.autoencoder.init import init_codes_pca
 from repro.core.history import TrainingHistory
@@ -97,7 +98,7 @@ class ParMACTrainerBA:
         cost: CostModel | None = None,
         n_decoder_groups: int | None = None,
         zstep_method: str = "auto",
-        max_enum_bits: int = 12,
+        max_enum_bits: int = MAX_ENUM_BITS,
         max_sweeps: int = 20,
         evaluator=None,
         seed=None,

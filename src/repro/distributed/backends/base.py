@@ -201,6 +201,16 @@ class BaseBackend:
         round-trips the parameters through this dtype, shrinking wire
         bytes by the itemsize ratio, on simulated *and* wall-clock
         engines alike. None (default) keeps full-precision messages.
+    overlap_send : bool
+        Pipeline ring sends with compute (default False). Wall-clock
+        engines hand just-trained submodels to a double-buffered
+        background sender so the next convoy trains while the previous
+        one is on the wire; simulated engines model the same overlap in
+        their virtual clocks. Timing only — message contents, ordering
+        and therefore numerics are unchanged on every engine, and the
+        knob is deliberately absent from checkpoint compatibility checks.
+        Off by default because the paper's timing model (section 5.1)
+        charges the sender serially for each hop.
     seed : int or None
     """
 
@@ -218,6 +228,7 @@ class BaseBackend:
         fault_policy: FaultPolicy | str = FaultPolicy.FAIL_FAST,
         batch_units: bool = True,
         message_dtype=None,
+        overlap_send: bool = False,
         seed=None,
     ):
         if epochs < 1:
@@ -235,6 +246,7 @@ class BaseBackend:
             if message_dtype is None
             else check_float_dtype(message_dtype, name="message_dtype")
         )
+        self.overlap_send = bool(overlap_send)
         self.cost = cost
         try:
             self.fault_policy = FaultPolicy(fault_policy)
@@ -289,6 +301,7 @@ class BaseBackend:
                 None if self.message_dtype is None else str(self.message_dtype)
             ),
             "batched_w": self.units_batched(),
+            "overlap_send": self.overlap_send,
         }
 
     # ----------------------------------------------------------- streaming

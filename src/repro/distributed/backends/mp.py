@@ -19,6 +19,12 @@ Beyond the original one-shot ring this backend adds:
   shuffled per-epoch :class:`~repro.distributed.protocol.RoutePlan`
   every iteration (section 4.3), routed per-message via the full queue
   mesh, where the old backend silently ignored the option;
+* **overlapped ring sends** — under ``overlap_send=True`` each worker
+  hands forwarded submodels to a double-buffered background sender
+  (:class:`_AsyncSender`) and returns to training the next convoy while
+  the previous one is still on the wire; the wire cast and byte
+  accounting stay on the training thread, so overlap changes timing,
+  never bits;
 * **streaming ingestion** — ``ingest`` queues arriving rows with the
   shared :class:`~repro.distributed.dataplane.DataPlane`; at the next
   iteration boundary each drained batch is coded by the current nested
@@ -55,6 +61,7 @@ import os
 import pickle
 import queue as queue_mod
 import struct
+import threading
 import time
 import traceback
 from multiprocessing import connection as mp_connection
@@ -322,6 +329,84 @@ def _attach_array_block(desc):
 
 
 # --------------------------------------------------------------- transport
+class _AsyncSender:
+    """Double-buffered background sender for overlapped ring hops.
+
+    One daemon thread drains a bounded queue of transmit items, so the
+    worker's main thread hands a just-trained submodel batch off and
+    returns to training the next convoy while the previous one is still
+    on the wire. A *single* sender thread per transport preserves the
+    per-destination FIFO order the counter protocol relies on; the queue
+    depth of two is the double buffer — one send in flight, one staged —
+    which bounds how far the pipeline can run ahead of the NIC.
+
+    Failure handling: a transmit error is recorded, not raised in the
+    thread — the loop keeps consuming (and skipping) items so that
+    ``Queue.join`` always terminates and a producer blocked on a full
+    queue cannot deadlock; the original exception re-raises on the main
+    thread at the next ``submit``/``drain``/``check``, keeping its type
+    (the TCP worker's fault handling keys on ``ProtocolError``).
+    """
+
+    _STOP = object()
+
+    def __init__(self, transmit, *, depth: int = 2):
+        self._transmit = transmit
+        self._q: queue_mod.Queue = queue_mod.Queue(maxsize=depth)
+        self._exc: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="ring-sender", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            item = self._q.get()
+            try:
+                if item is self._STOP:
+                    return
+                if self._exc is None:
+                    self._transmit(*item)
+            except BaseException as exc:  # noqa: BLE001 - surfaced via check()
+                self._exc = exc
+            finally:
+                self._q.task_done()
+
+    def check(self) -> None:
+        """Re-raise a background transmit failure on the caller's thread."""
+        if self._exc is not None:
+            raise self._exc
+
+    def submit(self, *item) -> None:
+        """Queue one transmit, blocking while both buffers are full.
+
+        The wait is chopped into short timed puts so a send failure
+        surfaces here instead of deadlocking the producer against a
+        queue that will never drain normally.
+        """
+        while True:
+            self.check()
+            try:
+                self._q.put(item, timeout=0.1)
+                return
+            except queue_mod.Full:
+                continue
+
+    def drain(self) -> None:
+        """Block until every queued transmit has left, then re-check."""
+        self.check()
+        self._q.join()
+        self.check()
+
+    def close(self) -> None:
+        """Stop the thread after in-flight items (no new work accepted)."""
+        try:
+            self._q.put(self._STOP, timeout=1.0)
+        except queue_mod.Full:
+            pass  # wedged transmit; the daemon thread is abandoned
+        self._thread.join(timeout=5.0)
+
+
 class _QueueRingTransport:
     """Ring transport over the coordinator-built full queue mesh.
 
@@ -351,7 +436,7 @@ class _QueueRingTransport:
     """
 
     def __init__(self, rank: int, ring_qs, gen: int = 0, abort_ev=None, *,
-                 wire_dtype=None, compute_dtype=None):
+                 wire_dtype=None, compute_dtype=None, overlap=False):
         self.rank = rank
         self._ring_qs = ring_qs
         self.gen = gen
@@ -363,24 +448,48 @@ class _QueueRingTransport:
         # both casts are value-exact.
         self._wire_dtype = wire_dtype
         self._compute_dtype = compute_dtype
+        # Overlapped sends: the queue put (which pickles the payload)
+        # moves to a background thread. The wire cast and byte counting
+        # stay on the main thread, so overlap changes *when* a message
+        # leaves, never its bits.
+        self._sender = _AsyncSender(self._transmit) if overlap else None
         self.msgs_sent = 0
         self.bytes_sent = 0
+
+    def _transmit(self, dest: int, item) -> None:
+        self._ring_qs[dest].put(item)
 
     def send(self, dest: int, msg: SubmodelMessage) -> None:
         if self._wire_dtype is not None and dest != self.rank:
             msg.theta = np.asarray(msg.theta, dtype=self._wire_dtype)
         self.msgs_sent += 1
         self.bytes_sent += msg.nbytes
-        self._ring_qs[dest].put((self.gen, msg))
+        item = (self.gen, msg)
+        if self._sender is not None and dest != self.rank:
+            self._sender.submit(dest, item)
+        else:
+            self._ring_qs[dest].put(item)
 
     def flush(self) -> None:
         pass
+
+    def drain(self) -> None:
+        """Wait for background sends to finish (no-op without overlap)."""
+        if self._sender is not None:
+            self._sender.drain()
+
+    def close(self) -> None:
+        """Stop the background sender, if any, without a full drain."""
+        if self._sender is not None:
+            self._sender.close()
 
     def recv(self) -> SubmodelMessage:
         while True:
             try:
                 gen, msg = self._ring_qs[self.rank].get(timeout=_LIVENESS_POLL_S)
             except queue_mod.Empty:
+                if self._sender is not None:
+                    self._sender.check()
                 if self._abort_ev is not None and self._abort_ev.is_set():
                     raise IterationAborted() from None
                 continue
@@ -399,19 +508,26 @@ class _QueueRingTransport:
 # ------------------------------------------------------------------ worker
 def _build_worker_state(rank, adapter, desc, protocol, homes, batch_size,
                         shuffle_within, seed, rng_state=None,
-                        message_dtype=None, batch_units=True) -> dict:
+                        message_dtype=None, batch_units=True,
+                        overlap_send=False, cpuset=None) -> dict:
     """Per-fit worker state, shared by every wall-clock worker loop.
 
     One construction site keeps the queue and TCP workers bit-identical:
     a field added here (RNG stream, batching knob, ...) reaches both.
     ``rng_state`` restores a checkpointed SGD stream in place of the
-    fresh seed-derived one.
+    fresh seed-derived one. ``cpuset`` (from the coordinator's
+    ``pin_workers`` partition) pins this process; the state records the
+    affinity actually in effect afterwards, which the setup ack reports.
     """
     seg, shard = _attach_shard(desc)
     specs = adapter.submodel_specs()
     rng = np.random.default_rng(seed)
     if rng_state is not None:
         rng.bit_generator.state = rng_state
+    applied_cpuset = None
+    if cpuset is not None and hasattr(os, "sched_setaffinity"):
+        os.sched_setaffinity(0, cpuset)
+        applied_cpuset = sorted(os.sched_getaffinity(0))
     return {
         "adapter": adapter,
         "shard": shard,
@@ -425,6 +541,8 @@ def _build_worker_state(rank, adapter, desc, protocol, homes, batch_size,
         "shuffle_within": shuffle_within,
         "message_dtype": message_dtype,
         "batch_units": batch_units,
+        "overlap_send": bool(overlap_send),
+        "cpuset": applied_cpuset,
         "compute_dtype": np.dtype(getattr(adapter, "compute_dtype", np.float64)),
         "rng": rng,
     }
@@ -574,6 +692,13 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
     t_z0 = time.perf_counter()
     z_changes = adapter.z_update(shard, mu)
     t_z = time.perf_counter() - t_z0
+    # Under overlap_send the final-lap forwards may still be in flight —
+    # deliberately: peers sit in their receive loops while this worker's
+    # Z step runs, so those sends overlap the Z compute too. They must be
+    # delivered before the iteration is reported complete, though: the
+    # next iteration opens a fresh transport whose frames must not
+    # interleave with a still-draining sender.
+    transport.drain()
 
     return {
         "e_q": adapter.e_q_shard(shard, mu),
@@ -600,14 +725,18 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
         try:
             if op == "setup":
                 (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
-                 seed, rng_state, message_dtype, batch_units) = cmd
+                 seed, rng_state, message_dtype, batch_units, overlap_send,
+                 cpuset) = cmd
                 if state is not None and state["seg"] is not None:
                     state["seg"].close()
                 state = _build_worker_state(
                     rank, adapter, desc, protocol, homes, batch_size,
                     shuffle_within, seed, rng_state, message_dtype, batch_units,
+                    overlap_send, cpuset,
                 )
-                res.send((rank, "ready", None))
+                # The ack reports the cpuset actually applied (None when
+                # pinning is off or unsupported on this platform).
+                res.send((rank, "ready", state["cpuset"]))
             elif op == "checkpoint":
                 res.send((rank, "checkpoint", _checkpoint_worker_state(state)))
             elif op == "ingest":
@@ -634,6 +763,10 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
                         else None
                     ),
                     compute_dtype=state["compute_dtype"],
+                    overlap=(
+                        state.get("overlap_send", False)
+                        and state["protocol"].n_machines > 1
+                    ),
                 )
                 try:
                     payload = _run_worker_iteration(
@@ -643,6 +776,8 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
                     res.send((rank, "aborted", None))
                 else:
                     res.send((rank, "result", payload))
+                finally:
+                    transport.close()
         except Exception:
             res.send((rank, "error", traceback.format_exc()))
 
@@ -672,7 +807,16 @@ class MultiprocessBackend(BaseBackend):
         a slot that already existed when they started; when the spares
         run out the pool is transparently rebuilt (workers'
         shards/RNG streams are collected and re-shipped, so the fit stays
-        bit-identical — just a slower join).
+        bit-identical — just a slower join.)
+    pin_workers : bool
+        Pin each worker process to a contiguous slice of the
+        coordinator's CPU affinity set (``os.sched_setaffinity``), so the
+        P "machines" of a single-host benchmark stop migrating onto each
+        other's cores. Best-effort and opt-in: silently inactive on
+        platforms without ``sched_setaffinity``; a mid-fit joiner gets
+        its slice from a recomputed partition while standing workers keep
+        theirs. The cpusets actually applied (each worker reports its own
+        affinity back) appear in ``IterationStats.extra["cpusets"]``.
 
     The adapter must be picklable; each worker gets its own copy at
     ``setup`` while the shard *data* travels through shared memory.
@@ -688,12 +832,14 @@ class MultiprocessBackend(BaseBackend):
 
     def __init__(
         self, *, ctx_method: str = "fork", worker_timeout: float | None = None,
-        join_slots: int = 4, **kwargs
+        join_slots: int = 4, pin_workers: bool = False, **kwargs
     ):
         super().__init__(**kwargs)
         self.ctx_method = ctx_method
         self.worker_timeout = worker_timeout
         self.join_slots = int(join_slots)
+        self.pin_workers = bool(pin_workers)
+        self._worker_cpusets: dict[int, list[int]] = {}
         self._ctx = None
         self._procs: dict[int, object] = {}
         self._ring_qs: list = []
@@ -749,6 +895,24 @@ class MultiprocessBackend(BaseBackend):
             self.close(force=True)
             raise
 
+    def _cpusets(self, ranks) -> dict:
+        """Contiguous partition of the coordinator's CPU set over ``ranks``.
+
+        Empty when pinning is off or the platform has no
+        ``sched_setaffinity``. With more workers than CPUs the tail ranks
+        share the full set rather than getting an empty (illegal) mask.
+        """
+        if not self.pin_workers or not hasattr(os, "sched_setaffinity"):
+            return {}
+        cpus = sorted(os.sched_getaffinity(0))
+        ranks = sorted(ranks)
+        n = len(ranks)
+        out = {}
+        for i, rank in enumerate(ranks):
+            chunk = cpus[(i * len(cpus)) // n : ((i + 1) * len(cpus)) // n]
+            out[rank] = chunk if chunk else cpus
+        return out
+
     def _ship_setup(self, adapter, descs: dict, rng_states: dict | None = None) -> None:
         """Send per-worker setup commands and wait for every ack.
 
@@ -758,6 +922,7 @@ class MultiprocessBackend(BaseBackend):
         ports and builds the socket mesh here).
         """
         base_seed = 0 if self.seed is None else int(self.seed)
+        cpusets = self._cpusets(sorted(descs))
         for rank in sorted(descs):
             self._cmd_qs[rank].put(
                 (
@@ -772,9 +937,14 @@ class MultiprocessBackend(BaseBackend):
                     None if rng_states is None else rng_states.get(rank),
                     self.message_dtype,
                     self.batch_units,
+                    self.overlap_send,
+                    cpusets.get(rank),
                 )
             )
-        self._collect("ready", ranks=sorted(descs))
+        ready = self._collect("ready", ranks=sorted(descs))
+        self._worker_cpusets = {
+            r: cs for r, cs in ready.items() if cs is not None
+        }
 
     def _spawn(self, ranks, *, capacity: int | None = None) -> None:
         """Start worker processes for ``ranks``, with slot headroom.
@@ -913,9 +1083,13 @@ class MultiprocessBackend(BaseBackend):
                 None,
                 self.message_dtype,
                 self.batch_units,
+                self.overlap_send,
+                self._cpusets(old_ranks + [p]).get(p),
             )
         )
-        self._collect("ready", ranks=[p])
+        ready = self._collect("ready", ranks=[p])
+        if ready.get(p) is not None:
+            self._worker_cpusets[p] = ready[p]
 
     def _grow_pool(self, p: int) -> None:
         """Rebuild the pool with ring-queue headroom covering slot ``p``.
@@ -1006,6 +1180,11 @@ class MultiprocessBackend(BaseBackend):
         extra = {"wall_time": wall, "w_time": w_time, "z_time": z_time}
         extra.update(wire)
         extra.update(self._dtype_extras())
+        if self._worker_cpusets:
+            extra["cpusets"] = {
+                r: list(self._worker_cpusets[r])
+                for r in sorted(self._worker_cpusets)
+            }
         self._iterations_done += 1
         return IterationStats(
             mu=mu,
@@ -1160,6 +1339,7 @@ class MultiprocessBackend(BaseBackend):
             chan = self._res_chans.pop(rank, None)
             if chan is not None:
                 chan.close()
+            self._worker_cpusets.pop(rank, None)
             if proc.is_alive():
                 proc.terminate()
             proc.join(timeout=5)

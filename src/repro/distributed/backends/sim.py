@@ -72,6 +72,7 @@ class _SimBackend(BaseBackend):
             execute_updates=self.execute_updates,
             message_dtype=self.message_dtype,
             batch_units=self.batch_units,
+            overlap_send=self.overlap_send,
             dataplane=self.dataplane,
             seed=self.seed,
         )
@@ -196,6 +197,7 @@ class _SimBackend(BaseBackend):
             execute_updates=self.execute_updates,
             message_dtype=self.message_dtype,
             batch_units=self.batch_units,
+            overlap_send=self.overlap_send,
             dataplane=dataplane,
             seed=self.seed,
         )

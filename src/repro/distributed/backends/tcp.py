@@ -71,10 +71,12 @@ import numpy as np
 
 from repro.distributed.backends.base import FaultPolicy, register_backend
 from repro.distributed.backends.mp import (
+    _LIVENESS_POLL_S,
     IterationAborted,
     MultiprocessBackend,
     _apply_replan,
     _apply_worker_ingest,
+    _AsyncSender,
     _build_worker_state,
     _checkpoint_worker_state,
     _report_model,
@@ -126,10 +128,22 @@ class _SocketRingTransport:
     larger than the in-flight socket capacity could wedge the whole ring
     — every worker blocked in ``sendall`` to a peer that cannot read
     because it is itself blocked sending.
+
+    ``overlap=True`` moves the socket writes to a double-buffered
+    background :class:`~repro.distributed.backends.mp._AsyncSender`: the
+    worker's training thread encodes the frame (numerics and wire
+    accounting unchanged) and hands the bytes off, so the next convoy
+    trains while the previous one is on the wire. The sender thread then
+    owns every outgoing socket exclusively — it uses plain blocking
+    ``sendall`` and **never** touches the inbound sockets (the inbox and
+    frame decoders stay main-thread-only). That cannot deadlock the
+    ring: backpressure blocks only the sender thread, while every
+    machine's main thread always returns to its receive loop and keeps
+    draining inbound frames.
     """
 
     def __init__(self, rank, out_conns, in_conns, spec_by_sid, *, batch_hops=True,
-                 wire_dtype=None, compute_dtype=None):
+                 wire_dtype=None, compute_dtype=None, overlap=False):
         self.rank = rank
         self._out = out_conns
         self._in = in_conns
@@ -149,8 +163,11 @@ class _SocketRingTransport:
         self._selector = selectors.DefaultSelector()
         for peer, conn in in_conns.items():
             self._selector.register(conn, selectors.EVENT_READ, peer)
+        self._sender = _AsyncSender(self._transmit_background) if overlap else None
         for conn in out_conns.values():
-            conn.setblocking(False)
+            # Overlap: the sender thread owns the outgoing sockets and
+            # blocks in sendall, so they stay in blocking mode.
+            conn.setblocking(self._sender is not None)
         self.msgs_sent = 0
         self.frames_sent = 0
         self.bytes_sent = 0
@@ -177,6 +194,9 @@ class _SocketRingTransport:
         frame = encode_batch(msgs)
         self.frames_sent += 1
         self.bytes_sent += len(frame)
+        if self._sender is not None:
+            self._sender.submit(dest, frame)
+            return
         conn = self._out[dest]
         view = memoryview(frame)
         while view:
@@ -186,6 +206,13 @@ class _SocketRingTransport:
                 self._read_while_unwritable(conn)
             except OSError as exc:
                 raise ProtocolError(f"send to machine {dest} failed: {exc}") from exc
+
+    def _transmit_background(self, dest: int, frame) -> None:
+        """Sender-thread write: blocking sendall, no inbound reads."""
+        try:
+            self._out[dest].sendall(frame)
+        except OSError as exc:
+            raise ProtocolError(f"send to machine {dest} failed: {exc}") from exc
 
     def _read_while_unwritable(self, conn) -> None:
         """Blocked on a full send buffer: drain peers until writable.
@@ -224,7 +251,13 @@ class _SocketRingTransport:
         if not self._inbox:
             self.flush()
             while not self._inbox:
-                for key, _ in self._selector.select():
+                events = self._selector.select(timeout=_LIVENESS_POLL_S)
+                if not events and self._sender is not None:
+                    # Nothing inbound: surface a background send failure
+                    # instead of waiting for frames a dead peer will
+                    # never produce.
+                    self._sender.check()
+                for key, _ in events:
                     self._read_socket(key.fileobj)
         msg = self._inbox.pop(0)
         if self._wire_dtype is not None:
@@ -240,7 +273,14 @@ class _SocketRingTransport:
             "payload_bytes": self.payload_bytes,
         }
 
+    def drain(self) -> None:
+        """Wait for background sends to finish (no-op without overlap)."""
+        if self._sender is not None:
+            self._sender.drain()
+
     def close(self) -> None:
+        if self._sender is not None:
+            self._sender.close()
         self._selector.close()
 
 
@@ -340,8 +380,8 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
         try:
             if op == "setup":
                 (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
-                 seed, rng_state, message_dtype, batch_units,
-                 host, port, batch_hops, drop_on_fault) = cmd
+                 seed, rng_state, message_dtype, batch_units, overlap_send,
+                 cpuset, host, port, batch_hops, drop_on_fault) = cmd
                 _close_net(net)  # a new fit rebuilds the mesh
                 net = None
                 if state is not None and state["seg"] is not None:
@@ -349,6 +389,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                 state = _build_worker_state(
                     rank, adapter, desc, protocol, homes, batch_size,
                     shuffle_within, seed, rng_state, message_dtype, batch_units,
+                    overlap_send, cpuset,
                 )
                 state["batch_hops"] = batch_hops
                 state["drop_on_fault"] = drop_on_fault
@@ -391,7 +432,9 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                         net["in"][decode_hello(payload)] = conn
                 finally:
                     net["listen"].settimeout(None)
-                res.send((rank, "ready", None))
+                # Like the queue worker's setup ack, report the cpuset
+                # actually applied (None when pinning is off).
+                res.send((rank, "ready", state["cpuset"]))
             elif op == "join_mesh":
                 # An established worker links a machine joining mid-fit
                 # into its mesh: accept the joiner's JOIN-identified
@@ -481,7 +524,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                         net["in"][decode_hello(payload)] = conn
                 finally:
                     net["listen"].settimeout(None)
-                res.send((rank, "joined", None))
+                res.send((rank, "joined", state["cpuset"]))
             elif op == "ingest":
                 _, frame = cmd
                 (msg,) = _decode_control_blob(frame, KIND_INGEST)
@@ -518,6 +561,10 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                         else None
                     ),
                     compute_dtype=state["compute_dtype"],
+                    overlap=(
+                        state.get("overlap_send", False)
+                        and state["protocol"].n_machines > 1
+                    ),
                 )
                 try:
                     try:
@@ -602,6 +649,7 @@ class TCPBackend(MultiprocessBackend):
     def _ship_setup(self, adapter, descs: dict, rng_states: dict | None = None) -> None:
         """Three-phase socket setup: bind, exchange ports, build the mesh."""
         base_seed = 0 if self.seed is None else int(self.seed)
+        cpusets = self._cpusets(sorted(descs))
         for rank in sorted(descs):
             self._cmd_qs[rank].put(
                 (
@@ -616,6 +664,8 @@ class TCPBackend(MultiprocessBackend):
                     None if rng_states is None else rng_states.get(rank),
                     self.message_dtype,
                     self.batch_units,
+                    self.overlap_send,
+                    cpusets.get(rank),
                     self.host,
                     self._port_for(rank),
                     self.batch_hops,
@@ -631,7 +681,10 @@ class TCPBackend(MultiprocessBackend):
         self._addr_map = dict(addr_map)
         for rank in self._ranks:
             self._cmd_qs[rank].put(("connect", addr_map))
-        self._collect("ready")
+        ready = self._collect("ready")
+        self._worker_cpusets = {
+            r: cs for r, cs in ready.items() if cs is not None
+        }
 
     def _dispatch_iteration(self, mu: float, plan, expected: dict,
                             model_rank: int) -> None:
@@ -669,6 +722,8 @@ class TCPBackend(MultiprocessBackend):
                 None,
                 self.message_dtype,
                 self.batch_units,
+                self.overlap_send,
+                self._cpusets(old_ranks + [p]).get(p),
                 self.host,
                 self._port_for(p),
                 self.batch_hops,
@@ -688,7 +743,9 @@ class TCPBackend(MultiprocessBackend):
                 len(self._specs),
             )
         )
-        self._collect("joined", ranks=[*old_ranks, p])
+        joined = self._collect("joined", ranks=[*old_ranks, p])
+        if joined.get(p) is not None:
+            self._worker_cpusets[p] = joined[p]
         self._addr_map[p] = addr
 
     # ------------------------------------------------------------ recovery

@@ -36,7 +36,7 @@ from repro.distributed.batching import (
     supports_unit_batching,
     train_message_batch,
 )
-from repro.distributed.costmodel import CostModel
+from repro.distributed.costmodel import CostModel, OverlapSendTimeline
 from repro.distributed.dataplane import DataPlane
 from repro.distributed.interfaces import get_params_many, set_params_many
 from repro.distributed.messages import SubmodelMessage
@@ -123,6 +123,15 @@ class SimulatedCluster:
         machine visit (see :mod:`repro.distributed.batching`); engages
         only with ``shuffle_within=False`` on adapters implementing
         ``w_update_batch``.
+    overlap_send : bool
+        Model pipelined ring sends (default False, the paper's section
+        5.1 serial-send accounting). When True, hop time stops occupying
+        the sending machine's clock: the sync engine charges each tick
+        ``max(work, comm)`` per machine instead of their sum, and the
+        discrete-event engine runs each machine's sends through a
+        double-buffered :class:`OverlapSendTimeline` — mirroring the
+        wall-clock engines' background sender. Timing only; the executed
+        numerics are untouched.
     dataplane : DataPlane or None
         Shard-ownership bookkeeping. The execution backends construct one
         and hand it in so streaming/fault counters are visible through the
@@ -147,6 +156,7 @@ class SimulatedCluster:
         execute_updates: bool = True,
         message_dtype=None,
         batch_units: bool = True,
+        overlap_send: bool = False,
         dataplane: DataPlane | None = None,
         seed=None,
     ):
@@ -176,6 +186,7 @@ class SimulatedCluster:
         self.execute_updates = bool(execute_updates)
         self.message_dtype = message_dtype
         self.batch_units = bool(batch_units)
+        self.overlap_send = bool(overlap_send)
         self._compute_dtype = np.dtype(
             getattr(adapter, "compute_dtype", np.float64)
         )
@@ -448,7 +459,13 @@ class SimulatedCluster:
                         stats.n_messages += 1
                         sends.append((q, msg))
                 outgoing[p] = sends
-                tick_cost[p] = work_p + comm_p
+                # Overlapped sends: the background sender puts this
+                # tick's messages on the wire while the CPU works, so
+                # the machine's tick costs the slower of the two instead
+                # of their sum (the steady-state pipeline bound).
+                tick_cost[p] = (
+                    max(work_p, comm_p) if self.overlap_send else work_p + comm_p
+                )
                 stats.comp_time += work_p
                 stats.comm_time += comm_p
                 stats.per_machine_comp[p] = stats.per_machine_comp.get(p, 0.0) + work_p
@@ -573,6 +590,7 @@ class SimulatedCluster:
         rings = self._rings()
         queues = self._initial_messages()
         deferred = self._DeferredBatching(self, mu) if self._units_batched() else None
+        timeline = OverlapSendTimeline() if self.overlap_send else None
         stats = WStepStats(
             per_machine_comp={p: 0.0 for p in self.machines},
             per_machine_comm={p: 0.0 for p in self.machines},
@@ -599,13 +617,22 @@ class SimulatedCluster:
             if not msg.done:
                 q = self._successor(rings, msg, p)
                 hop = self.cost.comm(p, q) * self._comm_scale
-                # t_wc is time the machine *spends* communicating (section
-                # 5.1: "the time spent by a given machine in first receiving
-                # a submodel and then sending it"), so it occupies the
-                # sender's clock as well as delaying the delivery.
-                clock[p] += hop
                 stats.comm_time += hop
                 stats.per_machine_comm[p] += hop
+                if timeline is not None and hop > 0.0:
+                    # Overlap: the hop runs on the machine's NIC timeline;
+                    # the worker's clock advances only if both send
+                    # buffers were full (double-buffer backpressure).
+                    resume, delivery = timeline.submit(p, clock[p], hop)
+                    clock[p] = resume
+                else:
+                    # t_wc is time the machine *spends* communicating
+                    # (section 5.1: "the time spent by a given machine in
+                    # first receiving a submodel and then sending it"), so
+                    # it occupies the sender's clock as well as delaying
+                    # the delivery.
+                    clock[p] += hop
+                    delivery = clock[p]
                 if p != q:
                     stats.bytes_sent += int(msg.nbytes * self._comm_scale)
                     if deferred is None:
@@ -613,7 +640,7 @@ class SimulatedCluster:
                         # group's deferred numerics run.
                         self._transmit(msg)
                 stats.n_messages += 1
-                heapq.heappush(heap, (clock[p], seq, q, msg))
+                heapq.heappush(heap, (delivery, seq, q, msg))
                 seq += 1
         if deferred is not None and deferred.n_pending:
             raise RuntimeError(
@@ -621,6 +648,9 @@ class SimulatedCluster:
                 "their batch group — convoy tracking bug"
             )
         stats.sim_time = max(clock.values(), default=0.0)
+        if timeline is not None:
+            # The step is not over until the last NIC finishes draining.
+            stats.sim_time = max(stats.sim_time, timeline.tail())
         return stats
 
     # ----------------------------------------------------- fault recovery

@@ -258,7 +258,13 @@ class NetAdapter:
 
     # ------------------------------------------------------------- Z step
     def z_update(self, shard: NetShard, mu: float) -> int:
-        """Shard-local safeguarded gradient Z step; returns coords changed."""
+        """Shard-local safeguarded gradient Z step; returns coords changed.
+
+        Runs the trainer's stacked (activation-cached) solver: a shard's Z
+        solves are a handful of whole-shard GEMMs per gradient step in the
+        model's compute dtype — the Z-step mirror of ``w_update_batch`` —
+        and remain bit-identical to ``MACTrainerNet.z_step_reference``.
+        """
         new_Zs = self._ztrainer.z_step(shard.X, shard.Y, shard.Zs, mu)
         changed = sum(
             int((np.abs(new - old) > 1e-12).sum())

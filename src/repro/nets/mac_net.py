@@ -152,8 +152,15 @@ class MACTrainerNet:
             grads.append(g)
         return grads
 
-    def z_step(self, X, Y, Zs: list[np.ndarray], mu: float) -> list[np.ndarray]:
-        """Safeguarded gradient descent on the per-point proximal problems."""
+    def z_step_reference(self, X, Y, Zs: list[np.ndarray], mu: float) -> list[np.ndarray]:
+        """Safeguarded gradient descent, recomputing every forward pass.
+
+        The legacy formulation: each iteration runs ``_z_gradients`` (which
+        forwards every layer on the current coordinates) and two
+        ``_e_q_per_point`` evaluations — roughly three full forward passes
+        per accepted step. Kept as the parity/benchmark reference for the
+        activation-cached :meth:`z_step`.
+        """
         Zs = [Z.copy() for Z in Zs]
         obj = self._e_q_per_point(X, Y, Zs, mu)
         lr = self.z_lr
@@ -167,6 +174,80 @@ class MACTrainerNet:
                 continue
             for Z, T in zip(Zs, trial):
                 Z[accept] = T[accept]
+            obj = np.where(accept, new_obj, obj)
+        return Zs
+
+    def _obj_from_acts(self, Y, Zs, acts, mu: float) -> np.ndarray:
+        """Per-point E_Q from cached activations ``acts[k] = f_k(ins[k])``.
+
+        Same accumulation order (and float64 accumulator) as
+        ``_e_q_per_point``, so the values are bit-identical given identical
+        activations.
+        """
+        total = np.zeros(len(acts[0]))
+        for k in range(len(Zs)):
+            R = Zs[k] - acts[k]
+            total += 0.5 * mu * (R * R).sum(axis=1)
+        R = np.asarray(Y, dtype=self.compute_dtype) - acts[-1]
+        total += 0.5 * (R * R).sum(axis=1)
+        return total
+
+    def _grads_from_acts(self, Y, Zs, acts, mu: float) -> list[np.ndarray]:
+        """E_Q gradients w.r.t. each Z_k from cached activations.
+
+        ``_z_gradients`` forwards layer k on ``ins[k]`` and layer k+1 on
+        ``Zs[k]`` — but ``ins[k+1] is Zs[k]``, so both are exactly the
+        activations ``acts`` already holds; no forward pass is needed.
+        """
+        grads = []
+        for k in range(len(Zs)):
+            g = mu * (Zs[k] - acts[k])
+            nxt = self.net.layers[k + 1]
+            A_next = acts[k + 1]
+            if k + 1 < len(Zs):
+                R_next = Zs[k + 1] - A_next
+                weight = mu
+            else:
+                R_next = np.asarray(Y, dtype=self.compute_dtype) - A_next
+                weight = 1.0
+            g -= weight * (R_next * nxt.derivative_from_output(A_next)) @ nxt.W
+            grads.append(g)
+        return grads
+
+    def z_step(self, X, Y, Zs: list[np.ndarray], mu: float) -> list[np.ndarray]:
+        """Safeguarded gradient descent on the per-point proximal problems.
+
+        Stacked formulation: one set of layer activations is computed per
+        candidate point and shared between the objective and the gradient
+        (the reference recomputes each forward up to three times). Rows
+        of a forward pass depend only on the matching input rows, so the
+        per-point acceptance safeguard updates the cached activations
+        row-wise and every iterate stays bit-identical to
+        :meth:`z_step_reference`.
+        """
+        Zs = [Z.copy() for Z in Zs]
+        layers = self.net.layers
+        ins = [np.asarray(X, dtype=self.compute_dtype)] + Zs
+        # acts[k] = f_k(ins[k]); acts[0] depends only on X, so it is
+        # computed once for the whole solve.
+        acts = [layer.forward(ins[k]) for k, layer in enumerate(layers)]
+        obj = self._obj_from_acts(Y, Zs, acts, mu)
+        lr = self.z_lr
+        for _ in range(self.z_steps):
+            grads = self._grads_from_acts(Y, Zs, acts, mu)
+            trial = [Z - lr * g for Z, g in zip(Zs, grads)]
+            trial_acts = [acts[0]] + [
+                layers[k].forward(trial[k - 1]) for k in range(1, len(layers))
+            ]
+            new_obj = self._obj_from_acts(Y, trial, trial_acts, mu)
+            accept = new_obj <= obj
+            if not accept.any():
+                lr *= 0.5
+                continue
+            for Z, T in zip(Zs, trial):
+                Z[accept] = T[accept]
+            for k in range(1, len(acts)):
+                acts[k][accept] = trial_acts[k][accept]
             obj = np.where(accept, new_obj, obj)
         return Zs
 

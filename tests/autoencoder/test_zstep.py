@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.autoencoder.zstep import (
+    MAX_ENUM_BITS,
     zstep,
     zstep_alternate,
     zstep_enumerate,
@@ -163,6 +164,96 @@ class TestRelaxed:
         assert Z.shape == (5, 3)
 
 
+def dyadic_problem(seed, dtype, n=12, D=6, L=5):
+    """Inputs on a dyadic grid (multiples of 1/4, magnitude <= 2).
+
+    Every intermediate the solvers form — Gram entries, linear terms,
+    per-bit deltas — is then a small multiple of 1/16, exactly
+    representable in float32 and float64 alike. Both impls therefore
+    compute *exactly* the same deltas and scores, so bit-parity of the
+    stacked rewrites is a theorem on this grid, not a lucky draw.
+    """
+    rng = np.random.default_rng(seed)
+
+    def grid(shape):
+        return (rng.integers(-8, 9, size=shape) * 0.25).astype(dtype)
+
+    X, B, c = grid((n, D)), grid((D, L)), grid(D)
+    H = rng.integers(0, 2, size=(n, L)).astype(np.uint8)
+    Z0 = rng.integers(0, 2, size=(n, L)).astype(np.uint8)
+    return X, B, c, H, 0.5, Z0
+
+
+class TestStackedParity:
+    """The ``impl="stacked"`` rewrites are bit-identical to the legacy
+    formulations — the contract the engines' cross-backend conformance
+    relies on (a Z step must not depend on which kernel ran it)."""
+
+    @given(seed=st.integers(0, 10_000),
+           dtype=st.sampled_from([np.float32, np.float64]))
+    @settings(max_examples=25, deadline=None)
+    def test_alternate_parity_dyadic(self, seed, dtype):
+        X, B, c, H, mu, Z0 = dyadic_problem(seed, dtype)
+        legacy = zstep_alternate(X, B, c, H, mu, Z0, impl="legacy")
+        stacked = zstep_alternate(X, B, c, H, mu, Z0, impl="stacked")
+        assert np.array_equal(legacy, stacked)
+
+    @given(seed=st.integers(0, 10_000),
+           dtype=st.sampled_from([np.float32, np.float64]))
+    @settings(max_examples=25, deadline=None)
+    def test_enumerate_parity_dyadic(self, seed, dtype):
+        X, B, c, H, mu, _ = dyadic_problem(seed, dtype)
+        legacy = zstep_enumerate(X, B, c, H, mu, impl="legacy")
+        stacked = zstep_enumerate(X, B, c, H, mu, impl="stacked")
+        assert np.array_equal(legacy, stacked)
+
+    @given(seed=st.integers(0, 10_000),
+           dtype=st.sampled_from([np.float32, np.float64]))
+    @settings(max_examples=25, deadline=None)
+    def test_relaxed_parity_dyadic(self, seed, dtype):
+        X, B, c, H, mu, _ = dyadic_problem(seed, dtype)
+        legacy = zstep_relaxed(X, B, c, H, mu, impl="legacy")
+        stacked = zstep_relaxed(X, B, c, H, mu, impl="stacked")
+        assert np.array_equal(legacy, stacked)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_alternate_parity_continuous(self, seed):
+        # Off the grid too: generic gaussian inputs never land a per-bit
+        # delta close enough to the flip threshold for the two rewrites'
+        # rounding to disagree.
+        X, B, c, H, mu = random_problem(n=30, D=8, L=6, mu=0.7, seed=seed)
+        Z0 = np.random.default_rng(seed + 50).integers(0, 2, size=H.shape)
+        legacy = zstep_alternate(X, B, c, H, mu, Z0.astype(np.uint8), impl="legacy")
+        stacked = zstep_alternate(X, B, c, H, mu, Z0.astype(np.uint8), impl="stacked")
+        assert np.array_equal(legacy, stacked)
+
+    def test_cache_keyed_by_content_not_identity(self):
+        # Mutating the decoder between calls must never serve stale shared
+        # work: the caches key on the decoder's bytes, not its object id.
+        X, B, c, H, mu, Z0 = dyadic_problem(11, np.float64)
+        zstep_alternate(X, B, c, H, mu, Z0, impl="stacked")  # warm caches on B
+        zstep_enumerate(X, B, c, H, mu, impl="stacked")
+        B2 = B.copy()
+        B2[0, 0] += 0.25
+        for fn, kwargs in [
+            (zstep_alternate, {"Z0": Z0}),
+            (zstep_enumerate, {}),
+            (zstep_relaxed, {}),
+        ]:
+            fresh_legacy = fn(X, B2, c, H, mu, impl="legacy", **kwargs)
+            fresh_stacked = fn(X, B2, c, H, mu, impl="stacked", **kwargs)
+            assert np.array_equal(fresh_legacy, fresh_stacked)
+
+    def test_unknown_impl_raises(self):
+        X, B, c, H, mu = random_problem()
+        with pytest.raises(ValueError, match="impl"):
+            zstep_alternate(X, B, c, H, mu, impl="vectorised")
+        with pytest.raises(ValueError, match="impl"):
+            zstep_enumerate(X, B, c, H, mu, impl="vectorised")
+        with pytest.raises(ValueError, match="impl"):
+            zstep_relaxed(X, B, c, H, mu, impl="vectorised")
+
+
 class TestDispatcher:
     def test_auto_enumerates_small(self):
         X, B, c, H, mu = random_problem(L=4)
@@ -180,6 +271,35 @@ class TestDispatcher:
             zstep_objective(X, B, c, H, mu, Z)
             <= zstep_objective(X, B, c, H, mu, init) + 1e-9
         ).all()
+
+    def test_default_cutoff_is_enum_limit(self):
+        # Regression: the dispatcher's default cutoff once sat at 12 bits
+        # while zstep_enumerate allowed 16, silently switching the paper's
+        # L in (12, 16] settings to the inexact alternating solver. The
+        # default must track the enumeration limit itself.
+        import inspect
+
+        sig = inspect.signature(zstep)
+        assert sig.parameters["max_enum_bits"].default == MAX_ENUM_BITS
+        assert MAX_ENUM_BITS == 16
+
+    def test_auto_enumerates_at_the_limit(self):
+        # L == MAX_ENUM_BITS must dispatch to exact enumeration...
+        X, B, c, H, mu = random_problem(n=4, D=5, L=MAX_ENUM_BITS, seed=8)
+        assert np.array_equal(
+            zstep(X, B, c, H, mu, method="auto"),
+            zstep_enumerate(X, B, c, H, mu),
+        )
+
+    def test_auto_alternates_past_the_limit(self):
+        # ...and L == MAX_ENUM_BITS + 1 must fall back to alternating
+        # (enumeration would refuse) without raising.
+        L = MAX_ENUM_BITS + 1
+        X, B, c, H, mu = random_problem(n=4, D=5, L=L, seed=9)
+        assert np.array_equal(
+            zstep(X, B, c, H, mu, method="auto"),
+            zstep_alternate(X, B, c, H, mu),
+        )
 
     def test_unknown_method_raises(self):
         X, B, c, H, mu = random_problem()

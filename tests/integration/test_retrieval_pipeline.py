@@ -36,12 +36,16 @@ def workload():
 
 @pytest.fixture(scope="module")
 def trained(workload):
+    # The orderings below do not need the exact Z step; the alternating
+    # solver (what auto dispatch picked before the L=16 enumeration cutoff)
+    # keeps this 28-iteration fixture fast.
     X, Q, nn1 = workload
     tpca = TruncatedPCAHash(L).fit(X)
+    kw = dict(w_epochs=2, zstep_method="alternate", seed=0)
     ba_lin = BinaryAutoencoder.linear(32, L)
-    MACTrainerBA(ba_lin, GeometricSchedule(1e-2, 2.0, 14), w_epochs=2, seed=0).fit(X)
+    MACTrainerBA(ba_lin, GeometricSchedule(1e-2, 2.0, 14), **kw).fit(X)
     ba_rbf = BinaryAutoencoder.rbf(X, n_centres=200, n_bits=L, rng=0)
-    MACTrainerBA(ba_rbf, GeometricSchedule(1e-2, 2.0, 14), w_epochs=2, seed=0).fit(X)
+    MACTrainerBA(ba_rbf, GeometricSchedule(1e-2, 2.0, 14), **kw).fit(X)
     return tpca, ba_lin, ba_rbf
 
 

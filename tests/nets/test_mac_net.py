@@ -117,3 +117,30 @@ class TestFit:
         net = DeepNet.create([3, 4, 2], rng=0)
         with pytest.raises(ValueError):
             MACTrainerNet(net, seed=0).fit(np.zeros((5, 3)), np.zeros((4, 2)))
+
+
+class TestZStepStackedParity:
+    """The activation-cached z_step must reproduce z_step_reference
+    bit for bit — same forwards on the same rows, just fewer of them."""
+
+    @pytest.mark.parametrize("dims", [[4, 6, 2], [4, 5, 3, 2]])
+    def test_bit_identical_to_reference(self, regression_problem, dims):
+        X, Y = regression_problem
+        net = DeepNet.create(dims, rng=3)
+        trainer = MACTrainerNet(net, z_steps=6, seed=0)
+        Zs = [z + 0.3 for z in trainer.init_coords(X)]  # off the fixed point
+        ref = trainer.z_step_reference(X, Y, Zs, mu=0.7)
+        fast = trainer.z_step(X, Y, Zs, mu=0.7)
+        assert len(ref) == len(fast)
+        for R, F in zip(ref, fast):
+            assert np.array_equal(R, F)
+
+    def test_bit_identical_float32(self, regression_problem):
+        X, Y = regression_problem
+        net = DeepNet.create([4, 6, 2], rng=3, dtype=np.float32)
+        trainer = MACTrainerNet(net, z_steps=6, seed=0)
+        Zs = [(z + 0.3).astype(np.float32) for z in trainer.init_coords(X)]
+        ref = trainer.z_step_reference(X, Y, Zs, mu=0.7)
+        fast = trainer.z_step(X, Y, Zs, mu=0.7)
+        for R, F in zip(ref, fast):
+            assert np.array_equal(R, F)
