@@ -1,0 +1,232 @@
+"""Degradation curves under chaos: throughput bends, accuracy doesn't.
+
+The chaos layer (``repro.distributed.chaos``) injects seeded packet
+loss, delay/jitter and slow-node stragglers identically into the
+simulated engines (charged to the virtual clock) and the wall-clock
+ones (slept off between framing and the wire). This bench sweeps three
+severity axes — loss rate, link delay/jitter, straggler factor — on one
+simulated engine (``sync``) and one real-socket engine (``tcp``) side
+by side, and records per severity the final E_Q and the mean iteration
+time.
+
+The headline the curves must show is the deterministic-delivery
+contract: **iteration time climbs with severity while E_Q stays exactly
+flat** — on every engine, at every severity, the trained model is
+bit-for-bit the chaos-free one, because chaos perturbs when messages
+travel, never what is computed. The sim's cost model is calibrated to
+rough per-point wall costs so its virtual seconds sit on the same axis
+as the TCP engine's measured seconds.
+
+Writes ``BENCH_chaos.json`` via the shared helper in conftest.py.
+
+Run standalone (the nightly chaos lane does)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --smoke
+
+or through pytest: ``pytest benchmarks/bench_chaos.py``.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from conftest import write_bench_json  # noqa: E402  (shared bench helper)
+
+from repro.autoencoder import BinaryAutoencoder  # noqa: E402
+from repro.autoencoder.adapter import BAAdapter  # noqa: E402
+from repro.autoencoder.init import init_codes_pca  # noqa: E402
+from repro.data.synthetic import make_gist_like  # noqa: E402
+from repro.distributed import ChaosConfig  # noqa: E402
+from repro.distributed.backends import get_backend  # noqa: E402
+from repro.distributed.costmodel import CostModel  # noqa: E402
+from repro.distributed.partition import make_shards, partition_indices  # noqa: E402
+from repro.utils.ascii_plot import ascii_table  # noqa: E402
+
+ENGINES = ["sync", "tcp"]
+
+FULL = {"n": 3000, "d": 32, "bits": 12, "P": 4, "iters": 3,
+        "loss": [0.0, 0.1, 0.3, 0.5],
+        "delay_ms": [0.0, 5.0, 20.0, 50.0],
+        "straggler": [1.0, 1.5, 2.0, 4.0]}
+SMOKE = {"n": 600, "d": 16, "bits": 8, "P": 3, "iters": 2,
+         "loss": [0.0, 0.2, 0.5],
+         "delay_ms": [0.0, 10.0, 40.0],
+         "straggler": [1.0, 2.0, 4.0]}
+
+#: Rough per-point wall costs, so the sync engine's virtual seconds and
+#: the TCP engine's measured seconds share an axis.
+SIM_COST = CostModel(t_wr=2e-6, t_wc=1e-4, t_zr=2e-6)
+
+#: Loss is charged as retransmits; a wall-visible detection timeout
+#: makes the loss curve legible on the measured-seconds axis too.
+RETRANSMIT_MS = 20.0
+
+
+def chaos_for(axis: str, severity: float) -> ChaosConfig | None:
+    if axis == "loss":
+        if severity == 0.0:
+            return None
+        return ChaosConfig(packet_loss_rate=severity,
+                           retransmit_ms=RETRANSMIT_MS, seed=13)
+    if axis == "delay_ms":
+        if severity == 0.0:
+            return None
+        return ChaosConfig(delay_ms=severity, jitter_ms=severity / 2, seed=13)
+    if axis == "straggler":
+        if severity == 1.0:
+            return None
+        return ChaosConfig(stragglers={0: severity}, seed=13)
+    raise ValueError(axis)
+
+
+def run_fit(cfg, engine: str, chaos: ChaosConfig | None):
+    """One short fit; returns final E_Q, mean iteration seconds, final
+    submodels and the summed chaos counters."""
+    X = make_gist_like(cfg["n"], cfg["d"], n_clusters=6, rng=5)
+    ba = BinaryAutoencoder.linear(cfg["d"], cfg["bits"])
+    adapter = BAAdapter(ba)
+    Z, _ = init_codes_pca(X, cfg["bits"], subset=500, rng=0)
+    parts = partition_indices(cfg["n"], cfg["P"], rng=0)
+    shards = make_shards(X, adapter.features(X), Z, parts)
+    mus = [1e-3 * 2.0**i for i in range(cfg["iters"])]
+    with get_backend(engine)(
+        epochs=2, batch_size=100, seed=0, shuffle_within=False,
+        cost=SIM_COST, chaos=chaos,
+    ) as backend:
+        backend.setup(adapter, shards)
+        results = [backend.run_iteration(mu) for mu in mus]
+    counters = {}
+    for r in results:
+        for key, value in r.extra.items():
+            if key.startswith("chaos_"):
+                counters[key] = counters.get(key, 0) + value
+    finals = {s.sid: adapter.get_params(s).copy()
+              for s in adapter.submodel_specs()}
+    return {
+        "e_q": float(results[-1].e_q),
+        "iteration_s": float(np.mean([r.time for r in results])),
+        "finals": finals,
+        "counters": counters,
+    }
+
+
+def measure(cfg) -> dict:
+    out = {"config": {k: v for k, v in cfg.items()}, "curves": {}}
+    baseline_finals = {}
+    for axis in ("loss", "delay_ms", "straggler"):
+        severities = cfg[axis]
+        curve = {"severities": list(severities)}
+        for engine in ENGINES:
+            e_qs, times, events = [], [], []
+            for severity in severities:
+                run = run_fit(cfg, engine, chaos_for(axis, severity))
+                e_qs.append(run["e_q"])
+                times.append(run["iteration_s"])
+                events.append({k: v for k, v in run["counters"].items()
+                               if k in ("chaos_drops", "chaos_delay_s",
+                                        "chaos_straggler_s")})
+                # Deterministic delivery, checked at the bits: every
+                # severity of every axis trains the same model as the
+                # engine's chaos-free baseline.
+                base = baseline_finals.setdefault(engine, run["finals"])
+                for sid, theta in run["finals"].items():
+                    assert np.array_equal(theta, base[sid]), (
+                        axis, severity, engine, sid)
+            curve[engine] = {"e_q": e_qs, "iteration_s": times,
+                             "events": events}
+        out["curves"][axis] = curve
+    return out
+
+
+def report_lines(results) -> list:
+    lines = ["=" * 72,
+             "Chaos degradation curves (E_Q flat by contract; "
+             "iteration seconds climb)"]
+    for axis, curve in results["curves"].items():
+        rows = []
+        for i, severity in enumerate(curve["severities"]):
+            rows.append([
+                severity,
+                round(curve["sync"]["iteration_s"][i], 4),
+                round(curve["tcp"]["iteration_s"][i], 4),
+                round(curve["sync"]["e_q"][i], 4),
+                round(curve["tcp"]["e_q"][i], 4),
+            ])
+        lines.append(f"axis: {axis}")
+        lines.append(ascii_table(
+            ["severity", "sync iter s", "tcp iter s", "sync E_Q", "tcp E_Q"],
+            rows))
+    return lines
+
+
+def check(results) -> list:
+    """Acceptance: E_Q flat everywhere; time strictly degrades on the
+    virtual clock and visibly degrades on the wall clock."""
+    failures = []
+    for axis, curve in results["curves"].items():
+        for engine in ENGINES:
+            e_qs = curve[engine]["e_q"]
+            if not all(eq == e_qs[0] for eq in e_qs):
+                failures.append(f"{axis}/{engine}: E_Q moved under chaos")
+        sim_t = curve["sync"]["iteration_s"]
+        if not all(b > a for a, b in zip(sim_t, sim_t[1:])):
+            failures.append(f"{axis}/sync: virtual time not increasing")
+        if axis == "straggler":
+            # A straggler's extra wall time is (factor-1) x a few ms of
+            # compute at bench sizes — real but inside scheduler noise,
+            # so judge the injected sleep the workers recorded instead.
+            slept = [e.get("chaos_straggler_s", 0.0)
+                     for e in curve["tcp"]["events"]]
+            if not all(b > a for a, b in zip(slept, slept[1:])):
+                failures.append(
+                    f"{axis}/tcp: injected straggler sleep not increasing")
+        else:
+            tcp_t = curve["tcp"]["iteration_s"]
+            if not tcp_t[-1] > tcp_t[0]:
+                failures.append(f"{axis}/tcp: wall time did not degrade")
+    # The two engines must agree on the model, not just within
+    # themselves (cross-engine parity at severity 0 covers all, since
+    # every severity equals its engine's baseline).
+    loss = results["curves"]["loss"]
+    if loss["sync"]["e_q"][0] != loss["tcp"]["e_q"][0]:
+        failures.append("sync and tcp disagree on the chaos-free E_Q")
+    return failures
+
+
+def test_chaos_degradation_curves(benchmark, report):
+    """Pytest entry: smoke-size sweep with the flat-E_Q acceptance."""
+    results = benchmark.pedantic(lambda: measure(SMOKE), rounds=1, iterations=1)
+    report()
+    for line in report_lines(results):
+        report(line)
+    write_bench_json("chaos", results)
+    assert check(results) == []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small problem sizes (nightly CI lane)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="directory for BENCH_chaos.json (default: benchmarks/)",
+    )
+    args = parser.parse_args(argv)
+    results = measure(SMOKE if args.smoke else FULL)
+    for line in report_lines(results):
+        print(line)
+    path = write_bench_json("chaos", results, directory=args.out)
+    print(f"wrote {path}")
+    failures = check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,10 @@ coordinator:
 2. a machine discards stale data;
 3. a brand-new, preloaded machine joins the ring;
 4. a machine dies mid-W-step and its in-flight submodels are recovered
-   from the predecessor's copies.
+   from the predecessor's copies;
+5. the network turns hostile — lossy, jittery, briefly partitioned,
+   with one straggling machine — and the fit degrades in *time only*:
+   the final model is bit-identical to the clean run's.
 
 Run:  python examples/streaming_and_faults.py
 """
@@ -18,6 +21,7 @@ from repro import BinaryAutoencoder
 from repro.autoencoder.adapter import BAAdapter
 from repro.autoencoder.init import init_codes_pca
 from repro.data.synthetic import make_clustered
+from repro.distributed import ChaosConfig, PartitionWindow
 from repro.distributed.cluster import FaultEvent, SimulatedCluster
 from repro.distributed.partition import make_shards, partition_indices
 
@@ -64,8 +68,44 @@ def main():
     iterate("fault + recovery", fault=FaultEvent(machine=2, tick=1))
     iterate("next full iteration")
 
+    print("\n5) the network turns hostile (loss, jitter, a partition, a straggler)")
+    chaos = ChaosConfig(
+        packet_loss_rate=0.2,
+        delay_ms=2.0,
+        jitter_ms=1.0,
+        # Default cost model: a W-step tick is ~1600 virtual s, so this
+        # window cuts the ring across the 2nd and 3rd rounds of hops.
+        partitions=[PartitionWindow(1500.0, 4000.0)],
+        stragglers={1: 2.0},
+        seed=7,
+    )
+
+    def short_fit(chaos_cfg):
+        ba = BinaryAutoencoder.linear(dim, n_bits)
+        adapter = BAAdapter(ba)
+        Z, _ = init_codes_pca(X, n_bits, rng=0)
+        shards = make_shards(X, adapter.features(X), Z, parts)
+        cluster = SimulatedCluster(
+            adapter, shards, epochs=2, seed=0, chaos=chaos_cfg
+        )
+        w, _ = cluster.iteration(1e-3)
+        finals = [adapter.get_params(s).copy() for s in adapter.submodel_specs()]
+        return w, finals
+
+    clean_w, clean_finals = short_fit(None)
+    chaos_w, chaos_finals = short_fit(chaos)
+    identical = all(
+        np.array_equal(a, b) for a, b in zip(clean_finals, chaos_finals)
+    )
+    print(f"   clean   W step: {clean_w.sim_time:8.1f} virtual s")
+    print(f"   chaotic W step: {chaos_w.sim_time:8.1f} virtual s "
+          f"(drops={chaos_w.chaos['chaos_drops']}, "
+          f"partition holds={chaos_w.chaos['chaos_partition_holds']})")
+    print(f"   final submodels bit-identical to the clean run: {identical}")
+
     print("\nThe model kept training through every event; at the end of every")
-    print("W step all surviving machines still hold identical final submodels.")
+    print("W step all surviving machines still hold identical final submodels,")
+    print("and chaos only moved the clock — never the bits.")
 
 
 if __name__ == "__main__":

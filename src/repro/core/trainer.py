@@ -54,6 +54,12 @@ class ParMACTrainer:
         (default — the fit raises and tears down) or ``"drop_shard"``
         (the dead machine's shard is excised and training continues on
         the survivors, paper section 4.3).
+    chaos : ChaosConfig or dict, optional
+        Network fault injection (:mod:`repro.distributed.chaos`): seeded
+        packet loss, delay/jitter, reordering, bandwidth caps, partition
+        windows and stragglers, charged virtually on the simulated
+        engines and injected for real on the wall-clock ones. Timing
+        only — results stay bit-identical.
     evaluator : callable, optional
         Called with the adapter's model after every iteration; may return
         a dict with "precision" / "recall" entries for the history.
@@ -89,6 +95,7 @@ class ParMACTrainer:
         shuffle_ring: bool = False,
         cost=None,
         fault_policy: str = "fail_fast",
+        chaos=None,
         seed=None,
         evaluator=None,
         stop_on_fixed_point: bool = False,
@@ -107,6 +114,7 @@ class ParMACTrainer:
                 shuffle_ring=shuffle_ring,
                 cost=cost,
                 fault_policy=fault_policy,
+                chaos=chaos,
                 seed=seed,
                 **(backend_options or {}),
             )

@@ -24,7 +24,8 @@ from repro.distributed.messages import SubmodelMessage
 from repro.distributed.topology import RingTopology
 from repro.distributed.protocol import RoutePlan, WStepProtocol, expected_receives
 from repro.distributed.partition import Shard, make_shards, partition_indices
-from repro.distributed.costmodel import CostModel
+from repro.distributed.chaos import ChaosConfig, PartitionWindow
+from repro.distributed.costmodel import ChaosTimeline, CostModel
 from repro.distributed.cluster import SimulatedCluster, WStepStats, ZStepStats
 from repro.distributed.backends import (
     AsyncSimBackend,
@@ -53,6 +54,9 @@ __all__ = [
     "make_shards",
     "partition_indices",
     "CostModel",
+    "ChaosConfig",
+    "PartitionWindow",
+    "ChaosTimeline",
     "SimulatedCluster",
     "WStepStats",
     "ZStepStats",

@@ -37,6 +37,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.distributed.batching import supports_unit_batching
+from repro.distributed.chaos import ChaosConfig
 from repro.distributed.dataplane import ClusterState, DataPlane
 from repro.utils.validation import check_float_dtype
 
@@ -211,6 +212,20 @@ class BaseBackend:
         knob is deliberately absent from checkpoint compatibility checks.
         Off by default because the paper's timing model (section 5.1)
         charges the sender serially for each hop.
+    chaos : ChaosConfig, dict or None
+        Chaos-grade network fault injection (default None — no chaos):
+        seeded per-link packet loss (charged as retransmits), delay +
+        jitter, reorder holds, a bandwidth throttle, scheduled ring
+        partitions and slow-node straggler factors; see
+        :class:`~repro.distributed.chaos.ChaosConfig`. Wall-clock
+        engines inject the degradations as real latency between framing
+        and the wire; simulated engines charge the identical seeded
+        event stream to their virtual clocks. Delivery stays
+        deterministic, so — like ``overlap_send`` — chaos changes when
+        messages travel and what iterations cost, never what is
+        computed, and the knob is likewise absent from checkpoint
+        compatibility checks. Per-iteration injected-event counts
+        surface as ``chaos_*`` keys in ``IterationStats.extra``.
     seed : int or None
     """
 
@@ -229,6 +244,7 @@ class BaseBackend:
         batch_units: bool = True,
         message_dtype=None,
         overlap_send: bool = False,
+        chaos=None,
         seed=None,
     ):
         if epochs < 1:
@@ -247,6 +263,7 @@ class BaseBackend:
             else check_float_dtype(message_dtype, name="message_dtype")
         )
         self.overlap_send = bool(overlap_send)
+        self.chaos = ChaosConfig.coerce(chaos)
         self.cost = cost
         try:
             self.fault_policy = FaultPolicy(fault_policy)

@@ -81,6 +81,7 @@ from repro.distributed.batching import (
     supports_unit_batching,
     train_message_batch,
 )
+from repro.distributed.chaos import ChaosShim
 from repro.distributed.dataplane import ClusterState, DataPlane
 from repro.distributed.interfaces import get_params_many, set_params_many
 from repro.distributed.messages import ShardRetired, SubmodelMessage
@@ -436,11 +437,18 @@ class _QueueRingTransport:
     """
 
     def __init__(self, rank: int, ring_qs, gen: int = 0, abort_ev=None, *,
-                 wire_dtype=None, compute_dtype=None, overlap=False):
+                 wire_dtype=None, compute_dtype=None, overlap=False,
+                 chaos_shim=None):
         self.rank = rank
         self._ring_qs = ring_qs
         self.gen = gen
         self._abort_ev = abort_ev
+        # Chaos shim: the per-link verdict is drawn at send() time (one
+        # draw per message, matching the simulated engines' per-hop
+        # draws) and served as a sleep at transmit time — on the sender
+        # thread under overlap_send, so overlap hides injected latency
+        # exactly as it hides real latency.
+        self._chaos = chaos_shim
         # Reduced-precision wire (paper section 9): parameters are cast
         # down at pack time — the pickled payload genuinely shrinks — and
         # cast back to the compute dtype on receive. The worker already
@@ -456,7 +464,9 @@ class _QueueRingTransport:
         self.msgs_sent = 0
         self.bytes_sent = 0
 
-    def _transmit(self, dest: int, item) -> None:
+    def _transmit(self, dest: int, item, delay: float = 0.0) -> None:
+        if delay > 0.0:
+            time.sleep(delay)
         self._ring_qs[dest].put(item)
 
     def send(self, dest: int, msg: SubmodelMessage) -> None:
@@ -465,10 +475,15 @@ class _QueueRingTransport:
         self.msgs_sent += 1
         self.bytes_sent += msg.nbytes
         item = (self.gen, msg)
+        delay = (
+            self._chaos.send_delay(dest, msg.nbytes)
+            if self._chaos is not None and dest != self.rank
+            else 0.0
+        )
         if self._sender is not None and dest != self.rank:
-            self._sender.submit(dest, item)
+            self._sender.submit(dest, item, delay)
         else:
-            self._ring_qs[dest].put(item)
+            self._transmit(dest, item, delay)
 
     def flush(self) -> None:
         pass
@@ -502,14 +517,17 @@ class _QueueRingTransport:
             return msg
 
     def wire_stats(self) -> dict:
-        return {"hops": self.msgs_sent, "bytes_sent": self.bytes_sent}
+        stats = {"hops": self.msgs_sent, "bytes_sent": self.bytes_sent}
+        if self._chaos is not None:
+            stats.update(self._chaos.counters)
+        return stats
 
 
 # ------------------------------------------------------------------ worker
 def _build_worker_state(rank, adapter, desc, protocol, homes, batch_size,
                         shuffle_within, seed, rng_state=None,
                         message_dtype=None, batch_units=True,
-                        overlap_send=False, cpuset=None) -> dict:
+                        overlap_send=False, cpuset=None, chaos=None) -> dict:
     """Per-fit worker state, shared by every wall-clock worker loop.
 
     One construction site keeps the queue and TCP workers bit-identical:
@@ -542,6 +560,7 @@ def _build_worker_state(rank, adapter, desc, protocol, homes, batch_size,
         "message_dtype": message_dtype,
         "batch_units": batch_units,
         "overlap_send": bool(overlap_send),
+        "chaos": chaos,
         "cpuset": applied_cpuset,
         "compute_dtype": np.dtype(getattr(adapter, "compute_dtype", np.float64)),
         "rng": rng,
@@ -601,7 +620,7 @@ def _worker_units_batched(state) -> bool:
 
 
 def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
-                          model_rank=0):
+                          model_rank=0, chaos_shim=None):
     """One W step + Z step on this worker's shard; returns the payload."""
     adapter = state["adapter"]
     shard = state["shard"]
@@ -626,6 +645,17 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
         wire_dtype = None
     compute_dtype = state.get("compute_dtype", np.float64)
 
+    # Straggler injection: dilate each numeric call by (factor-1)x its
+    # measured duration. Only compute is slowed — receive waits and wire
+    # time are untouched — matching ChaosTimeline, which scales
+    # w_work/z_work and nothing else.
+    straggle = None
+    if chaos_shim is not None and chaos_shim.cfg.straggler_factor(rank) != 1.0:
+        def straggle(t0: float) -> None:
+            extra = chaos_shim.charge_straggler(time.perf_counter() - t0)
+            if extra > 0.0:
+                time.sleep(extra)
+
     def finish_visit(msg: SubmodelMessage) -> None:
         """Post-numerics tail of one visit: wire cast, final capture,
         forwarding."""
@@ -637,6 +667,7 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
             transport.send(plan.successor(rank, msg.counter), msg)
 
     def train_inline(msg: SubmodelMessage, passes: int) -> None:
+        t0 = time.perf_counter() if straggle is not None else 0.0
         for _ in range(passes):
             msg.theta = adapter.w_update(
                 msg.spec,
@@ -648,6 +679,8 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
                 shuffle=state["shuffle_within"],
                 rng=state["rng"],
             )
+        if straggle is not None:
+            straggle(t0)
 
     def handle(msg: SubmodelMessage) -> None:
         msg.counter += 1
@@ -656,10 +689,13 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
             group = acc.add(msg)
             if group is None:
                 return  # convoy incomplete; numerics wait for the rest
+            t0 = time.perf_counter() if straggle is not None else 0.0
             train_message_batch(
                 adapter, group, shard, mu, passes=passes,
                 batch_size=state["batch_size"], rng=state["rng"],
             )
+            if straggle is not None:
+                straggle(t0)
             for member in group:
                 finish_visit(member)
             return
@@ -691,6 +727,8 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
 
     t_z0 = time.perf_counter()
     z_changes = adapter.z_update(shard, mu)
+    if straggle is not None:
+        straggle(t_z0)
     t_z = time.perf_counter() - t_z0
     # Under overlap_send the final-lap forwards may still be in flight —
     # deliberately: peers sit in their receive loops while this worker's
@@ -726,13 +764,13 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
             if op == "setup":
                 (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
                  seed, rng_state, message_dtype, batch_units, overlap_send,
-                 cpuset) = cmd
+                 chaos, cpuset) = cmd
                 if state is not None and state["seg"] is not None:
                     state["seg"].close()
                 state = _build_worker_state(
                     rank, adapter, desc, protocol, homes, batch_size,
                     shuffle_within, seed, rng_state, message_dtype, batch_units,
-                    overlap_send, cpuset,
+                    overlap_send, cpuset, chaos,
                 )
                 # The ack reports the cpuset actually applied (None when
                 # pinning is off or unsupported on this platform).
@@ -755,6 +793,14 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
                 res.send((rank, "model", _report_model(state)))
             elif op == "iter":
                 _, mu, plan, n_expected, gen, model_rank = cmd
+                chaos = state.get("chaos")
+                # A fresh shim per iteration realigns the per-link RNG
+                # streams with the simulated engines' per-W-step timeline.
+                shim = (
+                    ChaosShim(chaos, rank)
+                    if chaos is not None and chaos.active()
+                    else None
+                )
                 transport = _QueueRingTransport(
                     rank, ring_qs, gen, abort_ev,
                     wire_dtype=(
@@ -767,10 +813,12 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
                         state.get("overlap_send", False)
                         and state["protocol"].n_machines > 1
                     ),
+                    chaos_shim=shim,
                 )
                 try:
                     payload = _run_worker_iteration(
-                        rank, state, mu, plan, n_expected, transport, model_rank
+                        rank, state, mu, plan, n_expected, transport, model_rank,
+                        chaos_shim=shim,
                     )
                 except IterationAborted:
                     res.send((rank, "aborted", None))
@@ -794,12 +842,17 @@ class MultiprocessBackend(BaseBackend):
     worker_timeout : float or None
         Upper bound in seconds on one whole collective gather — the time
         from issuing a command round (setup, iteration) until *all* P
-        responses have arrived. ``None`` waits indefinitely — but a
-        worker *dying* is always detected within
-        :data:`_LIVENESS_POLL_S` seconds, and handled according to
-        ``fault_policy``: ``fail_fast`` fails the fit and tears down the
-        remaining peers; ``drop_shard`` retires the dead shard and
-        continues on the survivors.
+        responses have arrived. Defaults to 300 s: a worker that is
+        alive but *wedged* (stuck in a syscall, spinning, deadlocked)
+        produces no response and no death signal, and with no deadline
+        the gather would hang ``fit()`` forever. Pass ``None`` to wait
+        indefinitely. Independently of the deadline, a worker *dying* is
+        always detected within :data:`_LIVENESS_POLL_S` seconds, and
+        handled according to ``fault_policy``: ``fail_fast`` fails the
+        fit and tears down the remaining peers; ``drop_shard`` retires
+        the dead shard and continues on the survivors. A timeout is
+        reported as a stall (live-but-unresponsive workers), distinct
+        from a fault (dead workers).
     join_slots : int
         Spare ring-queue slots pre-provisioned at pool spawn for machines
         that may join mid-fit. Existing workers hold their fork-time copy
@@ -831,7 +884,7 @@ class MultiprocessBackend(BaseBackend):
     _needs_ring_queues = True
 
     def __init__(
-        self, *, ctx_method: str = "fork", worker_timeout: float | None = None,
+        self, *, ctx_method: str = "fork", worker_timeout: float | None = 300.0,
         join_slots: int = 4, pin_workers: bool = False, **kwargs
     ):
         super().__init__(**kwargs)
@@ -938,6 +991,7 @@ class MultiprocessBackend(BaseBackend):
                     self.message_dtype,
                     self.batch_units,
                     self.overlap_send,
+                    self.chaos,
                     cpusets.get(rank),
                 )
             )
@@ -1084,6 +1138,7 @@ class MultiprocessBackend(BaseBackend):
                 self.message_dtype,
                 self.batch_units,
                 self.overlap_send,
+                self.chaos,
                 self._cpusets(old_ranks + [p]).get(p),
             )
         )
@@ -1293,7 +1348,11 @@ class MultiprocessBackend(BaseBackend):
                         self.close(force=True)
                         raise RuntimeError(
                             f"timed out after {self.worker_timeout}s waiting "
-                            f"for 'result' from {len(pending)} worker(s)"
+                            f"for 'result' from worker(s) {sorted(pending)}, "
+                            "which are alive but unresponsive (stalled, not "
+                            "dead — a dead worker is detected within "
+                            f"{_LIVENESS_POLL_S}s and handled by the fault "
+                            "policy); pool torn down"
                         ) from None
                     continue
             for rank, kind, payload in msgs:
@@ -1400,10 +1459,13 @@ class MultiprocessBackend(BaseBackend):
                         f"worker(s) {dead} died mid-{expect}; pool torn down"
                     ) from None
                 if deadline is not None and time.monotonic() > deadline:
+                    stalled = sorted(wanted - set(payloads))
                     self.close(force=True)
                     raise RuntimeError(
                         f"timed out after {self.worker_timeout}s waiting for "
-                        f"{expect!r} from {len(ranks) - len(payloads)} worker(s)"
+                        f"{expect!r} from worker(s) {stalled}, which are "
+                        "alive but unresponsive (stalled, not dead); pool "
+                        "torn down"
                     ) from None
                 continue
             for rank, kind, payload in msgs:

@@ -73,6 +73,7 @@ class _SimBackend(BaseBackend):
             message_dtype=self.message_dtype,
             batch_units=self.batch_units,
             overlap_send=self.overlap_send,
+            chaos=self.chaos,
             dataplane=self.dataplane,
             seed=self.seed,
         )
@@ -140,6 +141,7 @@ class _SimBackend(BaseBackend):
                 "wall_time": wall,
                 "w_time": wstats.wall_time,
                 "z_time": zstats.wall_time,
+                **wstats.chaos,
                 **self._dtype_extras(),
             },
             bytes_sent=int(wstats.bytes_sent),
@@ -198,6 +200,7 @@ class _SimBackend(BaseBackend):
             message_dtype=self.message_dtype,
             batch_units=self.batch_units,
             overlap_send=self.overlap_send,
+            chaos=self.chaos,
             dataplane=dataplane,
             seed=self.seed,
         )

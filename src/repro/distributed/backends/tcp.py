@@ -65,6 +65,7 @@ from __future__ import annotations
 
 import selectors
 import socket
+import time
 import traceback
 
 import numpy as np
@@ -82,6 +83,7 @@ from repro.distributed.backends.mp import (
     _report_model,
     _run_worker_iteration,
 )
+from repro.distributed.chaos import ChaosShim
 from repro.distributed.framing import (
     KIND_BATCH,
     KIND_HELLO,
@@ -143,7 +145,8 @@ class _SocketRingTransport:
     """
 
     def __init__(self, rank, out_conns, in_conns, spec_by_sid, *, batch_hops=True,
-                 wire_dtype=None, compute_dtype=None, overlap=False):
+                 wire_dtype=None, compute_dtype=None, overlap=False,
+                 chaos_shim=None):
         self.rank = rank
         self._out = out_conns
         self._in = in_conns
@@ -157,6 +160,15 @@ class _SocketRingTransport:
         # theta after training, so both casts are value-exact.
         self._wire_dtype = wire_dtype
         self._compute_dtype = compute_dtype
+        # Chaos shim: verdicts are drawn per *message* at send() time (so
+        # the per-link RNG consumption matches the simulated engines and
+        # the queue transport, hop for hop, regardless of how batch_hops
+        # coalesces messages into frames) and accumulated per destination;
+        # the summed delay is served as one sleep when the frame actually
+        # transmits — on the sender thread under overlap_send, so overlap
+        # hides injected latency exactly as it hides real latency.
+        self._chaos = chaos_shim
+        self._chaos_delay: dict[int, float] = {}
         self._outbox: dict[int, list] = {}
         self._inbox: list = []
         self._decoders = {peer: FrameDecoder() for peer in in_conns}
@@ -179,6 +191,10 @@ class _SocketRingTransport:
             msg.theta = np.asarray(msg.theta, dtype=self._wire_dtype)
         self.msgs_sent += 1
         self.payload_bytes += msg.nbytes
+        if self._chaos is not None and dest != self.rank:
+            self._chaos_delay[dest] = self._chaos_delay.get(
+                dest, 0.0
+            ) + self._chaos.send_delay(dest, msg.nbytes)
         if self.batch_hops:
             self._outbox.setdefault(dest, []).append(msg)
         else:
@@ -194,9 +210,12 @@ class _SocketRingTransport:
         frame = encode_batch(msgs)
         self.frames_sent += 1
         self.bytes_sent += len(frame)
+        delay = self._chaos_delay.pop(dest, 0.0)
         if self._sender is not None:
-            self._sender.submit(dest, frame)
+            self._sender.submit(dest, frame, delay)
             return
+        if delay > 0.0:
+            time.sleep(delay)
         conn = self._out[dest]
         view = memoryview(frame)
         while view:
@@ -207,8 +226,10 @@ class _SocketRingTransport:
             except OSError as exc:
                 raise ProtocolError(f"send to machine {dest} failed: {exc}") from exc
 
-    def _transmit_background(self, dest: int, frame) -> None:
+    def _transmit_background(self, dest: int, frame, delay: float = 0.0) -> None:
         """Sender-thread write: blocking sendall, no inbound reads."""
+        if delay > 0.0:
+            time.sleep(delay)
         try:
             self._out[dest].sendall(frame)
         except OSError as exc:
@@ -266,12 +287,15 @@ class _SocketRingTransport:
 
     # -------------------------------------------------------------- stats
     def wire_stats(self) -> dict:
-        return {
+        stats = {
             "hops": self.msgs_sent,
             "frames": self.frames_sent,
             "bytes_sent": self.bytes_sent,
             "payload_bytes": self.payload_bytes,
         }
+        if self._chaos is not None:
+            stats.update(self._chaos.counters)
+        return stats
 
     def drain(self) -> None:
         """Wait for background sends to finish (no-op without overlap)."""
@@ -285,6 +309,45 @@ class _SocketRingTransport:
 
 
 # ----------------------------------------------------------------- sockets
+def _connect_with_retry(addr, timeout: float, *, first_delay: float = 0.05):
+    """Dial ``addr``, retrying with backoff within the ``timeout`` budget.
+
+    A single ``socket.create_connection`` call gets exactly one chance:
+    a peer that is slow to reach ``listen()`` — or whose accept backlog
+    is momentarily full — answers with a refusal, and a one-shot dial
+    turns that transient into a hard setup failure even though the peer
+    would have been ready milliseconds later. Retry refused/reset/timed
+    out dials with exponential backoff until the overall budget is
+    spent; each attempt's own timeout is the budget remaining. Errors
+    that no amount of waiting fixes (unroutable address, bad family)
+    raise immediately.
+    """
+    deadline = time.monotonic() + timeout
+    delay = first_delay
+    last: BaseException | None = None
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        try:
+            return socket.create_connection(addr, timeout=remaining)
+        except (
+            ConnectionRefusedError,
+            ConnectionResetError,
+            ConnectionAbortedError,
+            TimeoutError,
+        ) as exc:
+            last = exc
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        time.sleep(min(delay, remaining))
+        delay = min(delay * 2.0, 0.5)
+    raise ProtocolError(
+        f"could not connect to {addr} within {timeout}s: {last}"
+    ) from last
+
+
 def _read_frames(conn, n: int, timeout: float) -> list[tuple[int, bytes]]:
     """Blocking read of exactly ``n`` frames from one connection.
 
@@ -298,7 +361,20 @@ def _read_frames(conn, n: int, timeout: float) -> list[tuple[int, bytes]]:
     conn.settimeout(timeout)
     try:
         while True:
-            data = conn.recv(1 << 16)
+            try:
+                data = conn.recv(1 << 16)
+            except TimeoutError as exc:
+                # A peer that stops sending mid-handshake (wedged, paused,
+                # partitioned) must surface as a *protocol* failure like
+                # every other handshake violation — a raw socket timeout
+                # would escape the callers' ProtocolError handling, so the
+                # drop_shard abort-and-recover path would never engage.
+                raise ProtocolError(
+                    f"peer stalled mid-handshake: no bytes for {timeout}s "
+                    f"({'mid-frame' if decoder.pending else 'between frames'})"
+                ) from exc
+            except OSError as exc:
+                raise ProtocolError(f"handshake read failed: {exc}") from exc
             if not data:
                 decoder.eof()
                 raise ProtocolError("connection closed before a full frame arrived")
@@ -381,7 +457,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
             if op == "setup":
                 (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
                  seed, rng_state, message_dtype, batch_units, overlap_send,
-                 cpuset, host, port, batch_hops, drop_on_fault) = cmd
+                 chaos, cpuset, host, port, batch_hops, drop_on_fault) = cmd
                 _close_net(net)  # a new fit rebuilds the mesh
                 net = None
                 if state is not None and state["seg"] is not None:
@@ -389,7 +465,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                 state = _build_worker_state(
                     rank, adapter, desc, protocol, homes, batch_size,
                     shuffle_within, seed, rng_state, message_dtype, batch_units,
-                    overlap_send, cpuset,
+                    overlap_send, cpuset, chaos,
                 )
                 state["batch_hops"] = batch_hops
                 state["drop_on_fault"] = drop_on_fault
@@ -411,11 +487,10 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                 # Dialling succeeds as soon as the peer's listen backlog
                 # completes the handshake, so every worker can dial all
                 # peers before any of them reaches accept() — no
-                # deadlock, no ordering protocol needed.
+                # deadlock, no ordering protocol needed. Retried with
+                # backoff: a peer may not have bound its listener yet.
                 for peer in peers:
-                    conn = socket.create_connection(
-                        addr_map[peer], timeout=connect_timeout
-                    )
+                    conn = _connect_with_retry(addr_map[peer], connect_timeout)
                     conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                     conn.sendall(encode_hello(rank))
                     net["out"][peer] = conn
@@ -471,7 +546,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                         encode_welcome(rank, len(finals)) + encode_batch(finals)
                     )
                 net["in"][new_rank] = conn
-                out = socket.create_connection(addr, timeout=connect_timeout)
+                out = _connect_with_retry(addr, connect_timeout)
                 out.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 out.sendall(encode_hello(rank))
                 net["out"][new_rank] = out
@@ -484,9 +559,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                 _, addr_map, donor, n_submodels = cmd
                 peers = sorted(p for p in addr_map if p != rank)
                 for peer in peers:
-                    conn = socket.create_connection(
-                        addr_map[peer], timeout=connect_timeout
-                    )
+                    conn = _connect_with_retry(addr_map[peer], connect_timeout)
                     conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                     conn.sendall(encode_join(rank))
                     net["out"][peer] = conn
@@ -549,6 +622,14 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
             elif op == "iter":
                 _, mu, orders, n_expected, _gen, model_rank = cmd
                 plan = RoutePlan.from_orders(orders, state["protocol"])
+                chaos_cfg = state.get("chaos")
+                # A fresh shim per iteration realigns the per-link RNG
+                # streams with the simulated engines' per-W-step timeline.
+                shim = (
+                    ChaosShim(chaos_cfg, rank)
+                    if chaos_cfg is not None and chaos_cfg.active()
+                    else None
+                )
                 transport = _SocketRingTransport(
                     rank,
                     net["out"],
@@ -565,12 +646,13 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                         state.get("overlap_send", False)
                         and state["protocol"].n_machines > 1
                     ),
+                    chaos_shim=shim,
                 )
                 try:
                     try:
                         payload = _run_worker_iteration(
                             rank, state, mu, plan, n_expected, transport,
-                            model_rank,
+                            model_rank, chaos_shim=shim,
                         )
                     finally:
                         transport.close()
@@ -665,6 +747,7 @@ class TCPBackend(MultiprocessBackend):
                     self.message_dtype,
                     self.batch_units,
                     self.overlap_send,
+                    self.chaos,
                     cpusets.get(rank),
                     self.host,
                     self._port_for(rank),
@@ -723,6 +806,7 @@ class TCPBackend(MultiprocessBackend):
                 self.message_dtype,
                 self.batch_units,
                 self.overlap_send,
+                self.chaos,
                 self._cpusets(old_ranks + [p]).get(p),
                 self.host,
                 self._port_for(p),

@@ -36,7 +36,8 @@ from repro.distributed.batching import (
     supports_unit_batching,
     train_message_batch,
 )
-from repro.distributed.costmodel import CostModel, OverlapSendTimeline
+from repro.distributed.chaos import ChaosConfig
+from repro.distributed.costmodel import ChaosTimeline, CostModel, OverlapSendTimeline
 from repro.distributed.dataplane import DataPlane
 from repro.distributed.interfaces import get_params_many, set_params_many
 from repro.distributed.messages import SubmodelMessage
@@ -67,6 +68,7 @@ class WStepStats:
     wall_time: float = 0.0
     per_machine_comp: dict = field(default_factory=dict)
     per_machine_comm: dict = field(default_factory=dict)
+    chaos: dict = field(default_factory=dict)  # injected-event counters
 
 
 @dataclass
@@ -132,6 +134,16 @@ class SimulatedCluster:
         double-buffered :class:`OverlapSendTimeline` — mirroring the
         wall-clock engines' background sender. Timing only; the executed
         numerics are untouched.
+    chaos : ChaosConfig, dict or None
+        Network/node degradation to charge virtually (loss retransmits,
+        delay + jitter, reorder holds, bandwidth throttle, partition
+        windows, straggler slowdowns); see
+        :class:`~repro.distributed.chaos.ChaosConfig`. A per-W-step
+        :class:`~repro.distributed.costmodel.ChaosTimeline` draws the
+        same seeded per-link event stream the wall-clock shim injects,
+        so degradation curves are directly comparable across engines.
+        Timing and accounting only — like ``overlap_send``, the executed
+        numerics are untouched on every engine.
     dataplane : DataPlane or None
         Shard-ownership bookkeeping. The execution backends construct one
         and hand it in so streaming/fault counters are visible through the
@@ -157,6 +169,7 @@ class SimulatedCluster:
         message_dtype=None,
         batch_units: bool = True,
         overlap_send: bool = False,
+        chaos=None,
         dataplane: DataPlane | None = None,
         seed=None,
     ):
@@ -187,6 +200,8 @@ class SimulatedCluster:
         self.message_dtype = message_dtype
         self.batch_units = bool(batch_units)
         self.overlap_send = bool(overlap_send)
+        self.chaos = ChaosConfig.coerce(chaos)
+        self._chaos_timeline: ChaosTimeline | None = None
         self._compute_dtype = np.dtype(
             getattr(adapter, "compute_dtype", np.float64)
         )
@@ -326,7 +341,9 @@ class SimulatedCluster:
             if p in msg.to_visit:
                 if self.execute_updates and not pretrained:
                     self._train_inline(msg, p, mu)
-                work = self.cost.w_work(p, shard.n, self._passes_per_visit)
+                work = self._charge_work(
+                    p, self.cost.w_work(p, shard.n, self._passes_per_visit)
+                )
                 msg.to_visit.discard(p)
             if not msg.to_visit:
                 msg.epochs_left -= 1
@@ -369,16 +386,46 @@ class SimulatedCluster:
             ],
         )
 
+    # ------------------------------------------------------------- chaos
+    def _charge_work(self, p: int, work: float) -> float:
+        """Compute time after chaos straggler scaling (identity without
+        an active timeline)."""
+        if self._chaos_timeline is None:
+            return work
+        return self._chaos_timeline.charge_work(p, work)
+
+    def _chaos_hop(self, p: int, q: int, msg, now: float) -> float:
+        """Extra virtual seconds chaos charges one routed hop (0 without
+        an active timeline or on a self-hop)."""
+        if self._chaos_timeline is None or p == q:
+            return 0.0
+        return self._chaos_timeline.hop_penalty(
+            p, q, int(msg.nbytes * self._comm_scale), now
+        )
+
     # ----------------------------------------------------------- W step
     def w_step(self, mu: float, *, fault: FaultEvent | None = None) -> WStepStats:
         """Run one full W step; assembles the final model into the adapter."""
         t0 = time.perf_counter()
-        if self.engine == "sync":
-            stats = self._w_step_sync(mu, fault)
-        else:
-            if fault is not None:
-                raise ValueError("fault injection is only supported by the sync engine")
-            stats = self._w_step_async(mu)
+        # A fresh timeline per W step: link RNG streams and event
+        # counters realign with the wall-clock transports, which are
+        # likewise recreated every iteration.
+        self._chaos_timeline = (
+            ChaosTimeline(self.chaos)
+            if self.chaos is not None and self.chaos.active()
+            else None
+        )
+        try:
+            if self.engine == "sync":
+                stats = self._w_step_sync(mu, fault)
+            else:
+                if fault is not None:
+                    raise ValueError("fault injection is only supported by the sync engine")
+                stats = self._w_step_async(mu)
+            if self._chaos_timeline is not None:
+                stats.chaos = dict(self._chaos_timeline.counters)
+        finally:
+            self._chaos_timeline = None
         self._assemble()
         stats.wall_time = time.perf_counter() - t0
         return stats
@@ -453,6 +500,7 @@ class SimulatedCluster:
                     if not msg.done:
                         q = self._successor(rings, msg, p)
                         comm_p += self.cost.comm(p, q) * self._comm_scale
+                        comm_p += self._chaos_hop(p, q, msg, stats.sim_time)
                         if p != q:
                             stats.bytes_sent += int(msg.nbytes * self._comm_scale)
                             self._transmit(msg)
@@ -523,7 +571,9 @@ class SimulatedCluster:
             if not msg.training_done:
                 if p in msg.to_visit:
                     trains = True
-                    work = cluster.cost.w_work(p, shard.n, cluster._passes_per_visit)
+                    work = cluster._charge_work(
+                        p, cluster.cost.w_work(p, shard.n, cluster._passes_per_visit)
+                    )
                     msg.to_visit.discard(p)
                 if not msg.to_visit:
                     msg.epochs_left -= 1
@@ -617,6 +667,7 @@ class SimulatedCluster:
             if not msg.done:
                 q = self._successor(rings, msg, p)
                 hop = self.cost.comm(p, q) * self._comm_scale
+                hop += self._chaos_hop(p, q, msg, clock[p])
                 stats.comm_time += hop
                 stats.per_machine_comm[p] += hop
                 if timeline is not None and hop > 0.0:
@@ -712,11 +763,16 @@ class SimulatedCluster:
         t0 = time.perf_counter()
         stats = ZStepStats(per_machine_time={})
         n_submodels = len(self.adapter.submodel_specs())
+        slow = (
+            self.chaos.straggler_factor
+            if self.chaos is not None and self.chaos.active()
+            else (lambda p: 1.0)
+        )
         for p in self.machines:
             shard = self.shards[p]
             if self.execute_updates:
                 stats.z_changes += self.adapter.z_update(shard, mu)
-            t = self.cost.z_work(p, shard.n, n_submodels)
+            t = self.cost.z_work(p, shard.n, n_submodels) * slow(p)
             stats.per_machine_time[p] = t
         stats.sim_time = max(stats.per_machine_time.values(), default=0.0)
         stats.wall_time = time.perf_counter() - t0

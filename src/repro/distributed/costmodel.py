@@ -17,9 +17,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.distributed.chaos import ChaosConfig, _ChaosState
 from repro.utils.validation import check_positive
 
-__all__ = ["CostModel", "OverlapSendTimeline"]
+__all__ = ["CostModel", "OverlapSendTimeline", "ChaosTimeline"]
 
 
 @dataclass
@@ -132,3 +133,31 @@ class OverlapSendTimeline:
         """Latest in-flight send completion across all machines — the
         NIC drain the step's makespan must cover."""
         return max((q[-1] for q in self._pending.values() if q), default=0.0)
+
+
+class ChaosTimeline(_ChaosState):
+    """Virtual-clock front end for :class:`~repro.distributed.chaos.ChaosConfig`.
+
+    Mirrors every knob the wall-clock shim injects, charging the same
+    seeded degradations to the simulated engines' clocks instead of
+    sleeping them off: :meth:`hop_penalty` (inherited — the shared
+    per-link sampler) returns the extra virtual seconds one hop costs at
+    virtual time ``now``, and :meth:`charge_work` inflates a straggling
+    machine's compute time by its slowdown factor. One timeline is
+    created per W step, so the per-link RNG streams (and the
+    injected-event counters surfaced in ``IterationStats.extra``) align
+    with the wall-clock transports, which are likewise recreated per
+    iteration. Virtual time is treated as seconds — the cost model's
+    units are arbitrary, and sharing the wall clock's unit is what makes
+    sim and tcp degradation curves directly comparable.
+    """
+
+    def __init__(self, cfg: ChaosConfig):
+        super().__init__(cfg)
+
+    def charge_work(self, p: int, work: float) -> float:
+        """Compute time ``work`` on machine ``p`` after straggler scaling."""
+        factor = self.cfg.straggler_factor(p)
+        if factor != 1.0:
+            self.counters["chaos_straggler_s"] += work * (factor - 1.0)
+        return work * factor
