@@ -1,0 +1,379 @@
+"""Retrieval serving: batched packed-scan throughput vs per-query baseline.
+
+The ``repro.serve`` acceptance numbers, measured rather than asserted:
+
+* **Baseline.** One request at a time, the way the repo served queries
+  before this package existed: encode a single query, run ``hamming_knn``
+  (full ``hamming_cdist`` row + argpartition) against the base. Python
+  and kernel-launch overhead dominate — this is the per-query QPS floor.
+
+* **Batched service.** ``RetrievalService`` coalescing a saturating burst
+  into ``max_batch``-query stacked encodes + shared ``hamming_topk``
+  scans. Acceptance floor for this repo: >= 5x the baseline QPS.
+
+* **Latency vs offered load.** Open-loop Poisson arrivals at increasing
+  offered QPS; p50/p95/p99 from scheduled-arrival to completion, plus the
+  batching-window and shard-count sweeps and L in {16, 32, 64}.
+
+* **Scan memory bound.** tracemalloc peaks: the blocked streaming kernel
+  against the materialised ``n_q x n_base`` distance matrix the offline
+  path would allocate — the kernel's peak must stay below it.
+
+Writes ``BENCH_serve.json`` via the shared helper in conftest.py.
+
+Run standalone (the nightly lane does)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+
+or through pytest: ``pytest benchmarks/bench_serve.py``.
+"""
+
+import argparse
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from conftest import write_bench_json  # noqa: E402  (shared bench helper)
+
+from repro.autoencoder import BinaryAutoencoder  # noqa: E402
+from repro.retrieval.hamming import hamming_cdist, hamming_knn, pack_bits  # noqa: E402
+from repro.serve import (  # noqa: E402
+    HammingIndex,
+    RetrievalService,
+    ShardedHammingIndex,
+    hamming_topk,
+    run_open_loop,
+)
+
+# The 5x speedup target measures what batching amortises: per-request
+# Python/dispatch overhead (~85-95 us/query warm on the unbatched path,
+# nearly independent of n_base at these sizes). That overhead dominates
+# at moderate base sizes, so the headline comparison runs there; at much
+# larger n_base both paths converge to the same memory-bound scan and
+# the lever is sharding across cores instead (the shard sweep — a
+# scaling demonstration on multicore hosts, a pure exactness
+# demonstration on the single-core CI box). Baseline and saturation
+# throughput are each the median of `rounds` timed runs after one
+# discarded warm-up round (both paths ramp noticeably while allocator
+# pools and the batcher thread settle): the CI box has one core and
+# noisy neighbours. `block` is sized so the kernel's scratch panes stay
+# below the materialised-cdist peak the memory check compares against.
+FULL = {
+    "n_base": 1500, "n_q": 1000, "D": 64, "k": 10, "L": 32,
+    "Ls": [16, 32, 64],
+    "shards": [1, 2, 4],
+    "windows_ms": [0.5, 2.0, 8.0],
+    "loads_qps": [500, 2000, 8000],
+    "n_requests": 800,
+    "baseline_queries": 200,
+    "block": 512,
+    "max_batch": 128,
+    "rounds": 5,
+}
+SMOKE = {
+    "n_base": 1000, "n_q": 300, "D": 48, "k": 10, "L": 32,
+    "Ls": [16, 32],
+    "shards": [1, 2],
+    "windows_ms": [0.5, 2.0],
+    "loads_qps": [500, 2000],
+    "n_requests": 300,
+    "baseline_queries": 100,
+    "block": 256,
+    "max_batch": 128,
+    "rounds": 5,
+}
+
+
+def random_hash_model(D, L, seed=0):
+    """A random-hyperplane hash in BA clothing: realistic encode cost
+    (one GEMM + threshold in ``compute_dtype``) without training time."""
+    ba = BinaryAutoencoder.linear(D, L)
+    rng = np.random.default_rng(seed)
+    ba.encoder.A[...] = rng.normal(size=ba.encoder.A.shape)
+    ba.encoder.a[...] = rng.normal(scale=0.1, size=ba.encoder.a.shape)
+    return ba
+
+
+def serving_problem(cfg, L, seed=0):
+    rng = np.random.default_rng(seed)
+    X_base = rng.normal(size=(cfg["n_base"], cfg["D"]))
+    X_q = rng.normal(size=(cfg["n_q"], cfg["D"]))
+    model = random_hash_model(cfg["D"], L, seed=seed)
+    packed = pack_bits(model.encode(X_base))
+    return model, X_base, X_q, packed
+
+
+def measure_baseline(cfg, model, X_q, packed) -> dict:
+    """Per-query unbatched path: single-row encode + full-row hamming_knn."""
+    n = cfg["baseline_queries"]
+    k = cfg["k"]
+    rates = []
+    # One discarded warm-up round: the first pass pays allocator and
+    # import-path costs that steady-state serving never sees.
+    for i in range(n):
+        code = pack_bits(model.encode(X_q[i : i + 1]))
+        hamming_knn(code, packed, k)
+    for _ in range(cfg.get("rounds", 1)):
+        t0 = time.perf_counter()
+        for i in range(n):
+            code = pack_bits(model.encode(X_q[i : i + 1]))
+            hamming_knn(code, packed, k)
+        rates.append(n / (time.perf_counter() - t0))
+    qps = float(np.median(rates))
+    return {"n_queries": n, "rounds": len(rates), "qps": qps, "qps_rounds": rates}
+
+
+def _saturate(service, X_q, n_requests, k) -> dict:
+    """Burst-submit ``n_requests`` and measure completion throughput."""
+    # Warm the pipeline (allocator pools, branch-predictable scan state)
+    # so the timed burst measures steady state, not the first batch.
+    for future in [service.submit(X_q[i % len(X_q)], k) for i in range(64)]:
+        future.result(timeout=60.0)
+    t0 = time.perf_counter()
+    futures = [
+        service.submit(X_q[i % len(X_q)], k) for i in range(n_requests)
+    ]
+    for future in futures:
+        future.result(timeout=60.0)
+    elapsed = time.perf_counter() - t0
+    return {"n_requests": n_requests, "elapsed_s": elapsed, "qps": n_requests / elapsed}
+
+
+def measure_throughput(cfg, model, X_q, packed, baseline_qps) -> dict:
+    """Saturation QPS of the batched service vs the per-query baseline."""
+    index = HammingIndex.from_codes(packed, model.n_bits, block=cfg["block"])
+    with RetrievalService(
+        model, index, k=cfg["k"], max_wait_ms=2.0, max_batch=cfg["max_batch"]
+    ) as service:
+        _saturate(service, X_q, cfg["n_requests"], cfg["k"])  # warm-up, discarded
+        rounds = [
+            _saturate(service, X_q, cfg["n_requests"], cfg["k"])
+            for _ in range(cfg.get("rounds", 1))
+        ]
+        stats = service.stats.snapshot()
+    sat = sorted(rounds, key=lambda r: r["qps"])[len(rounds) // 2]
+    return {
+        **sat,
+        "qps_rounds": [r["qps"] for r in rounds],
+        "baseline_qps": baseline_qps,
+        "speedup_vs_baseline": sat["qps"] / baseline_qps,
+        "mean_batch": stats["mean_batch"],
+        "n_batches": stats["n_batches"],
+    }
+
+
+def measure_latency_vs_load(cfg, model, X_q, packed) -> list:
+    """Open-loop Poisson p50/p95/p99 at each offered load."""
+    index = HammingIndex.from_codes(packed, model.n_bits, block=cfg["block"])
+    rows = []
+    with RetrievalService(
+        model, index, k=cfg["k"], max_wait_ms=2.0, max_batch=cfg["max_batch"]
+    ) as service:
+        for load in cfg["loads_qps"]:
+            out = run_open_loop(
+                service, X_q, float(load), k=cfg["k"],
+                n_requests=cfg["n_requests"], rng=0,
+            )
+            rows.append(
+                {
+                    "offered_qps": load,
+                    "achieved_qps": out["achieved_qps"],
+                    **out["latency"],
+                    "rows_per_s": out["throughput"]["rows_per_s"],
+                }
+            )
+    return rows
+
+
+def measure_windows(cfg, model, X_q, packed) -> list:
+    """Batching-window sweep at a moderate open-loop load."""
+    load = float(cfg["loads_qps"][len(cfg["loads_qps"]) // 2])
+    rows = []
+    for window_ms in cfg["windows_ms"]:
+        index = HammingIndex.from_codes(packed, model.n_bits, block=cfg["block"])
+        with RetrievalService(
+            model, index, k=cfg["k"], max_wait_ms=window_ms,
+            max_batch=cfg["max_batch"],
+        ) as service:
+            out = run_open_loop(
+                service, X_q, load, k=cfg["k"],
+                n_requests=cfg["n_requests"], rng=0,
+            )
+            stats = service.stats.snapshot()
+        rows.append(
+            {
+                "window_ms": window_ms,
+                "offered_qps": load,
+                "mean_batch": stats["mean_batch"],
+                **out["latency"],
+            }
+        )
+    return rows
+
+
+def measure_shards(cfg, model, X_q, packed) -> list:
+    """Saturation QPS vs shard count (thread mode, plus one process run)."""
+    rows = []
+    configs = [("thread", s) for s in cfg["shards"]]
+    configs.append(("process", cfg["shards"][-1]))
+    for mode, n_shards in configs:
+        if n_shards == 1:
+            index = HammingIndex.from_codes(packed, model.n_bits, block=cfg["block"])
+        else:
+            index = ShardedHammingIndex(
+                packed, model.n_bits, n_shards, mode=mode, block=cfg["block"]
+            )
+        with RetrievalService(
+            model, index, k=cfg["k"], max_wait_ms=2.0, max_batch=cfg["max_batch"]
+        ) as service:
+            sat = _saturate(service, X_q, cfg["n_requests"], cfg["k"])
+        rows.append({"mode": mode, "n_shards": n_shards, "qps": sat["qps"]})
+    return rows
+
+
+def measure_bits(cfg) -> list:
+    """Saturation QPS per code length L (codes get wider, scans heavier)."""
+    rows = []
+    for L in cfg["Ls"]:
+        model, _, X_q, packed = serving_problem(cfg, L)
+        index = HammingIndex.from_codes(packed, L, block=cfg["block"])
+        with RetrievalService(
+            model, index, k=cfg["k"], max_wait_ms=2.0, max_batch=cfg["max_batch"]
+        ) as service:
+            sat = _saturate(service, X_q, cfg["n_requests"], cfg["k"])
+        rows.append({"L": L, "n_words": (L + 63) // 64, "qps": sat["qps"]})
+    return rows
+
+
+def measure_memory(cfg, model, X_q, packed) -> dict:
+    """tracemalloc peaks: streaming kernel vs materialised distance matrix."""
+    queries = pack_bits(model.encode(X_q[: cfg["max_batch"]]))
+    tracemalloc.start()
+    hamming_topk(queries, packed, cfg["k"], block=cfg["block"])
+    _, topk_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    tracemalloc.start()
+    hamming_cdist(queries, packed)
+    _, cdist_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    full_matrix_bytes = cfg["n_q"] * cfg["n_base"] * 2
+    return {
+        "batch": len(queries),
+        "block": cfg["block"],
+        "topk_peak_bytes": topk_peak,
+        "cdist_peak_bytes": cdist_peak,
+        "full_matrix_bytes_at_n_q": full_matrix_bytes,
+        "bounded": bool(topk_peak < cdist_peak),
+    }
+
+
+def measure(cfg) -> dict:
+    model, _, X_q, packed = serving_problem(cfg, cfg["L"])
+    baseline = measure_baseline(cfg, model, X_q, packed)
+    return {
+        "config": dict(cfg),
+        "baseline": baseline,
+        "throughput": measure_throughput(cfg, model, X_q, packed, baseline["qps"]),
+        "latency_vs_load": measure_latency_vs_load(cfg, model, X_q, packed),
+        "windows": measure_windows(cfg, model, X_q, packed),
+        "shards": measure_shards(cfg, model, X_q, packed),
+        "bits": measure_bits(cfg),
+        "memory": measure_memory(cfg, model, X_q, packed),
+    }
+
+
+def report_lines(results) -> list:
+    cfg = results["config"]
+    base, thr, mem = results["baseline"], results["throughput"], results["memory"]
+    lines = [
+        "=" * 72,
+        f"Hamming retrieval serving (n_base={cfg['n_base']}, L={cfg['L']}, "
+        f"k={cfg['k']}, max_batch={cfg['max_batch']})",
+        f"  per-query baseline : {base['qps']:10.0f} qps",
+        f"  batched service    : {thr['qps']:10.0f} qps  "
+        f"(mean batch {thr['mean_batch']:.1f})",
+        f"  speedup            : {thr['speedup_vs_baseline']:10.1f}x   (floor 5x)",
+        "  open-loop latency vs offered load:",
+    ]
+    for row in results["latency_vs_load"]:
+        lines.append(
+            f"    {row['offered_qps']:7.0f} qps offered | "
+            f"p50 {row['p50_ms']:7.2f} ms | p95 {row['p95_ms']:7.2f} ms | "
+            f"p99 {row['p99_ms']:7.2f} ms | {row['rows_per_s']:8.0f} rows/s"
+        )
+    lines.append("  batching window sweep:")
+    for row in results["windows"]:
+        lines.append(
+            f"    window {row['window_ms']:5.1f} ms | mean batch "
+            f"{row['mean_batch']:5.1f} | p50 {row['p50_ms']:7.2f} ms | "
+            f"p99 {row['p99_ms']:7.2f} ms"
+        )
+    lines.append("  shard sweep (saturation):")
+    for row in results["shards"]:
+        lines.append(
+            f"    {row['n_shards']} shard(s) [{row['mode']:7s}] | "
+            f"{row['qps']:8.0f} qps"
+        )
+    lines.append("  code length sweep (saturation):")
+    for row in results["bits"]:
+        lines.append(f"    L={row['L']:3d} | {row['qps']:8.0f} qps")
+    lines.append(
+        f"  scan memory: topk peak {mem['topk_peak_bytes'] / 1e6:.1f} MB vs "
+        f"cdist peak {mem['cdist_peak_bytes'] / 1e6:.1f} MB "
+        f"(full n_q x n_base matrix would be "
+        f"{mem['full_matrix_bytes_at_n_q'] / 1e6:.1f} MB)"
+    )
+    return lines
+
+
+def check(results) -> list:
+    """Acceptance assertions; returns failure strings (empty = pass)."""
+    failures = []
+    if results["throughput"]["speedup_vs_baseline"] < 5.0:
+        failures.append(
+            "batched service below the 5x-vs-per-query acceptance floor: "
+            f"{results['throughput']['speedup_vs_baseline']:.1f}x"
+        )
+    if not results["memory"]["bounded"]:
+        failures.append("streaming scan peak memory not below the cdist peak")
+    return failures
+
+
+def test_serve_throughput(benchmark, report):
+    """Pytest entry: smoke-size run with the acceptance assertions."""
+    results = benchmark.pedantic(lambda: measure(SMOKE), rounds=1, iterations=1)
+    report()
+    for line in report_lines(results):
+        report(line)
+    write_bench_json("serve", results)
+    assert not check(results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small problem sizes (nightly CI lane)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="directory for BENCH_serve.json (default: benchmarks/)",
+    )
+    args = parser.parse_args(argv)
+    results = measure(SMOKE if args.smoke else FULL)
+    for line in report_lines(results):
+        print(line)
+    path = write_bench_json("serve", results, directory=args.out)
+    print(f"wrote {path}")
+    failures = check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,2 +1,29 @@
-from setuptools import setup
-setup()
+"""Packaging for the ParMAC reproduction.
+
+The NumPy floor is 1.21 — the oldest release with every API the code
+relies on (``numpy.typing``-era dtypes, ``bitorder`` packbits). The
+native ``np.bitwise_count`` ufunc needs NumPy >= 2.0, but the popcount
+in ``repro.retrieval.hamming`` falls back to a parity-tested 16-bit
+lookup table on older NumPy, so 2.0 is a fast path, not a requirement.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-parmac",
+    version="0.8.0",
+    description=(
+        "Reproduction of ParMAC (Carreira-Perpinan & Alizadeh, MLSys 2019): "
+        "distributed MAC training of binary autoencoders and deep nets, "
+        "with a micro-batched Hamming retrieval service"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.21",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis", "scipy"],
+    },
+)

@@ -12,6 +12,7 @@ from repro.retrieval.hamming import (
     hamming_cdist,
     hamming_knn,
     pack_bits,
+    popcount,
     unpack_bits,
 )
 from repro.retrieval.groundtruth import euclidean_cdist, euclidean_knn
@@ -21,6 +22,7 @@ from repro.retrieval.baselines import ITQHash, TruncatedPCAHash
 __all__ = [
     "pack_bits",
     "unpack_bits",
+    "popcount",
     "hamming_cdist",
     "hamming_knn",
     "euclidean_cdist",

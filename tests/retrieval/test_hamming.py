@@ -4,7 +4,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.retrieval.hamming import hamming_cdist, hamming_knn, pack_bits, unpack_bits
+from repro.retrieval.hamming import (
+    HAS_BITWISE_COUNT,
+    _popcount_lut16,
+    hamming_cdist,
+    hamming_knn,
+    pack_bits,
+    popcount,
+    unpack_bits,
+)
 
 code_matrices = hnp.arrays(
     np.uint8,
@@ -36,6 +44,38 @@ class TestPacking:
     def test_unpack_rejects_overflow(self):
         with pytest.raises(ValueError):
             unpack_bits(np.zeros((2, 1), dtype=np.uint64), 65)
+
+    @pytest.mark.parametrize("L", [1, 7, 63, 64, 65, 100, 128, 130])
+    def test_byte_parity_with_shift_loop(self, L):
+        # The vectorised packbits path must be byte-identical to the
+        # definitional per-bit shift loop, including ragged last words.
+        rng = np.random.default_rng(L)
+        Z = rng.integers(0, 2, size=(9, L), dtype=np.uint8)
+        ref = np.zeros((9, (L + 63) // 64), dtype=np.uint64)
+        for l in range(L):
+            ref[:, l // 64] |= Z[:, l].astype(np.uint64) << np.uint64(l % 64)
+        assert np.array_equal(pack_bits(Z), ref)
+
+
+class TestPopcount:
+    def test_lut_matches_definition(self):
+        rng = np.random.default_rng(6)
+        a = rng.integers(0, 2**64, size=257, dtype=np.uint64)
+        ref = np.array([bin(int(v)).count("1") for v in a], dtype=np.uint8)
+        assert np.array_equal(_popcount_lut16(a), ref)
+        assert np.array_equal(popcount(a), ref)
+
+    @pytest.mark.skipif(not HAS_BITWISE_COUNT, reason="NumPy < 2.0")
+    def test_lut_matches_native(self):
+        # The setup.py floor is set by the fallback; on NumPy >= 2.0 both
+        # paths exist and must agree everywhere we can afford to check.
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 2**64, size=(13, 101), dtype=np.uint64)
+        edge = np.array([0, 1, 2**63, 2**64 - 1, 0x5555555555555555], dtype=np.uint64)
+        for arr in (a, edge):
+            assert np.array_equal(
+                _popcount_lut16(arr), np.bitwise_count(arr).astype(np.uint8)
+            )
 
 
 class TestHammingCdist:
@@ -107,6 +147,28 @@ class TestHammingKnn:
         # (possibly another identical code — check distance, not index).
         D = hamming_cdist(packed[:4], packed)
         assert (D[np.arange(4), nn[:, 0]] == 0).all()
+
+    def test_ties_break_by_ascending_index(self):
+        # Duplicate every code so each distance value ties across copies:
+        # the result must be the (distance, index) lexicographic head.
+        rng = np.random.default_rng(8)
+        Z = np.repeat(rng.integers(0, 2, size=(20, 16), dtype=np.uint8), 5, axis=0)
+        Q = rng.integers(0, 2, size=(6, 16), dtype=np.uint8)
+        pq, pb = pack_bits(Q), pack_bits(Z)
+        nn = hamming_knn(pq, pb, 30)
+        D = hamming_cdist(pq, pb)
+        key = D.astype(np.int64) * len(Z) + np.arange(len(Z))
+        ref = np.argsort(key, axis=1)[:, :30]
+        assert np.array_equal(nn, ref)
+
+    def test_tie_order_is_chunk_invariant(self):
+        rng = np.random.default_rng(9)
+        Z = np.repeat(rng.integers(0, 2, size=(10, 8), dtype=np.uint8), 8, axis=0)
+        pq, pb = pack_bits(Z[:7]), pack_bits(Z)
+        for chunk in (1, 3, 1024):
+            assert np.array_equal(
+                hamming_knn(pq, pb, 20, chunk=chunk), hamming_knn(pq, pb, 20)
+            )
 
     def test_rejects_bad_k(self):
         packed = pack_bits(np.zeros((5, 8), dtype=np.uint8))

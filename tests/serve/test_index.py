@@ -1,0 +1,257 @@
+"""Exactness contracts of the packed-code index and its sharded variant.
+
+Everything here checks *exact* equality against a brute-force
+(distance, id)-lexicographic reference — ids AND distances AND tie
+order — because that total order is what makes sharded merges
+associative and batched serving bit-identical to offline retrieval.
+"""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.hamming import hamming_cdist, pack_bits
+from repro.serve import (
+    HammingIndex,
+    ShardedHammingIndex,
+    hamming_topk,
+    merge_topk,
+)
+
+
+def ref_topk(Zq, Zb, k):
+    """Brute-force (distance, id) lexicographic top-k via a full cdist."""
+    D = hamming_cdist(pack_bits(Zq), pack_bits(Zb))
+    key = D.astype(np.int64) * (len(Zb) + 1) + np.arange(len(Zb))
+    order = np.argsort(key, axis=1)[:, :k]
+    rows = np.arange(len(Zq))[:, None]
+    return order, D[rows, order]
+
+
+def random_codes(rng, n, L):
+    return rng.integers(0, 2, size=(n, L)).astype(np.uint8)
+
+
+class TestHammingTopk:
+    @pytest.mark.parametrize(
+        "n_q,n_b,L,k,block",
+        [
+            (7, 500, 16, 5, 64),
+            (32, 3000, 64, 10, 512),
+            (5, 100, 100, 100, 16),   # k == n_b, L > one word
+            (1, 1, 64, 1, 4096),      # degenerate single pair
+            (16, 2048, 32, 3, 2048),  # single-block scan
+            (4, 333, 7, 12, 50),      # k > block, odd sizes
+        ],
+    )
+    def test_matches_bruteforce(self, n_q, n_b, L, k, block):
+        rng = np.random.default_rng(n_q * n_b)
+        Zq, Zb = random_codes(rng, n_q, L), random_codes(rng, n_b, L)
+        ids, ds = hamming_topk(pack_bits(Zq), pack_bits(Zb), k, block=block)
+        rid, rd = ref_topk(Zq, Zb, min(k, n_b))
+        assert np.array_equal(ids, rid)
+        assert np.array_equal(ds, rd)
+
+    def test_block_size_invariance(self):
+        rng = np.random.default_rng(0)
+        Q = pack_bits(random_codes(rng, 9, 48))
+        B = pack_bits(random_codes(rng, 700, 48))
+        ref = hamming_topk(Q, B, 15, block=700)
+        for block in (1, 3, 64, 256, 4096):
+            ids, ds = hamming_topk(Q, B, 15, block=block)
+            assert np.array_equal(ids, ref[0]) and np.array_equal(ds, ref[1])
+
+    def test_ties_break_by_ascending_id(self):
+        # Heavy duplication: every distance value ties across 40 copies.
+        rng = np.random.default_rng(1)
+        Zb = np.repeat(random_codes(rng, 50, 32), 40, axis=0)
+        Zq = random_codes(rng, 9, 32)
+        ids, ds = hamming_topk(pack_bits(Zq), pack_bits(Zb), 25, block=128)
+        rid, rd = ref_topk(Zq, Zb, 25)
+        assert np.array_equal(ids, rid)
+        assert np.array_equal(ds, rd)
+
+    def test_adversarial_descending_distances(self):
+        # Base sorted worst-to-best: every block improves every query,
+        # exercising the dense tighten/fallback paths.
+        Zq = np.zeros((4, 64), dtype=np.uint8)
+        Zb = np.zeros((2000, 64), dtype=np.uint8)
+        for i in range(2000):
+            Zb[i, : 64 - (i * 64 // 2000)] = 1
+        ids, ds = hamming_topk(pack_bits(Zq), pack_bits(Zb), 10, block=256)
+        rid, rd = ref_topk(Zq, Zb, 10)
+        assert np.array_equal(ids, rid)
+        assert np.array_equal(ds, rd)
+
+    def test_offset_shifts_ids(self):
+        rng = np.random.default_rng(2)
+        Q = pack_bits(random_codes(rng, 3, 16))
+        B = pack_bits(random_codes(rng, 64, 16))
+        base_ids, base_ds = hamming_topk(Q, B, 5, block=16)
+        off_ids, off_ds = hamming_topk(Q, B, 5, block=16, offset=1000)
+        assert np.array_equal(off_ids, base_ids + 1000)
+        assert np.array_equal(off_ds, base_ds)
+
+    def test_rejects_bad_inputs(self):
+        Q = np.zeros((2, 1), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            hamming_topk(Q, np.zeros((4, 2), dtype=np.uint64), 1)
+        with pytest.raises(ValueError):
+            hamming_topk(Q, Q, 0)
+        with pytest.raises(ValueError):
+            hamming_topk(Q, Q, 1, block=0)
+        with pytest.raises(ValueError):
+            hamming_topk(np.zeros((2, 1024), dtype=np.uint64),
+                         np.zeros((2, 1024), dtype=np.uint64), 1)
+
+
+class TestMergeTopk:
+    def test_associative_over_partitions(self):
+        rng = np.random.default_rng(3)
+        Zq, Zb = random_codes(rng, 6, 24), random_codes(rng, 501, 24)
+        Q, B = pack_bits(Zq), pack_bits(Zb)
+        k = 17
+        flat = hamming_topk(Q, B, k, block=64)
+        for cuts in ([250], [100, 300], [1, 2, 3, 500]):
+            bounds = [0, *cuts, len(Zb)]
+            parts = [
+                hamming_topk(Q, B[lo:hi], k, block=64, offset=lo)
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+            ]
+            ids, ds = merge_topk(parts, k)
+            assert np.array_equal(ids, flat[0])
+            assert np.array_equal(ds, flat[1])
+
+    def test_narrow_parts(self):
+        # A shard smaller than k contributes a narrow result pane.
+        rng = np.random.default_rng(4)
+        Zq, Zb = random_codes(rng, 3, 16), random_codes(rng, 20, 16)
+        Q, B = pack_bits(Zq), pack_bits(Zb)
+        parts = [
+            hamming_topk(Q, B[:2], 8, offset=0),
+            hamming_topk(Q, B[2:], 8, offset=2),
+        ]
+        ids, ds = merge_topk(parts, 8)
+        flat = hamming_topk(Q, B, 8)
+        assert np.array_equal(ids, flat[0]) and np.array_equal(ds, flat[1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_topk([], 3)
+
+
+class TestHammingIndex:
+    def test_search_matches_bruteforce(self):
+        rng = np.random.default_rng(5)
+        Zq, Zb = random_codes(rng, 8, 40), random_codes(rng, 300, 40)
+        index = HammingIndex.from_codes(pack_bits(Zb), 40, block=64)
+        ids, ds = index.search(pack_bits(Zq), 12)
+        rid, rd = ref_topk(Zq, Zb, 12)
+        assert np.array_equal(ids, rid) and np.array_equal(ds, rd)
+
+    def test_accepts_raw_bits(self):
+        rng = np.random.default_rng(6)
+        Zb = random_codes(rng, 50, 20)
+        index = HammingIndex.from_codes(Zb, 20)
+        ids_bits, ds_bits = index.search(Zb[:3], 4)
+        ids_packed, ds_packed = index.search(pack_bits(Zb[:3]), 4)
+        assert np.array_equal(ids_bits, ids_packed)
+        assert np.array_equal(ds_bits, ds_packed)
+
+    def test_incremental_add_equals_rebuild(self):
+        rng = np.random.default_rng(7)
+        Zq, Zb = random_codes(rng, 5, 32), random_codes(rng, 400, 32)
+        whole = HammingIndex.from_codes(pack_bits(Zb), 32, block=128)
+        grown = HammingIndex(32, block=128)
+        for lo in range(0, 400, 37):  # uneven increments
+            ids = grown.add(pack_bits(Zb[lo : lo + 37]))
+            assert ids[0] == lo
+        assert grown.n == whole.n
+        q = pack_bits(Zq)
+        a, b = grown.search(q, 19), whole.search(q, 19)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_codes_view_and_memory_bound(self):
+        Zb = random_codes(np.random.default_rng(8), 10, 16)
+        index = HammingIndex.from_codes(pack_bits(Zb), 16)
+        assert np.array_equal(index.codes, pack_bits(Zb))
+        with pytest.raises(ValueError):
+            index.codes[0, 0] = 0  # read-only view
+        assert index.memory_bound(4, 3) > 0
+
+    def test_errors(self):
+        index = HammingIndex(16)
+        with pytest.raises(ValueError):
+            index.search(np.zeros((1, 1), dtype=np.uint64), 1)  # empty
+        index.add(np.zeros((3, 16), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            index.search(np.zeros((1, 1), dtype=np.uint64), 4)  # k > n
+        with pytest.raises(ValueError):
+            index.add(np.zeros((2, 17), dtype=np.uint8))  # wrong width
+        with pytest.raises(ValueError):
+            HammingIndex(0)
+
+
+class TestShardedHammingIndex:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5])
+    def test_thread_shards_exactly_equal_single(self, n_shards):
+        rng = np.random.default_rng(9)
+        Zq, Zb = random_codes(rng, 11, 48), random_codes(rng, 1501, 48)
+        q = pack_bits(Zq)
+        flat = HammingIndex.from_codes(pack_bits(Zb), 48, block=256).search(q, 20)
+        with ShardedHammingIndex(
+            pack_bits(Zb), 48, n_shards, mode="thread", block=128
+        ) as sharded:
+            ids, ds = sharded.search(q, 20)
+        assert np.array_equal(ids, flat[0])
+        assert np.array_equal(ds, flat[1])
+
+    def test_thread_shards_tie_order(self):
+        # Duplicated codes across shard boundaries: the merge must keep
+        # ascending-id tie order across shards, not just within one.
+        rng = np.random.default_rng(10)
+        Zb = np.repeat(random_codes(rng, 30, 16), 10, axis=0)
+        Zq = random_codes(rng, 4, 16)
+        q = pack_bits(Zq)
+        flat = HammingIndex.from_codes(pack_bits(Zb), 16, block=64).search(q, 25)
+        with ShardedHammingIndex(pack_bits(Zb), 16, 4, mode="thread", block=64) as s:
+            ids, ds = s.search(q, 25)
+        assert np.array_equal(ids, flat[0]) and np.array_equal(ds, flat[1])
+
+    def test_process_shards_exactly_equal_single(self):
+        rng = np.random.default_rng(11)
+        Zq, Zb = random_codes(rng, 6, 32), random_codes(rng, 901, 32)
+        q = pack_bits(Zq)
+        flat = HammingIndex.from_codes(pack_bits(Zb), 32, block=128).search(q, 15)
+        with ShardedHammingIndex(
+            pack_bits(Zb), 32, 3, mode="process", block=128
+        ) as sharded:
+            ids, ds = sharded.search(q, 15)
+        assert np.array_equal(ids, flat[0])
+        assert np.array_equal(ds, flat[1])
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_add_then_query_equals_rebuild(self, mode):
+        rng = np.random.default_rng(12)
+        Zq, Zb = random_codes(rng, 5, 24), random_codes(rng, 600, 24)
+        q = pack_bits(Zq)
+        flat = HammingIndex.from_codes(pack_bits(Zb), 24, block=100).search(q, 11)
+        with ShardedHammingIndex(
+            pack_bits(Zb[:450]), 24, 3, mode=mode, block=100
+        ) as sharded:
+            ids = sharded.add(pack_bits(Zb[450:]))
+            assert ids[0] == 450 and ids[-1] == 599
+            got = sharded.search(q, 11)
+        assert np.array_equal(got[0], flat[0])
+        assert np.array_equal(got[1], flat[1])
+
+    def test_errors_and_close(self):
+        Zb = random_codes(np.random.default_rng(13), 10, 16)
+        with pytest.raises(ValueError):
+            ShardedHammingIndex(pack_bits(Zb), 16, 11)  # more shards than rows
+        with pytest.raises(ValueError):
+            ShardedHammingIndex(pack_bits(Zb), 16, 2, mode="coroutine")
+        sharded = ShardedHammingIndex(pack_bits(Zb), 16, 2)
+        sharded.close()
+        sharded.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            sharded.search(pack_bits(Zb[:1]), 2)

@@ -1,0 +1,100 @@
+"""Load generator and its accounting primitives."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    LatencyStats,
+    RetrievalService,
+    ThroughputStats,
+    poisson_arrivals,
+    run_open_loop,
+)
+from tests.serve.test_service import SignHashModel
+
+
+class TestLatencyStats:
+    def test_percentiles_match_numpy(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(scale=0.01, size=500)
+        stats = LatencyStats()
+        for s in samples:
+            stats.record(s)
+        assert stats.n == 500
+        assert stats.p50 == pytest.approx(np.percentile(samples, 50))
+        assert stats.p95 == pytest.approx(np.percentile(samples, 95))
+        assert stats.p99 == pytest.approx(np.percentile(samples, 99))
+        assert stats.mean == pytest.approx(np.mean(samples))
+
+    def test_summary_is_milliseconds(self):
+        stats = LatencyStats()
+        stats.record(0.002)
+        stats.record(0.004)
+        summary = stats.summary()
+        assert summary["n"] == 2
+        assert summary["mean_ms"] == pytest.approx(3.0)
+        assert summary["max_ms"] == pytest.approx(4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyStats().p50
+
+
+class TestThroughputStats:
+    def test_rows_accumulate(self):
+        stats = ThroughputStats()
+        stats.start()
+        stats.record(3)
+        stats.record(2)
+        assert stats.rows == 5
+        assert stats.elapsed_s >= 0.0
+        assert stats.summary()["rows"] == 5
+
+    def test_zero_elapsed_is_zero_rate(self):
+        assert ThroughputStats().rows_per_s == 0.0
+
+
+class TestPoissonArrivals:
+    def test_monotone_and_deterministic(self):
+        a = poisson_arrivals(1000.0, 200, rng=0)
+        b = poisson_arrivals(1000.0, 200, rng=0)
+        assert np.array_equal(a, b)
+        assert np.all(np.diff(a) > 0)
+        assert a[0] > 0
+
+    def test_rate_sets_mean_gap(self):
+        a = poisson_arrivals(500.0, 20000, rng=1)
+        assert np.mean(np.diff(a)) == pytest.approx(1 / 500.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10)
+        with pytest.raises(ValueError):
+            poisson_arrivals(100.0, 0)
+
+
+class TestRunOpenLoop:
+    def test_end_to_end_accounting(self):
+        rng = np.random.default_rng(3)
+        model = SignHashModel(16, 32, seed=2)
+        X_base = rng.standard_normal((300, 16))
+        queries = rng.standard_normal((40, 16))
+        with RetrievalService.from_data(
+            model, X_base, k=5, max_wait_ms=1.0, max_batch=32
+        ) as svc:
+            report = run_open_loop(
+                svc, queries, 2000.0, k=5, n_requests=100, rng=0
+            )
+        assert report["n_requests"] == 100
+        assert report["latency"]["n"] == 100
+        assert report["throughput"]["rows"] == 100
+        assert report["achieved_qps"] > 0
+        assert report["latency"]["p50_ms"] <= report["latency"]["p99_ms"]
+
+    def test_rejects_bad_queries(self):
+        rng = np.random.default_rng(4)
+        model = SignHashModel(8, 16, seed=3)
+        X_base = rng.standard_normal((50, 8))
+        with RetrievalService.from_data(model, X_base, k=3) as svc:
+            with pytest.raises(ValueError):
+                run_open_loop(svc, np.zeros(8), 100.0)

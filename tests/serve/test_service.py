@@ -1,0 +1,202 @@
+"""RetrievalService: batching must change how fast, never what.
+
+The fixture model is a deterministic sign-of-projection hash, so every
+test can compute a brute-force per-query reference and require exact
+equality against whatever batches the service happened to form.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.retrieval.hamming import hamming_cdist, pack_bits
+from repro.serve import HammingIndex, RetrievalService, ShardedHammingIndex
+
+
+class SignHashModel:
+    """Deterministic stand-in for a trained hash: sign of a projection."""
+
+    def __init__(self, D, L, seed=0, compute_dtype=np.float32):
+        rng = np.random.default_rng(seed)
+        self.W = rng.standard_normal((D, L))
+        self.compute_dtype = compute_dtype
+        self.encode_calls = 0
+
+    def encode(self, X):
+        self.encode_calls += 1
+        return (np.asarray(X) @ self.W.astype(np.asarray(X).dtype) > 0).astype(
+            np.uint8
+        )
+
+
+class ExplodingModel(SignHashModel):
+    """Raises on demand, to test per-batch error propagation."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.explode = False
+
+    def encode(self, X):
+        if self.explode:
+            raise RuntimeError("encoder fault injected")
+        return super().encode(X)
+
+
+def ref_results(model, X_base, x, k):
+    """Brute-force (distance, id) top-k for one query against X_base."""
+    Zb = model.encode(X_base)
+    Zq = model.encode(x[None, :])
+    D = hamming_cdist(pack_bits(Zq), pack_bits(Zb))[0]
+    key = D.astype(np.int64) * (len(Zb) + 1) + np.arange(len(Zb))
+    order = np.argsort(key)[:k]
+    return order, D[order]
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(42)
+    D, L, n_base = 24, 32, 400
+    model = SignHashModel(D, L, seed=1)
+    X_base = rng.standard_normal((n_base, D))
+    X_query = rng.standard_normal((50, D))
+    return model, X_base, X_query
+
+
+class TestRetrievalService:
+    def test_single_query_matches_bruteforce(self, setup):
+        model, X_base, X_query = setup
+        with RetrievalService.from_data(model, X_base, k=7, max_wait_ms=0.1) as svc:
+            for x in X_query[:5]:
+                ids, dists = svc.query(x)
+                rid, rd = ref_results(model, X_base, x, 7)
+                assert np.array_equal(ids, rid)
+                assert np.array_equal(dists, rd)
+
+    def test_concurrent_submits_coalesce_and_stay_exact(self, setup):
+        # Many threads race into whatever batches form; each per-query
+        # answer must still equal the solo brute-force result.
+        model, X_base, X_query = setup
+        with RetrievalService.from_data(
+            model, X_base, k=5, max_wait_ms=5.0, max_batch=16
+        ) as svc:
+            results = [None] * len(X_query)
+
+            def worker(i):
+                results[i] = svc.submit(X_query[i]).result(timeout=30.0)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(X_query))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            snap = svc.stats.snapshot()
+        assert snap["n_queries"] == len(X_query)
+        assert snap["n_batches"] < len(X_query)  # some coalescing happened
+        assert snap["max_batch"] <= 16
+        for i, (ids, dists) in enumerate(results):
+            rid, rd = ref_results(model, X_base, X_query[i], 5)
+            assert np.array_equal(ids, rid)
+            assert np.array_equal(dists, rd)
+
+    def test_per_request_k_is_exact_prefix(self, setup):
+        model, X_base, X_query = setup
+        with RetrievalService.from_data(
+            model, X_base, k=4, max_wait_ms=5.0, max_batch=8
+        ) as svc:
+            tickets = [
+                svc.submit(X_query[i], k=[2, 9, 1, 6][i % 4]) for i in range(8)
+            ]
+            for i, t in enumerate(tickets):
+                k = [2, 9, 1, 6][i % 4]
+                ids, dists = t.result(timeout=30.0)
+                assert len(ids) == len(dists) == k
+                rid, rd = ref_results(model, X_base, X_query[i], k)
+                assert np.array_equal(ids, rid)
+                assert np.array_equal(dists, rd)
+
+    def test_sharded_service_matches_flat(self, setup):
+        model, X_base, X_query = setup
+        with RetrievalService.from_data(model, X_base, k=6, max_wait_ms=0.1) as flat:
+            expected = [flat.query(x) for x in X_query[:10]]
+        with RetrievalService.from_data(
+            model, X_base, n_shards=3, shard_mode="thread", k=6, max_wait_ms=0.1
+        ) as sharded:
+            assert isinstance(sharded.index, ShardedHammingIndex)
+            for x, (eids, eds) in zip(X_query[:10], expected):
+                ids, dists = sharded.query(x)
+                assert np.array_equal(ids, eids)
+                assert np.array_equal(dists, eds)
+
+    def test_add_through_service(self, setup):
+        model, X_base, X_query = setup
+        X_extra = np.random.default_rng(7).standard_normal((60, X_base.shape[1]))
+        with RetrievalService.from_data(model, X_base, k=5, max_wait_ms=0.1) as svc:
+            ids = svc.add(X_extra)
+            assert ids[0] == len(X_base) and len(ids) == len(X_extra)
+            full = np.concatenate([X_base, X_extra])
+            for x in X_query[:5]:
+                got_ids, got_ds = svc.query(x)
+                rid, rd = ref_results(model, full, x, 5)
+                assert np.array_equal(got_ids, rid)
+                assert np.array_equal(got_ds, rd)
+
+    def test_error_propagates_then_service_recovers(self, setup):
+        _, X_base, X_query = setup
+        model = ExplodingModel(X_base.shape[1], 32, seed=1)
+        with RetrievalService.from_data(model, X_base, k=3, max_wait_ms=0.1) as svc:
+            model.explode = True
+            ticket = svc.submit(X_query[0])
+            with pytest.raises(RuntimeError, match="encoder fault"):
+                ticket.result(timeout=30.0)
+            model.explode = False  # next batch is a fresh one
+            ids, dists = svc.query(X_query[1])
+            rid, rd = ref_results(model, X_base, X_query[1], 3)
+            assert np.array_equal(ids, rid) and np.array_equal(dists, rd)
+
+    def test_submit_validation(self, setup):
+        model, X_base, X_query = setup
+        with RetrievalService.from_data(model, X_base) as svc:
+            with pytest.raises(ValueError):
+                svc.submit(X_query[:2])  # 2-d
+            with pytest.raises(ValueError):
+                svc.submit(X_query[0], k=0)
+            with pytest.raises(ValueError):
+                svc.submit(X_query[0], k=len(X_base) + 1)
+
+    def test_constructor_validation(self, setup):
+        model, X_base, _ = setup
+        index = HammingIndex.from_codes(pack_bits(model.encode(X_base)), 32)
+        with pytest.raises(ValueError):
+            RetrievalService(model, index, k=0)
+        with pytest.raises(ValueError):
+            RetrievalService(model, index, max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            RetrievalService(model, index, max_batch=0)
+        with pytest.raises(TypeError):
+            RetrievalService(model, np.zeros((3, 1), dtype=np.uint64))
+
+    def test_close_drains_then_rejects(self, setup):
+        model, X_base, X_query = setup
+        svc = RetrievalService.from_data(model, X_base, k=3, max_wait_ms=50.0)
+        ticket = svc.submit(X_query[0])  # sits in the open window
+        svc.close()
+        ids, _ = ticket.result(timeout=5.0)  # drained at close, not dropped
+        assert len(ids) == 3
+        with pytest.raises(RuntimeError):
+            svc.submit(X_query[1])
+        svc.close()  # idempotent
+
+    def test_ticket_timeout(self, setup):
+        model, X_base, X_query = setup
+        # A long window and no company: the ticket is not done instantly.
+        with RetrievalService.from_data(
+            model, X_base, k=3, max_wait_ms=5000.0
+        ) as svc:
+            ticket = svc.submit(X_query[0])
+            with pytest.raises(TimeoutError):
+                ticket.result(timeout=0.01)
+            assert not ticket.done()
