@@ -7,7 +7,6 @@ using SGD". The bench sweeps e and prints the E_Q gap to exact, plus the
 communication cost of each strategy.
 """
 
-import numpy as np
 
 from repro.autoencoder import BinaryAutoencoder
 from repro.autoencoder.adapter import BAAdapter

@@ -7,7 +7,6 @@ The bench compares ring-simulation W-step time and message counts for the
 two layouts, plus the theory-side effect on the speedup curve.
 """
 
-import numpy as np
 
 from repro.distributed.costmodel import CostModel
 from repro.perfmodel.speedup import SpeedupParams, speedup

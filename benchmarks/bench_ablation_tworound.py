@@ -7,7 +7,6 @@ distributed over machines". The bench compares communication volume,
 virtual-clock W time and final E_Q of the two schemes at e = 4.
 """
 
-import numpy as np
 
 from repro.autoencoder import BinaryAutoencoder
 from repro.core.parmac import ParMACTrainerBA

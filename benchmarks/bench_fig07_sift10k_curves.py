@@ -13,7 +13,6 @@ D = 64 for CI), standardised features, the paper's mu schedule family
 (K, k) = (100, 100) scaled to the base size.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.evaluation import PrecisionEvaluator

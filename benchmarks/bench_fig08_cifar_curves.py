@@ -6,7 +6,6 @@ a = 1.2, 26 iterations). Checks: e = 8 is practically exact; e = 1 only a
 small degradation; P in {1, 16, 64} jitters, no systematic degradation.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.evaluation import PrecisionEvaluator

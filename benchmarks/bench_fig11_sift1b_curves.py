@@ -7,7 +7,6 @@ function E_Q" — the bench prints both curves per encoder and checks the
 recall ordering and the E_Q-vs-E_BA distinction.
 """
 
-import numpy as np
 
 from repro.utils.ascii_plot import ascii_table
 

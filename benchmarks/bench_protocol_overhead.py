@@ -6,7 +6,6 @@ counts the counter protocol prescribes — the analogue of checking the MPI
 code's `visitedsubmodels` loop bound.
 """
 
-import numpy as np
 
 from repro.distributed.costmodel import CostModel
 from repro.utils.ascii_plot import ascii_table

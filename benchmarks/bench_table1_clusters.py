@@ -9,7 +9,6 @@ the shared-memory system must come out 3-4x faster end to end, as the
 paper reports for SIFT-1B (29.3 h vs 11.0 h).
 """
 
-from repro.distributed.costmodel import CostModel
 from repro.perfmodel.presets import CLUSTER_PRESETS, cluster_cost_model
 from repro.utils.ascii_plot import ascii_table
 

@@ -11,7 +11,6 @@ encoder costs several times more runtime (it trains on m >> D kernel
 features); the shared-memory preset is ~3x faster than the distributed one.
 """
 
-import numpy as np
 
 from repro.distributed.costmodel import CostModel
 from repro.perfmodel.presets import CLUSTER_PRESETS

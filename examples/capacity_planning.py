@@ -11,7 +11,6 @@ Run:  python examples/capacity_planning.py
 
 import numpy as np
 
-from repro.distributed.costmodel import CostModel
 from repro.perfmodel.analysis import (
     effective_submodels,
     fit_time_constants,

@@ -17,7 +17,6 @@ model predicts for the configuration.
 Run:  python examples/distributed_training.py
 """
 
-import numpy as np
 
 from repro import (
     BinaryAutoencoder,

@@ -17,7 +17,6 @@ Run:  python examples/image_retrieval.py
 import threading
 import time
 
-import numpy as np
 
 from repro import BinaryAutoencoder, GeometricSchedule, ITQHash, MACTrainerBA, TruncatedPCAHash
 from repro.data.synthetic import make_sift_like

@@ -12,7 +12,6 @@ Covers the core loop of the paper in ~50 lines:
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro import BinaryAutoencoder, GeometricSchedule, MACTrainerBA
 from repro.data.synthetic import make_clustered

@@ -1,0 +1,45 @@
+"""Static enforcement of the repo's runtime contracts.
+
+Eight PRs of growth left this reproduction with a set of load-bearing
+invariants — seeded scenarios bit-identical across all four engines,
+``compute_dtype`` threaded end to end, no blocking calls while a lock a
+dead peer could hold is held, shared-memory segments unlinked on every
+path, a frame codec for every registered message kind — all of them
+enforced only *dynamically*, by conformance tests that catch a violation
+after it ships. This package turns those contracts into machine-checked
+lint rules that fail at review time instead.
+
+Five rule families, each grounded in a contract this codebase has been
+bitten by (see docs/architecture.md, "Invariants & static analysis"):
+
+* **DET** — determinism: no global-state RNG, wall-clock reads or
+  unordered ``set`` iteration inside protocol-deterministic modules.
+* **DTYPE** — dtype discipline: array constructors on compute paths
+  carry an explicit ``dtype=``; no silent float64 upcasts.
+* **LOCK** — concurrency: no blocking calls while a lock is held, no
+  lock-order inversions.
+* **RES** — resources: shared-memory segments, sockets and files are
+  released on every exit path.
+* **PROTO** — registry consistency: every frame kind has an encoder and
+  a decoder; every registered backend implements the full protocol
+  surface.
+
+Run it with ``python -m repro.analysis check src tests``. Findings are
+suppressed per line with ``# repro: noqa[RULE]`` (a justifying comment
+is expected) or accepted wholesale via a committed JSON baseline.
+"""
+
+from repro.analysis.core import Finding, SourceFile, run_check
+from repro.analysis.report import Baseline, render_json, render_text
+from repro.analysis.registry import all_rules, rule_descriptions
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "run_check",
+    "Baseline",
+    "render_text",
+    "render_json",
+    "all_rules",
+    "rule_descriptions",
+]

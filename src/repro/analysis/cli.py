@@ -1,0 +1,98 @@
+"""Command-line front end: ``python -m repro.analysis check src tests``.
+
+Exit codes: 0 — clean (or everything accounted for by the baseline);
+1 — at least one unsuppressed, un-baselined finding; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.core import run_check
+from repro.analysis.registry import all_rules, rule_descriptions
+from repro.analysis.report import Baseline, render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static enforcement of the repo's runtime contracts "
+        "(determinism, dtype discipline, lock order, resource release, "
+        "protocol-registry consistency).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="run every rule over the given paths")
+    check.add_argument("paths", nargs="+", help="files or directories to analyze")
+    check.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of accepted findings; only NEW findings fail",
+    )
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    check.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="only run rules matching this id/prefix (repeatable)",
+    )
+    check.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip rules matching this id/prefix (repeatable)",
+    )
+
+    sub.add_parser("rules", help="list every rule id with its description")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "rules":
+        descriptions = rule_descriptions()
+        for rule in all_rules():
+            print(f"{rule}: {descriptions[rule]}")
+        return 0
+
+    if args.update_baseline and not args.baseline:
+        print("--update-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_check(args.paths, select=args.select, ignore=args.ignore)
+    except (OSError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    stale: list = []
+    reportable = result.findings
+    if args.baseline:
+        baseline = Baseline.load(args.baseline)
+        if args.update_baseline:
+            Baseline(entries=list(result.findings)).save(args.baseline)
+            print(
+                f"baseline updated: {len(result.findings)} entr"
+                f"{'ies' if len(result.findings) != 1 else 'y'} -> {args.baseline}"
+            )
+            return 0
+        reportable, stale = baseline.diff(result.findings)
+
+    renderer = render_json if args.fmt == "json" else render_text
+    print(renderer(reportable, suppressed=len(result.suppressed), stale=stale))
+    return 1 if reportable else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

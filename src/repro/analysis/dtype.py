@@ -1,0 +1,105 @@
+"""DTYPE — dtype discipline on compute-path modules.
+
+PR 6 threaded ``compute_dtype``/``message_dtype`` end to end so the
+batched W step and the TCP wire can run float32 while parity tests pin
+float64. A dtype-less constructor silently re-introduces float64: numpy
+defaults ``np.zeros(n)`` to float64 and the next matmul upcasts the
+whole chain, costing memory bandwidth and breaking the mixed-precision
+benchmark's premise.
+
+* **DTYPE001** — ``np.zeros/empty/ones/full/arange`` without ``dtype=``,
+  and ``np.array`` on a *literal* list/tuple/comprehension without
+  ``dtype=`` (array-of-an-existing-array keeps its input's dtype and is
+  exempt). An immediate ``.astype(...)`` on the result is also exempt —
+  the dtype is explicit, just spelled as a cast.
+* **DTYPE002** — arithmetic with an explicit ``np.float64(...)`` scalar
+  operand: upcasts any compute_dtype array it touches.
+
+Index arrays want a dtype too (``np.intp`` for indexing, ``np.int64``
+for wire formats) — platform-default ``arange`` is int32 on Windows,
+which is exactly the class of drift the parity suite cannot see on CI's
+Linux runners.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, SourceFile, parent_of
+from repro.analysis.scopes import is_compute_path
+
+__all__ = ["check_dtype"]
+
+# constructor -> 1-based position of its positional dtype parameter
+_CONSTRUCTORS = {
+    "numpy.zeros": 2,
+    "numpy.empty": 2,
+    "numpy.ones": 2,
+    "numpy.full": 3,
+    "numpy.arange": 4,
+    "numpy.array": 2,
+}
+
+_LITERALS = (ast.List, ast.Tuple, ast.ListComp, ast.GeneratorExp, ast.Set)
+
+
+def _has_dtype(node: ast.Call, dtype_pos: int) -> bool:
+    if any(kw.arg == "dtype" for kw in node.keywords):
+        return True
+    # np.empty((n, 0), np.int64) — dtype passed positionally.
+    return len(node.args) >= dtype_pos
+
+
+def _immediately_cast(node: ast.Call) -> bool:
+    """True for ``np.zeros(n).astype(cd)`` — dtype explicit via cast."""
+    parent = parent_of(node)
+    if isinstance(parent, ast.Attribute) and parent.attr in ("astype", "view"):
+        grand = parent_of(parent)
+        return isinstance(grand, ast.Call) and grand.func is parent
+    return False
+
+
+def check_dtype(sf: SourceFile) -> list[Finding]:
+    if not is_compute_path(sf.path):
+        return []
+    out: list[Finding] = []
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Call):
+            resolved = sf.symbols.resolve(node.func)
+            dtype_pos = _CONSTRUCTORS.get(resolved or "")
+            if dtype_pos is None:
+                continue
+            if _has_dtype(node, dtype_pos) or _immediately_cast(node):
+                continue
+            if resolved == "numpy.array":
+                # np.array(existing_array) preserves dtype; only literal
+                # payloads get numpy's inference default.
+                if not (node.args and isinstance(node.args[0], _LITERALS)):
+                    continue
+            leaf = resolved.rsplit(".", 1)[1]
+            out.append(
+                sf.finding(
+                    "DTYPE001",
+                    node,
+                    f"np.{leaf}(...) without dtype= on a compute path "
+                    "defaults to float64 (platform int for arange); "
+                    "state the dtype explicitly",
+                )
+            )
+        elif isinstance(node, ast.BinOp):
+            for operand in (node.left, node.right):
+                if (
+                    isinstance(operand, ast.Call)
+                    and sf.symbols.resolve(operand.func) == "numpy.float64"
+                ):
+                    out.append(
+                        sf.finding(
+                            "DTYPE002",
+                            node,
+                            "arithmetic with an np.float64(...) scalar "
+                            "upcasts compute_dtype arrays; cast to the "
+                            "array's dtype instead",
+                        )
+                    )
+                    break
+    return out

@@ -1,0 +1,168 @@
+"""LOCK — static analysis of ``with <lock>:`` regions.
+
+PR 4's shm feeder wedge was exactly this shape: a feeder thread blocked
+on a queue put while holding the segment lock, the consumer died, and
+the whole ring sat in ``Queue.put`` forever. The runtime contract since
+then: a wall-clock worker must never make a call that can block
+indefinitely while holding a lock another (possibly dead) peer needs.
+
+* **LOCK001** — a blocking call under a held lock: ``sendall``/``recv``/
+  ``accept``/``connect`` on a socket, ``get``/``put`` on a queue,
+  ``wait`` on an event, ``join`` on a thread, ``time.sleep`` — receivers
+  are typed from their constructor assignments (``self._q =
+  queue.Queue()`` makes ``self._q.get()`` a queue get). ``Condition.wait``
+  on the *held* condition is the one legitimate pattern (it releases
+  while waiting) and is exempt.
+* **LOCK002** — lock-order inversion, a project-wide rule: if one code
+  path nests ``with a: with b:`` and another nests ``with b: with a:``,
+  the two can deadlock. Locks are identified per class (``C.self._a``),
+  so the graph spans methods and files.
+
+Code inside a nested ``def``/``lambda`` does not run under the enclosing
+``with`` and is skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, SourceFile, enclosing_class
+
+__all__ = ["check_lock_blocking", "check_lock_inversions"]
+
+_LOCK_TYPES = (
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "multiprocessing.Lock",
+    "multiprocessing.RLock",
+    "_thread.allocate_lock",
+)
+
+# receiver constructor-path prefix -> method names that block on it
+_BLOCKING_METHODS = (
+    ("queue.", frozenset({"get", "put", "join"})),
+    ("multiprocessing.Queue", frozenset({"get", "put", "join_thread"})),
+    ("multiprocessing.SimpleQueue", frozenset({"get", "put"})),
+    ("socket.", frozenset({"sendall", "send", "recv", "recv_into", "accept", "connect", "makefile"})),
+    ("threading.Event", frozenset({"wait"})),
+    ("multiprocessing.Event", frozenset({"wait"})),
+    ("threading.Thread", frozenset({"join"})),
+    ("threading.Condition", frozenset({"wait", "wait_for"})),
+    ("multiprocessing.connection.", frozenset({"recv", "send", "recv_bytes", "send_bytes", "poll"})),
+)
+
+
+def _is_lock_type(resolved: str | None) -> bool:
+    return resolved is not None and resolved.startswith(_LOCK_TYPES)
+
+
+def _lock_identity(sf: SourceFile, expr: ast.AST) -> str:
+    """Stable per-class name for a lock expression, e.g. ``Svc:self._lock``."""
+    cls = enclosing_class(expr)
+    owner = cls.name if cls is not None else sf.path
+    return f"{owner}:{ast.unparse(expr)}"
+
+
+def _body_nodes(stmts):
+    """Walk statements, skipping nested function/class bodies (they do
+    not execute under the enclosing ``with``)."""
+    stack = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue  # deferred body: runs after the with exits
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _lock_regions(sf: SourceFile):
+    """Yield ``(identity, with_node, context_expr)`` for every held lock."""
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            if _is_lock_type(sf.symbols.resolve(item.context_expr)):
+                yield _lock_identity(sf, item.context_expr), node, item.context_expr
+
+
+def check_lock_blocking(sf: SourceFile) -> list[Finding]:
+    out: list[Finding] = []
+    for identity, region, lock_expr in _lock_regions(sf):
+        held_text = ast.unparse(lock_expr)
+        for node in _body_nodes(region.body):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = sf.symbols.resolve(node.func)
+            if resolved == "time.sleep":
+                out.append(
+                    sf.finding(
+                        "LOCK001",
+                        node,
+                        f"time.sleep(...) while holding {held_text}; "
+                        "sleep outside the critical section",
+                    )
+                )
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            method = node.func.attr
+            rtype = sf.symbols.resolve(node.func.value)
+            if rtype is None:
+                continue
+            # Condition.wait on the held condition releases the lock
+            # while waiting — the one blessed blocking pattern.
+            if (
+                method in ("wait", "wait_for", "notify", "notify_all")
+                and ast.unparse(node.func.value) == held_text
+            ):
+                continue
+            for prefix, methods in _BLOCKING_METHODS:
+                if rtype.startswith(prefix) and method in methods:
+                    out.append(
+                        sf.finding(
+                            "LOCK001",
+                            node,
+                            f"blocking call {ast.unparse(node.func)}(...) "
+                            f"while holding {held_text}; a dead peer can "
+                            "wedge every thread contending for this lock",
+                        )
+                    )
+                    break
+    return out
+
+
+def check_lock_inversions(files: list[SourceFile]) -> list[Finding]:
+    # edge (outer, inner) -> first site observed, for the report anchor
+    edges: dict[tuple[str, str], tuple[SourceFile, ast.AST]] = {}
+    for sf in files:
+        for identity, region, _ in _lock_regions(sf):
+            for node in _body_nodes(region.body):
+                if not isinstance(node, (ast.With, ast.AsyncWith)) or node is region:
+                    continue
+                for item in node.items:
+                    if not _is_lock_type(sf.symbols.resolve(item.context_expr)):
+                        continue
+                    inner = _lock_identity(sf, item.context_expr)
+                    if inner != identity:
+                        edges.setdefault((identity, inner), (sf, node))
+    out: list[Finding] = []
+    reported: set[frozenset[str]] = set()
+    for (outer, inner), (sf, node) in sorted(edges.items()):
+        if (inner, outer) not in edges:
+            continue
+        pair = frozenset((outer, inner))
+        if pair in reported:
+            continue
+        reported.add(pair)
+        out.append(
+            sf.finding(
+                "LOCK002",
+                node,
+                f"lock-order inversion: {outer} -> {inner} here, but the "
+                "opposite nesting exists elsewhere; pick one global order",
+            )
+        )
+    return out

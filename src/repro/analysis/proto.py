@@ -1,0 +1,225 @@
+"""PROTO — registry/codec consistency, checked project-wide.
+
+These rules guard the wire protocol's closure property: PR 7's elastic
+join added KIND_JOIN/KIND_WELCOME and a Backend.restore surface in the
+same change, and nothing but convention forces the next frame kind to
+arrive with both halves of its codec, or the next backend to implement
+the whole protocol surface.
+
+* **PROTO001** — every ``KIND_<NAME>`` constant in
+  ``distributed/framing.py`` must appear in ``_KNOWN_KINDS`` and have
+  both ``encode_<name>`` and ``decode_<name>`` functions (a frame a peer
+  can emit but the other side cannot parse desynchronizes the stream at
+  the framing layer, past the magic/version check).
+* **PROTO002** — every message class exported from
+  ``distributed/messages.py`` (its ``__all__``) is handled somewhere in
+  ``framing.py``; an exported message with no codec can only cross the
+  mp transport, silently forking the tcp/mp feature sets.
+* **PROTO003** — every ``@register_backend(...)`` class implements the
+  full ``Backend`` protocol surface from ``backends/base.py``, where
+  "implements" means a concrete body (not ``...``/``pass``/``raise
+  NotImplementedError``) somewhere in its static MRO.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, SourceFile
+
+__all__ = ["check_proto"]
+
+
+def _find(files: list[SourceFile], suffix: str) -> SourceFile | None:
+    for sf in files:
+        if sf.path.endswith(suffix):
+            return sf
+    return None
+
+
+# --------------------------------------------------------------- PROTO001
+def _check_framing(sf: SourceFile) -> list[Finding]:
+    kinds: dict[str, ast.AST] = {}
+    known: set[str] = set()
+    defs: set[str] = set()
+    known_node: ast.AST | None = None
+    for node in sf.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                if target.id.startswith("KIND_"):
+                    kinds[target.id] = node
+                elif target.id == "_KNOWN_KINDS":
+                    known_node = node
+                    for elt in ast.walk(node.value):
+                        if isinstance(elt, ast.Name) and elt.id.startswith("KIND_"):
+                            known.add(elt.id)
+        elif isinstance(node, ast.FunctionDef):
+            defs.add(node.name)
+
+    out: list[Finding] = []
+    for kind, node in sorted(kinds.items()):
+        name = kind[len("KIND_"):].lower()
+        for half in (f"encode_{name}", f"decode_{name}"):
+            if half not in defs:
+                out.append(
+                    sf.finding(
+                        "PROTO001",
+                        node,
+                        f"frame kind {kind} has no {half}(); every kind "
+                        "needs both halves of its codec",
+                    )
+                )
+        if kind not in known:
+            out.append(
+                sf.finding(
+                    "PROTO001",
+                    node,
+                    f"frame kind {kind} is missing from _KNOWN_KINDS; "
+                    "receivers will reject it as a protocol error",
+                )
+            )
+    for kind in sorted(known - set(kinds)):
+        out.append(
+            sf.finding(
+                "PROTO001",
+                known_node if known_node is not None else sf.tree,
+                f"_KNOWN_KINDS lists {kind} but no such constant is "
+                "defined in framing.py",
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------- PROTO002
+def _check_messages(messages: SourceFile, framing: SourceFile) -> list[Finding]:
+    exported: list[tuple[str, ast.AST]] = []
+    for node in messages.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+        ):
+            for elt in ast.walk(node.value):
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    exported.append((elt.value, node))
+    referenced = {
+        n.id for n in ast.walk(framing.tree) if isinstance(n, ast.Name)
+    } | {n.attr for n in ast.walk(framing.tree) if isinstance(n, ast.Attribute)}
+    out: list[Finding] = []
+    for name, node in exported:
+        if name not in referenced:
+            out.append(
+                messages.finding(
+                    "PROTO002",
+                    node,
+                    f"message class {name} is exported but never handled "
+                    "in framing.py; it cannot cross the tcp transport",
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------- PROTO003
+def _method_is_concrete(fn: ast.FunctionDef) -> bool:
+    body = fn.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]  # drop the docstring
+    if not body:
+        return False
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # bare `...`
+        if isinstance(stmt, ast.Raise):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Name) and sub.id == "NotImplementedError":
+                    break
+            else:
+                return True  # raises something real (a guard, not a stub)
+            continue
+        return True
+    return False
+
+
+class _ClassInfo:
+    def __init__(self, sf: SourceFile, node: ast.ClassDef):
+        self.sf = sf
+        self.node = node
+        self.bases = [
+            b.id if isinstance(b, ast.Name) else b.attr
+            for b in node.bases
+            if isinstance(b, (ast.Name, ast.Attribute))
+        ]
+        self.methods = {
+            item.name: _method_is_concrete(item)
+            for item in node.body
+            if isinstance(item, ast.FunctionDef)
+        }
+        self.registered = any(
+            isinstance(dec, ast.Call)
+            and isinstance(dec.func, ast.Name)
+            and dec.func.id == "register_backend"
+            for dec in node.decorator_list
+        )
+
+
+def _check_backends(files: list[SourceFile], base: SourceFile) -> list[Finding]:
+    surface: list[str] = []
+    for node in base.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "Backend":
+            surface = [
+                item.name
+                for item in node.body
+                if isinstance(item, ast.FunctionDef) and not item.name.startswith("_")
+            ]
+    if not surface:
+        return []
+
+    table: dict[str, _ClassInfo] = {}
+    for sf in files:
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ClassDef):
+                table.setdefault(node.name, _ClassInfo(sf, node))
+
+    def concrete_in_mro(cls: str, method: str, seen: set[str]) -> bool:
+        if cls in seen or cls not in table:
+            return False
+        seen.add(cls)
+        info = table[cls]
+        if method in info.methods:
+            return info.methods[method]
+        return any(concrete_in_mro(b, method, seen) for b in info.bases)
+
+    out: list[Finding] = []
+    for name, info in sorted(table.items()):
+        if not info.registered:
+            continue
+        for method in surface:
+            if not concrete_in_mro(name, method, set()):
+                out.append(
+                    info.sf.finding(
+                        "PROTO003",
+                        info.node,
+                        f"registered backend {name} has no concrete "
+                        f"{method}(); every backend must implement the "
+                        "full Backend protocol surface",
+                    )
+                )
+    return out
+
+
+def check_proto(files: list[SourceFile]) -> list[Finding]:
+    out: list[Finding] = []
+    framing = _find(files, "distributed/framing.py")
+    messages = _find(files, "distributed/messages.py")
+    base = _find(files, "backends/base.py")
+    if framing is not None:
+        out.extend(_check_framing(framing))
+        if messages is not None:
+            out.extend(_check_messages(messages, framing))
+    if base is not None:
+        out.extend(_check_backends(files, base))
+    return out

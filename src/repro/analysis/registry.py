@@ -1,0 +1,44 @@
+"""Rule registry: which checks run, and what each one means."""
+
+from __future__ import annotations
+
+from repro.analysis.det import check_det
+from repro.analysis.dtype import check_dtype
+from repro.analysis.locks import check_lock_blocking, check_lock_inversions
+from repro.analysis.proto import check_proto
+from repro.analysis.res import check_res
+
+__all__ = ["file_rules", "project_rules", "all_rules", "rule_descriptions"]
+
+_RULE_DESCRIPTIONS = {
+    "DET001": "global-state RNG call in a protocol-deterministic module",
+    "DET002": "wall-clock read or reference in a protocol-deterministic module",
+    "DET003": "entropy-seeded RNG root (unseeded SeedSequence/RandomState)",
+    "DET004": "iteration over a set (hash-salt-dependent order)",
+    "DTYPE001": "array constructor without explicit dtype= on a compute path",
+    "DTYPE002": "np.float64 scalar arithmetic upcasting compute_dtype arrays",
+    "LOCK001": "blocking call (socket/queue/event/join/sleep) under a held lock",
+    "LOCK002": "lock-order inversion across code paths",
+    "RES001": "shm segment/socket/file with no release reachable on every path",
+    "PROTO001": "frame kind without both encoder and decoder (or unregistered)",
+    "PROTO002": "exported message class with no framing codec",
+    "PROTO003": "registered backend missing part of the Backend protocol surface",
+}
+
+
+def file_rules():
+    """Rules that inspect one module at a time."""
+    return (check_det, check_dtype, check_lock_blocking, check_res)
+
+
+def project_rules():
+    """Rules that need the whole file set (graphs, registries)."""
+    return (check_lock_inversions, check_proto)
+
+
+def all_rules() -> list[str]:
+    return sorted(_RULE_DESCRIPTIONS)
+
+
+def rule_descriptions() -> dict[str, str]:
+    return dict(_RULE_DESCRIPTIONS)

@@ -1,0 +1,270 @@
+"""RES — resource release must be reachable on every exit path.
+
+The /dev/shm hygiene contract: a ``SharedMemory(create=True)`` segment
+that is not unlinked survives the process and eats the host's shm quota;
+a listening socket leaked on a failed ``bind`` holds the port until GC
+gets around to it. The analysis follows each acquisition to one of
+three outcomes:
+
+* **managed** — the acquisition is a ``with`` context, or sits inside a
+  ``try`` whose handlers/``finally`` close/unlink the bound name;
+* **transferred** — the object escapes the function before anything can
+  fail: returned, yielded, stored on ``self``/a container, or passed to
+  a callee (the new owner inherits the release obligation);
+* **leaked** — fallible statements (anything containing a call) run
+  between acquisition and the transfer/close, or the function ends
+  without releasing at all. These fire **RES001**.
+
+The middle case is why ``seg = SharedMemory(create=True, ...);
+segments.append(seg)`` is clean — append cannot fail, and the caller's
+``try/except: _unlink_segments`` owns the list — while building numpy
+views into the segment *before* the append is a leak window.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, SourceFile, parent_of
+
+__all__ = ["check_res"]
+
+_ACQUIRERS = {
+    "multiprocessing.shared_memory.SharedMemory": "shared-memory segment",
+    "socket.socket": "socket",
+    "socket.create_connection": "socket",
+    "open": "file handle",
+}
+
+_RELEASE_METHODS = frozenset({"close", "unlink", "shutdown", "detach"})
+
+
+def _acquisition_kind(sf: SourceFile, node: ast.Call) -> str | None:
+    resolved = sf.symbols.resolve(node.func)
+    kind = _ACQUIRERS.get(resolved or "")
+    if kind is None:
+        return None
+    if resolved == "multiprocessing.shared_memory.SharedMemory":
+        # Attaching (create=False) borrows someone else's segment; only
+        # creation takes the unlink obligation. close() on attach is
+        # still polite, but the leak that matters is the created one.
+        for kw in node.keywords:
+            if kw.arg == "create":
+                if isinstance(kw.value, ast.Constant) and kw.value.value is True:
+                    return kind
+                return None
+        return None
+    return kind
+
+
+def _name_in_call_args(stmt: ast.AST, name: str) -> bool:
+    """The object itself handed to a callee: a *bare* ``name`` argument.
+
+    ``f(seg)`` transfers the release obligation; ``np.ndarray(...,
+    buffer=seg.buf)`` merely lends a view and does not.
+    """
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Starred):
+                    arg = arg.value
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    return True
+    return False
+
+
+def _bare_name_in(value: ast.AST, name: str) -> bool:
+    """``name`` itself (not an attribute of it) at the top level of an
+    expression, or directly inside a tuple/list/dict literal there —
+    ``seg``, ``(seg, meta)``, ``{"s": seg}`` yes; ``seg.buf`` no."""
+    candidates = [value]
+    if isinstance(value, (ast.Tuple, ast.List)):
+        candidates = list(value.elts)
+    elif isinstance(value, ast.Dict):
+        candidates = [v for v in value.values if v is not None]
+    return any(isinstance(c, ast.Name) and c.id == name for c in candidates)
+
+
+def _transfers(stmt: ast.AST, name: str) -> bool:
+    """Ownership leaves the local frame: the object itself is returned,
+    yielded, stored on an object/container, rebound to another name, or
+    handed to a callee as an argument. Expressions that merely *mention*
+    the resource (``view = np.ndarray(..., buffer=seg.buf)``) are use,
+    not transfer."""
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _bare_name_in(node.value, name):
+                return True
+        if isinstance(node, ast.Assign) and _bare_name_in(node.value, name):
+            if any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                or (isinstance(t, ast.Name) and t.id != name)
+                for t in node.targets
+            ):
+                return True
+    return _name_in_call_args(stmt, name)
+
+
+def _releases(stmt: ast.AST, name: str) -> bool:
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASE_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            return True
+    return False
+
+
+def _fallible(stmt: ast.AST, name: str) -> bool:
+    """Anything containing a call can raise (the release calls on the
+    resource itself do not count against it)."""
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call) and not (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+            and node.func.attr in _RELEASE_METHODS
+        ):
+            return True
+    return False
+
+
+def _protecting_try(node: ast.AST, name: str) -> bool:
+    """Is the acquisition inside a ``try`` whose handlers or ``finally``
+    release the bound name?"""
+    cur = parent_of(node)
+    while cur is not None:
+        if isinstance(cur, ast.Try):
+            cleanup = list(cur.finalbody)
+            for handler in cur.handlers:
+                cleanup.extend(handler.body)
+            if any(_releases(stmt, name) for stmt in cleanup):
+                return True
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+        cur = parent_of(cur)
+    return False
+
+
+def _escapes_immediately(node: ast.Call) -> bool:
+    """Unbound acquisitions that hand the object straight off: ``return
+    socket.create_connection(...)``, ``f(open(p))``, ``self.sock = ...``,
+    ``with socket.socket(...) as s``."""
+    cur: ast.AST | None = node
+    parent = parent_of(cur)
+    while parent is not None:
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(parent, ast.Call) and cur is not parent.func:
+            return True
+        if isinstance(parent, ast.Assign):
+            return True  # handled by the statement-walk path instead
+        if isinstance(parent, ast.stmt):
+            return False
+        cur, parent = parent, parent_of(parent)
+    return False
+
+
+def _body_of(node: ast.AST):
+    """(statements, index) locating the statement that contains ``node``
+    inside its nearest enclosing block."""
+    stmt: ast.AST = node
+    parent = parent_of(stmt)
+    while parent is not None and not isinstance(stmt, ast.stmt):
+        stmt, parent = parent, parent_of(parent)
+    if parent is None:
+        return None
+    for field in ("body", "orelse", "finalbody"):
+        block = getattr(parent, field, None)
+        if isinstance(block, list) and stmt in block:
+            return block, block.index(stmt)
+    for handler in getattr(parent, "handlers", []) or []:
+        if stmt in handler.body:
+            return handler.body, handler.body.index(stmt)
+    return None
+
+
+def check_res(sf: SourceFile) -> list[Finding]:
+    out: list[Finding] = []
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        kind = _acquisition_kind(sf, node)
+        if kind is None:
+            continue
+
+        parent = parent_of(node)
+        bound: str | None = None
+        if (
+            isinstance(parent, ast.Assign)
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            bound = parent.targets[0].id
+        elif isinstance(parent, ast.withitem):
+            continue  # context manager releases it
+        elif _escapes_immediately(node):
+            continue  # ownership transferred at the acquisition site
+        else:
+            out.append(
+                sf.finding(
+                    "RES001",
+                    node,
+                    f"{kind} acquired but never bound or managed; use a "
+                    "with-block or bind it so it can be released",
+                )
+            )
+            continue
+
+        if _protecting_try(parent, bound):
+            continue
+
+        located = _body_of(parent)
+        if located is None:
+            continue
+        block, idx = located
+        window_fallible = False
+        resolved = False
+        for stmt in block[idx + 1:]:
+            released = _releases(stmt, bound)
+            transferred = _transfers(stmt, bound)
+            if isinstance(stmt, ast.Try):
+                cleanup = list(stmt.finalbody)
+                for handler in stmt.handlers:
+                    cleanup.extend(handler.body)
+                if any(_releases(s, bound) for s in cleanup):
+                    resolved = True  # the try owns the release from here
+                    break
+            if released or transferred:
+                resolved = True
+                if window_fallible:
+                    out.append(
+                        sf.finding(
+                            "RES001",
+                            node,
+                            f"{kind} '{bound}' leaks if a call between its "
+                            "acquisition and this "
+                            + ("release" if released else "ownership transfer")
+                            + " raises; wrap the window in try/except with "
+                            "cleanup",
+                        )
+                    )
+                break
+            if _fallible(stmt, bound):
+                window_fallible = True
+        if not resolved:
+            out.append(
+                sf.finding(
+                    "RES001",
+                    node,
+                    f"{kind} '{bound}' has no reachable release on this "
+                    "path; close/unlink it in a finally or transfer "
+                    "ownership",
+                )
+            )
+    return out

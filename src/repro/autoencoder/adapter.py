@@ -62,7 +62,7 @@ class BAAdapter:
         # Decoder rows split into near-equal contiguous groups.
         self._groups = [
             tuple(int(r) for r in rows)
-            for rows in np.array_split(np.arange(D), self.n_decoder_groups)
+            for rows in np.array_split(np.arange(D, dtype=np.intp), self.n_decoder_groups)
         ]
         self._specs = [
             SubmodelSpec(sid=l, kind="enc", index=l) for l in range(L)
@@ -244,7 +244,7 @@ class BAAdapter:
         W = np.ascontiguousarray(np.vstack(W_blocks))
         c = np.concatenate(c_blocks)
         # Each row's step size comes from its group's carried schedule.
-        group_of_row = np.repeat(np.arange(len(specs)), sizes)
+        group_of_row = np.repeat(np.arange(len(specs), dtype=np.intp), sizes)
         n = shard.n
         for start in range(0, n, batch_size):
             sl = slice(start, min(start + batch_size, n))

@@ -308,13 +308,20 @@ def _pack_array_block(arrays) -> tuple:
     arrays = [np.ascontiguousarray(a) for a in arrays]
     total = sum(a.nbytes for a in arrays)
     seg = shared_memory.SharedMemory(create=True, size=max(total, 1))
-    fields = []
-    offset = 0
-    for a in arrays:
-        view = np.ndarray(a.shape, dtype=a.dtype, buffer=seg.buf, offset=offset)
-        view[...] = a
-        fields.append((a.dtype.str, a.shape, offset))
-        offset += a.nbytes
+    try:
+        fields = []
+        offset = 0
+        for a in arrays:
+            view = np.ndarray(a.shape, dtype=a.dtype, buffer=seg.buf, offset=offset)
+            view[...] = a
+            fields.append((a.dtype.str, a.shape, offset))
+            offset += a.nbytes
+    except Exception:
+        # The segment exists in /dev/shm the moment create=True returns;
+        # a failed copy-in must unlink it or it outlives the process.
+        seg.close()
+        seg.unlink()
+        raise
     return seg, {"name": seg.name, "fields": fields}
 
 
@@ -797,7 +804,7 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
                 # A fresh shim per iteration realigns the per-link RNG
                 # streams with the simulated engines' per-W-step timeline.
                 shim = (
-                    ChaosShim(chaos, rank)
+                    ChaosShim(chaos, rank, clock=time.monotonic)
                     if chaos is not None and chaos.active()
                     else None
                 )

@@ -408,9 +408,16 @@ def _close_net(net: dict | None) -> None:
 def _bind_listen_socket(host: str, port: int, batch_hops: bool) -> dict:
     """A fresh net dict around a newly bound listening socket."""
     listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    listen.bind((host, port))
-    listen.listen(16)
+    try:
+        listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listen.bind((host, port))
+        listen.listen(16)
+    except OSError:
+        # A failed bind (port taken, bad host) must not leak the fd:
+        # workers retry binds during elastic joins, and each leaked
+        # socket holds a port until GC.
+        listen.close()
+        raise
     return {"listen": listen, "out": {}, "in": {}, "batch_hops": batch_hops}
 
 
@@ -626,7 +633,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                 # A fresh shim per iteration realigns the per-link RNG
                 # streams with the simulated engines' per-W-step timeline.
                 shim = (
-                    ChaosShim(chaos_cfg, rank)
+                    ChaosShim(chaos_cfg, rank, clock=time.monotonic)
                     if chaos_cfg is not None and chaos_cfg.active()
                     else None
                 )

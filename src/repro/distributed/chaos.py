@@ -40,7 +40,6 @@ engines regardless of how many iterations each has run.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -298,9 +297,14 @@ class ChaosShim(_ChaosState):
 
     ``now`` for partition windows is wall seconds since the shim was
     created (= since the iteration's transport came up).
+
+    ``clock`` is required: this module is protocol-deterministic, so the
+    wall-clock dependency lives with the transports that construct the
+    shim (they pass ``time.monotonic``), never here — tests and replays
+    pin a fake clock instead.
     """
 
-    def __init__(self, cfg: ChaosConfig, rank: int, clock=time.monotonic):
+    def __init__(self, cfg: ChaosConfig, rank: int, *, clock):
         super().__init__(cfg)
         self.rank = int(rank)
         self._clock = clock

@@ -15,7 +15,6 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.distributed.chaos import ChaosConfig, _ChaosState
 from repro.utils.validation import check_positive

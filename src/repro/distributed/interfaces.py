@@ -35,7 +35,7 @@ Engines drive these through :mod:`repro.distributed.batching` behind the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
 import numpy as np

@@ -9,7 +9,7 @@ time". Shards are disjoint and cover the dataset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.distributed.topology import RingTopology
 from repro.utils.rng import check_random_state

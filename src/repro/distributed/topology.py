@@ -10,7 +10,6 @@ fault tolerance).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.utils.rng import check_random_state
 

@@ -245,7 +245,11 @@ class NetAdapter:
             # Same scalar rounding as the per-unit path: rate/m in float64,
             # then one cast into the compute dtype.
             etas = (
-                np.array([self.w_schedule.rate(st.t) for st in states]) / m_b
+                np.array(
+                    [self.w_schedule.rate(st.t) for st in states],
+                    dtype=np.float64,
+                )
+                / m_b
             ).astype(cd)
             Pre = A_in[sl] @ W.T + b
             A = f(Pre)

@@ -95,7 +95,9 @@ class MACTrainerNet:
 
     def _e_q_per_point(self, X, Y, Zs, mu: float) -> np.ndarray:
         ins = [np.asarray(X, dtype=self.compute_dtype)] + list(Zs)
-        total = np.zeros(len(X))
+        # float64 accumulator regardless of compute_dtype: E_Q parity
+        # across engines is asserted bit-exactly on these sums.
+        total = np.zeros(len(X), dtype=np.float64)
         for k, layer in enumerate(self.net.layers[:-1]):
             R = Zs[k] - layer.forward(ins[k])
             total += 0.5 * mu * (R * R).sum(axis=1)
@@ -184,7 +186,7 @@ class MACTrainerNet:
         ``_e_q_per_point``, so the values are bit-identical given identical
         activations.
         """
-        total = np.zeros(len(acts[0]))
+        total = np.zeros(len(acts[0]), dtype=np.float64)
         for k in range(len(Zs)):
             R = Zs[k] - acts[k]
             total += 0.5 * mu * (R * R).sum(axis=1)

@@ -18,7 +18,7 @@ import numpy as np
 from repro.optim.schedules import InverseSchedule
 from repro.optim.sgd import SGDState, sgd_epoch
 from repro.utils.rng import check_random_state
-from repro.utils.validation import check_array, check_float_dtype, check_positive
+from repro.utils.validation import check_array, check_float_dtype
 
 __all__ = ["LinearRegression", "squared_loss"]
 

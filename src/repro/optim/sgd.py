@@ -10,7 +10,7 @@ message as it circulates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -65,7 +65,7 @@ def minibatch_indices(n: int, batch_size: int, *, shuffle: bool = True, rng=None
         rng = check_random_state(rng)
 
         def batches():
-            order = np.arange(n)
+            order = np.arange(n, dtype=np.intp)
             rng.shuffle(order)
             for i in range(0, n, batch_size):
                 yield order[i : i + batch_size]
@@ -74,7 +74,7 @@ def minibatch_indices(n: int, batch_size: int, *, shuffle: bool = True, rng=None
 
         def batches():
             for i in range(0, n, batch_size):
-                yield np.arange(i, min(i + batch_size, n))
+                yield np.arange(i, min(i + batch_size, n), dtype=np.intp)
 
     return batches()
 

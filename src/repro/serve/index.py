@@ -105,7 +105,7 @@ def _select_rows(best_d, best_i, rows, cand_d, cand_i, stride) -> None:
     cand_i = np.concatenate([best_i[rows], cand_i], axis=1)
     key = cand_d.astype(np.int64) * stride + cand_i
     part = np.argpartition(key, k_eff - 1, axis=1)[:, :k_eff]
-    r = np.arange(len(rows))[:, None]
+    r = np.arange(len(rows), dtype=np.intp)[:, None]
     order = np.argsort(key[r, part], axis=1)
     sel = part[r, order]
     best_d[rows] = cand_d[r, sel]
@@ -205,7 +205,7 @@ def hamming_topk(
         cand_i[pos, k_eff + slot] = ids
         key = cand_d.astype(np.int64) * stride + cand_i
         order = np.argsort(key, axis=1)[:, :k_eff]
-        r = np.arange(len(rows))[:, None]
+        r = np.arange(len(rows), dtype=np.intp)[:, None]
         best_d[rows] = cand_d[r, order]
         best_i[rows] = cand_i[r, order]
 
@@ -281,7 +281,7 @@ def merge_topk(
     stride = np.int64(ids.max(initial=0) + 1)
     key = ds.astype(np.int64) * stride + ids
     part = np.argpartition(key, k_eff - 1, axis=1)[:, :k_eff]
-    rows = np.arange(len(ids))[:, None]
+    rows = np.arange(len(ids), dtype=np.intp)[:, None]
     order = np.argsort(key[rows, part], axis=1)
     sel = part[rows, order]
     return ids[rows, sel], ds[rows, sel]

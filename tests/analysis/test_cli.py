@@ -1,0 +1,90 @@
+"""CLI surface: exit codes, baseline workflow, select/ignore, formats."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import main
+
+DIRTY = textwrap.dedent(
+    """
+    import numpy as np
+    x = np.random.rand(3)
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """
+    import numpy as np
+    rng = np.random.default_rng(0)
+    x = rng.random(3)
+    """
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    # The DET scope keys on the module path, so the fixture recreates it.
+    mod = tmp_path / "repro" / "distributed"
+    mod.mkdir(parents=True)
+    (mod / "protocol.py").write_text(DIRTY)
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    mod = tmp_path / "repro" / "distributed"
+    mod.mkdir(parents=True)
+    (mod / "protocol.py").write_text(CLEAN)
+    assert main(["check", str(tmp_path)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one(tree, capsys):
+    assert main(["check", str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+
+
+def test_json_format(tree, capsys):
+    assert main(["check", str(tree), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["findings"][0]["rule"] == "DET001"
+
+
+def test_select_and_ignore(tree):
+    assert main(["check", str(tree), "--select", "DTYPE"]) == 0
+    assert main(["check", str(tree), "--ignore", "DET"]) == 0
+    assert main(["check", str(tree), "--select", "DET001"]) == 1
+
+
+def test_baseline_workflow(tree, capsys):
+    baseline = tree / "baseline.json"
+    # Accept today's findings into the baseline...
+    assert main(
+        ["check", str(tree), "--baseline", str(baseline), "--update-baseline"]
+    ) == 0
+    capsys.readouterr()
+    # ...so the same tree now passes...
+    assert main(["check", str(tree), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    # ...a NEW violation still fails...
+    (tree / "repro" / "distributed" / "batching.py").write_text(DIRTY)
+    assert main(["check", str(tree), "--baseline", str(baseline)]) == 1
+    capsys.readouterr()
+    # ...and fixing the baselined file reports the entry as stale.
+    (tree / "repro" / "distributed" / "batching.py").unlink()
+    (tree / "repro" / "distributed" / "protocol.py").write_text(CLEAN)
+    assert main(["check", str(tree), "--baseline", str(baseline)]) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_update_baseline_requires_baseline(tree, capsys):
+    assert main(["check", str(tree), "--update-baseline"]) == 2
+
+
+def test_rules_listing(capsys):
+    assert main(["rules"]) == 0
+    out = capsys.readouterr().out
+    for family in ("DET", "DTYPE", "LOCK", "RES", "PROTO"):
+        assert family in out

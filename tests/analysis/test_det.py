@@ -1,0 +1,156 @@
+"""DET family: must-fire and must-not-fire fixtures.
+
+Fixture paths matter: DET only applies to protocol-deterministic
+modules, so firing fixtures use ``distributed/protocol.py``-style paths
+and the out-of-scope fixture proves the scoping."""
+
+import textwrap
+
+from repro.analysis.core import SourceFile
+from repro.analysis.det import check_det
+
+IN_SCOPE = "src/repro/distributed/protocol.py"
+
+
+def det(code, path=IN_SCOPE):
+    sf = SourceFile(path, textwrap.dedent(code))
+    return [f for f in check_det(sf) if not sf.suppressed(f)]
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestGlobalRng:
+    def test_np_random_module_call_fires(self):
+        fs = det("import numpy as np\nx = np.random.rand(3)\n")
+        assert rules(fs) == ["DET001"]
+
+    def test_alias_still_fires(self):
+        # The satellite-spec case: aliasing the module must not launder it.
+        fs = det(
+            """
+            import numpy as np
+            rng = np.random
+            x = rng.rand(3)
+            """
+        )
+        assert "DET001" in rules(fs)
+
+    def test_from_import_alias_fires(self):
+        fs = det(
+            """
+            from numpy.random import shuffle
+            shuffle([1, 2, 3])
+            """
+        )
+        assert rules(fs) == ["DET001"]
+
+    def test_stdlib_random_fires(self):
+        fs = det("import random\nrandom.shuffle([1])\n")
+        assert rules(fs) == ["DET001"]
+
+    def test_seeded_generator_clean(self):
+        fs = det(
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            x = rng.random(3)
+            y = rng.shuffle([1, 2])
+            """
+        )
+        assert fs == []
+
+    def test_out_of_scope_module_clean(self):
+        fs = det(
+            "import numpy as np\nx = np.random.rand(3)\n",
+            path="benchmarks/bench_something.py",
+        )
+        assert fs == []
+
+    def test_noqa_suppresses(self):
+        sf = SourceFile(
+            IN_SCOPE,
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # repro: noqa[DET001] test-only jitter\n",
+        )
+        fs = check_det(sf)
+        assert fs and all(sf.suppressed(f) for f in fs)
+
+    def test_blanket_noqa_suppresses(self):
+        sf = SourceFile(
+            IN_SCOPE,
+            "import numpy as np\nx = np.random.rand(3)  # repro: noqa\n",
+        )
+        fs = check_det(sf)
+        assert fs and all(sf.suppressed(f) for f in fs)
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        sf = SourceFile(
+            IN_SCOPE,
+            "import numpy as np\nx = np.random.rand(3)  # repro: noqa[DTYPE001]\n",
+        )
+        fs = check_det(sf)
+        assert fs and not any(sf.suppressed(f) for f in fs)
+
+
+class TestWallClock:
+    def test_call_fires(self):
+        fs = det("import time\nt = time.perf_counter()\n")
+        assert rules(fs) == ["DET002"]
+
+    def test_default_argument_reference_fires(self):
+        # The chaos.py bug this rule was written for: no call at import
+        # time, but the wall-clock dependency is baked into the default.
+        fs = det(
+            """
+            import time
+
+            def f(clock=time.monotonic):
+                return clock
+            """
+        )
+        assert "DET002" in rules(fs)
+
+    def test_datetime_now_fires(self):
+        fs = det("import datetime\nt = datetime.datetime.now()\n")
+        assert rules(fs) == ["DET002"]
+
+    def test_injected_clock_clean(self):
+        fs = det(
+            """
+            class Shim:
+                def __init__(self, *, clock):
+                    self._clock = clock
+                    self._t0 = clock()
+            """
+        )
+        assert fs == []
+
+
+class TestEntropy:
+    def test_unseeded_seedsequence_fires(self):
+        fs = det("import numpy as np\ns = np.random.SeedSequence()\n")
+        assert rules(fs) == ["DET003"]
+
+    def test_seeded_seedsequence_clean(self):
+        fs = det("import numpy as np\ns = np.random.SeedSequence(42)\n")
+        assert fs == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_fires(self):
+        fs = det("for x in {3, 1, 2}:\n    pass\n")
+        assert rules(fs) == ["DET004"]
+
+    def test_comprehension_over_set_call_fires(self):
+        fs = det("xs = [x for x in set([3, 1])]\n")
+        assert rules(fs) == ["DET004"]
+
+    def test_sorted_set_clean(self):
+        fs = det("for x in sorted({3, 1, 2}):\n    pass\n")
+        assert fs == []
+
+    def test_list_iteration_clean(self):
+        fs = det("for x in [3, 1, 2]:\n    pass\n")
+        assert fs == []

@@ -1,0 +1,92 @@
+"""DTYPE family: must-fire and must-not-fire fixtures."""
+
+import textwrap
+
+from repro.analysis.core import SourceFile
+from repro.analysis.dtype import check_dtype
+
+IN_SCOPE = "src/repro/optim/sgd.py"
+
+
+def dtype(code, path=IN_SCOPE):
+    sf = SourceFile(path, textwrap.dedent(code))
+    return [f for f in check_dtype(sf) if not sf.suppressed(f)]
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestConstructors:
+    def test_zeros_without_dtype_fires(self):
+        fs = dtype("import numpy as np\nx = np.zeros(10)\n")
+        assert rules(fs) == ["DTYPE001"]
+
+    def test_arange_without_dtype_fires(self):
+        fs = dtype("import numpy as np\nx = np.arange(4)\n")
+        assert rules(fs) == ["DTYPE001"]
+
+    def test_array_of_literal_fires(self):
+        fs = dtype("import numpy as np\nx = np.array([1.0, 2.0])\n")
+        assert rules(fs) == ["DTYPE001"]
+
+    def test_dtype_keyword_clean(self):
+        fs = dtype("import numpy as np\nx = np.zeros(10, dtype=np.float32)\n")
+        assert fs == []
+
+    def test_positional_dtype_clean(self):
+        fs = dtype("import numpy as np\nx = np.empty((4, 0), np.int64)\n")
+        assert fs == []
+
+    def test_immediate_astype_clean(self):
+        fs = dtype("import numpy as np\nx = np.array([1.0, 2.0]).astype('f4')\n")
+        assert fs == []
+
+    def test_array_of_existing_array_clean(self):
+        # np.array(arr) preserves arr's dtype — nothing to state.
+        fs = dtype(
+            """
+            import numpy as np
+            a = np.zeros(3, dtype=np.float32)
+            b = np.array(a)
+            """
+        )
+        assert fs == []
+
+    def test_out_of_scope_module_clean(self):
+        fs = dtype(
+            "import numpy as np\nx = np.zeros(10)\n",
+            path="src/repro/distributed/cluster.py",
+        )
+        assert fs == []
+
+    def test_noqa_suppresses(self):
+        sf = SourceFile(
+            IN_SCOPE,
+            "import numpy as np\n"
+            "x = np.zeros(3)  # repro: noqa[DTYPE001] scratch buffer\n",
+        )
+        fs = check_dtype(sf)
+        assert fs and all(sf.suppressed(f) for f in fs)
+
+
+class TestUpcast:
+    def test_float64_scalar_arithmetic_fires(self):
+        fs = dtype(
+            """
+            import numpy as np
+            a = np.zeros(3, dtype=np.float32)
+            b = a * np.float64(0.5)
+            """
+        )
+        assert rules(fs) == ["DTYPE002"]
+
+    def test_same_dtype_scalar_clean(self):
+        fs = dtype(
+            """
+            import numpy as np
+            a = np.zeros(3, dtype=np.float32)
+            b = a * np.float32(0.5)
+            """
+        )
+        assert fs == []

@@ -1,0 +1,246 @@
+"""LOCK family: blocking-under-lock and lock-order-inversion fixtures."""
+
+import textwrap
+
+from repro.analysis.core import SourceFile
+from repro.analysis.locks import check_lock_blocking, check_lock_inversions
+
+PATH = "src/repro/serve/service.py"
+
+
+def blocking(code, path=PATH):
+    sf = SourceFile(path, textwrap.dedent(code))
+    return [f for f in check_lock_blocking(sf) if not sf.suppressed(f)]
+
+
+class TestBlockingUnderLock:
+    def test_queue_get_under_lock_fires(self):
+        # PR 4's shm feeder wedge in miniature.
+        fs = blocking(
+            """
+            import queue
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._q = queue.Queue()
+
+                def drain(self):
+                    with self._lock:
+                        return self._q.get()
+            """
+        )
+        assert [f.rule for f in fs] == ["LOCK001"]
+
+    def test_socket_sendall_under_lock_fires(self):
+        fs = blocking(
+            """
+            import socket
+            import threading
+
+            lock = threading.Lock()
+            sock = socket.socket()
+            with lock:
+                sock.sendall(b"x")
+            """
+        )
+        assert [f.rule for f in fs] == ["LOCK001"]
+
+    def test_sleep_under_lock_fires(self):
+        fs = blocking(
+            """
+            import threading
+            import time
+
+            lock = threading.Lock()
+            with lock:
+                time.sleep(1.0)
+            """
+        )
+        assert [f.rule for f in fs] == ["LOCK001"]
+
+    def test_thread_join_under_lock_fires(self):
+        fs = blocking(
+            """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._worker = threading.Thread(target=print)
+
+                def stop(self):
+                    with self._lock:
+                        self._worker.join()
+            """
+        )
+        assert [f.rule for f in fs] == ["LOCK001"]
+
+    def test_condition_wait_on_held_condition_clean(self):
+        # The blessed pattern: wait() releases the held condition.
+        fs = blocking(
+            """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def wait_for_work(self):
+                    with self._cond:
+                        self._cond.wait(timeout=1.0)
+            """
+        )
+        assert fs == []
+
+    def test_blocking_call_outside_lock_clean(self):
+        fs = blocking(
+            """
+            import queue
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._q = queue.Queue()
+
+                def drain(self):
+                    with self._lock:
+                        n = 1
+                    return self._q.get()
+            """
+        )
+        assert fs == []
+
+    def test_nested_def_not_under_lock(self):
+        # A callback defined under the lock runs later, lock released.
+        fs = blocking(
+            """
+            import queue
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._q = queue.Queue()
+
+                def make_cb(self):
+                    with self._lock:
+                        def cb():
+                            return self._q.get()
+                    return cb
+            """
+        )
+        assert fs == []
+
+    def test_noqa_suppresses(self):
+        code = textwrap.dedent(
+            """
+            import threading
+            import time
+
+            lock = threading.Lock()
+            with lock:
+                time.sleep(0.1)  # repro: noqa[LOCK001] bounded test pause
+            """
+        )
+        sf = SourceFile(PATH, code)
+        fs = check_lock_blocking(sf)
+        assert fs and all(sf.suppressed(f) for f in fs)
+
+
+class TestInversions:
+    def test_opposite_nesting_fires(self):
+        sf = SourceFile(
+            PATH,
+            textwrap.dedent(
+                """
+                import threading
+
+                class Svc:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def one(self):
+                        with self._a:
+                            with self._b:
+                                pass
+
+                    def two(self):
+                        with self._b:
+                            with self._a:
+                                pass
+                """
+            ),
+        )
+        fs = check_lock_inversions([sf])
+        assert [f.rule for f in fs] == ["LOCK002"]
+
+    def test_consistent_order_clean(self):
+        sf = SourceFile(
+            PATH,
+            textwrap.dedent(
+                """
+                import threading
+
+                class Svc:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def one(self):
+                        with self._a:
+                            with self._b:
+                                pass
+
+                    def two(self):
+                        with self._a:
+                            with self._b:
+                                pass
+                """
+            ),
+        )
+        assert check_lock_inversions([sf]) == []
+
+    def test_inversion_across_files_fires(self):
+        # The graph is global: each file alone is consistent.
+        one = SourceFile(
+            "src/repro/a.py",
+            textwrap.dedent(
+                """
+                import threading
+
+                class Svc:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def one(self):
+                        with self._a:
+                            with self._b:
+                                pass
+                """
+            ),
+        )
+        two = SourceFile(
+            "src/repro/b.py",
+            textwrap.dedent(
+                """
+                import threading
+
+                class Svc:
+                    def __init__(self):
+                        self._a = threading.Lock()
+                        self._b = threading.Lock()
+
+                    def two(self):
+                        with self._b:
+                            with self._a:
+                                pass
+                """
+            ),
+        )
+        fs = check_lock_inversions([one, two])
+        assert [f.rule for f in fs] == ["LOCK002"]

@@ -1,0 +1,192 @@
+"""PROTO family: registry-consistency fixtures.
+
+These rules key on file paths (framing.py, messages.py, backends/base.py),
+so fixtures use the real relative paths with synthetic content."""
+
+import textwrap
+
+from repro.analysis.core import SourceFile
+from repro.analysis.proto import check_proto
+
+
+def sf(path, code):
+    return SourceFile(path, textwrap.dedent(code))
+
+
+COMPLETE_FRAMING = """
+    KIND_HELLO = 0
+    KIND_BATCH = 1
+    _KNOWN_KINDS = (KIND_HELLO, KIND_BATCH)
+
+    def encode_hello(rank):
+        return b""
+
+    def decode_hello(payload):
+        return 0
+
+    def encode_batch(messages):
+        return b""
+
+    def decode_batch(payload):
+        return SubmodelMessage
+"""
+
+
+class TestFraming:
+    def test_complete_codec_clean(self):
+        fs = check_proto([sf("src/repro/distributed/framing.py", COMPLETE_FRAMING)])
+        assert fs == []
+
+    def test_missing_decoder_fires(self):
+        code = """
+            KIND_HELLO = 0
+            _KNOWN_KINDS = (KIND_HELLO,)
+
+            def encode_hello(rank):
+                return b""
+        """
+        fs = check_proto([sf("src/repro/distributed/framing.py", code)])
+        assert [f.rule for f in fs] == ["PROTO001"]
+        assert "decode_hello" in fs[0].message
+
+    def test_kind_missing_from_known_kinds_fires(self):
+        code = """
+            KIND_HELLO = 0
+            KIND_BATCH = 1
+            _KNOWN_KINDS = (KIND_HELLO,)
+
+            def encode_hello(rank):
+                return b""
+
+            def decode_hello(payload):
+                return 0
+
+            def encode_batch(messages):
+                return b""
+
+            def decode_batch(payload):
+                return []
+        """
+        fs = check_proto([sf("src/repro/distributed/framing.py", code)])
+        assert [f.rule for f in fs] == ["PROTO001"]
+        assert "_KNOWN_KINDS" in fs[0].message
+
+    def test_exported_message_without_codec_fires(self):
+        messages = sf(
+            "src/repro/distributed/messages.py",
+            '__all__ = ["SubmodelMessage", "OrphanMessage"]\n',
+        )
+        framing = sf("src/repro/distributed/framing.py", COMPLETE_FRAMING)
+        fs = check_proto([framing, messages])
+        assert [f.rule for f in fs] == ["PROTO002"]
+        assert "OrphanMessage" in fs[0].message
+
+
+BASE = """
+    from typing import Protocol
+
+    class Backend(Protocol):
+        def setup(self, adapter, shards):
+            ...
+
+        def run_iteration(self, mu):
+            ...
+
+        def close(self):
+            ...
+
+    class BaseBackend:
+        def setup(self, adapter, shards):
+            raise NotImplementedError
+
+        def run_iteration(self, mu):
+            raise NotImplementedError
+
+        def close(self):
+            self._closed = True
+"""
+
+
+class TestBackendSurface:
+    def test_full_surface_clean(self):
+        impl = sf(
+            "src/repro/distributed/backends/sim.py",
+            """
+            @register_backend("sim")
+            class SimBackend(BaseBackend):
+                def setup(self, adapter, shards):
+                    self.adapter = adapter
+
+                def run_iteration(self, mu):
+                    return mu
+            """,
+        )
+        fs = check_proto([sf("src/repro/distributed/backends/base.py", BASE), impl])
+        assert fs == []
+
+    def test_missing_override_fires(self):
+        # run_iteration is only a NotImplementedError stub in the base.
+        impl = sf(
+            "src/repro/distributed/backends/sim.py",
+            """
+            @register_backend("sim")
+            class SimBackend(BaseBackend):
+                def setup(self, adapter, shards):
+                    self.adapter = adapter
+            """,
+        )
+        fs = check_proto([sf("src/repro/distributed/backends/base.py", BASE), impl])
+        assert [f.rule for f in fs] == ["PROTO003"]
+        assert "run_iteration" in fs[0].message
+
+    def test_inherited_concrete_method_counts(self):
+        # The method can come from anywhere in the static MRO.
+        mid = sf(
+            "src/repro/distributed/backends/mid.py",
+            """
+            class MidBackend(BaseBackend):
+                def setup(self, adapter, shards):
+                    self.adapter = adapter
+
+                def run_iteration(self, mu):
+                    return mu
+            """,
+        )
+        leaf = sf(
+            "src/repro/distributed/backends/leaf.py",
+            """
+            @register_backend("leaf")
+            class LeafBackend(MidBackend):
+                pass
+            """,
+        )
+        fs = check_proto(
+            [sf("src/repro/distributed/backends/base.py", BASE), mid, leaf]
+        )
+        assert fs == []
+
+    def test_unregistered_abstract_class_not_flagged(self):
+        # Abstract intermediates are fine; only registered leaves owe
+        # the full surface.
+        impl = sf(
+            "src/repro/distributed/backends/sim.py",
+            """
+            class _HalfBackend(BaseBackend):
+                def setup(self, adapter, shards):
+                    self.adapter = adapter
+            """,
+        )
+        fs = check_proto([sf("src/repro/distributed/backends/base.py", BASE), impl])
+        assert fs == []
+
+
+class TestRealTree:
+    def test_repo_registries_consistent(self):
+        # The real framing/messages/backends must satisfy PROTO today.
+        from pathlib import Path
+
+        from repro.analysis.core import collect_files
+
+        tree = Path(__file__).resolve().parents[2] / "src" / "repro" / "distributed"
+        files = collect_files([tree])
+        assert [f for f in check_proto(files) if f.rule.startswith("PROTO")] == []

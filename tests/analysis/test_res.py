@@ -1,0 +1,163 @@
+"""RES family: acquisition/release path fixtures."""
+
+import textwrap
+
+from repro.analysis.core import SourceFile
+from repro.analysis.res import check_res
+
+PATH = "src/repro/distributed/backends/mp.py"
+
+
+def res(code, path=PATH):
+    sf = SourceFile(path, textwrap.dedent(code))
+    return [f for f in check_res(sf) if not sf.suppressed(f)]
+
+
+class TestShm:
+    def test_fallible_window_before_return_fires(self):
+        # _pack_array_block's original shape: segment exists in /dev/shm,
+        # numpy copies can raise, nothing unlinks on that path.
+        fs = res(
+            """
+            import numpy as np
+            from multiprocessing import shared_memory
+
+            def pack(arrays):
+                seg = shared_memory.SharedMemory(create=True, size=64)
+                views = [np.ndarray(a.shape, buffer=seg.buf) for a in arrays]
+                return seg, views
+            """
+        )
+        assert [f.rule for f in fs] == ["RES001"]
+
+    def test_never_released_fires(self):
+        fs = res(
+            """
+            from multiprocessing import shared_memory
+
+            def make():
+                seg = shared_memory.SharedMemory(create=True, size=64)
+                print(seg.name)
+            """
+        )
+        assert [f.rule for f in fs] == ["RES001"]
+
+    def test_guarded_by_try_except_clean(self):
+        fs = res(
+            """
+            import numpy as np
+            from multiprocessing import shared_memory
+
+            def pack(arrays):
+                seg = shared_memory.SharedMemory(create=True, size=64)
+                try:
+                    views = [np.ndarray(a.shape, buffer=seg.buf) for a in arrays]
+                except Exception:
+                    seg.close()
+                    seg.unlink()
+                    raise
+                return seg, views
+            """
+        )
+        assert fs == []
+
+    def test_immediate_container_transfer_clean(self):
+        # _pack_shards' shape: appended before anything can fail; the
+        # caller's cleanup owns the list.
+        fs = res(
+            """
+            from multiprocessing import shared_memory
+
+            def pack_all(sizes, segments):
+                for n in sizes:
+                    seg = shared_memory.SharedMemory(create=True, size=n)
+                    segments.append(seg)
+            """
+        )
+        assert fs == []
+
+    def test_attach_not_flagged(self):
+        # create=False borrows; the unlink obligation stays with the creator.
+        fs = res(
+            """
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                seg = shared_memory.SharedMemory(name=name)
+                return seg
+            """
+        )
+        assert fs == []
+
+
+class TestSockets:
+    def test_fallible_window_before_return_fires(self):
+        fs = res(
+            """
+            import socket
+
+            def bind(host, port):
+                listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                listen.bind((host, port))
+                listen.listen(16)
+                return listen
+            """
+        )
+        assert [f.rule for f in fs] == ["RES001"]
+
+    def test_immediate_return_clean(self):
+        fs = res(
+            """
+            import socket
+
+            def connect(addr):
+                return socket.create_connection(addr, timeout=5.0)
+            """
+        )
+        assert fs == []
+
+    def test_with_block_clean(self):
+        fs = res(
+            """
+            import socket
+
+            def probe(addr):
+                with socket.create_connection(addr) as s:
+                    s.sendall(b"ping")
+            """
+        )
+        assert fs == []
+
+
+class TestFiles:
+    def test_open_never_closed_fires(self):
+        fs = res(
+            """
+            def read(path):
+                f = open(path)
+                data = f.read()
+            """
+        )
+        assert [f.rule for f in fs] == ["RES001"]
+
+    def test_open_with_clean(self):
+        fs = res(
+            """
+            def read(path):
+                with open(path) as f:
+                    return f.read()
+            """
+        )
+        assert fs == []
+
+    def test_noqa_suppresses(self):
+        code = textwrap.dedent(
+            """
+            def read(path):
+                f = open(path)  # repro: noqa[RES001] lifetime is the process
+                data = f.read()
+            """
+        )
+        sf = SourceFile(PATH, code)
+        fs = check_res(sf)
+        assert fs and all(sf.suppressed(f) for f in fs)

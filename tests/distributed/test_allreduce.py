@@ -2,7 +2,6 @@ import numpy as np
 import pytest
 
 from repro.autoencoder import BinaryAutoencoder
-from repro.autoencoder.adapter import BAAdapter
 from repro.autoencoder.decoder import LinearDecoder
 from repro.autoencoder.init import init_codes_pca
 from repro.distributed.allreduce import (

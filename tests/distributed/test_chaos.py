@@ -178,7 +178,7 @@ class TestLinkSampler:
         assert timeline.charge_work(0, 10.0) == 10.0
         assert timeline.charge_work(1, 10.0) == 20.0
         assert timeline.counters["chaos_straggler_s"] == pytest.approx(10.0)
-        shim = ChaosShim(ChaosConfig(stragglers={1: 2.0}), rank=1)
+        shim = ChaosShim(ChaosConfig(stragglers={1: 2.0}), rank=1, clock=lambda: 0.0)
         assert shim.charge_straggler(0.5) == pytest.approx(0.5)
         assert shim.counters["chaos_straggler_s"] == pytest.approx(0.5)
 

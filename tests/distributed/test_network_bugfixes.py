@@ -68,9 +68,11 @@ class TestConnectRetry:
         """
         # Reserve a port, then release it so the first dial is refused.
         probe = socket.socket()
-        probe.bind(("127.0.0.1", 0))
-        addr = probe.getsockname()
-        probe.close()
+        try:
+            probe.bind(("127.0.0.1", 0))
+            addr = probe.getsockname()
+        finally:
+            probe.close()
 
         listener = socket.socket()
         accepted = []
@@ -99,9 +101,11 @@ class TestConnectRetry:
         """Nobody ever listens: the retry loop must give up within the
         budget with a ProtocolError naming the address, not spin."""
         probe = socket.socket()
-        probe.bind(("127.0.0.1", 0))
-        addr = probe.getsockname()
-        probe.close()
+        try:
+            probe.bind(("127.0.0.1", 0))
+            addr = probe.getsockname()
+        finally:
+            probe.close()
         t0 = time.monotonic()
         with pytest.raises(ProtocolError, match="could not connect"):
             _connect_with_retry(addr, timeout=0.3)

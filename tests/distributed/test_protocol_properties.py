@@ -8,7 +8,6 @@ is consistent between engines.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

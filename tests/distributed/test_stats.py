@@ -1,6 +1,5 @@
 """Accounting invariants of the W/Z step statistics."""
 
-import numpy as np
 import pytest
 
 from repro.distributed.costmodel import CostModel

@@ -4,7 +4,6 @@
 exact step."
 """
 
-import numpy as np
 import pytest
 
 from repro.autoencoder import BinaryAutoencoder

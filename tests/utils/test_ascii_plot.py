@@ -1,4 +1,3 @@
-import numpy as np
 import pytest
 
 from repro.utils.ascii_plot import ascii_plot, ascii_table
