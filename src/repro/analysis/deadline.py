@@ -1,0 +1,119 @@
+"""DEADLINE — unbounded blocking waits in concurrency modules.
+
+The self-healing work (respawn policy, heartbeat supervision, degraded
+serving) only holds together if *every* wait in the coordinator/serving
+planes is bounded: a single untimed ``Event.wait()`` is a thread that no
+supervisor can ever reclaim when its peer dies mid-handshake. PR 10's
+exemplar was ``RetrievalService._gather`` — an untimed ``Condition.wait``
+that would have wedged the batcher forever on one lost notify.
+
+* **DEADLINE001** — in a concurrency-scoped module (see
+  :mod:`repro.analysis.scopes`), a blocking wait with no deadline:
+
+  - ``Event.wait()`` / ``Condition.wait()`` / ``Condition.wait_for(p)``
+    with no ``timeout`` argument (or an explicit ``timeout=None``);
+  - ``socket.recv``/``recv_into``/``accept`` on a socket that never has
+    ``settimeout(...)`` applied to the same receiver in this module.
+
+The fix is never "add a giant timeout and ignore it": bound the wait,
+then *handle* expiry (re-check the predicate in a loop, fail the peer,
+or surface a partial result). ``while not ev.wait(0.5): ...`` keeps
+exactly the old semantics plus an escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, SourceFile
+from repro.analysis.scopes import is_concurrency_module
+
+__all__ = ["check_deadline"]
+
+# receiver constructor-path -> wait methods whose first arg is a timeout
+_TIMED_WAITS = (
+    ("threading.Event", frozenset({"wait"})),
+    ("multiprocessing.Event", frozenset({"wait"})),
+    ("threading.Condition", frozenset({"wait", "wait_for"})),
+    ("multiprocessing.Condition", frozenset({"wait", "wait_for"})),
+)
+
+_SOCKET_BLOCKERS = frozenset({"recv", "recv_into", "accept"})
+
+
+def _timeout_arg(call: ast.Call, method: str) -> ast.AST | None:
+    """The expression passed as the wait's timeout, if any.
+
+    ``Event.wait(t)`` and ``Condition.wait(t)`` take it as the first
+    positional; ``Condition.wait_for(pred, t)`` as the second.
+    """
+    for kw in call.keywords:
+        if kw.arg == "timeout":
+            return kw.value
+    idx = 1 if method == "wait_for" else 0
+    if len(call.args) > idx:
+        return call.args[idx]
+    return None
+
+
+def _settimeout_receivers(sf: SourceFile) -> set[str]:
+    """Unparsed receiver texts that get ``settimeout(...)`` in this module."""
+    out: set[str] = set()
+    for node in ast.walk(sf.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "settimeout"
+            # settimeout(None) switches back to blocking mode: no guard.
+            and not (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            )
+        ):
+            out.add(ast.unparse(node.func.value))
+    return out
+
+
+def check_deadline(sf: SourceFile) -> list[Finding]:
+    if not is_concurrency_module(sf.path):
+        return []
+    guarded = _settimeout_receivers(sf)
+    out: list[Finding] = []
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        method = node.func.attr
+        rtype = sf.symbols.resolve(node.func.value)
+        if rtype is None:
+            continue
+        for prefix, methods in _TIMED_WAITS:
+            if rtype.startswith(prefix) and method in methods:
+                timeout = _timeout_arg(node, method)
+                if timeout is None or (
+                    isinstance(timeout, ast.Constant) and timeout.value is None
+                ):
+                    out.append(
+                        sf.finding(
+                            "DEADLINE001",
+                            node,
+                            f"unbounded {ast.unparse(node.func)}(...): no "
+                            "timeout means no supervisor can ever reclaim "
+                            "this thread; bound the wait and re-check in a "
+                            "loop",
+                        )
+                    )
+                break
+        else:
+            if rtype.startswith("socket.") and method in _SOCKET_BLOCKERS:
+                if ast.unparse(node.func.value) not in guarded:
+                    out.append(
+                        sf.finding(
+                            "DEADLINE001",
+                            node,
+                            f"{ast.unparse(node.func)}(...) on a socket "
+                            "with no settimeout(...) guard in this module; "
+                            "a dead peer blocks this call forever",
+                        )
+                    )
+    return out

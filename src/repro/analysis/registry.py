@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.analysis.deadline import check_deadline
 from repro.analysis.det import check_det
 from repro.analysis.dtype import check_dtype
 from repro.analysis.locks import check_lock_blocking, check_lock_inversions
@@ -15,6 +16,7 @@ _RULE_DESCRIPTIONS = {
     "DET002": "wall-clock read or reference in a protocol-deterministic module",
     "DET003": "entropy-seeded RNG root (unseeded SeedSequence/RandomState)",
     "DET004": "iteration over a set (hash-salt-dependent order)",
+    "DEADLINE001": "unbounded blocking wait (event/condition/socket) in a concurrency module",
     "DTYPE001": "array constructor without explicit dtype= on a compute path",
     "DTYPE002": "np.float64 scalar arithmetic upcasting compute_dtype arrays",
     "LOCK001": "blocking call (socket/queue/event/join/sleep) under a held lock",
@@ -28,7 +30,7 @@ _RULE_DESCRIPTIONS = {
 
 def file_rules():
     """Rules that inspect one module at a time."""
-    return (check_det, check_dtype, check_lock_blocking, check_res)
+    return (check_deadline, check_det, check_dtype, check_lock_blocking, check_res)
 
 
 def project_rules():

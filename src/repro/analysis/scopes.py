@@ -41,11 +41,14 @@ _COMPUTE_PATH = (
 )
 
 # Modules that hold locks while wall-clock peers can die. LOCK001/002
-# run everywhere, but these are the ones the family was built for.
+# run everywhere, but these are the ones the family was built for; the
+# DEADLINE family (unbounded waits) is scoped to exactly this set.
 _CONCURRENCY = (
     "repro/serve/service.py",
+    "repro/serve/index.py",
     "repro/distributed/backends/mp.py",
     "repro/distributed/backends/tcp.py",
+    "repro/distributed/health.py",
 )
 
 

@@ -39,6 +39,7 @@ import numpy as np
 from repro.distributed.batching import supports_unit_batching
 from repro.distributed.chaos import ChaosConfig
 from repro.distributed.dataplane import ClusterState, DataPlane
+from repro.distributed.health import HealthConfig
 from repro.utils.validation import check_float_dtype
 
 __all__ = [
@@ -64,10 +65,24 @@ class FaultPolicy(str, enum.Enum):
         shard is excised from the data plane, the ring is re-planned
         around the survivor set, and the fit continues — a failure loses
         only that machine's data, never the run.
+    ``RESPAWN``
+        Self-healing: the coordinator restores the whole cluster to the
+        iteration-start boundary it snapshotted before dispatch, spawns
+        replacement workers, re-ships every shard and RNG state, and
+        retries the iteration — zero shards lost and a final model
+        bit-identical to an uninterrupted run. Bounded by a per-fit
+        respawn budget with exponential backoff; on exhaustion the
+        policy escalates to ``DROP_SHARD`` semantics (excise the dead
+        machine, keep the survivors), and when no survivors remain it
+        fails fast. Only meaningful on the wall-clock engines — the
+        simulated engines have no process to lose, so an injected fault
+        under ``RESPAWN`` is simply absorbed (counted, numerics
+        untouched).
     """
 
     FAIL_FAST = "fail_fast"
     DROP_SHARD = "drop_shard"
+    RESPAWN = "respawn"
 
 
 @dataclass
@@ -188,8 +203,15 @@ class BaseBackend:
     cost : CostModel or None
         Virtual-clock constants; ignored by wall-clock backends.
     fault_policy : FaultPolicy or str
-        ``"fail_fast"`` (default) or ``"drop_shard"``; see
-        :class:`FaultPolicy`.
+        ``"fail_fast"`` (default), ``"drop_shard"`` or ``"respawn"``;
+        see :class:`FaultPolicy`.
+    respawn_budget : int
+        Worker-pool rebuilds allowed per fit under ``"respawn"`` before
+        the policy escalates to ``drop_shard`` semantics (default 3).
+    respawn_backoff : float
+        Base of the exponential backoff slept before each respawn:
+        rebuild ``n`` (0-based) waits ``respawn_backoff * 2**n`` seconds
+        (default 0.5).
     batch_units : bool
         Run co-resident compatible submodels' W updates as one stacked
         pass (one GEMM per minibatch) instead of per-unit Python loops
@@ -226,6 +248,21 @@ class BaseBackend:
         computed, and the knob is likewise absent from checkpoint
         compatibility checks. Per-iteration injected-event counts
         surface as ``chaos_*`` keys in ``IterationStats.extra``.
+        Scheduled ``crashes`` are the one exception to "timing only":
+        they SIGKILL real worker processes on the wall-clock engines
+        (and map onto the injected-fault path on the simulated ones) —
+        pair them with ``fault_policy="respawn"`` to assert the model
+        still comes out bit-identical.
+    health : HealthConfig, dict or None
+        Heartbeat supervision for the wall-clock engines (default None —
+        supervision off, the blunt ``worker_timeout`` cap alone polices
+        workers): each worker beats every ``interval_s`` with its phase
+        and progress, the coordinator classifies workers live / slow /
+        stalled / dead per phase, fails stalled workers long before the
+        hard timeout, and surfaces ``health_*`` counters through
+        ``IterationStats.extra``. See
+        :class:`~repro.distributed.health.HealthConfig`. Simulated
+        engines accept and ignore it.
     seed : int or None
     """
 
@@ -241,10 +278,13 @@ class BaseBackend:
         shuffle_ring: bool = False,
         cost=None,
         fault_policy: FaultPolicy | str = FaultPolicy.FAIL_FAST,
+        respawn_budget: int = 3,
+        respawn_backoff: float = 0.5,
         batch_units: bool = True,
         message_dtype=None,
         overlap_send: bool = False,
         chaos=None,
+        health=None,
         seed=None,
     ):
         if epochs < 1:
@@ -264,6 +304,7 @@ class BaseBackend:
         )
         self.overlap_send = bool(overlap_send)
         self.chaos = ChaosConfig.coerce(chaos)
+        self.health = HealthConfig.coerce(health)
         self.cost = cost
         try:
             self.fault_policy = FaultPolicy(fault_policy)
@@ -272,6 +313,12 @@ class BaseBackend:
                 f"unknown fault_policy {fault_policy!r}; expected one of "
                 f"{[p.value for p in FaultPolicy]}"
             ) from None
+        if respawn_budget < 0:
+            raise ValueError(f"respawn_budget must be >= 0, got {respawn_budget}")
+        if respawn_backoff < 0:
+            raise ValueError(f"respawn_backoff must be >= 0, got {respawn_backoff}")
+        self.respawn_budget = int(respawn_budget)
+        self.respawn_backoff = float(respawn_backoff)
         self.seed = seed
         self.adapter = None
         self.dataplane: DataPlane | None = None

@@ -55,11 +55,13 @@ invariant: after the W step every machine holds the full final model).
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import multiprocessing as mp
 import os
 import pickle
 import queue as queue_mod
+import signal
 import struct
 import threading
 import time
@@ -83,6 +85,7 @@ from repro.distributed.batching import (
 )
 from repro.distributed.chaos import ChaosShim
 from repro.distributed.dataplane import ClusterState, DataPlane
+from repro.distributed.health import HealthMonitor, HeartbeatSender, WorkerPulse
 from repro.distributed.interfaces import get_params_many, set_params_many
 from repro.distributed.messages import ShardRetired, SubmodelMessage
 from repro.distributed.protocol import (
@@ -627,8 +630,19 @@ def _worker_units_batched(state) -> bool:
 
 
 def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
-                          model_rank=0, chaos_shim=None):
-    """One W step + Z step on this worker's shard; returns the payload."""
+                          model_rank=0, chaos_shim=None, crash=None):
+    """One W step + Z step on this worker's shard; returns the payload.
+
+    ``crash`` is a scheduled chaos kill point ("w"/"z"/None), resolved by
+    the coordinator for this iteration's *first* attempt only: the worker
+    SIGKILLs itself at the start of that phase, exactly like a real OOM
+    kill, and the replacement spawned under ``respawn`` runs crash-free.
+    """
+    if crash == "w":
+        os.kill(os.getpid(), signal.SIGKILL)
+    pulse: WorkerPulse | None = state.get("pulse")
+    if pulse is not None:
+        pulse.enter("w")
     adapter = state["adapter"]
     shard = state["shard"]
     protocol: WStepProtocol = state["protocol"]
@@ -690,6 +704,8 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
             straggle(t0)
 
     def handle(msg: SubmodelMessage) -> None:
+        if pulse is not None:
+            pulse.tick()  # one heartbeat-visible unit of progress per visit
         msg.counter += 1
         passes = protocol.train_passes(msg.counter)
         if passes and acc is not None and acc.table.batchable(msg.spec.sid):
@@ -732,6 +748,10 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
     set_params_many(adapter, [(spec, final[spec.sid]) for spec in specs])
     t_w = time.perf_counter() - t_w0
 
+    if crash == "z":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if pulse is not None:
+        pulse.enter("z")
     t_z0 = time.perf_counter()
     z_changes = adapter.z_update(shard, mu)
     if straggle is not None:
@@ -760,10 +780,22 @@ def _run_worker_iteration(rank, state, mu, plan, n_expected, transport,
 def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
     """Pool worker loop: serve setup/iter commands until told to stop."""
     state = None
+    pulse = WorkerPulse()
+    beat: HeartbeatSender | None = None
+    send_lock = threading.Lock()
+
+    def reply(obj) -> None:
+        # The heartbeat thread shares this connection with the command
+        # loop; Connection.send is not safe under concurrent writers.
+        with send_lock:
+            res.send(obj)
+
     while True:
         cmd = cmd_q.get()
         op = cmd[0]
         if op == "stop":
+            if beat is not None:
+                beat.stop()
             if state is not None and state["seg"] is not None:
                 state["seg"].close()
             break
@@ -771,7 +803,7 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
             if op == "setup":
                 (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
                  seed, rng_state, message_dtype, batch_units, overlap_send,
-                 chaos, cpuset) = cmd
+                 chaos, cpuset, health) = cmd
                 if state is not None and state["seg"] is not None:
                     state["seg"].close()
                 state = _build_worker_state(
@@ -779,11 +811,20 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
                     shuffle_within, seed, rng_state, message_dtype, batch_units,
                     overlap_send, cpuset, chaos,
                 )
+                state["pulse"] = pulse
+                if health is not None and beat is None:
+                    beat = HeartbeatSender(
+                        lambda seq, phase, progress: reply(
+                            (rank, "beat", (seq, phase, progress))
+                        ),
+                        health.interval_s,
+                        pulse,
+                    )
                 # The ack reports the cpuset actually applied (None when
                 # pinning is off or unsupported on this platform).
-                res.send((rank, "ready", state["cpuset"]))
+                reply((rank, "ready", state["cpuset"]))
             elif op == "checkpoint":
-                res.send((rank, "checkpoint", _checkpoint_worker_state(state)))
+                reply((rank, "checkpoint", _checkpoint_worker_state(state)))
             elif op == "ingest":
                 _, desc = cmd
                 seg, arrays = _attach_array_block(desc)
@@ -791,15 +832,15 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
                     n = _apply_worker_ingest(state, *arrays)
                 finally:
                     seg.close()
-                res.send((rank, "ingested", n))
+                reply((rank, "ingested", n))
             elif op == "replan":
                 _, protocol, homes, _retired = cmd
                 _apply_replan(rank, state, protocol, homes)
-                res.send((rank, "replanned", None))
+                reply((rank, "replanned", None))
             elif op == "model":
-                res.send((rank, "model", _report_model(state)))
+                reply((rank, "model", _report_model(state)))
             elif op == "iter":
-                _, mu, plan, n_expected, gen, model_rank = cmd
+                _, mu, plan, n_expected, gen, model_rank, crash = cmd
                 chaos = state.get("chaos")
                 # A fresh shim per iteration realigns the per-link RNG
                 # streams with the simulated engines' per-W-step timeline.
@@ -825,16 +866,17 @@ def _worker_main(rank, ring_qs, cmd_q, res, abort_ev):
                 try:
                     payload = _run_worker_iteration(
                         rank, state, mu, plan, n_expected, transport, model_rank,
-                        chaos_shim=shim,
+                        chaos_shim=shim, crash=crash,
                     )
                 except IterationAborted:
-                    res.send((rank, "aborted", None))
+                    reply((rank, "aborted", None))
                 else:
-                    res.send((rank, "result", payload))
+                    reply((rank, "result", payload))
                 finally:
+                    pulse.enter("idle")
                     transport.close()
         except Exception:
-            res.send((rank, "error", traceback.format_exc()))
+            reply((rank, "error", traceback.format_exc()))
 
 
 # ------------------------------------------------------------- coordinator
@@ -910,6 +952,9 @@ class MultiprocessBackend(BaseBackend):
         self._capacity = 0
         self._ranks: list[int] = []
         self._gen = 0
+        self._monitor: HealthMonitor | None = None
+        self._respawns_done = 0
+        self._boundary: dict | None = None
 
     # ---------------------------------------------------------- lifecycle
     def _mark_untrack(self, descs) -> None:
@@ -942,6 +987,8 @@ class MultiprocessBackend(BaseBackend):
         if not self._procs:
             self._spawn(range(P))
         self._ranks = list(range(P))
+        self._respawns_done = 0
+        self._boundary = None
         self._release_segments()
         # Anything that fails between shard shipping and a successful
         # ready-collection must not leak the just-created /dev/shm
@@ -1000,6 +1047,7 @@ class MultiprocessBackend(BaseBackend):
                     self.overlap_send,
                     self.chaos,
                     cpusets.get(rank),
+                    self.health,
                 )
             )
         ready = self._collect("ready", ranks=sorted(descs))
@@ -1040,6 +1088,11 @@ class MultiprocessBackend(BaseBackend):
         for rank in ranks:
             self._launch_worker(rank)
         self._capacity = capacity
+        # A fresh pool gets a fresh monitor: stale DEAD classifications
+        # from a torn-down pool must not outlive it.
+        self._monitor = (
+            HealthMonitor(self.health) if self.health is not None else None
+        )
 
     def _launch_worker(self, rank: int) -> None:
         """Fork one worker with its private response pipe; the parent's
@@ -1147,6 +1200,7 @@ class MultiprocessBackend(BaseBackend):
                 self.overlap_send,
                 self.chaos,
                 self._cpusets(old_ranks + [p]).get(p),
+                self.health,
             )
         )
         ready = self._collect("ready", ranks=[p])
@@ -1190,7 +1244,39 @@ class MultiprocessBackend(BaseBackend):
         mu = float(mu)
         added, replan_s = self.drain_joins()
         rows = self.drain_ingests()
+        respawn = self.fault_policy is FaultPolicy.RESPAWN
+        boundary = None
+        if respawn:
+            # The respawn tax: hold a whole-cluster iteration-boundary
+            # snapshot — every worker's shard + SGD stream plus the
+            # route RNG — so a mid-iteration death can rewind the fit to
+            # exactly here and retry bit-identically. (Survivors are
+            # *not* reusable as-is: aborted ones consumed SGD draws,
+            # completed ones advanced their Z codes.) The snapshot is
+            # normally the one refreshed at the end of the previous
+            # iteration — taken while the pool had just proved itself
+            # alive — so a worker SIGKILLed while *idle* surfaces inside
+            # the retry loop below and is healed like any mid-iteration
+            # death, instead of failing this collection. A fresh collect
+            # only happens on the first iteration of a fit or after
+            # joins/ingests mutated worker state.
+            if self._boundary is None or added or rows:
+                self._boundary = self._snapshot_boundary()
+            boundary = self._boundary
+        # Scheduled chaos kills are resolved coordinator-side for the
+        # first attempt only: a retried attempt (respawned or excised)
+        # runs crash-free, so the schedule cannot re-kill a replacement.
+        crashes = (
+            {r: self.chaos.crash_point(r, self._iterations_done)
+             for r in self._ranks}
+            if self.chaos is not None and self.chaos.crashes
+            else {}
+        )
+        if self._monitor is not None:
+            self._monitor.reset_counters()
         lost: list[int] = []
+        respawns = 0
+        respawn_wait_s = 0.0
         t0 = time.perf_counter()
         while True:
             if self.shuffle_ring:
@@ -1202,12 +1288,55 @@ class MultiprocessBackend(BaseBackend):
             expected = expected_receives(plan, self._homes)
             self._gen += 1
             model_rank = self._ranks[0]
-            self._dispatch_iteration(mu, plan, expected, model_rank)
+            self._dispatch_iteration(mu, plan, expected, model_rank, crashes)
+            crashes = {}
             try:
                 payloads = self._collect_results()
+                if respawn:
+                    # Refresh the boundary for the *next* iteration while
+                    # the pool just answered. A kill landing in this tiny
+                    # window re-enters the retry loop: the completed
+                    # attempt is discarded and re-run bit-identically
+                    # from the held boundary.
+                    try:
+                        self._boundary = self._snapshot_boundary()
+                    except RuntimeError:
+                        self._boundary = None
+                        raise _WorkersLost([], None) from None
                 break
             except _WorkersLost as loss:
+                recovered = False
+                while respawn and self._respawns_done < self.respawn_budget:
+                    t_r = time.monotonic()
+                    try:
+                        self._respawn_from(boundary)
+                        recovered = True
+                    except RuntimeError:
+                        # A kill landed during the rebuild itself; the
+                        # boundary is untouched, so the next attempt
+                        # (budget permitting) starts from the same state.
+                        continue
+                    finally:
+                        respawns += 1
+                        respawn_wait_s += time.monotonic() - t_r
+                    break
+                if recovered:
+                    continue
+                if respawn and not self._procs:
+                    # Failed rebuilds exhausted the budget and closed the
+                    # pool: no survivors to degrade onto — the end of the
+                    # respawn -> drop_shard -> fail_fast escalation chain.
+                    raise RuntimeError(
+                        f"respawn budget ({self.respawn_budget}) exhausted "
+                        "with no recoverable pool; fit aborted"
+                    ) from None
+                # Budget exhausted (or plain drop_shard): escalate to
+                # excising the dead machines over the survivor set.
                 lost.extend(loss.dead)
+                # The survivor set is about to shrink: the held snapshot
+                # (which still contains the retired shard) must never
+                # feed a later respawn.
+                self._boundary = None
                 self._excise(loss.dead)
                 if loss.payloads is not None:
                     # No survivor aborted: the attempt completed on every
@@ -1242,6 +1371,11 @@ class MultiprocessBackend(BaseBackend):
         extra = {"wall_time": wall, "w_time": w_time, "z_time": z_time}
         extra.update(wire)
         extra.update(self._dtype_extras())
+        if respawn:
+            extra["respawns"] = respawns
+            extra["respawn_wait_s"] = respawn_wait_s
+        if self._monitor is not None:
+            extra.update(self._monitor.counters())
         if self._worker_cpusets:
             extra["cpusets"] = {
                 r: list(self._worker_cpusets[r])
@@ -1267,16 +1401,72 @@ class MultiprocessBackend(BaseBackend):
         )
 
     def _dispatch_iteration(self, mu: float, plan: RoutePlan, expected: dict,
-                            model_rank: int) -> None:
-        """Send one iteration command to every live worker (override point)."""
+                            model_rank: int, crashes: dict | None = None) -> None:
+        """Send one iteration command to every live worker (override point).
+
+        ``crashes`` maps rank -> scheduled chaos kill point ("w"/"z") for
+        this attempt; absent ranks run normally.
+        """
+        crashes = crashes or {}
         for ev in self._abort_events.values():
             ev.clear()  # workers are idle between iterations; safe to reset
+        if self._monitor is not None:
+            self._monitor.begin_phase(self._ranks)
         for rank in self._ranks:
             self._cmd_qs[rank].put(
-                ("iter", mu, plan, expected[rank], self._gen, model_rank)
+                ("iter", mu, plan, expected[rank], self._gen, model_rank,
+                 crashes.get(rank))
             )
 
     # ------------------------------------------------------------ recovery
+    def _snapshot_boundary(self) -> dict:
+        """Whole-cluster iteration-boundary state for bit-identical retry."""
+        return {
+            "pool": self._collect_worker_pool_state(),
+            "route_rng": copy.deepcopy(self._route_rng.bit_generator.state),
+        }
+
+    def _respawn_from(self, boundary) -> None:
+        """Rebuild the whole pool at the iteration-start boundary.
+
+        The dead worker's post-death shard state is unrecoverable and the
+        survivors are not reusable as-is (aborted ones consumed SGD
+        draws, completed ones advanced their Z codes), so recovery
+        replaces *every* process: backoff, tear the pool down, respawn
+        the full rank set, re-ship the boundary shards and SGD streams,
+        and rewind the route RNG so the retried plan is the one the dead
+        attempt ran. One budget unit is consumed up front — a kill that
+        lands during the rebuild itself surfaces as a ``RuntimeError``
+        from the setup gather and the caller retries from the same
+        (untouched) boundary, budget permitting.
+        """
+        wait = self.respawn_backoff * (2 ** self._respawns_done)
+        self._respawns_done += 1
+        if wait > 0:
+            time.sleep(wait)
+        live = sorted(boundary["pool"])
+        counters = self._monitor.counters() if self._monitor is not None else None
+        self._close_pool(force=True)
+        self._release_segments()
+        self._spawn(live, capacity=max(live) + 1)
+        self._ranks = list(live)
+        if counters is not None and self._monitor is not None:
+            self._monitor.adopt_counters(counters)
+        try:
+            self._segments, descs = _pack_shards(
+                [boundary["pool"][r]["shard"] for r in live]
+            )
+            self._mark_untrack(descs)
+            self._ship_setup(
+                self.adapter,
+                dict(zip(live, descs)),
+                rng_states={r: boundary["pool"][r]["rng_state"] for r in live},
+            )
+        except Exception:
+            self.close(force=True)
+            raise
+        self._route_rng.bit_generator.state = copy.deepcopy(boundary["route_rng"])
+
     def _request_abort(self, ranks) -> None:
         """Wake workers blocked on ring receives that will never arrive.
 
@@ -1305,8 +1495,37 @@ class MultiprocessBackend(BaseBackend):
             return []
         out = []
         for chan in mp_connection.wait(chans, timeout=timeout):
-            out.extend(chan.drain())
+            for msg in chan.drain():
+                # Heartbeats ride the same response channel as replies;
+                # feed them to the monitor and keep them out of gathers.
+                if msg[1] == "beat":
+                    self._observe_beat(msg[0], msg[2])
+                else:
+                    out.append(msg)
         return out
+
+    def _observe_beat(self, rank: int, payload) -> None:
+        """Ingest one worker heartbeat (override point: the TCP backend
+        decodes framed beats before feeding the monitor)."""
+        if self._monitor is not None:
+            seq, phase, progress = payload
+            self._monitor.observe(rank, seq, phase, progress)
+
+    def _check_stalled(self, pending) -> None:
+        """Fail the gather early if the monitor sees a stalled worker —
+        beating, alive, but making no progress this phase — instead of
+        waiting out the blunt ``worker_timeout`` cap."""
+        if self._monitor is None:
+            return
+        stalled = self._monitor.stalled(pending)
+        if stalled:
+            phases = {r: self._monitor.phase_of(r) for r in sorted(stalled)}
+            self.close(force=True)
+            raise RuntimeError(
+                f"worker(s) {sorted(stalled)} stalled: heartbeats arrive "
+                f"but no progress for {self.health.stalled_after_s}s "
+                f"(phases {phases}); pool torn down"
+            ) from None
 
     def _collect_results(self) -> dict:
         """Gather one iteration response per live worker.
@@ -1339,7 +1558,10 @@ class MultiprocessBackend(BaseBackend):
                     msgs = self._recv_available(newly_dead, 0)
                     newly_dead -= {m[0] for m in msgs}
                 if newly_dead:
-                    if self.fault_policy is not FaultPolicy.DROP_SHARD:
+                    if self._monitor is not None:
+                        for r in newly_dead:
+                            self._monitor.note_dead(r)
+                    if self.fault_policy is FaultPolicy.FAIL_FAST:
                         self.close(force=True)
                         raise RuntimeError(
                             f"worker(s) {sorted(newly_dead)} died mid-result; "
@@ -1351,6 +1573,7 @@ class MultiprocessBackend(BaseBackend):
                         self._request_abort(pending)
                         abort_requested = True
                 if not msgs:
+                    self._check_stalled(pending)
                     if deadline is not None and time.monotonic() > deadline:
                         self.close(force=True)
                         raise RuntimeError(
@@ -1450,6 +1673,8 @@ class MultiprocessBackend(BaseBackend):
         """
         ranks = list(self._ranks) if ranks is None else list(ranks)
         wanted = set(ranks)
+        if self._monitor is not None:
+            self._monitor.begin_phase(ranks)
         deadline = (
             None
             if self.worker_timeout is None
@@ -1461,10 +1686,14 @@ class MultiprocessBackend(BaseBackend):
             if not msgs:
                 dead = [r for r in ranks if not self._procs[r].is_alive()]
                 if dead:
+                    if self._monitor is not None:
+                        for r in dead:
+                            self._monitor.note_dead(r)
                     self.close(force=True)
                     raise RuntimeError(
                         f"worker(s) {dead} died mid-{expect}; pool torn down"
                     ) from None
+                self._check_stalled(wanted - set(payloads))
                 if deadline is not None and time.monotonic() > deadline:
                     stalled = sorted(wanted - set(payloads))
                     self.close(force=True)
@@ -1534,6 +1763,8 @@ class MultiprocessBackend(BaseBackend):
         live = sorted(shards)
         self._spawn(live)
         self._ranks = live
+        self._respawns_done = 0
+        self._boundary = None
         self._release_segments()
         try:
             self._segments, descs = _pack_shards([shards[r] for r in live])
@@ -1592,6 +1823,7 @@ class MultiprocessBackend(BaseBackend):
         """
         self._close_pool(force=force)
         self._ranks = []
+        self._boundary = None
         self._release_segments()
 
     @property

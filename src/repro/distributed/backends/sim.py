@@ -104,6 +104,33 @@ class _SimBackend(BaseBackend):
         rows = self.drain_ingests()
         fault, self._pending_fault = self._pending_fault, None
         lost_before = self.dataplane.shards_lost
+        crashed = []
+        if self.chaos is not None:
+            crashed = [
+                ev.machine
+                for ev in self.chaos.crashes
+                if ev.iteration == self._iterations_done
+                and ev.machine in cluster.shards
+            ]
+        respawns = 0
+        if self.fault_policy is FaultPolicy.RESPAWN:
+            # A simulated machine has no process to lose: the "respawned"
+            # cluster is by construction back at the iteration boundary,
+            # so the retried iteration *is* the fault-free iteration.
+            # Absorb the death, count it, keep the numerics untouched —
+            # the same bit-identity contract the wall-clock engines
+            # deliver the hard way.
+            respawns = len(crashed) + (1 if fault is not None else 0)
+            fault = None
+            crashed = []
+        if crashed and fault is None:
+            if self.fault_policy is FaultPolicy.DROP_SHARD and self.engine != "sync":
+                raise RuntimeError(
+                    "scheduled chaos crashes under 'drop_shard' are only "
+                    "supported by the sync engine (no fault path to map "
+                    "them onto)"
+                )
+            fault = FaultEvent(machine=int(crashed[0]), tick=0)
         if fault is not None and self.fault_policy is FaultPolicy.FAIL_FAST:
             raise RuntimeError(
                 f"machine {fault.machine} died mid-iteration; "
@@ -124,6 +151,11 @@ class _SimBackend(BaseBackend):
             self.adapter.violations_shard(cluster.shards[p]) for p in cluster.machines
         )
         self._iterations_done += 1
+        respawn_extras = (
+            {"respawns": respawns, "respawn_wait_s": 0.0}
+            if self.fault_policy is FaultPolicy.RESPAWN
+            else {}
+        )
         return IterationStats(
             mu=float(mu),
             e_q=cluster.e_q(mu),
@@ -143,6 +175,7 @@ class _SimBackend(BaseBackend):
                 "z_time": zstats.wall_time,
                 **wstats.chaos,
                 **self._dtype_extras(),
+                **respawn_extras,
             },
             bytes_sent=int(wstats.bytes_sent),
             rows_ingested=rows,

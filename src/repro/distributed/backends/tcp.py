@@ -65,6 +65,7 @@ from __future__ import annotations
 
 import selectors
 import socket
+import threading
 import time
 import traceback
 
@@ -86,6 +87,7 @@ from repro.distributed.backends.mp import (
 from repro.distributed.chaos import ChaosShim
 from repro.distributed.framing import (
     KIND_BATCH,
+    KIND_HEARTBEAT,
     KIND_HELLO,
     KIND_INGEST,
     KIND_JOIN,
@@ -94,18 +96,21 @@ from repro.distributed.framing import (
     FrameDecoder,
     ProtocolError,
     decode_batch,
+    decode_heartbeat,
     decode_hello,
     decode_ingest,
     decode_join,
     decode_shard_retired,
     decode_welcome,
     encode_batch,
+    encode_heartbeat,
     encode_hello,
     encode_ingest,
     encode_join,
     encode_shard_retired,
     encode_welcome,
 )
+from repro.distributed.health import HeartbeatSender, WorkerPulse
 from repro.distributed.interfaces import get_params_many, set_params_many
 from repro.distributed.messages import SubmodelMessage
 from repro.distributed.protocol import RoutePlan
@@ -452,10 +457,22 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
     """
     state = None
     net: dict | None = None
+    pulse = WorkerPulse()
+    beat: HeartbeatSender | None = None
+    send_lock = threading.Lock()
+
+    def reply(obj) -> None:
+        # The heartbeat thread shares this connection with the command
+        # loop; Connection.send is not safe under concurrent writers.
+        with send_lock:
+            res.send(obj)
+
     while True:
         cmd = cmd_q.get()
         op = cmd[0]
         if op == "stop":
+            if beat is not None:
+                beat.stop()
             _close_net(net)
             if state is not None and state["seg"] is not None:
                 state["seg"].close()
@@ -464,7 +481,8 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
             if op == "setup":
                 (_, adapter, desc, protocol, homes, batch_size, shuffle_within,
                  seed, rng_state, message_dtype, batch_units, overlap_send,
-                 chaos, cpuset, host, port, batch_hops, drop_on_fault) = cmd
+                 chaos, cpuset, health, host, port, batch_hops,
+                 drop_on_fault) = cmd
                 _close_net(net)  # a new fit rebuilds the mesh
                 net = None
                 if state is not None and state["seg"] is not None:
@@ -474,12 +492,26 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                     shuffle_within, seed, rng_state, message_dtype, batch_units,
                     overlap_send, cpuset, chaos,
                 )
+                state["pulse"] = pulse
                 state["batch_hops"] = batch_hops
                 state["drop_on_fault"] = drop_on_fault
+                if health is not None and beat is None:
+                    # Beats travel as encoded HEARTBEAT control frames —
+                    # the same bytes a multi-host deployment would send
+                    # down a coordinator socket — carried here over the
+                    # single-host response channel.
+                    beat = HeartbeatSender(
+                        lambda seq, phase, progress: reply(
+                            (rank, "beat",
+                             encode_heartbeat(rank, seq, progress, phase))
+                        ),
+                        health.interval_s,
+                        pulse,
+                    )
                 net = _bind_listen_socket(host, port, batch_hops)
-                res.send((rank, "port", net["listen"].getsockname()[1]))
+                reply((rank, "port", net["listen"].getsockname()[1]))
             elif op == "checkpoint":
-                res.send((rank, "checkpoint", _checkpoint_worker_state(state)))
+                reply((rank, "checkpoint", _checkpoint_worker_state(state)))
             elif op == "rebind":
                 # Drop_shard recovery, phase 1: fresh listen socket (the
                 # old mesh is dirty — dead-peer links, possibly stale
@@ -487,7 +519,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                 _, host, port = cmd
                 _close_net(net)
                 net = _bind_listen_socket(host, port, state["batch_hops"])
-                res.send((rank, "port", net["listen"].getsockname()[1]))
+                reply((rank, "port", net["listen"].getsockname()[1]))
             elif op == "connect":
                 _, addr_map = cmd
                 peers = sorted(p for p in addr_map if p != rank)
@@ -516,7 +548,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                     net["listen"].settimeout(None)
                 # Like the queue worker's setup ack, report the cpuset
                 # actually applied (None when pinning is off).
-                res.send((rank, "ready", state["cpuset"]))
+                reply((rank, "ready", state["cpuset"]))
             elif op == "join_mesh":
                 # An established worker links a machine joining mid-fit
                 # into its mesh: accept the joiner's JOIN-identified
@@ -557,7 +589,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                 out.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 out.sendall(encode_hello(rank))
                 net["out"][new_rank] = out
-                res.send((rank, "joined", None))
+                reply((rank, "joined", None))
             elif op == "join_handshake":
                 # The joining worker handshakes into the standing mesh:
                 # dial every peer with a JOIN frame, read the donor's
@@ -604,7 +636,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                         net["in"][decode_hello(payload)] = conn
                 finally:
                     net["listen"].settimeout(None)
-                res.send((rank, "joined", state["cpuset"]))
+                reply((rank, "joined", state["cpuset"]))
             elif op == "ingest":
                 _, frame = cmd
                 (msg,) = _decode_control_blob(frame, KIND_INGEST)
@@ -614,7 +646,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                         f"to rank {rank}"
                     )
                 n = _apply_worker_ingest(state, msg.X, msg.F, msg.Z, msg.indices)
-                res.send((rank, "ingested", n))
+                reply((rank, "ingested", n))
             elif op == "replan":
                 _, protocol, homes, retired_blob = cmd
                 # The retirement announcement arrives as SHARD_RETIRED
@@ -623,11 +655,11 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                 if retired_blob:
                     _decode_control_blob(retired_blob, KIND_SHARD_RETIRED)
                 _apply_replan(rank, state, protocol, homes)
-                res.send((rank, "replanned", None))
+                reply((rank, "replanned", None))
             elif op == "model":
-                res.send((rank, "model", _report_model(state)))
+                reply((rank, "model", _report_model(state)))
             elif op == "iter":
-                _, mu, orders, n_expected, _gen, model_rank = cmd
+                _, mu, orders, n_expected, _gen, model_rank, crash = cmd
                 plan = RoutePlan.from_orders(orders, state["protocol"])
                 chaos_cfg = state.get("chaos")
                 # A fresh shim per iteration realigns the per-link RNG
@@ -659,7 +691,7 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                     try:
                         payload = _run_worker_iteration(
                             rank, state, mu, plan, n_expected, transport,
-                            model_rank, chaos_shim=shim,
+                            model_rank, chaos_shim=shim, crash=crash,
                         )
                     finally:
                         transport.close()
@@ -671,11 +703,11 @@ def _tcp_worker_main(rank, cmd_q, res, connect_timeout):
                     # any peer still blocked) and await the re-plan.
                     _close_net(net)
                     net = None
-                    res.send((rank, "aborted", traceback.format_exc()))
+                    reply((rank, "aborted", traceback.format_exc()))
                 else:
-                    res.send((rank, "result", payload))
+                    reply((rank, "result", payload))
         except Exception:
-            res.send((rank, "error", traceback.format_exc()))
+            reply((rank, "error", traceback.format_exc()))
 
 
 # ------------------------------------------------------------- coordinator
@@ -756,13 +788,22 @@ class TCPBackend(MultiprocessBackend):
                     self.overlap_send,
                     self.chaos,
                     cpusets.get(rank),
+                    self.health,
                     self.host,
                     self._port_for(rank),
                     self.batch_hops,
-                    self.fault_policy is FaultPolicy.DROP_SHARD,
+                    self._drop_on_fault(),
                 )
             )
         self._connect_mesh()
+
+    def _drop_on_fault(self) -> bool:
+        """Whether workers should *abort and await recovery* on a peer
+        death instead of failing: true for both survivor policies —
+        ``drop_shard`` re-plans around the loss, ``respawn`` rewinds and
+        retries — since either way the coordinator needs clean abort
+        acks, not errors, out of the survivors."""
+        return self.fault_policy in (FaultPolicy.DROP_SHARD, FaultPolicy.RESPAWN)
 
     def _connect_mesh(self) -> None:
         """Exchange bound ports and build the all-pairs socket mesh."""
@@ -777,12 +818,29 @@ class TCPBackend(MultiprocessBackend):
         }
 
     def _dispatch_iteration(self, mu: float, plan, expected: dict,
-                            model_rank: int) -> None:
+                            model_rank: int, crashes: dict | None = None) -> None:
+        crashes = crashes or {}
         orders = plan.to_orders()
+        if self._monitor is not None:
+            self._monitor.begin_phase(self._ranks)
         for rank in self._ranks:
             self._cmd_qs[rank].put(
-                ("iter", mu, orders, expected[rank], self._gen, model_rank)
+                ("iter", mu, orders, expected[rank], self._gen, model_rank,
+                 crashes.get(rank))
             )
+
+    def _observe_beat(self, rank: int, payload) -> None:
+        """Decode a framed HEARTBEAT (the tcp workers beat with the same
+        bytes a coordinator socket would carry) and feed the monitor."""
+        if self._monitor is None:
+            return
+        for kind, frame_payload in FrameDecoder().feed(payload):
+            if kind != KIND_HEARTBEAT:
+                raise ProtocolError(
+                    f"expected HEARTBEAT control frame, got kind {kind}"
+                )
+            beat_rank, seq, progress, phase = decode_heartbeat(frame_payload)
+            self._monitor.observe(beat_rank, seq, phase, progress)
 
     # ----------------------------------------------------------- elasticity
     def _check_join_capacity(self, p: int) -> None:
@@ -815,10 +873,11 @@ class TCPBackend(MultiprocessBackend):
                 self.overlap_send,
                 self.chaos,
                 self._cpusets(old_ranks + [p]).get(p),
+                self.health,
                 self.host,
                 self._port_for(p),
                 self.batch_hops,
-                self.fault_policy is FaultPolicy.DROP_SHARD,
+                self._drop_on_fault(),
             )
         )
         bound = self._collect("port", ranks=[p])

@@ -44,8 +44,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ChaosConfig", "PartitionWindow", "LinkChaos", "ChaosShim",
-           "empty_chaos_counters"]
+__all__ = ["ChaosConfig", "PartitionWindow", "CrashEvent", "LinkChaos",
+           "ChaosShim", "empty_chaos_counters"]
 
 #: Cap on consecutive retransmits charged for one hop — a loss rate of
 #: 0.99 must degrade the clock, not hang the sampler.
@@ -86,6 +86,29 @@ class PartitionWindow:
 
 
 @dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled worker kill: ``machine`` dies at the start of the
+    ``point`` phase ("w" or "z") of iteration ``iteration``.
+
+    Crashes are resolved by the *coordinator*, once, on the first attempt
+    of the target iteration, and shipped in that iteration's command —
+    retried attempts ship no crash, so a fit under ``respawn`` converges
+    instead of re-killing the replacement. On the simulated engines a
+    crash maps onto the existing fault path (no process to kill).
+    """
+
+    machine: int
+    iteration: int
+    point: str = "w"
+
+    def __post_init__(self):
+        if self.iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {self.iteration}")
+        if self.point not in ("w", "z"):
+            raise ValueError(f"crash point must be 'w' or 'z', got {self.point!r}")
+
+
+@dataclass(frozen=True)
 class ChaosConfig:
     """Knobs for network/node degradation, mirrored on every engine.
 
@@ -111,6 +134,11 @@ class ChaosConfig:
         Slow nodes: machine ``p``'s W- and Z-step compute takes
         ``factor`` times longer (virtual scaling on the simulators, real
         proportional sleeps on the wall-clock workers).
+    crashes : sequence of CrashEvent (or (machine, iteration[, point]) tuples)
+        Scheduled worker kills; see :class:`CrashEvent`. Unlike every
+        other knob these do end a process — but under ``respawn`` the
+        *model* is still bit-identical to an undisturbed run, which is
+        exactly what the conformance suite asserts.
     retransmit_ms : float
         Penalty per charged retransmit (the loss-detection timeout).
     reorder_hold_ms : float
@@ -126,6 +154,7 @@ class ChaosConfig:
     bandwidth_mbps: float | None = None
     partitions: tuple = ()
     stragglers: tuple = ()
+    crashes: tuple = ()
     retransmit_ms: float = 5.0
     reorder_hold_ms: float = 1.0
     seed: int = 0
@@ -158,6 +187,11 @@ class ChaosConfig:
                     f"straggler factor for machine {p} must be >= 1, got {f}"
                 )
         object.__setattr__(self, "stragglers", stragglers)
+        crashes = tuple(
+            c if isinstance(c, CrashEvent) else CrashEvent(*c)
+            for c in self.crashes
+        )
+        object.__setattr__(self, "crashes", crashes)
 
     @classmethod
     def coerce(cls, value) -> "ChaosConfig | None":
@@ -180,6 +214,7 @@ class ChaosConfig:
             or self.bandwidth_mbps is not None
             or self.partitions
             or any(f != 1.0 for _, f in self.stragglers)
+            or self.crashes
         )
 
     def straggler_factor(self, p: int) -> float:
@@ -187,6 +222,18 @@ class ChaosConfig:
             if machine == int(p):
                 return factor
         return 1.0
+
+    def crash_point(self, machine: int, iteration: int) -> str | None:
+        """The phase ("w"/"z") at which ``machine`` is scheduled to die
+        during ``iteration``, or None. W-point kills win if both are
+        scheduled (the process is gone before the Z step starts)."""
+        point = None
+        for ev in self.crashes:
+            if ev.machine == int(machine) and ev.iteration == int(iteration):
+                if ev.point == "w":
+                    return "w"
+                point = ev.point
+        return point
 
 
 def empty_chaos_counters() -> dict:

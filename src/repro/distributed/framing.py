@@ -42,10 +42,13 @@ __all__ = [
     "KIND_SHARD_RETIRED",
     "KIND_JOIN",
     "KIND_WELCOME",
+    "KIND_HEARTBEAT",
     "encode_frame",
     "FrameDecoder",
     "encode_hello",
     "decode_hello",
+    "encode_heartbeat",
+    "decode_heartbeat",
     "encode_batch",
     "decode_batch",
     "encode_ingest",
@@ -81,9 +84,14 @@ KIND_INGEST = 2
 KIND_SHARD_RETIRED = 3
 KIND_JOIN = 4
 KIND_WELCOME = 5
+#: HEARTBEAT is the health plane: a worker's supervisor thread emits one
+#: every beat interval carrying (rank, monotone sequence number, progress
+#: counter, phase tag) so the coordinator can tell live-but-slow from
+#: stalled from dead without waiting out a blunt wall-clock timeout.
+KIND_HEARTBEAT = 6
 _KNOWN_KINDS = (
     KIND_HELLO, KIND_BATCH, KIND_INGEST, KIND_SHARD_RETIRED,
-    KIND_JOIN, KIND_WELCOME,
+    KIND_JOIN, KIND_WELCOME, KIND_HEARTBEAT,
 )
 
 # magic (2s) | version (B) | kind (B) | payload length (I)
@@ -116,6 +124,11 @@ _JOIN = struct.Struct("<I")
 # Welcome payload: donor machine (I) | submodel count the following
 # BATCH frame must carry (I) — lets the joiner validate the hand-off.
 _WELCOME = struct.Struct("<II")
+
+# Heartbeat payload: rank (I) | beat sequence (Q) | progress counter (Q)
+# | phase-tag length (B), followed by the ascii phase tag ("w", "z",
+# "idle", ...).
+_HEARTBEAT = struct.Struct("<IQQB")
 
 
 # ------------------------------------------------------------------ frames
@@ -211,6 +224,34 @@ def decode_hello(payload: bytes) -> int:
     if len(payload) != _HELLO.size:
         raise ProtocolError(f"hello payload must be {_HELLO.size} bytes")
     return _HELLO.unpack(payload)[0]
+
+
+# -------------------------------------------------------------- heartbeats
+def encode_heartbeat(rank: int, seq: int, progress: int, phase: str = "idle") -> bytes:
+    """One health-plane beat: who, which beat, how far, doing what."""
+    tag = phase.encode("ascii")
+    if len(tag) > 255:
+        raise ProtocolError(f"phase tag too long: {phase!r}")
+    return encode_frame(
+        KIND_HEARTBEAT, _HEARTBEAT.pack(rank, seq, progress, len(tag)) + tag
+    )
+
+
+def decode_heartbeat(payload: bytes) -> tuple[int, int, int, str]:
+    """``(rank, seq, progress, phase)`` of one HEARTBEAT payload."""
+    if len(payload) < _HEARTBEAT.size:
+        raise ProtocolError(f"heartbeat payload must be >= {_HEARTBEAT.size} bytes")
+    rank, seq, progress, tlen = _HEARTBEAT.unpack_from(payload)
+    if len(payload) != _HEARTBEAT.size + tlen:
+        raise ProtocolError(
+            f"heartbeat payload declares a {tlen}-byte phase tag but carries "
+            f"{len(payload) - _HEARTBEAT.size}"
+        )
+    try:
+        phase = bytes(payload[_HEARTBEAT.size :]).decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"undecodable phase tag in heartbeat: {exc}") from None
+    return rank, seq, progress, phase
 
 
 # ----------------------------------------------------------------- batches

@@ -43,7 +43,9 @@ shards in parallel and merges exactly.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 
 import numpy as np
 
@@ -54,6 +56,7 @@ __all__ = [
     "hamming_topk",
     "merge_topk",
     "HammingIndex",
+    "ScanResult",
     "ShardedHammingIndex",
 ]
 
@@ -399,6 +402,42 @@ class _ShardScanner:
         return parts[0] if len(parts) == 1 else merge_topk(parts, k)
 
 
+class ScanResult(tuple):
+    """A search result: the ``(ids, dists)`` pair plus coverage metadata.
+
+    Subclasses ``tuple`` so every existing call site keeps working
+    unchanged (``ids, dists = index.search(...)``); degraded-serving
+    callers additionally read:
+
+    partial : bool
+        True when at least one shard missed its scan deadline (or its
+        worker died mid-scan) and the result covers only the responsive
+        shards. The merged ``(ids, dists)`` are exact *over the covered
+        rows* — the miss loses candidates, never corrupts ranks.
+    coverage : float
+        Fraction of indexed rows the responding shards hold (1.0 for a
+        full result, 0.0 when every shard missed).
+    shards_missed : tuple of int
+        Ranks of the shards that did not contribute.
+    """
+
+    def __new__(cls, ids, dists, *, partial=False, coverage=1.0,
+                shards_missed=()):
+        self = super().__new__(cls, (ids, dists))
+        self.partial = bool(partial)
+        self.coverage = float(coverage)
+        self.shards_missed = tuple(int(r) for r in shards_missed)
+        return self
+
+    @property
+    def ids(self) -> np.ndarray:
+        return self[0]
+
+    @property
+    def dists(self) -> np.ndarray:
+        return self[1]
+
+
 def _shard_worker(desc, offset, block, task_q, res_conn):
     """Process-shard loop: attach the shm codes, serve scans until None."""
     from repro.distributed.backends.mp import _attach_array_block
@@ -453,16 +492,29 @@ class ShardedHammingIndex:
         mode: str = "thread",
         block: int = DEFAULT_BLOCK,
         ctx_method: str = "fork",
+        scan_timeout_s: float | None = None,
     ):
         if mode not in ("thread", "process"):
             raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if scan_timeout_s is not None and scan_timeout_s < 0:
+            raise ValueError(f"scan_timeout_s must be >= 0, got {scan_timeout_s}")
         self.n_bits = int(n_bits)
         self.n_words = (self.n_bits + 63) // 64
         self.n_shards = int(n_shards)
         self.mode = mode
         self.block = int(block)
+        #: Per-search deadline in seconds for the whole sharded gather
+        #: (None = wait indefinitely, historical behaviour). A shard that
+        #: misses it is reported through ``ScanResult.partial`` /
+        #: ``coverage`` instead of stalling the search; in process mode
+        #: its worker is respawned from the retained shared-memory
+        #: segment so the *next* search is full-coverage again.
+        self.scan_timeout_s = scan_timeout_s
+        #: Shard workers automatically respawned after a deadline miss
+        #: or mid-scan death (process mode; diagnostics).
+        self.shard_respawns = 0
         packed = _as_packed_codes(codes, self.n_words, n_bits=self.n_bits, name="codes")
         packed = np.ascontiguousarray(packed)
         self._n = len(packed)
@@ -472,6 +524,7 @@ class ShardedHammingIndex:
             )
         parts = partition_indices(self._n, self.n_shards, shuffle=False)
         self._offsets = [int(idx[0]) for idx in parts]
+        self._shard_rows = [len(idx) for idx in parts]
         self._closed = False
         if mode == "thread":
             self._scanners = [
@@ -492,20 +545,19 @@ class ShardedHammingIndex:
 
         self._ctx = mp.get_context(ctx_method)
         self._segments, self._task_qs, self._pipes, self._procs = [], [], [], []
+        # Retained for degraded-mode recovery: the shard descriptors
+        # (the shm segments stay mapped until close(), so a replacement
+        # worker re-attaches the same bytes) and the tail shard's
+        # streamed add blocks, replayed into a respawned tail worker.
+        self._descs: list = []
+        self._tail_blocks: list = []
         try:
             for idx in parts:
                 seg, desc = _pack_array_block([packed[idx[0] : idx[-1] + 1]])
                 desc["untrack"] = ctx_method != "fork"
                 self._segments.append(seg)
-                task_q = self._ctx.Queue()
-                reader, writer = self._ctx.Pipe(duplex=False)
-                proc = self._ctx.Process(
-                    target=_shard_worker,
-                    args=(desc, int(idx[0]), self.block, task_q, writer),
-                    daemon=True,
-                )
-                proc.start()
-                writer.close()
+                self._descs.append(desc)
+                task_q, reader, proc = self._launch_shard(desc, int(idx[0]))
                 self._task_qs.append(task_q)
                 self._pipes.append(reader)
                 self._procs.append(proc)
@@ -513,14 +565,76 @@ class ShardedHammingIndex:
             self.close()
             raise
 
-    def _collect(self):
-        out = []
+    def _launch_shard(self, desc, offset: int):
+        task_q = self._ctx.Queue()
+        reader, writer = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_shard_worker,
+            args=(desc, offset, self.block, task_q, writer),
+            daemon=True,
+        )
+        proc.start()
+        writer.close()
+        return task_q, reader, proc
+
+    def _respawn_worker(self, rank: int) -> None:
+        """Replace one shard worker from its retained shm descriptor.
+
+        Called after the worker missed a scan deadline (it may be slow,
+        wedged, or dead — all get the same cure) or its pipe reported
+        EOF. The old process is terminated so a late result can never
+        leak into a later search, and the tail shard's streamed add
+        blocks are replayed so the replacement serves the full id range.
+        """
+        proc = self._procs[rank]
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        try:
+            self._task_qs[rank].close()
+        except (ValueError, OSError):
+            pass
+        self._pipes[rank].close()
+        task_q, reader, new_proc = self._launch_shard(
+            self._descs[rank], self._offsets[rank]
+        )
+        self._task_qs[rank] = task_q
+        self._pipes[rank] = reader
+        self._procs[rank] = new_proc
+        self.shard_respawns += 1
+        if rank == self.n_shards - 1:
+            for codes, off in self._tail_blocks:
+                task_q.put(("add", codes, off))
+                status, payload = reader.recv()
+                if status != "ok":
+                    raise RuntimeError(
+                        f"tail shard replay failed after respawn: {payload}"
+                    )
+
+    def _collect(self, deadline: float | None):
+        """Gather per-shard scan results; returns ``(parts, missed)``.
+
+        ``parts`` is ``[(rank, payload), ...]`` for the shards that
+        answered; ``missed`` lists shards that blew the deadline or whose
+        worker died mid-scan. A shard *error* (bad input, scan bug) still
+        raises — that is deterministic breakage, not degradation.
+        """
+        parts, missed = [], []
         for rank, pipe in enumerate(self._pipes):
-            status, payload = pipe.recv()
+            try:
+                if deadline is not None and not pipe.poll(
+                    max(0.0, deadline - time.monotonic())
+                ):
+                    missed.append(rank)
+                    continue
+                status, payload = pipe.recv()
+            except (EOFError, OSError):
+                missed.append(rank)
+                continue
             if status != "ok":
                 raise RuntimeError(f"shard {rank} failed: {payload}")
-            out.append(payload)
-        return out
+            parts.append((rank, payload))
+        return parts, missed
 
     # ------------------------------------------------------------------- API
     @property
@@ -534,15 +648,29 @@ class ShardedHammingIndex:
         if self.mode == "thread":
             self._scanners[-1].append(np.ascontiguousarray(packed), self._n)
         else:
-            self._task_qs[-1].put(("add", np.ascontiguousarray(packed), self._n))
+            block = np.ascontiguousarray(packed)
+            self._task_qs[-1].put(("add", block, self._n))
             status, payload = self._pipes[-1].recv()
             if status != "ok":
                 raise RuntimeError(f"tail shard ingest failed: {payload}")
+            # Recorded *after* the ack so a respawned tail worker replays
+            # exactly the blocks the dead one had acknowledged.
+            self._tail_blocks.append((block, self._n))
+        self._shard_rows[-1] += len(packed)
         self._n += len(packed)
         return ids
 
-    def search(self, queries, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """(ids, dists) exactly equal to the unsharded index's search."""
+    def search(self, queries, k: int) -> ScanResult:
+        """Exact sharded top-k as a :class:`ScanResult`.
+
+        With ``scan_timeout_s`` unset this is exactly the unsharded
+        index's search (full coverage, ``partial=False``). With a
+        deadline, shards that miss it are dropped from the merge and
+        reported via the result's ``partial`` / ``coverage`` /
+        ``shards_missed`` fields; their workers (process mode) are
+        respawned from the retained shm segments before returning, so
+        coverage recovers by the next call.
+        """
         if self._closed:
             raise RuntimeError("index is closed")
         if k > self._n:
@@ -550,17 +678,55 @@ class ShardedHammingIndex:
         queries = _as_packed_codes(
             queries, self.n_words, n_bits=self.n_bits, name="queries"
         )
+        deadline = (
+            None
+            if self.scan_timeout_s is None
+            else time.monotonic() + self.scan_timeout_s
+        )
         if self.mode == "thread":
             futures = [
                 self._pool.submit(scanner.scan, queries, k)
                 for scanner in self._scanners
             ]
-            parts = [f.result() for f in futures]
+            parts, missed = [], []
+            for rank, f in enumerate(futures):
+                try:
+                    if deadline is None:
+                        parts.append((rank, f.result()))
+                    else:
+                        parts.append((rank, f.result(
+                            timeout=max(0.0, deadline - time.monotonic())
+                        )))
+                except _FutureTimeout:
+                    # The scan keeps running on its pool thread (threads
+                    # cannot be killed); its shard just misses this
+                    # result. No respawn needed — the thread pool reuses
+                    # the worker once the stale scan finishes.
+                    f.cancel()
+                    missed.append(rank)
         else:
             for task_q in self._task_qs:
                 task_q.put(("scan", queries, k))
-            parts = self._collect()
-        return merge_topk(parts, k)
+            parts, missed = self._collect(deadline)
+        if not missed:
+            ids, ds = merge_topk([p for _, p in parts], k)
+            return ScanResult(ids, ds)
+        if self.mode == "process":
+            for rank in missed:
+                self._respawn_worker(rank)
+        covered = self._n - sum(self._shard_rows[r] for r in missed)
+        coverage = covered / self._n if self._n else 0.0
+        if not parts:
+            n_q = len(queries)
+            return ScanResult(
+                np.empty((n_q, 0), np.int64),
+                np.empty((n_q, 0), np.uint16),
+                partial=True, coverage=0.0, shards_missed=missed,
+            )
+        ids, ds = merge_topk([p for _, p in parts], k)
+        return ScanResult(
+            ids, ds, partial=True, coverage=coverage, shards_missed=missed
+        )
 
     def close(self) -> None:
         """Stop shard workers and release shared-memory segments."""

@@ -47,7 +47,31 @@ import numpy as np
 from repro.retrieval.hamming import pack_bits
 from repro.serve.index import HammingIndex, ShardedHammingIndex
 
-__all__ = ["RetrievalService", "ServiceStats", "Ticket"]
+__all__ = [
+    "RetrievalService",
+    "ServiceStats",
+    "Ticket",
+    "ServiceClosed",
+    "Overloaded",
+]
+
+
+class ServiceClosed(RuntimeError):
+    """The service was closed; new submissions are rejected immediately.
+
+    A ``RuntimeError`` subclass so callers that guarded the old generic
+    error keep working; new callers can catch the specific condition.
+    """
+
+
+class Overloaded(RuntimeError):
+    """Admission control rejected the request: too many pending queries.
+
+    Raised by :meth:`RetrievalService.submit` when the in-flight count
+    has reached ``max_pending`` — a fast, bounded-queue rejection the
+    caller can retry or shed, instead of unbounded buffering that turns
+    overload into latency collapse for every request.
+    """
 
 
 class _Batch:
@@ -59,7 +83,8 @@ class _Batch:
     pair serve every ticket in the batch.
     """
 
-    __slots__ = ("event", "items", "t_first", "ids", "dists", "error", "t_done")
+    __slots__ = ("event", "items", "t_first", "ids", "dists", "error",
+                 "t_done", "partial", "coverage")
 
     def __init__(self):
         self.event = threading.Event()
@@ -69,6 +94,8 @@ class _Batch:
         self.dists = None
         self.error: BaseException | None = None
         self.t_done: float | None = None
+        self.partial = False
+        self.coverage = 1.0
 
 
 class Ticket:
@@ -97,6 +124,19 @@ class Ticket:
     def t_done(self) -> float | None:
         return self._batch.t_done
 
+    @property
+    def partial(self) -> bool:
+        """True if the serving scan missed shard deadlines (degraded mode).
+
+        Meaningful once ``done()``; shared by every ticket of the batch
+        (one scan serves them all)."""
+        return self._batch.partial
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of index rows the serving scan actually covered."""
+        return self._batch.coverage
+
     def result(self, timeout: float | None = None):
         batch = self._batch
         if not batch.event.wait(timeout):
@@ -118,13 +158,20 @@ class ServiceStats:
         self.max_batch_seen = 0
         self.encode_s = 0.0
         self.scan_s = 0.0
+        self.n_partial = 0
+        self.n_rejected = 0
 
-    def record(self, batch_size: int, encode_s: float, scan_s: float) -> None:
+    def record(
+        self, batch_size: int, encode_s: float, scan_s: float, *,
+        partial: bool = False,
+    ) -> None:
         self.n_queries += batch_size
         self.n_batches += 1
         self.max_batch_seen = max(self.max_batch_seen, batch_size)
         self.encode_s += encode_s
         self.scan_s += scan_s
+        if partial:
+            self.n_partial += 1
 
     def snapshot(self) -> dict:
         n_b = max(self.n_batches, 1)
@@ -135,6 +182,8 @@ class ServiceStats:
             "max_batch": self.max_batch_seen,
             "encode_s": self.encode_s,
             "scan_s": self.scan_s,
+            "n_partial": self.n_partial,
+            "n_rejected": self.n_rejected,
         }
 
 
@@ -159,6 +208,11 @@ class RetrievalService:
         company before the batch is served regardless of size.
     max_batch : int
         Hard batch-size cap; a full window closes early.
+    max_pending : int | None
+        Admission-control cap on in-flight queries (submitted, not yet
+        served). ``submit`` raises :class:`Overloaded` immediately when
+        the cap is hit — bounded queueing instead of latency collapse.
+        ``None`` (the default) disables the cap.
     """
 
     def __init__(
@@ -169,6 +223,7 @@ class RetrievalService:
         k: int = 10,
         max_wait_ms: float = 2.0,
         max_batch: int = 64,
+        max_pending: int | None = None,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -176,6 +231,8 @@ class RetrievalService:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1 or None, got {max_pending}")
         if not isinstance(index, (HammingIndex, ShardedHammingIndex)):
             raise TypeError(f"index must be a Hamming index, got {type(index)!r}")
         self.model = model
@@ -183,9 +240,11 @@ class RetrievalService:
         self.k = int(k)
         self.max_wait_s = float(max_wait_ms) / 1e3
         self.max_batch = int(max_batch)
+        self.max_pending = None if max_pending is None else int(max_pending)
         self.stats = ServiceStats()
         self._open = _Batch()
         self._ready: deque[_Batch] = deque()
+        self._pending = 0
         self._cond = threading.Condition()
         self._index_lock = threading.Lock()
         self._closed = False
@@ -204,6 +263,7 @@ class RetrievalService:
         shard_mode: str = "thread",
         encode_batch: int = 4096,
         block: int | None = None,
+        scan_timeout_s: float | None = None,
         **kwargs,
     ) -> "RetrievalService":
         """Encode a base set in batches and stand up a service over it."""
@@ -219,7 +279,8 @@ class RetrievalService:
             index = HammingIndex.from_codes(packed, n_bits, **index_kwargs)
         else:
             index = ShardedHammingIndex(
-                packed, n_bits, n_shards, mode=shard_mode, **index_kwargs
+                packed, n_bits, n_shards, mode=shard_mode,
+                scan_timeout_s=scan_timeout_s, **index_kwargs
             )
         return cls(model, index, **kwargs)
 
@@ -234,7 +295,14 @@ class RetrievalService:
             raise ValueError(f"k={k} out of range for index of size {self.index.n}")
         with self._cond:
             if self._closed:
-                raise RuntimeError("service is closed")
+                raise ServiceClosed("service is closed")
+            if self.max_pending is not None and self._pending >= self.max_pending:
+                self.stats.n_rejected += 1
+                raise Overloaded(
+                    f"{self._pending} queries in flight (max_pending="
+                    f"{self.max_pending}); retry later or shed load"
+                )
+            self._pending += 1
             batch = self._open
             row = len(batch.items)
             batch.items.append((x, k))
@@ -265,14 +333,25 @@ class RetrievalService:
         with self._index_lock:
             return self.index.add(codes)
 
-    def close(self) -> None:
-        """Drain in-flight requests, stop the batcher, release the index."""
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain in-flight requests, stop the batcher, release the index.
+
+        Raises :class:`TimeoutError` if the batcher fails to drain within
+        ``timeout`` seconds, naming how many tickets are still in flight;
+        the index is *not* released in that case (scans may still be
+        touching it) — call ``close`` again to retry the drain.
+        """
         with self._cond:
-            if self._closed:
-                return
             self._closed = True
             self._cond.notify()
-        self._batcher.join(timeout=30.0)
+        self._batcher.join(timeout=timeout)
+        if self._batcher.is_alive():
+            with self._cond:
+                n_inflight = self._pending
+            raise TimeoutError(
+                f"close() timed out after {timeout:g}s with {n_inflight} "
+                f"in-flight ticket(s) still unserved"
+            )
         if isinstance(self.index, ShardedHammingIndex):
             self.index.close()
 
@@ -303,7 +382,10 @@ class RetrievalService:
                     return batch
                 if self._closed:
                     return None
-                self._cond.wait()
+                # Timed wait (DEADLINE): an untimed wait here would wedge
+                # the batcher forever if a submit-side notify were ever
+                # lost; the periodic wake just re-checks and sleeps again.
+                self._cond.wait(timeout=0.5)
 
     def _serve(self, batch: _Batch) -> None:
         items = batch.items
@@ -314,12 +396,17 @@ class RetrievalService:
             packed = pack_bits(self.model.encode(X))
             t1 = time.perf_counter()
             with self._index_lock:
-                ids, dists = self.index.search(packed, max(k for _, k in items))
+                res = self.index.search(packed, max(k for _, k in items))
             t2 = time.perf_counter()
-            self.stats.record(len(items), t1 - t0, t2 - t1)
+            ids, dists = res
+            batch.partial = bool(getattr(res, "partial", False))
+            batch.coverage = float(getattr(res, "coverage", 1.0))
+            self.stats.record(len(items), t1 - t0, t2 - t1, partial=batch.partial)
             batch.ids, batch.dists = ids, dists
         except BaseException as exc:
             batch.error = exc
+        with self._cond:
+            self._pending -= len(items)
         batch.t_done = time.perf_counter()
         batch.event.set()
 

@@ -1,0 +1,198 @@
+"""DEADLINE family: unbounded-wait fixtures (must-fire and must-not-fire)."""
+
+import textwrap
+
+from repro.analysis.core import SourceFile
+from repro.analysis.deadline import check_deadline
+
+PATH = "src/repro/serve/service.py"
+
+
+def deadline(code, path=PATH):
+    sf = SourceFile(path, textwrap.dedent(code))
+    return [f for f in check_deadline(sf) if not sf.suppressed(f)]
+
+
+class TestMustFire:
+    def test_untimed_event_wait_fires(self):
+        fs = deadline(
+            """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._done = threading.Event()
+
+                def block(self):
+                    self._done.wait()
+            """
+        )
+        assert [f.rule for f in fs] == ["DEADLINE001"]
+
+    def test_untimed_condition_wait_fires(self):
+        # PR 10's exemplar: RetrievalService._gather's old final wait.
+        fs = deadline(
+            """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def gather(self):
+                    with self._cond:
+                        self._cond.wait()
+            """
+        )
+        assert [f.rule for f in fs] == ["DEADLINE001"]
+
+    def test_explicit_timeout_none_fires(self):
+        fs = deadline(
+            """
+            import threading
+
+            ev = threading.Event()
+            ev.wait(timeout=None)
+            """
+        )
+        assert [f.rule for f in fs] == ["DEADLINE001"]
+
+    def test_wait_for_without_timeout_fires(self):
+        fs = deadline(
+            """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._n = 0
+
+                def gather(self):
+                    with self._cond:
+                        self._cond.wait_for(lambda: self._n > 0)
+            """
+        )
+        assert [f.rule for f in fs] == ["DEADLINE001"]
+
+    def test_unguarded_socket_recv_fires(self):
+        fs = deadline(
+            """
+            import socket
+
+            sock = socket.socket()
+            data = sock.recv(4096)
+            """
+        )
+        assert [f.rule for f in fs] == ["DEADLINE001"]
+
+    def test_unguarded_accept_fires(self):
+        fs = deadline(
+            """
+            import socket
+
+            class Server:
+                def __init__(self):
+                    self._listener = socket.socket()
+
+                def serve(self):
+                    conn, addr = self._listener.accept()
+            """
+        )
+        assert [f.rule for f in fs] == ["DEADLINE001"]
+
+    def test_settimeout_none_is_no_guard(self):
+        # settimeout(None) switches the socket *back* to blocking mode.
+        fs = deadline(
+            """
+            import socket
+
+            sock = socket.socket()
+            sock.settimeout(None)
+            data = sock.recv(4096)
+            """
+        )
+        assert [f.rule for f in fs] == ["DEADLINE001"]
+
+
+class TestMustNotFire:
+    def test_timed_event_wait_clean(self):
+        fs = deadline(
+            """
+            import threading
+
+            ev = threading.Event()
+            while not ev.wait(0.5):
+                pass
+            """
+        )
+        assert fs == []
+
+    def test_timed_condition_wait_clean(self):
+        fs = deadline(
+            """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def gather(self):
+                    with self._cond:
+                        self._cond.wait(timeout=0.5)
+            """
+        )
+        assert fs == []
+
+    def test_wait_for_with_timeout_clean(self):
+        fs = deadline(
+            """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._n = 0
+
+                def gather(self):
+                    with self._cond:
+                        self._cond.wait_for(lambda: self._n > 0, 1.0)
+            """
+        )
+        assert fs == []
+
+    def test_guarded_socket_recv_clean(self):
+        fs = deadline(
+            """
+            import socket
+
+            sock = socket.socket()
+            sock.settimeout(5.0)
+            data = sock.recv(4096)
+            """
+        )
+        assert fs == []
+
+    def test_out_of_scope_module_clean(self):
+        fs = deadline(
+            """
+            import threading
+
+            ev = threading.Event()
+            ev.wait()
+            """,
+            path="benchmarks/bench_query.py",
+        )
+        assert fs == []
+
+    def test_noqa_suppresses(self):
+        code = textwrap.dedent(
+            """
+            import threading
+
+            ev = threading.Event()
+            ev.wait()  # repro: noqa[DEADLINE001] joined by test harness
+            """
+        )
+        sf = SourceFile(PATH, code)
+        fs = check_deadline(sf)
+        assert fs and all(sf.suppressed(f) for f in fs)

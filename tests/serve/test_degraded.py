@@ -1,0 +1,301 @@
+"""Graceful degradation of the serving plane.
+
+A retrieval service must prefer a *flagged partial* answer over a stalled
+or failed one: a shard worker that dies (or misses its scan deadline)
+costs coverage for one search, never the request — and the index heals
+itself by respawning the worker from the retained shard descriptors, so
+the very next search is exact again.
+
+Exactness discipline carries over from ``test_index``: a partial result
+must still be the *exact* top-k over the shards that did answer, and a
+recovered index must be bit-identical to a never-degraded one.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.retrieval.hamming import hamming_cdist, pack_bits
+from repro.serve import HammingIndex, ShardedHammingIndex
+from repro.serve.index import ScanResult
+from repro.serve.service import Overloaded, RetrievalService, ServiceClosed
+
+N_BITS = 32
+K = 10
+
+
+def random_codes(rng, n, L=N_BITS):
+    return rng.integers(0, 2, size=(n, L)).astype(np.uint8)
+
+
+def ref_topk_masked(Zq, Zb, k, dead_rows=()):
+    """Brute-force (distance, id) top-k with ``dead_rows`` excluded."""
+    D = hamming_cdist(pack_bits(Zq), pack_bits(Zb)).astype(np.int64)
+    key = D * (len(Zb) + 1) + np.arange(len(Zb))
+    if len(dead_rows):
+        key[:, list(dead_rows)] = np.iinfo(np.int64).max
+    order = np.argsort(key, axis=1, kind="stable")[:, :k]
+    rows = np.arange(len(Zq))[:, None]
+    return order, D[rows, order].astype(np.uint16)
+
+
+@pytest.fixture()
+def problem():
+    rng = np.random.default_rng(7)
+    Zb = random_codes(rng, 600)
+    Zq = random_codes(rng, 8)
+    return pack_bits(Zb), pack_bits(Zq), Zb, Zq
+
+
+def kill_shard(idx, rank):
+    proc = idx._procs[rank]
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=5.0)
+
+
+class TestScanResult:
+    def test_tuple_compatible(self, problem):
+        """Every existing ``ids, dists = index.search(...)`` call keeps
+        working: ScanResult *is* the 2-tuple, with metadata riding on
+        attributes."""
+        packed, Q, Zb, Zq = problem
+        idx = ShardedHammingIndex(packed, N_BITS, 3, mode="thread")
+        res = idx.search(Q, K)
+        assert isinstance(res, ScanResult)
+        ids, dists = res
+        assert ids is res.ids and dists is res.dists
+        assert res.partial is False
+        assert res.coverage == 1.0
+        assert res.shards_missed == ()
+        rid, rd = ref_topk_masked(Zq, Zb, K)
+        assert np.array_equal(ids, rid) and np.array_equal(dists, rd)
+
+    def test_scan_timeout_validation(self, problem):
+        packed, *_ = problem
+        with pytest.raises(ValueError, match="scan_timeout_s"):
+            ShardedHammingIndex(packed, N_BITS, 2, scan_timeout_s=-1.0)
+
+
+class TestShardDeath:
+    def test_killed_shard_yields_partial_then_respawn_restores_exact(
+        self, problem
+    ):
+        """The serve acceptance path: SIGKILL a shard worker; the next
+        search returns a *flagged* partial that is exact over the
+        surviving shards, the worker is respawned from the retained
+        descriptors, and the search after that is full-coverage exact."""
+        packed, Q, Zb, Zq = problem
+        idx = ShardedHammingIndex(
+            packed, N_BITS, 3, mode="process", scan_timeout_s=5.0
+        )
+        try:
+            full = idx.search(Q, K)
+            assert not full.partial and idx.shard_respawns == 0
+
+            kill_shard(idx, 1)
+            t0 = time.monotonic()
+            res = idx.search(Q, K)
+            assert time.monotonic() - t0 < 5.0 + 2.0
+            assert res.partial is True
+            assert res.shards_missed == (1,)
+            assert 0.0 < res.coverage < 1.0
+            lo = idx._offsets[1]
+            hi = lo + idx._shard_rows[1]
+            assert res.coverage == (idx.n - (hi - lo)) / idx.n
+            # Exact over the shards that answered: the dead shard's id
+            # range is simply absent, never wrong.
+            rid, rd = ref_topk_masked(Zq, Zb, K, dead_rows=range(lo, hi))
+            assert np.array_equal(res.ids, rid)
+            assert np.array_equal(res.dists, rd)
+
+            # Healed: full coverage, bit-identical to the pre-kill scan.
+            assert idx.shard_respawns == 1
+            again = idx.search(Q, K)
+            assert again.partial is False and again.coverage == 1.0
+            assert np.array_equal(again.ids, full.ids)
+            assert np.array_equal(again.dists, full.dists)
+        finally:
+            idx.close()
+
+    def test_streamed_blocks_survive_respawn(self, problem):
+        """The tail shard's streamed ``add`` blocks are replayed into the
+        respawned worker — recovery restores *ingest history*, not just
+        the construction-time shard."""
+        packed, Q, Zb, Zq = problem
+        rng = np.random.default_rng(11)
+        Z_new = random_codes(rng, 40)
+        idx = ShardedHammingIndex(
+            packed, N_BITS, 3, mode="process", scan_timeout_s=5.0
+        )
+        try:
+            ids = idx.add(pack_bits(Z_new))
+            assert list(ids) == list(range(len(Zb), len(Zb) + 40))
+            tail = len(idx._procs) - 1
+            kill_shard(idx, tail)
+            res = idx.search(Q, K)
+            assert res.partial is True and tail in res.shards_missed
+            assert idx.shard_respawns == 1
+            healed = idx.search(Q, K)
+            assert healed.partial is False
+            rid, rd = ref_topk_masked(Zq, np.concatenate([Zb, Z_new]), K)
+            assert np.array_equal(healed.ids, rid)
+            assert np.array_equal(healed.dists, rd)
+        finally:
+            idx.close()
+
+
+class TestScanDeadline:
+    def test_zero_deadline_flags_partial_process(self, problem):
+        """``scan_timeout_s=0`` races the workers and must *flag* what it
+        drops — a fast shard may still land (put -> scan -> send can beat
+        the poll), so the contract is partiality, not exact coverage."""
+        packed, Q, *_ = problem
+        big = np.concatenate([packed] * 40)  # scans cost more than poll(0)
+        idx = ShardedHammingIndex(big, N_BITS, 3, mode="process", scan_timeout_s=0.0)
+        try:
+            res = idx.search(Q, K)
+            assert res.partial is True
+            assert res.coverage < 1.0
+            assert len(res.shards_missed) >= 1
+            assert res.ids.shape[0] == len(Q)
+        finally:
+            idx.close()
+
+    def test_zero_deadline_flags_partial_thread(self, problem):
+        """Thread mode has no process to respawn, but the deadline and
+        the partial flag behave identically."""
+        packed, Q, *_ = problem
+        big = np.concatenate([packed] * 40)
+        idx = ShardedHammingIndex(big, N_BITS, 3, mode="thread", scan_timeout_s=0.0)
+        try:
+            res = idx.search(Q, K)
+            assert res.partial is True
+            assert res.coverage < 1.0
+            assert idx.shard_respawns == 0
+        finally:
+            idx.close()
+
+    def test_no_deadline_is_exhaustive(self, problem):
+        """Default (no scan_timeout_s): identical to the unsharded scan,
+        never partial."""
+        packed, Q, Zb, Zq = problem
+        flat = HammingIndex.from_codes(packed, N_BITS)
+        idx = ShardedHammingIndex(packed, N_BITS, 3, mode="process")
+        try:
+            fi, fd = flat.search(Q, K)
+            res = idx.search(Q, K)
+            assert res.partial is False
+            assert np.array_equal(res.ids, fi)
+            assert np.array_equal(res.dists, fd)
+        finally:
+            idx.close()
+
+
+# ------------------------------------------------------------------ service
+class _HashModel:
+    """Deterministic toy encoder: sign pattern of the first N_BITS dims."""
+
+    compute_dtype = np.float64
+
+    def encode(self, X):
+        return (np.asarray(X)[:, :N_BITS] > 0).astype(np.uint8)
+
+
+class _SlowModel(_HashModel):
+    def __init__(self, delay_s):
+        self.delay_s = delay_s
+
+    def encode(self, X):
+        time.sleep(self.delay_s)
+        return super().encode(X)
+
+
+def make_service(n=400, **kwargs):
+    rng = np.random.default_rng(3)
+    X_base = rng.standard_normal((n, N_BITS))
+    return RetrievalService.from_data(_HashModel(), X_base, k=5, **kwargs), rng
+
+
+class TestServiceDegradation:
+    def test_submit_after_close_raises_service_closed(self):
+        svc, rng = make_service()
+        svc.close()
+        with pytest.raises(ServiceClosed, match="service is closed"):
+            svc.submit(rng.standard_normal(N_BITS))
+        # Still a RuntimeError for pre-existing guards.
+        assert issubclass(ServiceClosed, RuntimeError)
+
+    def test_admission_control_rejects_when_saturated(self):
+        rng = np.random.default_rng(3)
+        X_base = rng.standard_normal((200, N_BITS))
+        svc = RetrievalService(
+            _SlowModel(0.2),
+            HammingIndex.from_codes(
+                pack_bits(_HashModel().encode(X_base)), N_BITS
+            ),
+            k=5,
+            max_wait_ms=0.0,
+            max_pending=2,
+        )
+        try:
+            t1 = svc.submit(rng.standard_normal(N_BITS))
+            t2 = svc.submit(rng.standard_normal(N_BITS))
+            with pytest.raises(Overloaded, match="max_pending=2"):
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    svc.submit(rng.standard_normal(N_BITS))
+                    time.sleep(0.01)
+            assert svc.stats.snapshot()["n_rejected"] >= 1
+            t1.result(10.0)
+            t2.result(10.0)
+        finally:
+            svc.close()
+
+    def test_close_timeout_names_inflight_tickets(self):
+        rng = np.random.default_rng(3)
+        X_base = rng.standard_normal((200, N_BITS))
+        svc = RetrievalService(
+            _SlowModel(2.0),
+            HammingIndex.from_codes(
+                pack_bits(_HashModel().encode(X_base)), N_BITS
+            ),
+            k=5,
+            max_wait_ms=0.0,
+        )
+        t = svc.submit(rng.standard_normal(N_BITS))
+        time.sleep(0.1)  # let the batcher enter the slow encode
+        with pytest.raises(TimeoutError, match=r"1 in-flight ticket"):
+            svc.close(timeout=0.2)
+        # The drain finishes; a retried close succeeds and is idempotent.
+        t.result(10.0)
+        svc.close()
+        svc.close()
+
+    def test_partial_scan_propagates_to_ticket_and_stats(self):
+        svc, rng = make_service(
+            n_shards=3, shard_mode="process", scan_timeout_s=5.0
+        )
+        try:
+            q = rng.standard_normal(N_BITS)
+            t = svc.submit(q)
+            t.result(10.0)
+            assert t.partial is False and t.coverage == 1.0
+
+            kill_shard(svc.index, 0)
+            t = svc.submit(q)
+            ids, dists = t.result(30.0)
+            assert t.partial is True
+            assert 0.0 < t.coverage < 1.0
+            assert ids.shape == (5,)
+            snap = svc.stats.snapshot()
+            assert snap["n_partial"] == 1
+
+            # The index self-healed under the service: next query is full.
+            t = svc.submit(q)
+            t.result(30.0)
+            assert t.partial is False and t.coverage == 1.0
+        finally:
+            svc.close()
